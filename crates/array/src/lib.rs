@@ -1,0 +1,25 @@
+//! # rim-array
+//!
+//! Antenna-array geometry for RIM: the arrays the paper builds (3-antenna
+//! linear, L-shaped pointer unit, 6-element hexagonal from two NICs) and
+//! the geometric queries the algorithms need — pair enumeration, supported
+//! heading directions, parallel-isometric pair grouping for matrix
+//! averaging (§4.2), and ring geometry for rotation sensing (§4.4).
+//!
+//! All offsets are in the *device frame*; world positions come from
+//! composing with the device pose.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod pairs;
+
+pub use geometry::ArrayGeometry;
+pub use pairs::{AntennaPair, PairGeometry};
+
+/// Carrier wavelength of the 5.8 GHz band the prototype uses, metres.
+pub const WAVELENGTH_5_8GHZ: f64 = 299_792_458.0 / 5.8e9;
+
+/// The λ/2 antenna spacing of the prototype (≈2.58 cm, paper §5).
+pub const HALF_WAVELENGTH: f64 = WAVELENGTH_5_8GHZ / 2.0;

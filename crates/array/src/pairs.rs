@@ -1,0 +1,67 @@
+//! Antenna pairs and their geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered pair of antenna indices. The order carries meaning: the
+/// *leading/following* relationship of virtual antenna retracing — when
+/// the device moves in the pair's direction, antenna `j` leads and `i`
+/// retraces its footprints (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AntennaPair {
+    /// Following antenna index.
+    pub i: usize,
+    /// Leading antenna index.
+    pub j: usize,
+}
+
+impl AntennaPair {
+    /// Creates a pair.
+    pub const fn new(i: usize, j: usize) -> Self {
+        Self { i, j }
+    }
+
+    /// The reversed pair (swapped roles).
+    pub const fn flipped(self) -> Self {
+        Self {
+            i: self.j,
+            j: self.i,
+        }
+    }
+}
+
+impl std::fmt::Display for AntennaPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // 1-based like the paper's figures.
+        write!(f, "{}v{}", self.i + 1, self.j + 1)
+    }
+}
+
+/// Geometry of an antenna pair within an array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairGeometry {
+    /// The pair (order: from following `i` to leading `j`).
+    pub pair: AntennaPair,
+    /// Separation distance Δd between the two antennas, metres.
+    pub separation: f64,
+    /// Device-frame direction of the ray from antenna `i` to antenna `j`,
+    /// radians.
+    pub direction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_swaps_roles() {
+        let p = AntennaPair::new(2, 5);
+        let f = p.flipped();
+        assert_eq!(f, AntennaPair::new(5, 2));
+        assert_eq!(f.flipped(), p);
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(AntennaPair::new(0, 2).to_string(), "1v3");
+    }
+}

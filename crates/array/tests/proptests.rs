@@ -1,0 +1,81 @@
+//! Property-based tests of array-geometry invariants.
+
+use proptest::prelude::*;
+use rim_array::ArrayGeometry;
+use rim_dsp::geom::Vec2;
+use rim_dsp::stats::angle_diff;
+
+/// Random non-degenerate antenna layouts on one NIC.
+fn arrays() -> impl Strategy<Value = ArrayGeometry> {
+    prop::collection::vec((-0.1f64..0.1, -0.1f64..0.1), 2..6).prop_filter_map(
+        "antennas must be pairwise distinct",
+        |pts| {
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    let d = ((pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2)).sqrt();
+                    if d < 1e-4 {
+                        return None;
+                    }
+                }
+            }
+            let offsets: Vec<Vec2> = pts.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+            let n = offsets.len();
+            Some(ArrayGeometry::custom(offsets, vec![(0..n).collect()]))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pair_count_is_n_choose_2(a in arrays()) {
+        let n = a.n_antennas();
+        prop_assert_eq!(a.pairs().len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn pair_directions_are_canonical(a in arrays()) {
+        for p in a.pairs() {
+            prop_assert!(p.direction > -std::f64::consts::FRAC_PI_2 - 1e-9);
+            prop_assert!(p.direction <= std::f64::consts::FRAC_PI_2 + 1e-9);
+            prop_assert!(p.separation > 0.0);
+            // The stored direction matches the separation vector.
+            let v = a.separation(p.pair);
+            prop_assert!(angle_diff(v.angle(), p.direction) < 1e-9);
+            prop_assert!((v.norm() - p.separation).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn directions_come_in_opposite_pairs(a in arrays()) {
+        let dirs = a.directions();
+        for &d in &dirs {
+            let opposite = rim_dsp::stats::wrap_angle(d + std::f64::consts::PI);
+            prop_assert!(
+                dirs.iter().any(|&e| angle_diff(e, opposite) < 1e-6),
+                "direction {} missing its opposite", d
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_groups_partition_pairs(a in arrays()) {
+        let groups = a.parallel_groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, a.pairs().len());
+        // Within a group: same direction and separation.
+        for g in &groups {
+            for p in g {
+                prop_assert!(angle_diff(p.direction, g[0].direction) < 1e-5);
+                prop_assert!((p.separation - g[0].separation).abs() < 1e-6 * g[0].separation);
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_resolution_bounds(a in arrays()) {
+        let r = a.orientation_resolution();
+        prop_assert!(r > 0.0 && r <= std::f64::consts::TAU + 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of alignment-matrix construction and DP tracking —
+//! the per-pair cost that dominates RIM's runtime (paper §6.2.9 reports
+//! the C++ system at ~6 % of one i7 core in real time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rim_core::alignment::{base_cross_trrs, virtual_average};
+use rim_core::tracking_dp::{track_peaks, DpConfig};
+use rim_core::trrs::NormSnapshot;
+use rim_csi::frame::CsiSnapshot;
+use rim_dsp::complex::Complex64;
+use std::hint::black_box;
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn series(seed: u64, len: usize) -> Vec<NormSnapshot> {
+    (0..len)
+        .map(|t| {
+            NormSnapshot::from_snapshot(&CsiSnapshot {
+                per_tx: (0..3)
+                    .map(|tx| {
+                        (0..114)
+                            .map(|k| {
+                                let x = (mix(seed
+                                    .wrapping_mul(31)
+                                    .wrapping_add((t * 1000 + tx * 200 + k) as u64))
+                                    >> 12) as f64
+                                    / (1u64 << 52) as f64;
+                                Complex64::from_polar(1.0, x * std::f64::consts::TAU)
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            })
+        })
+        .collect()
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    // One second of CSI at 200 Hz, W = 26 (the standard cart window).
+    let a = series(1, 200);
+    let b = series(2, 200);
+    c.bench_function("base_cross_trrs_1s_w26", |bch| {
+        bch.iter(|| base_cross_trrs(black_box(&a), black_box(&b), 26))
+    });
+
+    let base = base_cross_trrs(&a, &b, 26);
+    c.bench_function("virtual_average_v30", |bch| {
+        bch.iter(|| virtual_average(black_box(&base), 30))
+    });
+
+    let g = virtual_average(&base, 30);
+    c.bench_function("dp_track_1s_w26", |bch| {
+        bch.iter(|| track_peaks(black_box(&g), DpConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_alignment);
+criterion_main!(benches);

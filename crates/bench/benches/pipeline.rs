@@ -1,0 +1,67 @@
+//! End-to-end pipeline cost: CPU time to analyze one second of 6-antenna
+//! hexagonal-array CSI — the real-time feasibility claim of paper §6.2.9
+//! (core modules ≈6 % of an i7 core, ~10 MB RAM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
+use rim_channel::trajectory::{line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::{Rim, RimConfig};
+use rim_csi::{CsiRecorder, DeviceConfig, RecorderConfig};
+use rim_dsp::geom::Point2;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let fs = 200.0;
+    let sim = ChannelSimulator::open_lab(7);
+
+    // 3-antenna linear array, 1 s of motion.
+    let lin = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+    let traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        1.0,
+        1.0,
+        fs,
+        OrientationMode::FollowPath,
+    );
+    let dense_lin = CsiRecorder::new(
+        &sim,
+        DeviceConfig::single_nic(lin.offsets().to_vec()),
+        RecorderConfig::default(),
+    )
+    .record(&traj)
+    .interpolated()
+    .unwrap();
+    let rim_lin = Rim::new(
+        lin,
+        RimConfig::for_sample_rate(fs).with_min_speed(0.3, HALF_WAVELENGTH, fs),
+    );
+    c.bench_function("analyze_1s_linear3", |b| {
+        b.iter(|| rim_lin.analyze(black_box(&dense_lin)))
+    });
+
+    // 6-antenna hexagonal array, 1 s of motion.
+    let hex = ArrayGeometry::hexagonal(HALF_WAVELENGTH);
+    let dense_hex = CsiRecorder::new(
+        &sim,
+        DeviceConfig::dual_nic(hex.offsets().to_vec()),
+        RecorderConfig::default(),
+    )
+    .record(&traj)
+    .interpolated()
+    .unwrap();
+    let rim_hex = Rim::new(
+        hex,
+        RimConfig::for_sample_rate(fs).with_min_speed(0.3, HALF_WAVELENGTH, fs),
+    );
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("analyze_1s_hexagonal6", |b| {
+        b.iter(|| rim_hex.analyze(black_box(&dense_hex)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the TRRS primitives (paper §6.2.9: "the main
+//! computation burden lies in the calculation of TRRS").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rim_core::trrs::{trrs_cfr, trrs_massive, trrs_norm, NormSnapshot};
+use rim_csi::frame::CsiSnapshot;
+use rim_dsp::complex::Complex64;
+use std::hint::black_box;
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn cfr(seed: u64, n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|k| {
+            let x = (mix(seed.wrapping_mul(0x9E3779B9).wrapping_add(k as u64)) >> 12) as f64
+                / (1u64 << 52) as f64;
+            Complex64::from_polar(0.5 + x, x * std::f64::consts::TAU)
+        })
+        .collect()
+}
+
+fn snapshot(seed: u64) -> CsiSnapshot {
+    CsiSnapshot {
+        per_tx: (0..3).map(|t| cfr(seed + t as u64, 114)).collect(),
+    }
+}
+
+fn bench_trrs(c: &mut Criterion) {
+    let h1 = cfr(1, 114);
+    let h2 = cfr(2, 114);
+    c.bench_function("trrs_cfr_114sc", |b| {
+        b.iter(|| trrs_cfr(black_box(&h1), black_box(&h2)))
+    });
+
+    let a = NormSnapshot::from_snapshot(&snapshot(1));
+    let bb = NormSnapshot::from_snapshot(&snapshot(2));
+    c.bench_function("trrs_norm_3tx_114sc", |b| {
+        b.iter(|| trrs_norm(black_box(&a), black_box(&bb)))
+    });
+
+    let series_a: Vec<NormSnapshot> = (0..100)
+        .map(|k| NormSnapshot::from_snapshot(&snapshot(k)))
+        .collect();
+    let series_b: Vec<NormSnapshot> = (100..200)
+        .map(|k| NormSnapshot::from_snapshot(&snapshot(k)))
+        .collect();
+    c.bench_function("trrs_massive_v30", |b| {
+        b.iter(|| trrs_massive(black_box(&series_a), black_box(&series_b), 50, 50, 30))
+    });
+}
+
+criterion_group!(benches, bench_trrs);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::ablations`.
+fn main() {
+    rim_bench::figs::ablations::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,42 @@
+//! Runs every reproduced figure in order and prints the reports; with
+//! `--markdown`, emits the Markdown blocks EXPERIMENTS.md embeds.
+use rim_bench::figs;
+use rim_bench::report::Report;
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let fast = rim_bench::fast_mode();
+    type FigureRun = (&'static str, fn(bool) -> Report);
+    let runs: Vec<FigureRun> = vec![
+        ("fig04", figs::fig04_trrs_resolution::run),
+        ("fig10", figs::fig10_floorplan::run),
+        ("fig05", figs::fig05_alignment_matrix::run),
+        ("fig06", figs::fig06_deviated_retracing::run),
+        ("fig07", figs::fig07_movement_detection::run),
+        ("fig08", figs::fig08_peak_tracking::run),
+        ("fig11", figs::fig11_distance_accuracy::run),
+        ("fig12", figs::fig12_heading_accuracy::run),
+        ("fig13", figs::fig13_rotation_accuracy::run),
+        ("fig14", figs::fig14_ap_location::run),
+        ("fig15", figs::fig15_accumulation::run),
+        ("fig16", figs::fig16_sampling_rate::run),
+        ("fig17", figs::fig17_virtual_antennas::run),
+        ("fig18", figs::fig18_handwriting::run),
+        ("fig19", figs::fig19_gestures::run),
+        ("fig20", figs::fig20_indoor_tracking::run),
+        ("fig21", figs::fig21_sensor_fusion::run),
+        ("dyn", figs::robustness_dynamics::run),
+        ("limitation", figs::limitation_swinging::run),
+        ("ablations", figs::ablations::run),
+    ];
+    for (name, f) in runs {
+        let t0 = std::time::Instant::now();
+        let report = f(fast);
+        if markdown {
+            print!("{}", report.render_markdown());
+        } else {
+            report.print();
+        }
+        eprintln!("[{name}] done in {:.1?}", t0.elapsed());
+    }
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig04_trrs_resolution`.
+fn main() {
+    rim_bench::figs::fig04_trrs_resolution::run(rim_bench::fast_mode()).print();
+}

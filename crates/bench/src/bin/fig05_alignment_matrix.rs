@@ -1,0 +1,14 @@
+//! Binary wrapper for `rim_bench::figs::fig05_alignment_matrix` — also
+//! renders the heatmap of one aligned group's matrix, the visual the
+//! paper's Fig. 5 shows.
+fn main() {
+    let report = rim_bench::figs::fig05_alignment_matrix::run(rim_bench::fast_mode());
+    report.print();
+    if let Some(art) = rim_bench::figs::fig05_alignment_matrix::heatmap(rim_bench::fast_mode()) {
+        println!(
+            "
+averaged alignment matrix of group (1v3, 4v6):
+{art}"
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig06_deviated_retracing`.
+fn main() {
+    rim_bench::figs::fig06_deviated_retracing::run(rim_bench::fast_mode()).print();
+}

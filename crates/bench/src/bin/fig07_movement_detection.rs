@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig07_movement_detection`.
+fn main() {
+    rim_bench::figs::fig07_movement_detection::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig08_peak_tracking`.
+fn main() {
+    rim_bench::figs::fig08_peak_tracking::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for `rim_bench::figs::fig10_floorplan` — also prints the
+//! ASCII floor map.
+fn main() {
+    rim_bench::figs::fig10_floorplan::run(rim_bench::fast_mode()).print();
+    println!("{}", rim_bench::figs::fig10_floorplan::render_map(95, 34));
+}

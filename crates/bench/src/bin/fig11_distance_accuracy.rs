@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig11_distance_accuracy`.
+fn main() {
+    rim_bench::figs::fig11_distance_accuracy::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig12_heading_accuracy`.
+fn main() {
+    rim_bench::figs::fig12_heading_accuracy::run(rim_bench::fast_mode()).print();
+}

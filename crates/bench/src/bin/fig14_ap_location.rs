@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig14_ap_location`.
+fn main() {
+    rim_bench::figs::fig14_ap_location::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig15_accumulation`.
+fn main() {
+    rim_bench::figs::fig15_accumulation::run(rim_bench::fast_mode()).print();
+}

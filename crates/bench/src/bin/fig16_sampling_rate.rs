@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig16_sampling_rate`.
+fn main() {
+    rim_bench::figs::fig16_sampling_rate::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig17_virtual_antennas`.
+fn main() {
+    rim_bench::figs::fig17_virtual_antennas::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig18_handwriting`.
+fn main() {
+    rim_bench::figs::fig18_handwriting::run(rim_bench::fast_mode()).print();
+}

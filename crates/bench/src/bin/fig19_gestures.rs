@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig19_gestures`.
+fn main() {
+    rim_bench::figs::fig19_gestures::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig20_indoor_tracking`.
+fn main() {
+    rim_bench::figs::fig20_indoor_tracking::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fig21_sensor_fusion`.
+fn main() {
+    rim_bench::figs::fig21_sensor_fusion::run(rim_bench::fast_mode()).print();
+}

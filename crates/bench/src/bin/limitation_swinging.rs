@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::limitation_swinging`.
+fn main() {
+    rim_bench::figs::limitation_swinging::run(rim_bench::fast_mode()).print();
+}

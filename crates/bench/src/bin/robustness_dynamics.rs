@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::robustness_dynamics`.
+fn main() {
+    rim_bench::figs::robustness_dynamics::run(rim_bench::fast_mode()).print();
+}

@@ -1,0 +1,158 @@
+//! Fig. 7 — movement detection.
+//!
+//! Paper: on a stop-and-go trace the TRRS indicator separates moving from
+//! static with a clear threshold gap and catches transient stops that both
+//! the accelerometer and gyroscope detectors miss.
+
+use crate::env::{self, linear_array};
+use crate::report::Report;
+use rim_channel::trajectory::stop_and_go;
+use rim_channel::ChannelSimulator;
+use rim_core::movement::{movement_indicator, moving_segments, MovementConfig};
+use rim_core::trrs::NormSnapshot;
+use rim_csi::LossModel;
+use rim_sensors::{accel_movement_indicator, gyro_movement_indicator, ImuConfig, SimulatedImu};
+
+/// Detection accuracy of a thresholded indicator against ground truth.
+fn accuracy(
+    indicator: &[f64],
+    truth_moving: &[bool],
+    threshold: f64,
+    below_is_moving: bool,
+) -> f64 {
+    let correct = indicator
+        .iter()
+        .zip(truth_moving)
+        .filter(|(&v, &m)| {
+            let flagged = if below_is_moving {
+                v < threshold
+            } else {
+                v > threshold
+            };
+            flagged == m
+        })
+        .count();
+    correct as f64 / indicator.len() as f64
+}
+
+/// Number of detected stop gaps inside the trace.
+fn stops_detected(flags: &[bool], min_len: usize) -> usize {
+    // Invert: count static segments strictly inside the moving span.
+    let inverted: Vec<bool> = flags.iter().map(|&m| !m).collect();
+    let segs = moving_segments(&inverted, min_len);
+    segs.iter()
+        .filter(|&&(s, e)| s > 0 && e < flags.len())
+        .count()
+}
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Report {
+    let mut report = Report::new(
+        "Fig. 7",
+        "Movement detection",
+        "TRRS cleanly separates motion from rest and detects all 3 transient \
+         stops; accelerometer and gyroscope miss them",
+    );
+    let fs = env::SAMPLE_RATE;
+    let geo = linear_array();
+    let sim = ChannelSimulator::open_lab(7);
+    // 4 moves of 1 m with 3 short stops in between (the paper's three
+    // transient stops).
+    let pause_s = if fast { 0.6 } else { 1.0 };
+    let traj = stop_and_go(env::lab_start(0), 0.0, 1.0, pause_s, 4, 1.0, fs);
+
+    // Ground truth motion mask.
+    let truth: Vec<bool> = traj.speeds().iter().map(|&v| v > 1e-6).collect();
+
+    // RIM indicator (self-TRRS on antenna 0).
+    let dense = env::record(&sim, &geo, &traj, 1, LossModel::None, None);
+    let series = NormSnapshot::series(&dense.antennas[0]);
+    let cfg = MovementConfig::for_sample_rate(fs);
+    let ind = movement_indicator(&series, cfg);
+    // The self-TRRS needs `lag` samples of history, so the indicator runs
+    // `lag` samples behind ground truth; compare against a truth mask
+    // delayed by the same fixed latency (the pipeline compensates this by
+    // backdating segment starts).
+    let truth_shifted: Vec<bool> = (0..truth.len())
+        .map(|i| truth[i.saturating_sub(cfg.lag)])
+        .collect();
+    let rim_acc = accuracy(&ind, &truth_shifted, cfg.threshold, true);
+    let rim_flags: Vec<bool> = ind.iter().map(|&v| v < cfg.threshold).collect();
+    let min_stop = (0.3 * fs) as usize;
+    let rim_stops = stops_detected(&rim_flags, min_stop);
+
+    // The separation gap: worst moving indicator vs worst static one.
+    let moving_vals: Vec<f64> = ind
+        .iter()
+        .zip(&truth)
+        .filter(|(_, &m)| m)
+        .map(|(&v, _)| v)
+        .collect();
+    let static_vals: Vec<f64> = ind
+        .iter()
+        .zip(&truth)
+        .filter(|(_, &m)| !m)
+        .map(|(&v, _)| v)
+        .collect();
+    let gap =
+        rim_dsp::stats::quantile(&static_vals, 0.1) - rim_dsp::stats::quantile(&moving_vals, 0.9);
+
+    // MEMS baselines.
+    let imu = SimulatedImu::new(ImuConfig::consumer(), 3).sample(&traj);
+    let acc_ind = accel_movement_indicator(&imu.accel_body, (0.1 * fs) as usize);
+    let gyr_ind = gyro_movement_indicator(&imu.gyro_z, (0.1 * fs) as usize);
+    // Baselines flag motion when the indicator EXCEEDS a threshold; sweep
+    // for their best threshold to be generous.
+    let best = |ind: &[f64]| -> (f64, usize) {
+        let mut top = (0.0, 0usize);
+        for th in [0.05, 0.1, 0.2, 0.3, 0.5] {
+            let a = accuracy(ind, &truth, th, false);
+            if a > top.0 {
+                let flags: Vec<bool> = ind.iter().map(|&v| v > th).collect();
+                top = (a, stops_detected(&flags, min_stop));
+            }
+        }
+        top
+    };
+    let (acc_best, acc_stops) = best(&acc_ind);
+    let (gyr_best, gyr_stops) = best(&gyr_ind);
+
+    report.row(
+        "RIM detection accuracy",
+        format!("{:.1} %", rim_acc * 100.0),
+    );
+    report.row("RIM indicator gap (static − moving)", format!("{gap:.2}"));
+    report.row("RIM transient stops detected", format!("{rim_stops}/3"));
+    report.row(
+        "accelerometer accuracy (best threshold)",
+        format!("{:.1} %, stops {acc_stops}/3", acc_best * 100.0),
+    );
+    report.row(
+        "gyroscope accuracy (best threshold)",
+        format!("{:.1} %, stops {gyr_stops}/3", gyr_best * 100.0),
+    );
+    report.note(
+        "constant-velocity motion is invisible to inertial sensors between \
+         transients, which is why their detectors miss the pattern"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rim_detects_stops_and_beats_baselines() {
+        let r = super::run(true);
+        let rim_acc: f64 = r.rows[0]
+            .1
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(rim_acc > 90.0, "RIM accuracy {rim_acc}");
+        let stops = &r.rows[2].1;
+        assert!(stops.starts_with("3/"), "all stops found: {stops}");
+    }
+}

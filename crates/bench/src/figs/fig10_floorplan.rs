@@ -1,0 +1,108 @@
+//! Fig. 10 — the testbed environment.
+//!
+//! Renders the modelled 36.5 m × 28 m office floor (walls, service cores,
+//! pillars) with the seven AP locations, and reports the LOS/NLOS
+//! character of each AP towards the central open area — the map every
+//! other experiment runs on.
+
+use crate::report::Report;
+use rim_channel::floorplan::office_floorplan;
+use rim_dsp::geom::{Point2, Segment};
+
+/// ASCII-renders the floorplan.
+pub fn render_map(width: usize, height: usize) -> String {
+    let (fp, aps) = office_floorplan();
+    let (lo, hi) = fp.bounds().expect("walls exist");
+    let sx = (hi.x - lo.x) / (width - 1) as f64;
+    let sy = (hi.y - lo.y) / (height - 1) as f64;
+    let mut grid = vec![vec![b' '; width]; height];
+    // Rasterise walls by sampling along each segment.
+    for wall in fp.walls() {
+        let len = wall.segment.length();
+        let steps = (len / sx.min(sy)).ceil() as usize + 1;
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            let p = wall.segment.a + wall.segment.dir() * t;
+            let cx = ((p.x - lo.x) / sx).round() as usize;
+            let cy = ((p.y - lo.y) / sy).round() as usize;
+            if cx < width && cy < height {
+                grid[height - 1 - cy][cx] = b'#';
+            }
+        }
+    }
+    for (k, ap) in aps.iter().enumerate() {
+        let cx = ((ap.x - lo.x) / sx).round() as usize;
+        let cy = ((ap.y - lo.y) / sy).round() as usize;
+        if cx < width && cy < height {
+            grid[height - 1 - cy][cx] = b'0' + k as u8;
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(std::str::from_utf8(&row).unwrap());
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the experiment (map + AP characterisation).
+pub fn run(_fast: bool) -> Report {
+    let mut report = Report::new(
+        "Fig. 10",
+        "Testbed environment",
+        "36.5 m × 28 m office floor (>1,000 m²), one AP tested at 7 marked \
+         locations; #0 is the far-corner through-the-walls default",
+    );
+    let (fp, aps) = office_floorplan();
+    let (lo, hi) = fp.bounds().unwrap();
+    report.row(
+        "floor dimensions",
+        format!(
+            "{:.1} m × {:.1} m = {:.0} m²",
+            hi.x - lo.x,
+            hi.y - lo.y,
+            (hi.x - lo.x) * (hi.y - lo.y)
+        ),
+    );
+    report.row("walls modelled", format!("{}", fp.len()));
+    let centre = Point2::new(15.0, 13.0);
+    for (k, ap) in aps.iter().enumerate() {
+        let crossings = fp.walls_crossed(*ap, centre).len();
+        report.row(
+            format!("AP #{k} at ({:.1}, {:.1})", ap.x, ap.y),
+            format!(
+                "{} to the open area ({} walls crossed), {:.1} m away",
+                if crossings == 0 { "LOS" } else { "NLOS" },
+                crossings,
+                Segment::new(*ap, centre).length()
+            ),
+        );
+    }
+    report.note("ASCII map printed by the fig10_floorplan binary".to_string());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn map_renders_walls_and_aps() {
+        let map = super::render_map(73, 28);
+        assert!(map.contains('#'), "walls visible");
+        for c in ['0', '1', '2', '3', '4', '5', '6'] {
+            assert!(map.contains(c), "AP {c} visible");
+        }
+    }
+
+    #[test]
+    fn report_characterises_aps() {
+        let r = super::run(true);
+        assert!(r.rows.iter().any(|(l, _)| l.starts_with("AP #0")));
+        let ap0 = &r
+            .rows
+            .iter()
+            .find(|(l, _)| l.starts_with("AP #0"))
+            .unwrap()
+            .1;
+        assert!(ap0.contains("NLOS"), "far corner is NLOS: {ap0}");
+    }
+}

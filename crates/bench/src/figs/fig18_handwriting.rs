@@ -1,0 +1,92 @@
+//! Fig. 18 — desktop handwriting.
+//!
+//! Paper: letters written by moving the array on a desk are reconstructed
+//! recognisably; the mean trajectory error (minimum projection distance)
+//! over the written letters is 2.4 cm.
+
+use crate::env::{self, hexagonal_array};
+use crate::report::Report;
+use rim_channel::ChannelSimulator;
+use rim_core::Rim;
+use rim_csi::LossModel;
+use rim_dsp::geom::Point2;
+use rim_tracking::handwriting::write_letter;
+use rim_tracking::metrics::mean_projection_error;
+
+/// Runs the experiment.
+pub fn run(fast: bool) -> Report {
+    let mut report = Report::new(
+        "Fig. 18",
+        "Desktop handwriting",
+        "recognisable letters; mean trajectory error 2.4 cm",
+    );
+    let fs = env::SAMPLE_RATE;
+    let geo = hexagonal_array();
+    let letters: Vec<char> = if fast {
+        vec!['R', 'I', 'M']
+    } else {
+        vec!['R', 'I', 'M', 'W', 'L', 'N', 'V', 'Z', 'O']
+    };
+
+    let mut errors = Vec::new();
+    for (k, &letter) in letters.iter().enumerate() {
+        let sim = ChannelSimulator::open_lab(7 + (k % 3) as u64);
+        let origin = Point2::new(0.3 + 0.2 * (k % 4) as f64, 1.6 + 0.3 * (k % 3) as f64);
+        let run = write_letter(letter, origin, 0.20, 0.3, fs).expect("supported letter");
+        // Handwriting is slow; widen the lag window.
+        let dense = env::record(
+            &sim,
+            &geo,
+            &run.trajectory,
+            80 + k as u64,
+            LossModel::None,
+            None,
+        );
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.12)).analyze(&dense);
+        let track = est.trajectory(run.truth[0], 0.0);
+        let err = mean_projection_error(&track, &run.truth);
+        // A collapsed track (nothing estimated) scores against the whole
+        // stroke length instead of silently passing.
+        let moved: f64 = track.windows(2).map(|w| w[0].distance(w[1])).sum();
+        let err = if moved < 0.25 * run.trajectory.total_distance() {
+            f64::NAN
+        } else {
+            err
+        };
+        errors.push(err);
+        report.row(
+            format!("letter {letter}"),
+            match err.is_nan() {
+                true => "reconstruction collapsed".to_string(),
+                false => format!(
+                    "mean trajectory error {:.1} cm over {:.2} m of strokes",
+                    err * 100.0,
+                    run.trajectory.total_distance()
+                ),
+            },
+        );
+    }
+    let ok: Vec<f64> = errors.iter().copied().filter(|e| e.is_finite()).collect();
+    report.row(
+        "mean over letters",
+        format!(
+            "{:.1} cm ({} of {} letters reconstructed)",
+            rim_dsp::stats::mean(&ok) * 100.0,
+            ok.len(),
+            errors.len()
+        ),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rim_letters_reconstruct() {
+        let r = super::run(true);
+        let summary = &r.rows.last().unwrap().1;
+        let mean_cm: f64 = summary.split(' ').next().unwrap().parse().unwrap();
+        assert!(mean_cm < 6.0, "mean letter error {mean_cm} cm");
+        assert!(summary.contains("3 of 3"), "{summary}");
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per reproduced figure of the paper's evaluation (§6), plus
+//! the ablation studies. Every module exposes `run(fast: bool) -> Report`.
+
+pub mod ablations;
+pub mod fig04_trrs_resolution;
+pub mod fig05_alignment_matrix;
+pub mod fig06_deviated_retracing;
+pub mod fig07_movement_detection;
+pub mod fig08_peak_tracking;
+pub mod fig10_floorplan;
+pub mod fig11_distance_accuracy;
+pub mod fig12_heading_accuracy;
+pub mod fig13_rotation_accuracy;
+pub mod fig14_ap_location;
+pub mod fig15_accumulation;
+pub mod fig16_sampling_rate;
+pub mod fig17_virtual_antennas;
+pub mod fig18_handwriting;
+pub mod fig19_gestures;
+pub mod fig20_indoor_tracking;
+pub mod fig21_sensor_fusion;
+pub mod limitation_swinging;
+pub mod robustness_dynamics;

@@ -1,0 +1,180 @@
+//! Experiment reporting: aligned text tables with paper-vs-measured rows.
+
+use rim_dsp::stats::{max, mean, median, quantile, Ecdf};
+
+/// A reproduced figure/table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Figure identifier, e.g. "Fig. 11".
+    pub figure: String,
+    /// Short title.
+    pub title: String,
+    /// What the paper reports for this figure.
+    pub paper_claim: String,
+    /// Data rows: (label, value-string).
+    pub rows: Vec<(String, String)>,
+    /// Free-form notes (substitutions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(figure: &str, title: &str, paper_claim: &str) -> Self {
+        Self {
+            figure: figure.to_string(),
+            title: title.to_string(),
+            paper_claim: paper_claim.to_string(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a data row.
+    pub fn row(&mut self, label: impl Into<String>, value: impl Into<String>) {
+        self.rows.push((label.into(), value.into()));
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the report as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.figure, self.title));
+        out.push_str(&format!("   paper: {}\n", self.paper_claim));
+        let width = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.rows {
+            out.push_str(&format!("   {label:<width$} : {value}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("   note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Renders as a Markdown section (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.figure, self.title));
+        out.push_str(&format!("*Paper:* {}\n\n", self.paper_claim));
+        out.push_str("| quantity | measured |\n|---|---|\n");
+        for (label, value) in &self.rows {
+            out.push_str(&format!("| {label} | {value} |\n"));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Summary statistics of an error sample, formatted for report rows.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorStats {
+    /// Median error.
+    pub median: f64,
+    /// Mean error.
+    pub mean: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl ErrorStats {
+    /// Computes stats over a sample (NaNs dropped).
+    pub fn of(errors: &[f64]) -> Self {
+        let clean: Vec<f64> = errors.iter().copied().filter(|v| v.is_finite()).collect();
+        Self {
+            median: median(&clean),
+            mean: mean(&clean),
+            p90: quantile(&clean, 0.9),
+            max: max(&clean),
+            n: clean.len(),
+        }
+    }
+
+    /// Formats in centimetres.
+    pub fn fmt_cm(&self) -> String {
+        format!(
+            "median {:.1} cm, mean {:.1} cm, 90% {:.1} cm, max {:.1} cm (n={})",
+            self.median * 100.0,
+            self.mean * 100.0,
+            self.p90 * 100.0,
+            self.max * 100.0,
+            self.n
+        )
+    }
+
+    /// Formats in degrees (input radians).
+    pub fn fmt_deg(&self) -> String {
+        format!(
+            "median {:.1}°, mean {:.1}°, 90% {:.1}°, max {:.1}° (n={})",
+            self.median.to_degrees(),
+            self.mean.to_degrees(),
+            self.p90.to_degrees(),
+            self.max.to_degrees(),
+            self.n
+        )
+    }
+}
+
+/// Formats a CDF as compact `P(x ≤ v)` milestones for a report row.
+pub fn cdf_row(errors_m: &[f64], unit_scale: f64, unit: &str) -> String {
+    let e = Ecdf::new(errors_m);
+    if e.is_empty() {
+        return String::from("(no data)");
+    }
+    let qs = [0.25, 0.5, 0.75, 0.9, 1.0];
+    qs.iter()
+        .map(|&q| format!("{:.0}%≤{:.1}{unit}", q * 100.0, e.value_at(q) * unit_scale))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_rows_and_notes() {
+        let mut r = Report::new("Fig. X", "demo", "something");
+        r.row("alpha", "1");
+        r.row("beta-longer", "2");
+        r.note("a note");
+        let text = r.render();
+        assert!(text.contains("Fig. X"));
+        assert!(text.contains("alpha       : 1"));
+        assert!(text.contains("note: a note"));
+        let md = r.render_markdown();
+        assert!(md.contains("| alpha | 1 |"));
+    }
+
+    #[test]
+    fn error_stats_drop_nan() {
+        let s = ErrorStats::of(&[0.01, 0.03, f64::NAN, 0.02]);
+        assert_eq!(s.n, 3);
+        assert!((s.median - 0.02).abs() < 1e-12);
+        assert!(s.fmt_cm().contains("median 2.0 cm"));
+    }
+
+    #[test]
+    fn cdf_row_formats() {
+        let row = cdf_row(&[0.01, 0.02, 0.03, 0.04], 100.0, "cm");
+        assert!(row.contains("50%≤"), "{row}");
+        assert_eq!(cdf_row(&[], 1.0, "m"), "(no data)");
+    }
+}

@@ -1,0 +1,268 @@
+//! Floorplans: wall segments with materials, line-of-sight queries, and a
+//! model of the paper's testbed.
+//!
+//! The paper evaluates RIM over one floor of a busy office building,
+//! 36.5 m × 28 m (>1,000 m², paper Fig. 10), with the AP tested at seven
+//! marked locations (#0 at the far corner by default, #1–#6 spread over the
+//! floor). [`office_floorplan`] reconstructs that geometry at the level of
+//! detail that matters for propagation: outer shell, corridor walls, office
+//! partitions and a few concrete cores/pillars.
+
+use crate::material::Material;
+use rim_dsp::geom::{Point2, Segment};
+use serde::{Deserialize, Serialize};
+
+/// A wall: a 2-D segment with a material.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wall {
+    /// Wall geometry in metres.
+    pub segment: Segment,
+    /// Wall material (reflection/transmission losses).
+    pub material: Material,
+}
+
+impl Wall {
+    /// Creates a wall between `(x0, y0)` and `(x1, y1)`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64, material: Material) -> Self {
+        Self {
+            segment: Segment::new(Point2::new(x0, y0), Point2::new(x1, y1)),
+            material,
+        }
+    }
+}
+
+/// A floorplan: a set of walls plus a bounding box.
+#[derive(Debug, Clone, Default)]
+pub struct Floorplan {
+    walls: Vec<Wall>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan (free space).
+    pub fn empty() -> Self {
+        Self { walls: Vec::new() }
+    }
+
+    /// Creates a floorplan from a wall list.
+    pub fn new(walls: Vec<Wall>) -> Self {
+        Self { walls }
+    }
+
+    /// Adds a wall.
+    pub fn push(&mut self, wall: Wall) {
+        self.walls.push(wall);
+    }
+
+    /// All walls.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// Number of walls.
+    pub fn len(&self) -> usize {
+        self.walls.len()
+    }
+
+    /// True if the floorplan has no walls.
+    pub fn is_empty(&self) -> bool {
+        self.walls.is_empty()
+    }
+
+    /// Walls whose interiors are crossed by the open segment `a → b`.
+    pub fn walls_crossed(&self, a: Point2, b: Point2) -> Vec<&Wall> {
+        let ray = Segment::new(a, b);
+        self.walls
+            .iter()
+            .filter(|w| ray.intersect(w.segment).is_some())
+            .collect()
+    }
+
+    /// Amplitude attenuation factor accumulated by transmitting through
+    /// every wall crossed on the segment `a → b` (1.0 in free space).
+    pub fn transmission_amplitude(&self, a: Point2, b: Point2) -> f64 {
+        self.walls_crossed(a, b)
+            .iter()
+            .map(|w| w.material.transmission_coeff())
+            .product()
+    }
+
+    /// True when no wall separates `a` from `b`.
+    pub fn is_los(&self, a: Point2, b: Point2) -> bool {
+        self.walls_crossed(a, b).is_empty()
+    }
+
+    /// True if the step `a → b` crosses any wall — the particle-filter
+    /// constraint from paper §6.3.3 ("discard every particle that hits a
+    /// wall").
+    pub fn blocks(&self, a: Point2, b: Point2) -> bool {
+        !self.is_los(a, b)
+    }
+
+    /// Axis-aligned bounding box `(min, max)` of all wall endpoints, or
+    /// `None` for an empty plan.
+    pub fn bounds(&self) -> Option<(Point2, Point2)> {
+        let mut it = self
+            .walls
+            .iter()
+            .flat_map(|w| [w.segment.a, w.segment.b].into_iter());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for p in it {
+            lo = Point2::new(lo.x.min(p.x), lo.y.min(p.y));
+            hi = Point2::new(hi.x.max(p.x), hi.y.max(p.y));
+        }
+        Some((lo, hi))
+    }
+}
+
+/// Identifies one of the AP placements marked in paper Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ApLocation(pub usize);
+
+/// The paper's office testbed: 36.5 m × 28 m, concrete shell and cores,
+/// drywall offices along the edges, a central open area.
+///
+/// Returns the floorplan and the seven AP locations `#0..=#6` from Fig. 10
+/// (#0 is the far-corner default used for the through-the-wall results).
+pub fn office_floorplan() -> (Floorplan, Vec<Point2>) {
+    let con = Material::concrete();
+    let dry = Material::drywall();
+    let glass = Material::glass();
+
+    let w = 36.5;
+    let h = 28.0;
+    let mut walls = vec![
+        // Outer concrete shell.
+        Wall::new(0.0, 0.0, w, 0.0, con),
+        Wall::new(w, 0.0, w, h, con),
+        Wall::new(w, h, 0.0, h, con),
+        Wall::new(0.0, h, 0.0, 0.0, con),
+        // Corridor walls running east-west (drywall), with door gaps.
+        Wall::new(0.0, 8.0, 14.0, 8.0, dry),
+        Wall::new(16.0, 8.0, 36.5, 8.0, dry),
+        Wall::new(0.0, 20.0, 10.0, 20.0, dry),
+        Wall::new(12.0, 20.0, 26.0, 20.0, dry),
+        Wall::new(28.0, 20.0, 36.5, 20.0, dry),
+        // Office partitions off the south corridor.
+        Wall::new(6.0, 0.0, 6.0, 8.0, dry),
+        Wall::new(12.0, 0.0, 12.0, 8.0, dry),
+        Wall::new(18.0, 0.0, 18.0, 8.0, dry),
+        Wall::new(24.0, 0.0, 24.0, 8.0, dry),
+        Wall::new(30.0, 0.0, 30.0, 8.0, dry),
+        // Office partitions off the north corridor.
+        Wall::new(8.0, 20.0, 8.0, 28.0, dry),
+        Wall::new(16.0, 20.0, 16.0, 28.0, dry),
+        Wall::new(24.0, 20.0, 24.0, 28.0, dry),
+        Wall::new(31.0, 20.0, 31.0, 28.0, dry),
+        // Concrete service cores (stairs/elevators) in the middle band.
+        Wall::new(15.0, 12.0, 19.0, 12.0, con),
+        Wall::new(19.0, 12.0, 19.0, 16.0, con),
+        Wall::new(19.0, 16.0, 15.0, 16.0, con),
+        Wall::new(15.0, 16.0, 15.0, 12.0, con),
+        // Glass meeting room on the east side of the open area.
+        Wall::new(28.0, 10.0, 33.0, 10.0, glass),
+        Wall::new(33.0, 10.0, 33.0, 16.0, glass),
+        Wall::new(28.0, 10.0, 28.0, 16.0, glass),
+        // Pillars (modelled as short concrete stubs).
+        Wall::new(9.0, 13.5, 9.8, 13.5, con),
+        Wall::new(9.0, 14.3, 9.8, 14.3, con),
+        Wall::new(25.0, 13.5, 25.8, 13.5, con),
+        Wall::new(25.0, 14.3, 25.8, 14.3, con),
+    ];
+    // A couple of metal cabinets along the south corridor, to enrich
+    // specular content.
+    walls.push(Wall::new(20.0, 9.0, 22.0, 9.0, Material::metal()));
+    walls.push(Wall::new(2.0, 18.5, 4.0, 18.5, Material::metal()));
+
+    let ap_locations = vec![
+        Point2::new(1.0, 27.0),  // #0: far corner (default, heavy NLOS).
+        Point2::new(21.5, 14.0), // #1: centre of the open area (near core).
+        Point2::new(4.0, 10.0),  // #2: west corridor.
+        Point2::new(33.0, 18.0), // #3: east side.
+        Point2::new(9.0, 2.0),   // #4: inside a south office.
+        Point2::new(27.0, 24.0), // #5: inside a north office.
+        Point2::new(35.0, 1.0),  // #6: south-east corner.
+    ];
+    (Floorplan::new(walls), ap_locations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_floorplan_is_free_space() {
+        let fp = Floorplan::empty();
+        assert!(fp.is_empty());
+        assert!(fp.is_los(Point2::new(0.0, 0.0), Point2::new(100.0, 100.0)));
+        assert_eq!(
+            fp.transmission_amplitude(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            1.0
+        );
+        assert!(fp.bounds().is_none());
+    }
+
+    #[test]
+    fn single_wall_blocks() {
+        let mut fp = Floorplan::empty();
+        fp.push(Wall::new(1.0, -1.0, 1.0, 1.0, Material::drywall()));
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 0.0);
+        assert!(!fp.is_los(a, b));
+        assert!(fp.blocks(a, b));
+        assert_eq!(fp.walls_crossed(a, b).len(), 1);
+        let amp = fp.transmission_amplitude(a, b);
+        assert!((amp - Material::drywall().transmission_coeff()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_ray_does_not_cross() {
+        let mut fp = Floorplan::empty();
+        fp.push(Wall::new(1.0, -1.0, 1.0, 1.0, Material::drywall()));
+        assert!(fp.is_los(Point2::new(0.0, 0.0), Point2::new(0.0, 5.0)));
+    }
+
+    #[test]
+    fn two_walls_multiply_attenuation() {
+        let mut fp = Floorplan::empty();
+        fp.push(Wall::new(1.0, -1.0, 1.0, 1.0, Material::drywall()));
+        fp.push(Wall::new(2.0, -1.0, 2.0, 1.0, Material::concrete()));
+        let amp = fp.transmission_amplitude(Point2::new(0.0, 0.0), Point2::new(3.0, 0.0));
+        let expect =
+            Material::drywall().transmission_coeff() * Material::concrete().transmission_coeff();
+        assert!((amp - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn office_floorplan_dimensions() {
+        let (fp, aps) = office_floorplan();
+        let (lo, hi) = fp.bounds().unwrap();
+        assert!((hi.x - lo.x - 36.5).abs() < 1e-9);
+        assert!((hi.y - lo.y - 28.0).abs() < 1e-9);
+        assert_eq!(aps.len(), 7);
+        // Every AP must be inside the shell.
+        for ap in &aps {
+            assert!(ap.x > 0.0 && ap.x < 36.5 && ap.y > 0.0 && ap.y < 28.0);
+        }
+        // The area exceeds the paper's 1,000 m².
+        assert!((hi.x - lo.x) * (hi.y - lo.y) > 1000.0);
+    }
+
+    #[test]
+    fn office_far_corner_is_nlos_to_centre() {
+        let (fp, aps) = office_floorplan();
+        let centre = Point2::new(22.0, 14.0);
+        assert!(
+            !fp.is_los(aps[0], centre),
+            "AP #0 must be NLOS to the open area"
+        );
+        // Several walls in between.
+        assert!(!fp.walls_crossed(aps[0], centre).is_empty());
+    }
+
+    #[test]
+    fn office_centre_ap_has_los_nearby() {
+        let (fp, aps) = office_floorplan();
+        assert!(fp.is_los(aps[1], Point2::new(22.0, 14.0)));
+    }
+}

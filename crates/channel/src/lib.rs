@@ -1,0 +1,41 @@
+//! # rim-channel
+//!
+//! RF propagation substrate for the RIM reproduction. The paper's system
+//! measures real CSI from commodity WiFi NICs in a >1,000 m² office; this
+//! crate replaces that hardware with a deterministic, physically-grounded
+//! simulator:
+//!
+//! * [`floorplan`] — walls with materials, LOS queries, and a model of the
+//!   paper's 36.5 m × 28 m testbed with its seven AP locations (Fig. 10);
+//! * [`propagation`] — image-method ray tracer (direct ray, specular
+//!   bounces, diffuse scatterer paths, moving scatterers);
+//! * [`cfr`] — OFDM subcarrier grids and CFR synthesis (the quantity a NIC
+//!   reports as CSI);
+//! * [`trajectory`] — ground-truth device motion and the paper's workload
+//!   generators;
+//! * [`simulator`] — ties the above together behind a sampler the CSI
+//!   layer drives.
+//!
+//! What RIM needs from a channel — and what this simulator provides — is
+//! the *time-reversal focusing* property: the multipath profile measured at
+//! a point is a stable signature of that point, decorrelating over a
+//! fraction of a wavelength of displacement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfr;
+pub mod floorplan;
+pub mod material;
+pub mod propagation;
+pub mod scatter;
+pub mod simulator;
+pub mod trajectory;
+
+pub use cfr::SubcarrierLayout;
+pub use floorplan::{office_floorplan, Floorplan, Wall};
+pub use material::Material;
+pub use propagation::{Ray, RayTracer, TracerConfig, SPEED_OF_LIGHT};
+pub use scatter::{uniform_field, walking_humans, DynamicScatterer, Scatterer};
+pub use simulator::{ApConfig, ChannelSimulator, MimoCfr, Sampler};
+pub use trajectory::{OrientationMode, Pose, Trajectory};

@@ -1,0 +1,489 @@
+//! Image-method multipath ray tracing.
+//!
+//! For a transmitter at a fixed point and a receiver anywhere on the floor,
+//! this module enumerates propagation paths — the direct ray, specular wall
+//! reflections up to a configurable order (via image sources), and diffuse
+//! single-bounce scatterer paths — each with a propagation delay and a
+//! complex amplitude. The set of `(delay, amplitude)` rays at a receiver
+//! position is the *multipath profile* whose spatial uniqueness RIM's
+//! virtual-antenna alignment exploits: moving the receiver by millimetres
+//! changes every path length, decorrelating the profile on the scale of a
+//! fraction of the carrier wavelength.
+
+use crate::floorplan::Floorplan;
+use crate::scatter::{DynamicScatterer, Scatterer};
+use rim_dsp::complex::Complex64;
+use rim_dsp::geom::{Point2, Segment};
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Shortest path length we evaluate; below this the 1/d spreading model
+/// would diverge, so distances are clamped here.
+const MIN_PATH_LEN: f64 = 0.3;
+
+/// One propagation path: delay and complex amplitude (spreading loss ×
+/// interaction coefficients × scatterer gain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Propagation delay in seconds.
+    pub delay_s: f64,
+    /// Complex amplitude at the receiver (dimensionless, relative).
+    pub amp: Complex64,
+}
+
+/// Configuration of the ray tracer.
+#[derive(Debug, Clone, Copy)]
+pub struct TracerConfig {
+    /// Maximum specular reflection order (0 = direct ray only, 1 = single
+    /// bounces, 2 = double bounces). Order 2 is quadratic in wall count.
+    pub max_reflection_order: usize,
+    /// Paths with amplitude below this fraction of the strongest path are
+    /// dropped during CFR synthesis; 0 keeps everything.
+    pub amplitude_floor: f64,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        Self {
+            max_reflection_order: 1,
+            amplitude_floor: 1e-4,
+        }
+    }
+}
+
+/// Multipath ray tracer over a floorplan plus scatterer fields.
+#[derive(Debug, Clone)]
+pub struct RayTracer {
+    floorplan: Floorplan,
+    scatterers: Vec<Scatterer>,
+    dynamic: Vec<DynamicScatterer>,
+    config: TracerConfig,
+}
+
+/// Free-space spreading amplitude for a path of length `d` (reference
+/// distance 1 m, clamped below [`MIN_PATH_LEN`]).
+fn spreading(d: f64) -> f64 {
+    1.0 / d.max(MIN_PATH_LEN)
+}
+
+impl RayTracer {
+    /// Creates a tracer.
+    pub fn new(
+        floorplan: Floorplan,
+        scatterers: Vec<Scatterer>,
+        dynamic: Vec<DynamicScatterer>,
+        config: TracerConfig,
+    ) -> Self {
+        Self {
+            floorplan,
+            scatterers,
+            dynamic,
+            config,
+        }
+    }
+
+    /// Free-space tracer with only a scatterer field (no walls).
+    pub fn free_space_with_scatterers(scatterers: Vec<Scatterer>) -> Self {
+        Self::new(
+            Floorplan::empty(),
+            scatterers,
+            Vec::new(),
+            TracerConfig::default(),
+        )
+    }
+
+    /// The underlying floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The static scatterer field.
+    pub fn scatterers(&self) -> &[Scatterer] {
+        &self.scatterers
+    }
+
+    /// Prepares a transmitter context: precomputes the image sources and
+    /// the TX-side legs of all static scatterer paths for one TX antenna,
+    /// so that per-receiver-sample work is linear in path count.
+    pub fn at_tx(&self, tx: Point2) -> TxContext<'_> {
+        let walls = self.floorplan.walls();
+        let mut images1 = Vec::new();
+        if self.config.max_reflection_order >= 1 {
+            for (wi, w) in walls.iter().enumerate() {
+                images1.push(Image1 {
+                    wall: wi,
+                    image: w.segment.mirror_point(tx),
+                });
+            }
+        }
+        let mut images2 = Vec::new();
+        if self.config.max_reflection_order >= 2 {
+            for (wi, w1) in walls.iter().enumerate() {
+                let i1 = w1.segment.mirror_point(tx);
+                for (wj, w2) in walls.iter().enumerate() {
+                    if wi == wj {
+                        continue;
+                    }
+                    images2.push(Image2 {
+                        wall1: wi,
+                        wall2: wj,
+                        image1: i1,
+                        image2: w2.segment.mirror_point(i1),
+                    });
+                }
+            }
+        }
+        // TX-side leg of each static scatterer path is receiver-independent.
+        let scat_legs = self
+            .scatterers
+            .iter()
+            .map(|s| {
+                let d = tx.distance(s.pos);
+                let trans = self.floorplan.transmission_amplitude(tx, s.pos);
+                ScatLeg {
+                    dist: d,
+                    trans_amp: trans,
+                }
+            })
+            .collect();
+        TxContext {
+            tracer: self,
+            tx,
+            images1,
+            images2,
+            scat_legs,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Image1 {
+    wall: usize,
+    image: Point2,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Image2 {
+    wall1: usize,
+    wall2: usize,
+    image1: Point2,
+    image2: Point2,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ScatLeg {
+    dist: f64,
+    trans_amp: f64,
+}
+
+/// A transmitter-side cache; create once per TX antenna via
+/// [`RayTracer::at_tx`], then call [`TxContext::rays_at`] per receiver
+/// sample.
+#[derive(Debug, Clone)]
+pub struct TxContext<'a> {
+    tracer: &'a RayTracer,
+    tx: Point2,
+    images1: Vec<Image1>,
+    images2: Vec<Image2>,
+    scat_legs: Vec<ScatLeg>,
+}
+
+impl TxContext<'_> {
+    /// The transmitter position this context was built for.
+    pub fn tx(&self) -> Point2 {
+        self.tx
+    }
+
+    /// Enumerates all rays reaching a receiver at `rx` at time `t`
+    /// (time only matters for dynamic scatterers).
+    pub fn rays_at(&self, rx: Point2, t: f64) -> Vec<Ray> {
+        let fp = &self.tracer.floorplan;
+        let walls = fp.walls();
+        let mut rays = Vec::with_capacity(
+            1 + self.images1.len() + self.scat_legs.len() + self.tracer.dynamic.len(),
+        );
+
+        // Direct ray.
+        let d0 = self.tx.distance(rx);
+        let trans = fp.transmission_amplitude(self.tx, rx);
+        if trans > 0.0 {
+            rays.push(Ray {
+                delay_s: d0 / SPEED_OF_LIGHT,
+                amp: Complex64::from_re(spreading(d0) * trans),
+            });
+        }
+
+        // First-order specular reflections.
+        for im in &self.images1 {
+            let wall = &walls[im.wall];
+            let to_rx = Segment::new(im.image, rx);
+            let Some(refl_pt) = to_rx.intersect(wall.segment) else {
+                continue; // Reflection point falls outside the wall segment.
+            };
+            let total_len = im.image.distance(rx);
+            // Transmission through walls crossed on the two physical legs,
+            // excluding the reflecting wall itself.
+            let mut amp = spreading(total_len) * wall.material.reflection_coeff();
+            amp *= self.transmission_excluding(self.tx, refl_pt, &[im.wall]);
+            amp *= self.transmission_excluding(refl_pt, rx, &[im.wall]);
+            if amp > 0.0 {
+                rays.push(Ray {
+                    delay_s: total_len / SPEED_OF_LIGHT,
+                    amp: Complex64::from_re(amp),
+                });
+            }
+        }
+
+        // Second-order specular reflections.
+        for im in &self.images2 {
+            let w1 = &walls[im.wall1];
+            let w2 = &walls[im.wall2];
+            let Some(p2) = Segment::new(im.image2, rx).intersect(w2.segment) else {
+                continue;
+            };
+            let Some(p1) = Segment::new(im.image1, p2).intersect(w1.segment) else {
+                continue;
+            };
+            let total_len = im.image2.distance(rx);
+            let mut amp = spreading(total_len)
+                * w1.material.reflection_coeff()
+                * w2.material.reflection_coeff();
+            amp *= self.transmission_excluding(self.tx, p1, &[im.wall1]);
+            amp *= self.transmission_excluding(p1, p2, &[im.wall1, im.wall2]);
+            amp *= self.transmission_excluding(p2, rx, &[im.wall2]);
+            if amp > 0.0 {
+                rays.push(Ray {
+                    delay_s: total_len / SPEED_OF_LIGHT,
+                    amp: Complex64::from_re(amp),
+                });
+            }
+        }
+
+        // Static scatterer paths (single bounce off an extended reflector).
+        //
+        // Spreading uses the *total* path length, 1/(d₁+d₂), not the
+        // bistatic point-scatterer law 1/(d₁·d₂): indoor "scatterers" are
+        // extended surfaces (furniture, shelves, doors) whose re-radiation
+        // behaves closer to an image source. This keeps substantial power
+        // in long-delay paths, matching the slowly-decaying power-delay
+        // profiles measured indoors (Saleh–Valenzuela), which is what gives
+        // the TRRS its deep sub-wavelength decay (paper Fig. 4).
+        for (s, leg) in self.tracer.scatterers.iter().zip(&self.scat_legs) {
+            let d2 = s.pos.distance(rx);
+            let trans_rx = fp.transmission_amplitude(s.pos, rx);
+            let amp_mag = leg.trans_amp * trans_rx * spreading(leg.dist + d2);
+            if amp_mag > 0.0 {
+                rays.push(Ray {
+                    delay_s: (leg.dist + d2) / SPEED_OF_LIGHT,
+                    amp: s.gain * amp_mag,
+                });
+            }
+        }
+
+        // Dynamic scatterers (no caching; they move).
+        for d in &self.tracer.dynamic {
+            let pos = d.pos_at(t);
+            let d1 = self.tx.distance(pos);
+            let d2 = pos.distance(rx);
+            let trans =
+                fp.transmission_amplitude(self.tx, pos) * fp.transmission_amplitude(pos, rx);
+            let amp_mag = trans * spreading(d1 + d2);
+            if amp_mag > 0.0 {
+                rays.push(Ray {
+                    delay_s: (d1 + d2) / SPEED_OF_LIGHT,
+                    amp: d.gain * amp_mag,
+                });
+            }
+        }
+
+        // Prune negligible paths relative to the strongest one.
+        if self.tracer.config.amplitude_floor > 0.0 && !rays.is_empty() {
+            let peak = rays.iter().map(|r| r.amp.abs()).fold(0.0f64, f64::max);
+            let floor = peak * self.tracer.config.amplitude_floor;
+            rays.retain(|r| r.amp.abs() >= floor);
+        }
+        rays
+    }
+
+    /// Transmission amplitude along `a → b`, ignoring the listed wall
+    /// indices (the walls the path specularly reflects off).
+    fn transmission_excluding(&self, a: Point2, b: Point2, exclude: &[usize]) -> f64 {
+        let walls = self.tracer.floorplan.walls();
+        let ray = Segment::new(a, b);
+        let mut amp = 1.0;
+        for (wi, w) in walls.iter().enumerate() {
+            if exclude.contains(&wi) {
+                continue;
+            }
+            if ray.intersect(w.segment).is_some() {
+                amp *= w.material.transmission_coeff();
+            }
+        }
+        amp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Wall;
+    use crate::material::Material;
+
+    fn lone_tx_rx() -> (Point2, Point2) {
+        (Point2::new(0.0, 0.0), Point2::new(10.0, 0.0))
+    }
+
+    #[test]
+    fn free_space_has_single_direct_ray() {
+        let tracer = RayTracer::free_space_with_scatterers(Vec::new());
+        let (tx, rx) = lone_tx_rx();
+        let ctx = tracer.at_tx(tx);
+        let rays = ctx.rays_at(rx, 0.0);
+        assert_eq!(rays.len(), 1);
+        let r = rays[0];
+        assert!((r.delay_s - 10.0 / SPEED_OF_LIGHT).abs() < 1e-18);
+        assert!((r.amp.abs() - 0.1).abs() < 1e-12, "1/d spreading at 10 m");
+    }
+
+    #[test]
+    fn single_wall_adds_reflection() {
+        // Wall above and parallel to the TX–RX line: classic two-ray setup.
+        let wall = Wall::new(-5.0, 3.0, 15.0, 3.0, Material::metal());
+        let fp = Floorplan::new(vec![wall]);
+        let tracer = RayTracer::new(fp, Vec::new(), Vec::new(), TracerConfig::default());
+        let (tx, rx) = lone_tx_rx();
+        let rays = tracer.at_tx(tx).rays_at(rx, 0.0);
+        assert_eq!(rays.len(), 2, "direct + one reflection");
+        // Reflected length: image at (0, 6) → distance sqrt(100 + 36).
+        let expect_len = (100.0f64 + 36.0).sqrt();
+        let refl = rays
+            .iter()
+            .find(|r| (r.delay_s - expect_len / SPEED_OF_LIGHT).abs() < 1e-15)
+            .expect("reflected ray present");
+        assert!(
+            refl.amp.abs() < rays[0].amp.abs(),
+            "bounce is weaker than LOS"
+        );
+    }
+
+    #[test]
+    fn reflection_point_outside_segment_is_invalid() {
+        // Short wall far to the left: its mirror path to RX misses it.
+        let wall = Wall::new(-20.0, 3.0, -18.0, 3.0, Material::metal());
+        let fp = Floorplan::new(vec![wall]);
+        let tracer = RayTracer::new(fp, Vec::new(), Vec::new(), TracerConfig::default());
+        let (tx, rx) = lone_tx_rx();
+        let rays = tracer.at_tx(tx).rays_at(rx, 0.0);
+        assert_eq!(rays.len(), 1, "only the direct ray survives");
+    }
+
+    #[test]
+    fn blocking_wall_attenuates_direct_ray() {
+        let wall = Wall::new(5.0, -2.0, 5.0, 2.0, Material::concrete());
+        let fp = Floorplan::new(vec![wall]);
+        let cfg = TracerConfig {
+            max_reflection_order: 0,
+            ..Default::default()
+        };
+        let tracer = RayTracer::new(fp, Vec::new(), Vec::new(), cfg);
+        let (tx, rx) = lone_tx_rx();
+        let rays = tracer.at_tx(tx).rays_at(rx, 0.0);
+        assert_eq!(rays.len(), 1);
+        let expect = 0.1 * Material::concrete().transmission_coeff();
+        assert!((rays[0].amp.abs() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatterer_path_geometry() {
+        let s = Scatterer {
+            pos: Point2::new(5.0, 5.0),
+            gain: Complex64::from_re(2.0),
+        };
+        let tracer = RayTracer::free_space_with_scatterers(vec![s]);
+        let (tx, rx) = lone_tx_rx();
+        let rays = tracer.at_tx(tx).rays_at(rx, 0.0);
+        assert_eq!(rays.len(), 2);
+        let d1 = 50f64.sqrt();
+        let d2 = 50f64.sqrt();
+        let scat = rays
+            .iter()
+            .find(|r| (r.delay_s - (d1 + d2) / SPEED_OF_LIGHT).abs() < 1e-15)
+            .expect("scatterer ray");
+        assert!((scat.amp.abs() - 2.0 / (d1 + d2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_scatterer_changes_with_time() {
+        let d = DynamicScatterer {
+            start: Point2::new(5.0, 5.0),
+            velocity: rim_dsp::geom::Vec2::new(1.0, 0.0),
+            gain: Complex64::from_re(1.0),
+        };
+        let tracer = RayTracer::new(
+            Floorplan::empty(),
+            Vec::new(),
+            vec![d],
+            TracerConfig {
+                amplitude_floor: 0.0,
+                ..Default::default()
+            },
+        );
+        let (tx, rx) = lone_tx_rx();
+        let ctx = tracer.at_tx(tx);
+        let r0 = ctx.rays_at(rx, 0.0);
+        let r1 = ctx.rays_at(rx, 1.0);
+        assert_eq!(r0.len(), 2);
+        assert!(
+            r0[1].delay_s != r1[1].delay_s,
+            "moving scatterer changes delay"
+        );
+    }
+
+    #[test]
+    fn second_order_reflections_appear() {
+        // Two parallel metal walls make a corridor with double bounces.
+        let w1 = Wall::new(-5.0, 3.0, 15.0, 3.0, Material::metal());
+        let w2 = Wall::new(-5.0, -3.0, 15.0, -3.0, Material::metal());
+        let fp = Floorplan::new(vec![w1, w2]);
+        let cfg = TracerConfig {
+            max_reflection_order: 2,
+            amplitude_floor: 0.0,
+        };
+        let tracer = RayTracer::new(fp, Vec::new(), Vec::new(), cfg);
+        let (tx, rx) = lone_tx_rx();
+        let rays = tracer.at_tx(tx).rays_at(rx, 0.0);
+        // Direct + 2 first-order + 2 second-order.
+        assert_eq!(rays.len(), 5);
+        // Second-order paths are the longest.
+        let mut delays: Vec<f64> = rays.iter().map(|r| r.delay_s).collect();
+        delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(delays[4] > delays[1]);
+    }
+
+    #[test]
+    fn amplitude_floor_prunes() {
+        let strong = Scatterer {
+            pos: Point2::new(5.0, 1.0),
+            gain: Complex64::from_re(10.0),
+        };
+        let weak = Scatterer {
+            pos: Point2::new(5.0, 1.5),
+            gain: Complex64::from_re(1e-7),
+        };
+        let mut tracer = RayTracer::free_space_with_scatterers(vec![strong, weak]);
+        tracer.config.amplitude_floor = 1e-4;
+        let (tx, rx) = lone_tx_rx();
+        let rays = tracer.at_tx(tx).rays_at(rx, 0.0);
+        assert_eq!(rays.len(), 2, "weak scatterer pruned, direct + strong kept");
+    }
+
+    #[test]
+    fn spreading_is_clamped_near_zero() {
+        let tracer = RayTracer::free_space_with_scatterers(Vec::new());
+        let tx = Point2::new(0.0, 0.0);
+        let rays = tracer.at_tx(tx).rays_at(Point2::new(1e-6, 0.0), 0.0);
+        assert!(rays[0].amp.abs().is_finite());
+        assert!(rays[0].amp.abs() <= 1.0 / 0.3 + 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! Statistical validation of the channel simulator against propagation
+//! theory — the checks that justify using it as a stand-in for real CSI
+//! hardware (see DESIGN.md, "Hardware / data substitutions").
+
+use rim_channel::{
+    uniform_field, ApConfig, ChannelSimulator, Floorplan, RayTracer, SubcarrierLayout, TracerConfig,
+};
+use rim_dsp::bessel::theory_trrs;
+use rim_dsp::complex::Complex64;
+use rim_dsp::geom::Point2;
+
+fn rich_sim(seed: u64) -> ChannelSimulator {
+    let scat = uniform_field(
+        Point2::new(-15.0, -15.0),
+        Point2::new(15.0, 15.0),
+        150,
+        0.35,
+        seed,
+    );
+    let tracer = RayTracer::new(
+        Floorplan::empty(),
+        scat,
+        Vec::new(),
+        TracerConfig::default(),
+    );
+    ChannelSimulator::new(
+        tracer,
+        SubcarrierLayout::ht40_5ghz(),
+        ApConfig::standard(Point2::new(-8.0, 0.0)),
+    )
+}
+
+fn corr(u: &[Complex64], v: &[Complex64]) -> f64 {
+    let ip = rim_dsp::inner_product(u, v).abs();
+    ip * ip / (rim_dsp::norm_sqr(u) * rim_dsp::norm_sqr(v))
+}
+
+#[test]
+fn spatial_autocorrelation_tracks_j0_theory() {
+    // Average the measured squared correlation over many positions/seeds
+    // and compare with J0²(2πd/λ) at small displacements, where the
+    // finite-band cross-term floor has not yet taken over.
+    let lambda = SubcarrierLayout::ht40_5ghz().wavelength();
+    let mut measured = vec![0.0; 4];
+    let fracs = [0.05, 0.1, 0.15, 0.2];
+    let mut count = 0;
+    for seed in [7u64, 21, 99] {
+        let sim = rich_sim(seed);
+        let s = sim.sampler();
+        for k in 0..6 {
+            let p = Point2::new(-1.0 + 0.4 * k as f64, 1.2 + 0.5 * k as f64);
+            let a = s.cfr(0, p, 0.0);
+            for (i, &f) in fracs.iter().enumerate() {
+                let b = s.cfr(0, Point2::new(p.x + f * lambda, p.y), 0.0);
+                measured[i] += corr(&a, &b);
+            }
+            count += 1;
+        }
+    }
+    for m in &mut measured {
+        *m /= count as f64;
+    }
+    for (i, &f) in fracs.iter().enumerate() {
+        let theory = theory_trrs(f * lambda, lambda);
+        // The simulator sits above pure-diffuse theory (finite band adds
+        // a cross-term floor, and a LOS fraction adds coherence), but must
+        // track the theory's shape within a generous band.
+        assert!(
+            measured[i] >= theory - 0.1 && measured[i] <= theory * 0.5 + 0.55,
+            "at {f} λ: measured {:.3}, J0² theory {:.3}",
+            measured[i],
+            theory
+        );
+    }
+    // And the decay is monotone over this range.
+    for w in measured.windows(2) {
+        assert!(w[1] <= w[0] + 0.02, "monotone: {measured:?}");
+    }
+}
+
+#[test]
+fn received_power_decays_with_distance() {
+    // Free space + scatterers: average CFR power must fall with TX–RX
+    // distance (spreading loss), roughly monotonically in the mean.
+    let sim = rich_sim(7);
+    let s = sim.sampler();
+    let power_at = |d: f64| -> f64 {
+        let mut acc = 0.0;
+        for k in 0..5 {
+            let p = Point2::new(-8.0 + d, 0.3 * k as f64 - 0.6);
+            acc += rim_dsp::norm_sqr(&s.cfr(0, p, 0.0));
+        }
+        acc / 5.0
+    };
+    let near = power_at(2.0);
+    let mid = power_at(6.0);
+    let far = power_at(14.0);
+    assert!(
+        near > mid && mid > far,
+        "power decays: {near:.1} > {mid:.1} > {far:.1}"
+    );
+    // Spreading should be super-linear in power over this span.
+    assert!(near / far > 3.0, "ratio {:.1}", near / far);
+}
+
+#[test]
+fn envelope_fading_is_rayleigh_like() {
+    // In the diffuse field the per-subcarrier envelope over many
+    // positions should be Rayleigh-ish: its coefficient of variation
+    // (σ/μ) is √((4−π)/π) ≈ 0.523 for a Rayleigh amplitude.
+    let sim = rich_sim(7);
+    let s = sim.sampler();
+    let mut amps = Vec::new();
+    for k in 0..40 {
+        // Positions far from the AP so the LOS fraction is small.
+        let p = Point2::new(4.0 + 0.13 * k as f64, 3.0 + 0.29 * k as f64);
+        let cfr = s.cfr(0, p, 0.0);
+        for h in cfr.iter().step_by(10) {
+            amps.push(h.abs());
+        }
+    }
+    let mean = rim_dsp::stats::mean(&amps);
+    let sd = rim_dsp::stats::std_dev(&amps);
+    let cv = sd / mean;
+    assert!(
+        (0.30..0.80).contains(&cv),
+        "Rayleigh-like coefficient of variation (≈0.52): got {cv:.2}"
+    );
+}
+
+#[test]
+fn delay_spread_is_office_scale() {
+    // The RMS delay spread of the synthetic channel should sit in the
+    // range measured in offices (tens of ns), which is what gives the
+    // TRRS its frequency diversity.
+    let sim = rich_sim(7);
+    let tx = sim.ap().antenna_positions()[0];
+    let ctx = sim.tracer().at_tx(tx);
+    let rays = ctx.rays_at(Point2::new(2.0, 3.0), 0.0);
+    let total_p: f64 = rays.iter().map(|r| r.amp.norm_sqr()).sum();
+    let mean_tau: f64 = rays
+        .iter()
+        .map(|r| r.delay_s * r.amp.norm_sqr())
+        .sum::<f64>()
+        / total_p;
+    let var_tau: f64 = rays
+        .iter()
+        .map(|r| (r.delay_s - mean_tau).powi(2) * r.amp.norm_sqr())
+        .sum::<f64>()
+        / total_p;
+    let rms_ns = var_tau.sqrt() * 1e9;
+    assert!(
+        (10.0..150.0).contains(&rms_ns),
+        "office-scale RMS delay spread, got {rms_ns:.1} ns"
+    );
+}
+
+#[test]
+fn walls_attenuate_through_paths() {
+    // The office model: a deep-NLOS receiver sees much less power from
+    // the far-corner AP than a LOS receiver does from the central AP at a
+    // similar distance.
+    let nlos = ChannelSimulator::office(0, 11);
+    let los = ChannelSimulator::office(1, 11);
+    let p_nlos = {
+        let s = nlos.sampler();
+        rim_dsp::norm_sqr(&s.cfr(0, Point2::new(20.0, 10.0), 0.0))
+    };
+    let p_los = {
+        let s = los.sampler();
+        // Similar distance from AP #1 (21.5, 14).
+        rim_dsp::norm_sqr(&s.cfr(0, Point2::new(21.5, 10.0), 0.0))
+    };
+    assert!(
+        p_los > 3.0 * p_nlos,
+        "through-wall power loss: LOS {p_los:.2} vs NLOS {p_nlos:.2}"
+    );
+}

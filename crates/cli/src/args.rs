@@ -1,0 +1,111 @@
+//! Minimal argument parsing (no external dependencies): positional
+//! subcommand plus `--key value` / `--flag` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand, positional args, options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional), if any.
+    pub command: Option<String>,
+    /// Remaining positionals.
+    pub positional: Vec<String>,
+    /// `--key value` options and bare `--flag`s (value "true").
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parses an iterator of arguments (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+    let mut out = Args::default();
+    let mut it = args.into_iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                _ => String::from("true"),
+            };
+            out.options.insert(key.to_string(), value);
+        } else if out.command.is_none() {
+            out.command = Some(a);
+        } else {
+            out.positional.push(a);
+        }
+    }
+    out
+}
+
+impl Args {
+    /// Option as `f64`, with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Option as `u64`, with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Option as string, with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// True when a bare flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        parse(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = args(&["simulate", "--distance", "2.5", "--seed", "7", "out.rimc"]);
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.positional, vec!["out.rimc"]);
+        assert_eq!(a.get_f64("distance", 0.0).unwrap(), 2.5);
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn bare_flags_and_defaults() {
+        let a = args(&["analyze", "--verbose"]);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get_f64("rate", 200.0).unwrap(), 200.0);
+        assert_eq!(a.get_str("array", "linear3"), "linear3");
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let a = args(&["x", "--n", "abc"]);
+        assert!(a.get_f64("n", 0.0).is_err());
+        assert!(a.get_u64("n", 0).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = args(&[]);
+        assert!(a.command.is_none());
+        assert!(a.positional.is_empty());
+    }
+}

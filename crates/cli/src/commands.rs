@@ -1,0 +1,354 @@
+//! The `rim` subcommands.
+
+use crate::args::Args;
+use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
+use rim_channel::trajectory::{line, polyline, rotate_in_place, OrientationMode, Trajectory};
+use rim_channel::ChannelSimulator;
+use rim_core::{Rim, RimConfig};
+use rim_csi::{CsiRecorder, DeviceConfig, LossModel, RecorderConfig};
+use rim_dsp::geom::Point2;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Usage text.
+pub const USAGE: &str = "\
+rim — RF-based inertial measurement (RIM, SIGCOMM 2019) in Rust
+
+USAGE:
+  rim simulate <out.rimc> [--scenario line|square|rotation] [--env lab|office]
+               [--array linear3|hexagonal|l] [--distance M] [--speed M/S]
+               [--rate HZ] [--loss P] [--seed N]
+  rim analyze  <in.rimc>  [--array linear3|hexagonal|l] [--min-speed M/S]
+               [--start X,Y] [--verbose]
+  rim floorplan
+  rim demo     [--seed N]
+  rim help
+";
+
+/// Resolves an array geometry by name.
+fn array_by_name(name: &str) -> Result<ArrayGeometry, String> {
+    match name {
+        "linear3" => Ok(ArrayGeometry::linear(3, HALF_WAVELENGTH)),
+        "hexagonal" => Ok(ArrayGeometry::hexagonal(HALF_WAVELENGTH)),
+        "l" => Ok(ArrayGeometry::l_shape(HALF_WAVELENGTH)),
+        other => Err(format!(
+            "unknown array {other:?} (expected linear3 | hexagonal | l)"
+        )),
+    }
+}
+
+/// Resolves a simulation environment by name.
+fn env_by_name(name: &str, seed: u64) -> Result<ChannelSimulator, String> {
+    match name {
+        "lab" => Ok(ChannelSimulator::open_lab(seed)),
+        "office" => Ok(ChannelSimulator::office(0, seed)),
+        other => Err(format!("unknown env {other:?} (expected lab | office)")),
+    }
+}
+
+/// Builds the scenario trajectory.
+fn scenario(
+    name: &str,
+    env: &str,
+    distance: f64,
+    speed: f64,
+    rate: f64,
+) -> Result<Trajectory, String> {
+    let start = if env == "office" {
+        Point2::new(8.0, 13.0)
+    } else {
+        Point2::new(0.0, 2.0)
+    };
+    match name {
+        "line" => Ok(line(
+            start,
+            0.0,
+            distance,
+            speed,
+            rate,
+            OrientationMode::Fixed(0.0),
+        )),
+        "square" => {
+            let side = (distance / 4.0).max(0.3);
+            let wps = [
+                start,
+                Point2::new(start.x + side, start.y),
+                Point2::new(start.x + side, start.y + side),
+                Point2::new(start.x, start.y + side),
+                start,
+            ];
+            Ok(polyline(&wps, speed, rate, OrientationMode::Fixed(0.0)))
+        }
+        "rotation" => Ok(rotate_in_place(
+            start,
+            0.0,
+            std::f64::consts::PI,
+            std::f64::consts::PI,
+            rate,
+        )),
+        other => Err(format!(
+            "unknown scenario {other:?} (expected line | square | rotation)"
+        )),
+    }
+}
+
+/// `rim simulate`.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    let out_path = args
+        .positional
+        .first()
+        .ok_or("simulate needs an output path (e.g. out.rimc)")?;
+    let seed = args.get_u64("seed", 7)?;
+    let rate = args.get_f64("rate", 200.0)?;
+    let speed = args.get_f64("speed", 1.0)?;
+    let distance = args.get_f64("distance", 2.0)?;
+    let loss = args.get_f64("loss", 0.0)?;
+    let env_name = args.get_str("env", "lab");
+    let array_name = args.get_str("array", "linear3");
+    let scenario_name = args.get_str("scenario", "line");
+
+    let sim = env_by_name(&env_name, seed)?;
+    let geometry = array_by_name(&array_name)?;
+    let traj = scenario(&scenario_name, &env_name, distance, speed, rate)?;
+
+    let mut device = if geometry.nic_groups().len() == 2 {
+        DeviceConfig::dual_nic(geometry.offsets().to_vec())
+    } else {
+        DeviceConfig::single_nic(geometry.offsets().to_vec())
+    };
+    if loss > 0.0 {
+        if !(0.0..1.0).contains(&loss) {
+            return Err(format!("--loss must be in [0, 1), got {loss}"));
+        }
+        device = device.with_loss(LossModel::Iid { p: loss });
+    }
+    let recording = CsiRecorder::new(
+        &sim,
+        device,
+        RecorderConfig {
+            sanitize: true,
+            seed,
+        },
+    )
+    .record(&traj);
+
+    let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    rim_csi::storage::save_recording(&recording, BufWriter::new(file))
+        .map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "wrote {out_path}: {} samples × {} antennas at {rate} Hz \
+         ({scenario_name} in {env_name}, {:.2} m ground truth, loss {:.0}%)",
+        recording.n_samples(),
+        recording.n_antennas(),
+        traj.total_distance(),
+        recording.loss_rate() * 100.0,
+    );
+    Ok(())
+}
+
+/// `rim analyze`.
+pub fn analyze(args: &Args) -> Result<(), String> {
+    let in_path = args
+        .positional
+        .first()
+        .ok_or("analyze needs an input path (a .rimc capture)")?;
+    let array_name = args.get_str("array", "linear3");
+    let min_speed = args.get_f64("min-speed", 0.3)?;
+    let geometry = array_by_name(&array_name)?;
+
+    let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
+    let recording = rim_csi::storage::load_recording(BufReader::new(file))
+        .map_err(|e| format!("load failed: {e}"))?;
+    if recording.n_antennas() != geometry.n_antennas() {
+        return Err(format!(
+            "capture has {} antennas but array {array_name:?} has {} — pass --array",
+            recording.n_antennas(),
+            geometry.n_antennas()
+        ));
+    }
+    let dense = recording
+        .interpolated()
+        .ok_or("capture is not interpolable (an antenna lost every packet)")?;
+    let fs = dense.sample_rate_hz;
+    let config = RimConfig::for_sample_rate(fs).with_min_speed(min_speed, HALF_WAVELENGTH, fs);
+    let estimate = Rim::new(geometry, config).analyze(&dense);
+
+    println!(
+        "{in_path}: {} samples at {fs} Hz, loss {:.1}%",
+        dense.n_samples(),
+        recording.loss_rate() * 100.0
+    );
+    println!("total distance : {:.3} m", estimate.total_distance());
+    if estimate.total_rotation().abs() > 1e-9 {
+        println!(
+            "net rotation   : {:.1}°",
+            estimate.total_rotation().to_degrees()
+        );
+    }
+    for seg in &estimate.segments {
+        println!(
+            "segment [{:.2}s..{:.2}s] {:?}: {:.3} m{}{}",
+            seg.start as f64 / fs,
+            seg.end as f64 / fs,
+            seg.kind,
+            seg.distance_m,
+            seg.heading_device
+                .map(|h| format!(", heading {:.0}°", h.to_degrees()))
+                .unwrap_or_default(),
+            if seg.rotation_rad.abs() > 1e-9 {
+                format!(", rotation {:.1}°", seg.rotation_rad.to_degrees())
+            } else {
+                String::new()
+            },
+        );
+    }
+    if args.flag("verbose") {
+        let start_opt = args.get_str("start", "0,0");
+        let mut it = start_opt.split(',');
+        let (sx, sy) = (
+            it.next().and_then(|v| v.parse().ok()).unwrap_or(0.0),
+            it.next().and_then(|v| v.parse().ok()).unwrap_or(0.0),
+        );
+        let track = estimate.trajectory(Point2::new(sx, sy), 0.0);
+        println!("trajectory (every 0.5 s):");
+        let step = (fs / 2.0) as usize;
+        for (i, p) in track.iter().enumerate().step_by(step.max(1)) {
+            println!("  t={:6.2}s  ({:7.3}, {:7.3})", i as f64 / fs, p.x, p.y);
+        }
+    }
+    Ok(())
+}
+
+/// `rim floorplan`.
+pub fn floorplan(_args: &Args) -> Result<(), String> {
+    let (fp, aps) = rim_channel::office_floorplan();
+    let (lo, hi) = fp.bounds().expect("walls");
+    println!(
+        "office testbed: {:.1} m × {:.1} m, {} walls, {} AP locations",
+        hi.x - lo.x,
+        hi.y - lo.y,
+        fp.len(),
+        aps.len()
+    );
+    for (k, ap) in aps.iter().enumerate() {
+        println!("  AP #{k}: ({:.1}, {:.1})", ap.x, ap.y);
+    }
+    Ok(())
+}
+
+/// `rim demo` — a self-contained end-to-end run.
+pub fn demo(args: &Args) -> Result<(), String> {
+    let seed = args.get_u64("seed", 7)?;
+    let sim = ChannelSimulator::open_lab(seed);
+    let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+    let traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        1.0,
+        1.0,
+        200.0,
+        OrientationMode::FollowPath,
+    );
+    let dense = CsiRecorder::new(
+        &sim,
+        DeviceConfig::single_nic(geometry.offsets().to_vec()),
+        RecorderConfig {
+            sanitize: true,
+            seed,
+        },
+    )
+    .record(&traj)
+    .interpolated()
+    .ok_or("recording not interpolable")?;
+    let config = RimConfig::for_sample_rate(200.0).with_min_speed(0.3, HALF_WAVELENGTH, 200.0);
+    let est = Rim::new(geometry, config).analyze(&dense);
+    println!(
+        "demo: pushed the array 1.000 m; RIM measured {:.3} m ({:+.1} cm)",
+        est.total_distance(),
+        (est.total_distance() - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn args(list: &[&str]) -> Args {
+        parse(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn array_names_resolve() {
+        assert_eq!(array_by_name("linear3").unwrap().n_antennas(), 3);
+        assert_eq!(array_by_name("hexagonal").unwrap().n_antennas(), 6);
+        assert_eq!(array_by_name("l").unwrap().n_antennas(), 3);
+        assert!(array_by_name("bogus").is_err());
+    }
+
+    #[test]
+    fn scenario_names_resolve() {
+        assert!(scenario("line", "lab", 1.0, 1.0, 100.0).is_ok());
+        assert!(scenario("square", "lab", 2.0, 1.0, 100.0).is_ok());
+        assert!(scenario("rotation", "lab", 0.0, 1.0, 100.0).is_ok());
+        assert!(scenario("bogus", "lab", 1.0, 1.0, 100.0).is_err());
+    }
+
+    #[test]
+    fn simulate_then_analyze_round_trip() {
+        let dir = std::env::temp_dir().join("rim_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rimc");
+        let path_str = path.to_str().unwrap();
+
+        let sim_args = args(&[
+            "simulate",
+            path_str,
+            "--distance",
+            "0.6",
+            "--rate",
+            "100",
+            "--seed",
+            "3",
+        ]);
+        simulate(&sim_args).expect("simulate");
+        assert!(path.exists());
+
+        let an_args = args(&["analyze", path_str]);
+        analyze(&an_args).expect("analyze");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_rejects_wrong_array() {
+        let dir = std::env::temp_dir().join("rim_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rimc");
+        let path_str = path.to_str().unwrap();
+        simulate(&args(&[
+            "simulate",
+            path_str,
+            "--distance",
+            "0.4",
+            "--rate",
+            "100",
+        ]))
+        .unwrap();
+        let err = analyze(&args(&["analyze", path_str, "--array", "hexagonal"]))
+            .expect_err("antenna mismatch");
+        assert!(err.contains("antennas"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_paths_error() {
+        assert!(simulate(&args(&["simulate"])).is_err());
+        assert!(analyze(&args(&["analyze"])).is_err());
+    }
+
+    #[test]
+    fn floorplan_prints() {
+        floorplan(&args(&["floorplan"])).unwrap();
+    }
+}

@@ -1,0 +1,43 @@
+//! `rim` — command-line interface to the RIM reproduction.
+//!
+//! ```text
+//! rim simulate out.rimc [--scenario line|square|rotation] [--env lab|office]
+//!              [--array linear3|hexagonal|l] [--distance M] [--speed M/S]
+//!              [--rate HZ] [--loss P] [--seed N]
+//! rim analyze  in.rimc  [--array linear3|hexagonal|l] [--min-speed M/S]
+//!              [--start X,Y] [--verbose]
+//! rim floorplan
+//! rim demo     [--seed N]
+//! ```
+//!
+//! `simulate` writes a capture file (simulated CSI of a scenario);
+//! `analyze` runs the RIM pipeline on any capture file — including ones
+//! produced elsewhere, as long as they follow the format in
+//! `rim_csi::storage`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = args::parse(std::env::args().skip(1));
+    let result = match parsed.command.as_deref() {
+        Some("simulate") => commands::simulate(&parsed),
+        Some("analyze") => commands::analyze(&parsed),
+        Some("floorplan") => commands::floorplan(&parsed),
+        Some("demo") => commands::demo(&parsed),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("rim: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

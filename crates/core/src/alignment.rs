@@ -1,0 +1,382 @@
+//! Alignment (TRRS) matrices — paper §3.2, Eqn. 5.
+//!
+//! For an antenna pair `(i, j)` the alignment matrix holds
+//! `G[t][l] = κ(P_i(t), P_j(t − l))` for lags `l ∈ [−W, W]`: how well
+//! antenna `i`'s virtual-massive profile at time `t` matches antenna `j`'s
+//! profile `l` samples earlier. A ridge of large values at lag `l(t)`
+//! means `i` is retracing `j`'s footprints with delay `l(t)` — the raw
+//! material for speed estimation.
+//!
+//! Computation exploits the identity that the massive-average of Eqn. 4 is
+//! a box filter along the time axis of the single-snapshot cross-TRRS
+//! matrix `B[t][l] = κ̄(H_i(t), H_j(t−l))`: `B` is computed once
+//! (`O(T·W·S·N)` inner products) and every lag column is then averaged in
+//! `O(T·W)`, instead of the naive `O(T·W·V·S·N)`.
+
+use crate::trrs::{trrs_norm, NormSnapshot};
+
+/// Parameters of alignment-matrix computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentConfig {
+    /// Lag half-window `W`, in samples. Must exceed the largest expected
+    /// alignment delay (≈ antenna separation / slowest speed × rate).
+    pub window: usize,
+    /// Number of virtual massive antennas `V` (block length of Eqn. 4).
+    pub virtual_antennas: usize,
+}
+
+impl AlignmentConfig {
+    /// Paper-style defaults for a given sample rate: `W` sized for delays
+    /// up to 0.5 s (§3.2 "within a short period (e.g., 0.5 seconds)") and
+    /// `V` per §6.2.7 ("a number larger than 30 should suffice for … 200
+    /// Hz", scaled with rate).
+    pub fn for_sample_rate(sample_rate_hz: f64) -> Self {
+        Self {
+            window: ((0.5 * sample_rate_hz).round() as usize).max(4),
+            virtual_antennas: ((0.15 * sample_rate_hz).round() as usize).clamp(3, 60),
+        }
+    }
+}
+
+/// An alignment matrix: `values[t][k]` is the TRRS at time `t` and lag
+/// `k − window` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentMatrix {
+    /// Lag half-window `W`.
+    pub window: usize,
+    /// `values[t][k]`, `k ∈ 0..2W+1`; entries whose `t − l` fell outside
+    /// the series are 0.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl AlignmentMatrix {
+    /// Number of time columns.
+    pub fn n_times(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of lag rows (`2W + 1`).
+    pub fn n_lags(&self) -> usize {
+        2 * self.window + 1
+    }
+
+    /// Signed lag (samples) of lag-index `k`.
+    pub fn lag_of(&self, k: usize) -> isize {
+        k as isize - self.window as isize
+    }
+
+    /// Lag-index of a signed lag.
+    pub fn index_of(&self, lag: isize) -> usize {
+        (lag + self.window as isize) as usize
+    }
+
+    /// The TRRS at time `t`, signed lag `lag`.
+    pub fn at(&self, t: usize, lag: isize) -> f64 {
+        self.values[t][self.index_of(lag)]
+    }
+
+    /// Element-wise average of several matrices (for parallel isometric
+    /// pair groups, §4.2).
+    ///
+    /// # Panics
+    /// Panics if the list is empty or shapes differ.
+    pub fn average(mats: &[&AlignmentMatrix]) -> AlignmentMatrix {
+        assert!(!mats.is_empty(), "need at least one matrix");
+        let w = mats[0].window;
+        let t = mats[0].n_times();
+        assert!(
+            mats.iter().all(|m| m.window == w && m.n_times() == t),
+            "matrix shapes must agree"
+        );
+        let mut values = vec![vec![0.0; 2 * w + 1]; t];
+        for m in mats {
+            for (acc, row) in values.iter_mut().zip(&m.values) {
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a += v;
+                }
+            }
+        }
+        let inv = 1.0 / mats.len() as f64;
+        for row in &mut values {
+            for v in row {
+                *v *= inv;
+            }
+        }
+        AlignmentMatrix { window: w, values }
+    }
+
+    /// Median TRRS of column `t` — the column's noise floor. Ridge
+    /// detection is done *relative* to this floor because the absolute
+    /// cross-antenna TRRS floor varies with the environment's multipath
+    /// richness.
+    pub fn column_floor(&self, t: usize) -> f64 {
+        rim_dsp::stats::median(&self.values[t])
+    }
+
+    /// Parabolic sub-sample refinement of a ridge lag: fits a parabola to
+    /// the TRRS at `lag − 1, lag, lag + 1` and returns the fractional lag
+    /// of its vertex (clamped to ±0.5 around `lag`). Falls back to the
+    /// integer lag at the window edges or on degenerate curvature.
+    pub fn refine_lag(&self, t: usize, lag: isize) -> f64 {
+        let w = self.window as isize;
+        if lag <= -w || lag >= w {
+            return lag as f64;
+        }
+        let g_m = self.at(t, lag - 1);
+        let g_0 = self.at(t, lag);
+        let g_p = self.at(t, lag + 1);
+        let denom = g_m - 2.0 * g_0 + g_p;
+        if denom >= -1e-12 {
+            return lag as f64; // Not a local maximum.
+        }
+        let delta = 0.5 * (g_m - g_p) / denom;
+        lag as f64 + delta.clamp(-0.5, 0.5)
+    }
+
+    /// Per-column maximum TRRS and its signed lag.
+    pub fn column_peaks(&self) -> Vec<(isize, f64)> {
+        self.values
+            .iter()
+            .map(|row| {
+                let (k, &v) = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .expect("rows are non-empty");
+                (k as isize - self.window as isize, v)
+            })
+            .collect()
+    }
+}
+
+/// Computes the single-snapshot cross-TRRS matrix
+/// `B[t][l] = κ̄(a[t], b[t−l])` for lags `|l| ≤ window`. Out-of-range
+/// entries are 0.
+pub fn base_cross_trrs(a: &[NormSnapshot], b: &[NormSnapshot], window: usize) -> AlignmentMatrix {
+    base_cross_trrs_range(a, b, window, 0, a.len().min(b.len()))
+}
+
+/// Computes cross-TRRS columns for `t ∈ t0..t1` only; lags still reference
+/// the *full* series, so `b[t − l]` may reach outside the column range.
+/// Row 0 of the result corresponds to `t0`.
+///
+/// # Panics
+/// Panics if the series lengths differ or the range is out of bounds.
+pub fn base_cross_trrs_range(
+    a: &[NormSnapshot],
+    b: &[NormSnapshot],
+    window: usize,
+    t0: usize,
+    t1: usize,
+) -> AlignmentMatrix {
+    assert_eq!(a.len(), b.len(), "series must have equal length");
+    assert!(t0 <= t1 && t1 <= a.len(), "column range out of bounds");
+    let t_len = a.len();
+    let w = window as isize;
+    let mut values = vec![vec![0.0; 2 * window + 1]; t1 - t0];
+    for (row_idx, row) in values.iter_mut().enumerate() {
+        let t = t0 + row_idx;
+        for (k, slot) in row.iter_mut().enumerate() {
+            let lag = k as isize - w;
+            let src = t as isize - lag;
+            if src < 0 || src as usize >= t_len {
+                continue;
+            }
+            *slot = trrs_norm(&a[t], &b[src as usize]);
+        }
+    }
+    AlignmentMatrix { window, values }
+}
+
+/// Applies the virtual-massive-antenna average (Eqn. 4): a centred box
+/// filter of length `v` along the time axis, per lag. Edge positions
+/// average over the in-range part of the block.
+pub fn virtual_average(base: &AlignmentMatrix, v: usize) -> AlignmentMatrix {
+    if v <= 1 {
+        return base.clone();
+    }
+    let t_len = base.n_times();
+    let n_lags = base.n_lags();
+    let half = (v / 2) as isize;
+    let mut values = vec![vec![0.0; n_lags]; t_len];
+    // Prefix sums per lag for O(1) window averages.
+    let mut prefix = vec![0.0f64; t_len + 1];
+    for k in 0..n_lags {
+        prefix[0] = 0.0;
+        for t in 0..t_len {
+            prefix[t + 1] = prefix[t] + base.values[t][k];
+        }
+        for (t, row) in values.iter_mut().enumerate() {
+            let lo = (t as isize - half).max(0) as usize;
+            let hi = ((t as isize + half) as usize).min(t_len - 1);
+            row[k] = (prefix[hi + 1] - prefix[lo]) / (hi - lo + 1) as f64;
+        }
+    }
+    AlignmentMatrix {
+        window: base.window,
+        values,
+    }
+}
+
+/// Alias of [`virtual_average`] for range-computed base matrices: the box
+/// filter clamps to the available columns, so segment edges average over
+/// the in-range part of the block.
+pub fn virtual_average_range(base: &AlignmentMatrix, v: usize) -> AlignmentMatrix {
+    virtual_average(base, v)
+}
+
+/// Convenience: full alignment matrix `G` for a pair of antenna series
+/// (base cross-TRRS followed by the massive average).
+pub fn alignment_matrix(
+    a: &[NormSnapshot],
+    b: &[NormSnapshot],
+    config: AlignmentConfig,
+) -> AlignmentMatrix {
+    let base = base_cross_trrs(a, b, config.window);
+    virtual_average(&base, config.virtual_antennas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_csi::frame::CsiSnapshot;
+    use rim_dsp::complex::Complex64;
+
+    /// splitmix64-style avalanche so values are nonlinear in the input
+    /// (a linear hash makes every snapshot a pure linear-phase vector,
+    /// which the TRRS cannot tell apart).
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn snapshot(tag: u64) -> CsiSnapshot {
+        CsiSnapshot {
+            per_tx: vec![(0..16)
+                .map(|k| {
+                    let x = (mix(tag.wrapping_mul(0x9E3779B9).wrapping_add(k as u64)) >> 12) as f64
+                        / (1u64 << 52) as f64;
+                    Complex64::from_polar(1.0, x * std::f64::consts::TAU)
+                })
+                .collect()],
+        }
+    }
+
+    /// A series where the "channel" repeats with a known shift: sample t of
+    /// series B equals sample t+shift of series A.
+    fn shifted_series(len: usize, shift: usize) -> (Vec<NormSnapshot>, Vec<NormSnapshot>) {
+        let a: Vec<CsiSnapshot> = (0..len as u64).map(snapshot).collect();
+        let b: Vec<CsiSnapshot> = (0..len as u64)
+            .map(|t| snapshot(t.saturating_sub(shift as u64)))
+            .collect();
+        (NormSnapshot::series(&a), NormSnapshot::series(&b))
+    }
+
+    #[test]
+    fn base_matrix_peaks_at_true_shift() {
+        // b[t] = a[t - 3]: κ(a[t], b[t - l]) is maximal when t - l - 3 == t,
+        // i.e. lag l = -3.
+        let (a, b) = shifted_series(40, 3);
+        let m = base_cross_trrs(&a, &b, 8);
+        for t in 12..30 {
+            let (lag, v) = m.column_peaks()[t];
+            assert_eq!(lag, -3, "peak at the planted shift (t={t})");
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+        // And the mirrored computation peaks at +3.
+        let m2 = base_cross_trrs(&b, &a, 8);
+        let (lag, _) = m2.column_peaks()[20];
+        assert_eq!(lag, 3);
+    }
+
+    #[test]
+    fn out_of_range_lags_are_zero() {
+        let (a, b) = shifted_series(10, 0);
+        let m = base_cross_trrs(&a, &b, 4);
+        // At t = 0, any positive lag reaches before the series start.
+        assert_eq!(m.at(0, 1), 0.0);
+        assert_eq!(m.at(0, 4), 0.0);
+        assert!(m.at(0, 0) > 0.99);
+        // At the end, negative lags run off the series.
+        assert_eq!(m.at(9, -1), 0.0);
+    }
+
+    #[test]
+    fn lag_index_round_trip() {
+        let m = AlignmentMatrix {
+            window: 5,
+            values: vec![vec![0.0; 11]; 3],
+        };
+        for lag in -5..=5 {
+            assert_eq!(m.lag_of(m.index_of(lag)), lag);
+        }
+        assert_eq!(m.n_lags(), 11);
+    }
+
+    #[test]
+    fn virtual_average_equals_direct_massive_trrs() {
+        // The box-filter optimisation must reproduce Eqn. 4 exactly in the
+        // interior.
+        let (a, b) = shifted_series(30, 2);
+        let w = 5;
+        let v = 5;
+        let base = base_cross_trrs(&a, &b, w);
+        let g = virtual_average(&base, v);
+        for t in 8..22 {
+            for lag in -3..=3isize {
+                let direct = crate::trrs::trrs_massive(&a, &b, t, (t as isize - lag) as usize, v);
+                assert!(
+                    (g.at(t, lag) - direct).abs() < 1e-9,
+                    "t={t} lag={lag}: {} vs {direct}",
+                    g.at(t, lag)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_average_v1_is_identity() {
+        let (a, b) = shifted_series(12, 1);
+        let base = base_cross_trrs(&a, &b, 3);
+        let g = virtual_average(&base, 1);
+        assert_eq!(g, base);
+    }
+
+    #[test]
+    fn average_of_identical_matrices_is_identity() {
+        let (a, b) = shifted_series(15, 2);
+        let m = alignment_matrix(
+            &a,
+            &b,
+            AlignmentConfig {
+                window: 4,
+                virtual_antennas: 3,
+            },
+        );
+        let avg = AlignmentMatrix::average(&[&m, &m, &m]);
+        for t in 0..m.n_times() {
+            for k in 0..m.n_lags() {
+                assert!((avg.values[t][k] - m.values[t][k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_series_rejected() {
+        let (a, b) = shifted_series(10, 0);
+        let _ = base_cross_trrs(&a[..5], &b, 3);
+    }
+
+    #[test]
+    fn config_defaults_scale_with_rate() {
+        let c200 = AlignmentConfig::for_sample_rate(200.0);
+        assert_eq!(c200.window, 100);
+        assert_eq!(c200.virtual_antennas, 30);
+        let c50 = AlignmentConfig::for_sample_rate(50.0);
+        assert!(c50.window < c200.window);
+        assert!(c50.virtual_antennas < c200.virtual_antennas);
+        assert!(c50.virtual_antennas >= 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # rim-core
+//!
+//! The RIM algorithms — the paper's primary contribution:
+//!
+//! * [`trrs`] — Time-Reversal Resonating Strength (Eqns. 1–4), with
+//!   TX-antenna and virtual-massive-antenna averaging;
+//! * [`alignment`] — alignment/TRRS matrices (Eqn. 5) computed with a
+//!   box-filter identity that avoids the naive `O(T·W·V·S·N)` cost;
+//! * [`movement`] — self-TRRS movement detection (§4.1);
+//! * [`tracking_dp`] — dynamic-programming peak tracking (§4.2,
+//!   Eqns. 6–8) in `O(T·W)` via a distance transform;
+//! * [`reckoning`] — speed / heading / rotation math (§4.4) and the
+//!   deviated-retracing error model (§3.2);
+//! * [`pipeline`] — the [`pipeline::Rim`] engine tying it all together,
+//!   from dense CSI to a [`pipeline::MotionEstimate`];
+//! * [`stream`] — the push-based, bounded-memory real-time variant
+//!   (the paper's C++ online system);
+//! * [`wiball`] — the WiBall-style single-antenna speed estimator the
+//!   paper discusses as a complement (§7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod diagnostics;
+pub mod movement;
+pub mod pipeline;
+pub mod reckoning;
+pub mod stream;
+pub mod tracking_dp;
+pub mod trrs;
+pub mod wiball;
+
+pub use alignment::{alignment_matrix, AlignmentConfig, AlignmentMatrix};
+pub use movement::{auto_threshold, detect_movement, movement_indicator, MovementConfig};
+pub use pipeline::{MotionEstimate, Rim, RimConfig, SegmentEstimate, SegmentKind};
+pub use stream::{RimStream, StreamAggregate, StreamEvent};
+pub use tracking_dp::{track_peaks, DpConfig, TrackedPath};
+pub use trrs::{trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, NormSnapshot};

@@ -1,0 +1,467 @@
+//! Streaming (real-time) RIM pipeline with bounded memory.
+//!
+//! The paper's prototype includes a real-time C++ system (§5, §6.3.3);
+//! this module is its counterpart: CSI snapshots are *pushed* sample by
+//! sample, a ring buffer holds just enough history for the alignment
+//! window and the virtual-massive average, and motion estimates are
+//! emitted with bounded latency as soon as each movement segment (or
+//! partial segment) can be resolved. Memory is `O(ring capacity)` no
+//! matter how long the device runs.
+//!
+//! Latency/accuracy trade-off: segments are flushed either when movement
+//! stops or when the open segment reaches `max_open_segment` samples, in
+//! which case it is analyzed in place and the tail re-examined later
+//! chunks continue seamlessly (the Δd compensation is applied only once
+//! per physical movement).
+
+use crate::movement::{movement_indicator, MovementConfig};
+use crate::pipeline::{MotionEstimate, Rim, RimConfig, SegmentEstimate};
+use crate::trrs::NormSnapshot;
+use rim_array::ArrayGeometry;
+use rim_csi::frame::CsiSnapshot;
+use std::collections::VecDeque;
+
+/// An incremental update emitted by the stream.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// Movement started at the given absolute sample index.
+    MovementStarted {
+        /// Absolute sample index.
+        at: usize,
+    },
+    /// A resolved stretch of motion (one segment or a bounded chunk of an
+    /// ongoing one).
+    Segment(SegmentEstimate),
+    /// Movement stopped at the given absolute sample index.
+    MovementStopped {
+        /// Absolute sample index.
+        at: usize,
+    },
+}
+
+/// Push-based RIM engine with bounded memory.
+#[derive(Debug)]
+pub struct RimStream {
+    rim: Rim,
+    /// Ring of recent normalised snapshots per antenna.
+    ring: Vec<VecDeque<NormSnapshot>>,
+    /// Absolute index of the first sample currently in the ring.
+    ring_base: usize,
+    /// Total samples pushed.
+    pushed: usize,
+    /// Per-sample movement flags for the ring span (same base).
+    moving: VecDeque<bool>,
+    /// Absolute start of the currently open moving segment.
+    open_segment: Option<usize>,
+    /// Whether the open segment has already been partially flushed (so
+    /// later flushes must not re-apply the initial-motion compensation).
+    segment_continued: bool,
+    /// Ring capacity.
+    capacity: usize,
+    /// Maximum open-segment length before a partial flush.
+    max_open: usize,
+    /// Sample rate, Hz.
+    fs: f64,
+}
+
+impl RimStream {
+    /// Creates a streaming engine. The ring holds
+    /// `4·(W + V)` samples plus the maximum open-segment length.
+    pub fn new(geometry: ArrayGeometry, config: RimConfig, sample_rate_hz: f64) -> Self {
+        let w = config.alignment.window;
+        let v = config.alignment.virtual_antennas;
+        let max_open = (4.0 * sample_rate_hz) as usize; // flush at least every 4 s
+        let capacity = max_open + 4 * (w + v) + 8;
+        let n_ant = geometry.n_antennas();
+        Self {
+            rim: Rim::new(geometry, config),
+            ring: (0..n_ant)
+                .map(|_| VecDeque::with_capacity(capacity))
+                .collect(),
+            ring_base: 0,
+            pushed: 0,
+            moving: VecDeque::with_capacity(capacity),
+            open_segment: None,
+            segment_continued: false,
+            capacity,
+            max_open,
+            fs: sample_rate_hz,
+        }
+    }
+
+    /// Number of samples pushed so far.
+    pub fn samples_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Current ring occupancy (bounded by the configured capacity).
+    pub fn ring_len(&self) -> usize {
+        self.ring.first().map_or(0, VecDeque::len)
+    }
+
+    /// Pushes one synchronized sample (one snapshot per antenna) and
+    /// returns any events it completes.
+    ///
+    /// # Panics
+    /// Panics if the snapshot count differs from the geometry's antennas.
+    pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Vec<StreamEvent> {
+        assert_eq!(snapshots.len(), self.ring.len(), "one snapshot per antenna");
+        for (ring, snap) in self.ring.iter_mut().zip(snapshots) {
+            ring.push_back(NormSnapshot::from_snapshot(snap));
+        }
+        self.pushed += 1;
+
+        // Incremental movement detection: min self-TRRS across antennas at
+        // the newest sample.
+        let mcfg = self.rim.config().movement;
+        let flag = self.instant_movement(&mcfg);
+        self.moving.push_back(flag);
+
+        let mut events = Vec::new();
+        let newest = self.pushed - 1;
+        match (self.open_segment, flag) {
+            (None, true) => {
+                let start = newest.saturating_sub(mcfg.lag).max(self.ring_base);
+                self.open_segment = Some(start);
+                self.segment_continued = false;
+                events.push(StreamEvent::MovementStarted { at: start });
+            }
+            (Some(start), false) => {
+                // Require a debounce of consecutive static samples before
+                // closing (cheap: check the tail of the flags).
+                let quiet = (0.2 * self.fs) as usize;
+                let tail_static = self.moving.iter().rev().take(quiet).all(|&m| !m);
+                if tail_static && self.moving.len() >= quiet {
+                    if let Some(seg) = self.flush_segment(start, newest + 1 - quiet.min(newest)) {
+                        events.push(StreamEvent::Segment(seg));
+                    }
+                    events.push(StreamEvent::MovementStopped { at: newest });
+                    self.open_segment = None;
+                }
+            }
+            (Some(start), true) => {
+                // Partial flush of very long movements to bound memory.
+                if newest - start >= self.max_open {
+                    if let Some(seg) = self.flush_segment(start, newest + 1) {
+                        events.push(StreamEvent::Segment(seg));
+                    }
+                    self.open_segment = Some(newest + 1);
+                    self.segment_continued = true;
+                }
+            }
+            (None, false) => {}
+        }
+
+        self.trim_ring();
+        events
+    }
+
+    /// Flushes the open segment if any (e.g. at end of stream) and
+    /// returns its estimate.
+    pub fn finish(&mut self) -> Vec<StreamEvent> {
+        let mut events = Vec::new();
+        if let Some(start) = self.open_segment.take() {
+            if let Some(seg) = self.flush_segment(start, self.pushed) {
+                events.push(StreamEvent::Segment(seg));
+            }
+            events.push(StreamEvent::MovementStopped { at: self.pushed });
+        }
+        events
+    }
+
+    /// Movement flag for the newest ring sample.
+    fn instant_movement(&self, mcfg: &MovementConfig) -> bool {
+        let len = self.ring_len();
+        if len <= mcfg.lag {
+            return false;
+        }
+        // Evaluate the indicator over a short suffix window and take the
+        // newest value (min across antennas).
+        let tail = (mcfg.lag + mcfg.virtual_antennas + 1).min(len);
+        let mut min_ind = f64::INFINITY;
+        for ring in &self.ring {
+            let slice: Vec<NormSnapshot> = ring.iter().skip(len - tail).cloned().collect();
+            let ind = movement_indicator(&slice, *mcfg);
+            if let Some(&v) = ind.last() {
+                min_ind = min_ind.min(v);
+            }
+        }
+        min_ind < mcfg.threshold
+    }
+
+    /// Analyzes absolute range `[start, end)` and returns its segment
+    /// estimate (if the stretch was resolvable).
+    fn flush_segment(&mut self, start: usize, end: usize) -> Option<SegmentEstimate> {
+        if end <= start {
+            return None;
+        }
+        // Materialise the ring as contiguous series (bounded size).
+        let series: Vec<Vec<NormSnapshot>> = self
+            .ring
+            .iter()
+            .map(|r| r.iter().cloned().collect())
+            .collect();
+        let s_rel = start.checked_sub(self.ring_base)?;
+        let e_rel = (end - self.ring_base).min(series[0].len());
+        if e_rel <= s_rel {
+            return None;
+        }
+        let mut result = self.rim.analyze_segment(&series, self.fs, s_rel, e_rel);
+        if self.segment_continued {
+            // A continuation chunk: remove the per-segment Δd compensation
+            // that analyze_segment applied (the motion did not restart).
+            if self.rim.config().compensate_initial_motion {
+                let sep = self
+                    .rim
+                    .geometry()
+                    .pairs()
+                    .iter()
+                    .map(|p| p.separation)
+                    .fold(f64::INFINITY, f64::min);
+                if sep.is_finite() && result.summary.distance_m >= sep {
+                    result.summary.distance_m -= sep;
+                }
+            }
+        }
+        // Re-anchor to absolute sample indices.
+        result.summary.start = start;
+        result.summary.end = end;
+        Some(result.summary)
+    }
+
+    /// Drops ring history that no open segment can still need.
+    fn trim_ring(&mut self) {
+        let keep_from = match self.open_segment {
+            Some(start) => start.saturating_sub(
+                2 * (self.rim.config().alignment.window
+                    + self.rim.config().alignment.virtual_antennas),
+            ),
+            None => self.pushed.saturating_sub(
+                2 * (self.rim.config().alignment.window
+                    + self.rim.config().alignment.virtual_antennas)
+                    + 4,
+            ),
+        };
+        while self.ring_base < keep_from && self.ring_len() > 1 {
+            for ring in &mut self.ring {
+                ring.pop_front();
+            }
+            self.moving.pop_front();
+            self.ring_base += 1;
+        }
+        // Hard cap: never exceed capacity.
+        while self.ring_len() > self.capacity {
+            for ring in &mut self.ring {
+                ring.pop_front();
+            }
+            self.moving.pop_front();
+            self.ring_base += 1;
+        }
+    }
+}
+
+/// Aggregates streamed segments into totals comparable with the offline
+/// [`MotionEstimate`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamAggregate {
+    /// Segments seen so far.
+    pub segments: Vec<SegmentEstimate>,
+}
+
+impl StreamAggregate {
+    /// Consumes events.
+    pub fn absorb(&mut self, events: &[StreamEvent]) {
+        for e in events {
+            if let StreamEvent::Segment(s) = e {
+                self.segments.push(s.clone());
+            }
+        }
+    }
+
+    /// Total travelled distance.
+    pub fn total_distance(&self) -> f64 {
+        self.segments.iter().map(|s| s.distance_m).sum()
+    }
+
+    /// Net rotation, radians.
+    pub fn total_rotation(&self) -> f64 {
+        self.segments.iter().map(|s| s.rotation_rad).sum()
+    }
+
+    /// Compares against an offline estimate (used in tests).
+    pub fn distance_gap(&self, offline: &MotionEstimate) -> f64 {
+        (self.total_distance() - offline.total_distance()).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_array::HALF_WAVELENGTH;
+    use rim_channel::simulator::{ApConfig, ChannelSimulator};
+    use rim_channel::trajectory::{dwell, line, OrientationMode};
+    use rim_channel::{uniform_field, Floorplan, RayTracer, SubcarrierLayout, TracerConfig};
+    use rim_csi::recorder::{CsiRecorder, DeviceConfig, RecorderConfig};
+    use rim_dsp::geom::Point2;
+
+    fn small_sim() -> ChannelSimulator {
+        let scat = uniform_field(
+            Point2::new(-12.0, -12.0),
+            Point2::new(12.0, 12.0),
+            90,
+            0.35,
+            5,
+        );
+        let tracer = RayTracer::new(
+            Floorplan::empty(),
+            scat,
+            Vec::new(),
+            TracerConfig::default(),
+        );
+        ChannelSimulator::new(
+            tracer,
+            SubcarrierLayout::ht20_5ghz(),
+            ApConfig::standard(Point2::new(-6.0, 0.0)),
+        )
+    }
+
+    fn config(fs: f64) -> RimConfig {
+        RimConfig::for_sample_rate(fs).with_min_speed(0.3, HALF_WAVELENGTH, fs)
+    }
+
+    #[test]
+    fn stream_matches_offline_on_simple_move() {
+        let fs = 100.0;
+        let sim = small_sim();
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut traj = dwell(Point2::new(0.0, 2.0), 0.0, 0.4, fs);
+        traj.extend(&line(
+            Point2::new(0.0, 2.0),
+            0.0,
+            1.0,
+            1.0,
+            fs,
+            OrientationMode::FollowPath,
+        ));
+        traj.extend(&dwell(Point2::new(1.0, 2.0), 0.0, 0.5, fs));
+        let dense = CsiRecorder::new(
+            &sim,
+            DeviceConfig::single_nic(geo.offsets().to_vec()),
+            RecorderConfig::default(),
+        )
+        .record(&traj)
+        .interpolated()
+        .unwrap();
+
+        // Offline reference.
+        let offline = Rim::new(geo.clone(), config(fs)).analyze(&dense);
+
+        // Streamed.
+        let mut stream = RimStream::new(geo, config(fs), fs);
+        let mut agg = StreamAggregate::default();
+        let mut started = 0;
+        let mut stopped = 0;
+        for i in 0..dense.n_samples() {
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+            let events = stream.push(&snaps);
+            for e in &events {
+                match e {
+                    StreamEvent::MovementStarted { .. } => started += 1,
+                    StreamEvent::MovementStopped { .. } => stopped += 1,
+                    StreamEvent::Segment(_) => {}
+                }
+            }
+            agg.absorb(&events);
+        }
+        agg.absorb(&stream.finish());
+
+        assert_eq!(started, 1, "one movement start");
+        assert!(stopped >= 1, "movement stop emitted");
+        assert!(
+            (agg.total_distance() - 1.0).abs() < 0.15,
+            "streamed distance {:.3}",
+            agg.total_distance()
+        );
+        assert!(
+            agg.distance_gap(&offline) < 0.1,
+            "stream vs offline gap {:.3}",
+            agg.distance_gap(&offline)
+        );
+    }
+
+    #[test]
+    fn stream_memory_stays_bounded() {
+        let fs = 100.0;
+        let sim = small_sim();
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        // A long move (8 m) forces partial flushes.
+        let traj = line(
+            Point2::new(-4.0, 2.0),
+            0.0,
+            8.0,
+            1.0,
+            fs,
+            OrientationMode::FollowPath,
+        );
+        let dense = CsiRecorder::new(
+            &sim,
+            DeviceConfig::single_nic(geo.offsets().to_vec()),
+            RecorderConfig::default(),
+        )
+        .record(&traj)
+        .interpolated()
+        .unwrap();
+        let mut stream = RimStream::new(geo, config(fs), fs);
+        let mut agg = StreamAggregate::default();
+        let mut max_ring = 0usize;
+        for i in 0..dense.n_samples() {
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+            agg.absorb(&stream.push(&snaps));
+            max_ring = max_ring.max(stream.ring_len());
+        }
+        agg.absorb(&stream.finish());
+        assert!(
+            max_ring < dense.n_samples(),
+            "ring ({max_ring}) stays below trace length ({})",
+            dense.n_samples()
+        );
+        assert!(agg.segments.len() >= 2, "partial flushes happened");
+        assert!(
+            (agg.total_distance() - 8.0).abs() < 0.6,
+            "streamed long distance {:.2}",
+            agg.total_distance()
+        );
+    }
+
+    #[test]
+    fn static_stream_emits_nothing() {
+        let fs = 100.0;
+        let sim = small_sim();
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let traj = dwell(Point2::new(0.5, 1.5), 0.0, 1.0, fs);
+        let dense = CsiRecorder::new(
+            &sim,
+            DeviceConfig::single_nic(geo.offsets().to_vec()),
+            RecorderConfig::default(),
+        )
+        .record(&traj)
+        .interpolated()
+        .unwrap();
+        let mut stream = RimStream::new(geo, config(fs), fs);
+        let mut events = Vec::new();
+        for i in 0..dense.n_samples() {
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+            events.extend(stream.push(&snaps));
+        }
+        events.extend(stream.finish());
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one snapshot per antenna")]
+    fn wrong_antenna_count_panics() {
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut stream = RimStream::new(geo, config(100.0), 100.0);
+        let _ = stream.push(&[]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Time-Reversal Resonating Strength (TRRS) — the similarity measure at
+//! the heart of RIM (paper §3.2).
+//!
+//! For two CFRs the TRRS is `κ(H₁,H₂) = |H₁ᴴH₂|² / (⟨H₁,H₁⟩⟨H₂,H₂⟩)`
+//! (Eqn. 2), the frequency-domain form of the time-reversal focusing
+//! metric of Eqn. 1. Two extensions raise its spatial resolution to
+//! sub-centimetre:
+//!
+//! * averaging over the AP's transmit antennas (Eqn. 3) — spatial
+//!   diversity enlarging the effective bandwidth, and
+//! * averaging over a block of *virtual massive antennas* — consecutive
+//!   snapshots recorded by the same physical antenna (Eqn. 4) — which is
+//!   applied at the alignment-matrix level in [`crate::alignment`].
+//!
+//! The magnitude in the numerator makes κ invariant to any common complex
+//! scaling, which is what disposes of the per-packet initial phase offset
+//! without inter-NIC synchronisation.
+
+use rim_csi::frame::CsiSnapshot;
+use rim_dsp::complex::{inner_product, norm_sqr, Complex64};
+
+/// TRRS between two CFR vectors (paper Eqn. 2). Returns a value in
+/// `[0, 1]`; 0 when either vector is zero or lengths differ.
+///
+/// ```
+/// use rim_dsp::complex::Complex64;
+/// use rim_core::trrs::trrs_cfr;
+///
+/// let h: Vec<Complex64> = (0..16)
+///     .map(|k| Complex64::from_polar(1.0, k as f64 * 0.4))
+///     .collect();
+/// // Identical channels resonate perfectly…
+/// assert!((trrs_cfr(&h, &h) - 1.0).abs() < 1e-12);
+/// // …and any complex scaling (initial phase offset, AGC gain) is
+/// // invisible to the metric.
+/// let scaled: Vec<Complex64> = h.iter().map(|&z| z * Complex64::new(0.2, -1.3)).collect();
+/// assert!((trrs_cfr(&h, &scaled) - 1.0).abs() < 1e-12);
+/// ```
+pub fn trrs_cfr(h1: &[Complex64], h2: &[Complex64]) -> f64 {
+    if h1.len() != h2.len() || h1.is_empty() {
+        return 0.0;
+    }
+    let d = norm_sqr(h1) * norm_sqr(h2);
+    if d <= 0.0 {
+        return 0.0;
+    }
+    let ip = inner_product(h1, h2).abs();
+    (ip * ip / d).min(1.0)
+}
+
+/// TRRS between two CIRs via the time-domain definition (paper Eqn. 1):
+/// peak of `|h₁ * g₂|²` over the energy product, where `g₂` is the
+/// time-reversed conjugate of `h₂`. Equivalent to [`trrs_cfr`] on the
+/// DFTs; kept for tests and the time-domain view.
+pub fn trrs_cir(h1: &[Complex64], h2: &[Complex64]) -> f64 {
+    if h1.is_empty() || h2.is_empty() {
+        return 0.0;
+    }
+    let g2 = rim_dsp::conv::time_reverse_conjugate(h2);
+    let conv = rim_dsp::conv::convolve(h1, &g2);
+    let peak = conv.iter().map(|z| z.norm_sqr()).fold(0.0f64, f64::max);
+    let d = norm_sqr(h1) * norm_sqr(h2);
+    if d <= 0.0 {
+        0.0
+    } else {
+        (peak / d).min(1.0)
+    }
+}
+
+/// Average TRRS across transmit antennas (paper Eqn. 3): each RX antenna's
+/// per-TX TRRS values are computed independently and averaged, avoiding
+/// any need to synchronise the two measurements.
+///
+/// Snapshots with mismatched TX counts are compared over the common
+/// prefix; returns 0 for empty snapshots.
+pub fn trrs_avg(a: &CsiSnapshot, b: &CsiSnapshot) -> f64 {
+    let n = a.per_tx.len().min(b.per_tx.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += trrs_cfr(&a.per_tx[k], &b.per_tx[k]);
+    }
+    acc / n as f64
+}
+
+/// A CSI snapshot with each per-TX CFR normalised to unit energy, so the
+/// TRRS reduces to `|⟨u,v⟩|²` — the representation the hot loops use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormSnapshot {
+    /// Unit-norm CFR per TX antenna (zero vectors stay zero).
+    pub per_tx: Vec<Vec<Complex64>>,
+}
+
+impl NormSnapshot {
+    /// Normalises a snapshot.
+    pub fn from_snapshot(s: &CsiSnapshot) -> Self {
+        let per_tx = s
+            .per_tx
+            .iter()
+            .map(|cfr| {
+                let mut v = cfr.clone();
+                rim_dsp::complex::normalize_in_place(&mut v);
+                v
+            })
+            .collect();
+        Self { per_tx }
+    }
+
+    /// Normalises a whole antenna series.
+    pub fn series(series: &[CsiSnapshot]) -> Vec<NormSnapshot> {
+        series.iter().map(Self::from_snapshot).collect()
+    }
+}
+
+/// TRRS between two normalised snapshots (TX-averaged, Eqn. 3).
+pub fn trrs_norm(a: &NormSnapshot, b: &NormSnapshot) -> f64 {
+    let n = a.per_tx.len().min(b.per_tx.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for k in 0..n {
+        let u = &a.per_tx[k];
+        let v = &b.per_tx[k];
+        if u.len() != v.len() || u.is_empty() {
+            continue;
+        }
+        let ip = inner_product(u, v).abs();
+        acc += (ip * ip).min(1.0);
+    }
+    acc / n as f64
+}
+
+/// TRRS between virtual-massive-antenna profiles (paper Eqn. 4): the mean
+/// of per-offset TRRS values over a block of `v` consecutive snapshots
+/// centred at `ti` in `a` and `tj` in `b`. Block positions that fall
+/// outside either series are skipped; returns 0 when nothing overlaps.
+pub fn trrs_massive(a: &[NormSnapshot], b: &[NormSnapshot], ti: usize, tj: usize, v: usize) -> f64 {
+    let half = (v / 2) as isize;
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for k in -half..=half {
+        let ia = ti as isize + k;
+        let ib = tj as isize + k;
+        if ia < 0 || ib < 0 || ia as usize >= a.len() || ib as usize >= b.len() {
+            continue;
+        }
+        acc += trrs_norm(&a[ia as usize], &b[ib as usize]);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn cfr(seed: u64, n: usize) -> Vec<Complex64> {
+        // Deterministic pseudo-random CFR (nonlinear in k, see `mix`).
+        (0..n)
+            .map(|k| {
+                let x = (mix(seed.wrapping_mul(6364136223).wrapping_add(k as u64)) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                Complex64::from_polar(0.5 + x, x * 6.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_cfrs_have_unit_trrs() {
+        let h = cfr(1, 64);
+        assert!((trrs_cfr(&h, &h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_invariance() {
+        let h = cfr(2, 64);
+        let scaled: Vec<Complex64> = h.iter().map(|&z| z * Complex64::new(0.3, -1.7)).collect();
+        assert!((trrs_cfr(&h, &scaled) - 1.0).abs() < 1e-12, "κ(H, cH) = 1");
+    }
+
+    #[test]
+    fn symmetry_and_range() {
+        let a = cfr(3, 57);
+        let b = cfr(4, 57);
+        let ab = trrs_cfr(&a, &b);
+        let ba = trrs_cfr(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.0 && ab < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        let h = cfr(1, 8);
+        assert_eq!(trrs_cfr(&h, &[]), 0.0);
+        assert_eq!(trrs_cfr(&[], &[]), 0.0);
+        let zero = vec![rim_dsp::complex::ZERO; 8];
+        assert_eq!(trrs_cfr(&h, &zero), 0.0);
+        let short = cfr(2, 4);
+        assert_eq!(trrs_cfr(&h, &short), 0.0, "length mismatch");
+    }
+
+    #[test]
+    fn time_and_frequency_domain_agree() {
+        // κ over CIRs equals κ over their DFTs: Parseval + the convolution
+        // peak at full overlap equals the inner product.
+        let h1 = cfr(5, 32);
+        let h2: Vec<Complex64> = cfr(5, 32)
+            .iter()
+            .zip(cfr(6, 32))
+            .map(|(&a, b)| a * 0.8 + b * 0.3)
+            .collect();
+        let f1 = rim_dsp::fft::fft(&h1);
+        let f2 = rim_dsp::fft::fft(&h2);
+        let kt = trrs_cir(&h1, &h2);
+        let kf = trrs_cfr(&f1, &f2);
+        // The CIR convolution peak may exceed the zero-lag product when the
+        // impulse responses are unaligned; for these same-length dense CIRs
+        // the zero-lag term dominates, so the two agree closely.
+        assert!(kt >= kf - 1e-9, "time-domain peak ≥ frequency-domain value");
+        assert!((kt - kf).abs() < 0.05, "κ_t={kt} vs κ_f={kf}");
+    }
+
+    #[test]
+    fn tx_average_is_mean() {
+        let a = CsiSnapshot {
+            per_tx: vec![cfr(1, 16), cfr(2, 16)],
+        };
+        let b = CsiSnapshot {
+            per_tx: vec![cfr(1, 16), cfr(3, 16)],
+        };
+        let k = trrs_avg(&a, &b);
+        let k0 = trrs_cfr(&a.per_tx[0], &b.per_tx[0]);
+        let k1 = trrs_cfr(&a.per_tx[1], &b.per_tx[1]);
+        assert!((k - 0.5 * (k0 + k1)).abs() < 1e-12);
+        assert!((k0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_snapshot_matches_direct() {
+        let a = CsiSnapshot {
+            per_tx: vec![cfr(7, 24), cfr(8, 24), cfr(9, 24)],
+        };
+        let b = CsiSnapshot {
+            per_tx: vec![cfr(10, 24), cfr(11, 24), cfr(12, 24)],
+        };
+        let direct = trrs_avg(&a, &b);
+        let na = NormSnapshot::from_snapshot(&a);
+        let nb = NormSnapshot::from_snapshot(&b);
+        assert!((trrs_norm(&na, &nb) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn massive_averaging_blocks() {
+        let series_a: Vec<CsiSnapshot> = (0..10)
+            .map(|k| CsiSnapshot {
+                per_tx: vec![cfr(k, 16)],
+            })
+            .collect();
+        let na = NormSnapshot::series(&series_a);
+        // Same series, same index: every offset compares identical snapshots.
+        let k = trrs_massive(&na, &na, 5, 5, 5);
+        assert!((k - 1.0).abs() < 1e-12);
+        // Off-by-one: compares different pseudo-random snapshots, well below 1.
+        let koff = trrs_massive(&na, &na, 5, 6, 5);
+        assert!(koff < 0.9, "shifted blocks differ: {koff}");
+        // Out-of-range block positions are skipped, not crashed.
+        let edge = trrs_massive(&na, &na, 0, 0, 7);
+        assert!((edge - 1.0).abs() < 1e-12);
+        // Completely out of range.
+        assert_eq!(trrs_massive(&na[..0], &na, 0, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn massive_with_v1_is_single_snapshot() {
+        let series: Vec<CsiSnapshot> = (0..4)
+            .map(|k| CsiSnapshot {
+                per_tx: vec![cfr(k + 20, 16)],
+            })
+            .collect();
+        let ns = NormSnapshot::series(&series);
+        let k1 = trrs_massive(&ns, &ns, 1, 3, 1);
+        let direct = trrs_norm(&ns[1], &ns[3]);
+        assert!((k1 - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the RIM core invariants.
+
+use proptest::prelude::*;
+use rim_core::alignment::{base_cross_trrs, virtual_average, AlignmentMatrix};
+use rim_core::tracking_dp::{track_peaks, DpConfig};
+use rim_core::trrs::{trrs_cfr, trrs_massive, trrs_norm, NormSnapshot};
+use rim_csi::frame::CsiSnapshot;
+use rim_dsp::complex::Complex64;
+
+fn cfr_strategy(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec(
+        (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex64::new(re, im)),
+        n..=n,
+    )
+}
+
+fn snapshot_series(len: usize, n_sc: usize) -> impl Strategy<Value = Vec<NormSnapshot>> {
+    prop::collection::vec(cfr_strategy(n_sc), len..=len).prop_map(|cfrs| {
+        cfrs.into_iter()
+            .map(|cfr| NormSnapshot::from_snapshot(&CsiSnapshot { per_tx: vec![cfr] }))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trrs_in_unit_interval_and_symmetric(h1 in cfr_strategy(24), h2 in cfr_strategy(24)) {
+        let k12 = trrs_cfr(&h1, &h2);
+        let k21 = trrs_cfr(&h2, &h1);
+        prop_assert!((0.0..=1.0).contains(&k12));
+        prop_assert!((k12 - k21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trrs_scale_invariant(
+        h in cfr_strategy(24),
+        re in -5.0f64..5.0,
+        im in -5.0f64..5.0,
+    ) {
+        let c = Complex64::new(re, im);
+        prop_assume!(c.abs() > 1e-3);
+        let scaled: Vec<Complex64> = h.iter().map(|&z| z * c).collect();
+        let k = trrs_cfr(&h, &scaled);
+        prop_assert!((k - 1.0).abs() < 1e-9, "κ(H, cH) = 1, got {k}");
+    }
+
+    #[test]
+    fn trrs_identity_is_one(h in cfr_strategy(16)) {
+        prop_assume!(h.iter().map(|z| z.norm_sqr()).sum::<f64>() > 1e-9);
+        prop_assert!((trrs_cfr(&h, &h) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn massive_trrs_is_mean_of_singles(
+        a in snapshot_series(12, 8),
+        b in snapshot_series(12, 8),
+    ) {
+        // Interior block: Eqn. 4 is exactly the mean of the per-offset
+        // single TRRS values.
+        let v = 5usize;
+        let k = trrs_massive(&a, &b, 6, 6, v);
+        let mut acc = 0.0;
+        for off in -2i64..=2 {
+            acc += trrs_norm(&a[(6 + off) as usize], &b[(6 + off) as usize]);
+        }
+        prop_assert!((k - acc / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alignment_matrix_values_in_unit_interval(
+        a in snapshot_series(16, 8),
+        b in snapshot_series(16, 8),
+    ) {
+        let m = base_cross_trrs(&a, &b, 4);
+        for row in &m.values {
+            for &v in row {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+            }
+        }
+        let g = virtual_average(&m, 5);
+        for row in &g.values {
+            for &v in row {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn dp_score_at_least_best_constant_path(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 7..=7),
+            3..10,
+        ),
+    ) {
+        let m = AlignmentMatrix { window: 3, values: rows.clone() };
+        let path = track_peaks(&m, DpConfig::default());
+        // The optimal path must score at least any fixed-lag path (which
+        // incurs zero transition cost).
+        for l in 0..7usize {
+            let fixed: f64 = rows.iter().map(|r| r[l]).sum();
+            prop_assert!(path.score >= fixed - 1e-9,
+                "DP {} < fixed-lag {} at {l}", path.score, fixed);
+        }
+        // And the path stays within the lag range.
+        for &lag in &path.lags {
+            prop_assert!(lag.unsigned_abs() <= 3);
+        }
+    }
+
+    #[test]
+    fn dp_path_trrs_consistency(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 5..=5),
+            2..8,
+        ),
+    ) {
+        let m = AlignmentMatrix { window: 2, values: rows };
+        let p = track_peaks(&m, DpConfig::default());
+        prop_assert_eq!(p.lags.len(), m.n_times());
+        prop_assert!((0.0..=1.0).contains(&p.mean_trrs));
+        prop_assert!(p.jumpiness >= 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Packet-loss models.
+//!
+//! The paper's prototype receives AP broadcasts on two unsynchronised NICs
+//! and loses packets independently on each (§5, Fig. 4b shows the missing
+//! values); RIM tolerates loss "to a certain extent by interpolation" (§7).
+//! We model both i.i.d. loss and bursty loss (Gilbert–Elliott), the latter
+//! standing in for the contended-channel conditions §7 warns about.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A packet-loss model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// No loss.
+    None,
+    /// Each packet lost independently with probability `p`.
+    Iid {
+        /// Loss probability in `[0, 1)`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott burst model.
+    GilbertElliott {
+        /// Probability of moving good → bad per packet.
+        p_enter_bad: f64,
+        /// Probability of moving bad → good per packet.
+        p_exit_bad: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+/// A stateful loss process: deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    model: LossModel,
+    rng: StdRng,
+    in_bad_state: bool,
+}
+
+impl LossProcess {
+    /// Creates a loss process.
+    ///
+    /// # Panics
+    /// Panics if any probability lies outside `[0, 1]` or an i.i.d. loss
+    /// probability equals 1 (which would lose every packet).
+    pub fn new(model: LossModel, seed: u64) -> Self {
+        match model {
+            LossModel::None => {}
+            LossModel::Iid { p } => {
+                assert!((0.0..1.0).contains(&p), "iid loss probability in [0,1)");
+            }
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                for v in [p_enter_bad, p_exit_bad, loss_good, loss_bad] {
+                    assert!((0.0..=1.0).contains(&v), "probability in [0,1]");
+                }
+            }
+        }
+        Self {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            in_bad_state: false,
+        }
+    }
+
+    /// Advances the process one packet; returns true if that packet is
+    /// lost.
+    pub fn next_lost(&mut self) -> bool {
+        match self.model {
+            LossModel::None => false,
+            LossModel::Iid { p } => self.rng.gen::<f64>() < p,
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                let flip: f64 = self.rng.gen();
+                if self.in_bad_state {
+                    if flip < p_exit_bad {
+                        self.in_bad_state = false;
+                    }
+                } else if flip < p_enter_bad {
+                    self.in_bad_state = true;
+                }
+                let p = if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                };
+                self.rng.gen::<f64>() < p
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_loses() {
+        let mut p = LossProcess::new(LossModel::None, 1);
+        assert!((0..1000).all(|_| !p.next_lost()));
+    }
+
+    #[test]
+    fn iid_rate_matches() {
+        let mut p = LossProcess::new(LossModel::Iid { p: 0.1 }, 2);
+        let lost = (0..20_000).filter(|_| p.next_lost()).count();
+        let rate = lost as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "measured {rate}");
+    }
+
+    #[test]
+    fn iid_deterministic_per_seed() {
+        let mut a = LossProcess::new(LossModel::Iid { p: 0.3 }, 7);
+        let mut b = LossProcess::new(LossModel::Iid { p: 0.3 }, 7);
+        for _ in 0..500 {
+            assert_eq!(a.next_lost(), b.next_lost());
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts() {
+        let model = LossModel::GilbertElliott {
+            p_enter_bad: 0.01,
+            p_exit_bad: 0.2,
+            loss_good: 0.001,
+            loss_bad: 0.8,
+        };
+        let mut p = LossProcess::new(model, 3);
+        let outcomes: Vec<bool> = (0..50_000).map(|_| p.next_lost()).collect();
+        let lost = outcomes.iter().filter(|&&l| l).count();
+        assert!(lost > 0);
+        // Burstiness: probability of loss given previous loss far exceeds
+        // the marginal rate.
+        let pairs = outcomes.windows(2).filter(|w| w[0]).count();
+        let both = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        let cond = both as f64 / pairs as f64;
+        let marginal = lost as f64 / outcomes.len() as f64;
+        assert!(
+            cond > 3.0 * marginal,
+            "bursty: P(loss|loss)={cond} vs marginal={marginal}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        let _ = LossProcess::new(LossModel::Iid { p: 1.5 }, 0);
+    }
+}

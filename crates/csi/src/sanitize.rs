@@ -1,0 +1,308 @@
+//! CSI phase sanitation.
+//!
+//! Removes the linear phase distortion (STO/SFO slope plus constant
+//! offset) from a CFR by fitting a line to the unwrapped phase across
+//! subcarriers and subtracting it — the calibration approach of SpotFi
+//! [13] that the paper applies per antenna independently before computing
+//! TRRS (§3.2, footnote 3). The remaining per-packet *initial* phase is
+//! irrelevant because the TRRS takes a magnitude.
+
+use rim_dsp::complex::Complex64;
+use rim_dsp::stats::linear_fit;
+
+/// Unwraps a phase sequence: adds multiples of 2π so consecutive samples
+/// never jump by more than π.
+pub fn unwrap_phase(phases: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases.len());
+    let mut offset = 0.0;
+    for (i, &p) in phases.iter().enumerate() {
+        if i > 0 {
+            let prev = out[i - 1];
+            let mut cur = p + offset;
+            while cur - prev > std::f64::consts::PI {
+                cur -= std::f64::consts::TAU;
+                offset -= std::f64::consts::TAU;
+            }
+            while cur - prev < -std::f64::consts::PI {
+                cur += std::f64::consts::TAU;
+                offset += std::f64::consts::TAU;
+            }
+            out.push(cur);
+        } else {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Removes the best-fit linear phase (slope over subcarrier index and
+/// intercept) from a CFR in place.
+///
+/// `indices` are the subcarrier indices of the CFR entries (they need not
+/// be contiguous — e.g. the DC gap or Intel 5300 grouping). Magnitudes are
+/// untouched. Vectors shorter than 2 entries are left unchanged.
+pub fn sanitize_linear_phase(cfr: &mut [Complex64], indices: &[i32]) {
+    if cfr.len() < 2 || cfr.len() != indices.len() {
+        return;
+    }
+    let raw: Vec<f64> = cfr.iter().map(|h| h.arg()).collect();
+    let unwrapped = unwrap_phase(&raw);
+    let xs: Vec<f64> = indices.iter().map(|&i| i as f64).collect();
+    let (slope, intercept) = linear_fit(&xs, &unwrapped);
+    if !slope.is_finite() || !intercept.is_finite() {
+        return;
+    }
+    for (h, &x) in cfr.iter_mut().zip(&xs) {
+        *h *= Complex64::cis(-(slope * x + intercept));
+    }
+}
+
+/// Removes the linear phase via a *matched-delay* search: finds the slope
+/// `β★ = argmax_β |Σ_k H_k e^{−jβ·idx_k}|` (the delay of the strongest
+/// time-domain tap) by coarse grid plus parabolic refinement, then removes
+/// `β★·idx + intercept`.
+///
+/// Unlike the unwrap-and-fit approach, this is robust to phase noise on
+/// deep-fade subcarriers (a single corrupted phase sample can derail
+/// unwrapping and inject a ±2π/N slope error, jittering the fingerprint
+/// packet to packet). Both the channel's own bulk delay and the per-packet
+/// STO/SFO slope are removed consistently, so the residual is a stable
+/// location signature.
+pub fn sanitize_matched_delay(cfr: &mut [Complex64], indices: &[i32]) {
+    if cfr.len() < 2 || cfr.len() != indices.len() {
+        return;
+    }
+    // Objective on a β grid. The main lobe of |Σ H e^{-jβ idx}| is about
+    // 2π/span wide, so a 0.02 rad/index step over ±0.8 cannot miss it for
+    // any realistic bulk delay + timing offset.
+    let eval = |beta: f64| -> f64 {
+        let mut acc = rim_dsp::complex::ZERO;
+        for (h, &i) in cfr.iter().zip(indices) {
+            acc += *h * Complex64::cis(-beta * i as f64);
+        }
+        acc.norm_sqr()
+    };
+    let step = 0.02;
+    let n_steps = 81i32;
+    let mut best = (0.0f64, f64::NEG_INFINITY);
+    for s in -n_steps..=n_steps {
+        let beta = s as f64 * step;
+        let v = eval(beta);
+        if v > best.1 {
+            best = (beta, v);
+        }
+    }
+    // Parabolic refinement around the grid peak.
+    let (b0, v0) = best;
+    let vm = eval(b0 - step);
+    let vp = eval(b0 + step);
+    let denom = vm - 2.0 * v0 + vp;
+    let beta = if denom < -1e-12 {
+        b0 + 0.5 * (vm - vp) / denom * step
+    } else {
+        b0
+    };
+    // Remove slope and the intercept (phase of the aligned sum).
+    let mut acc = rim_dsp::complex::ZERO;
+    for (h, &i) in cfr.iter().zip(indices) {
+        acc += *h * Complex64::cis(-beta * i as f64);
+    }
+    let intercept = acc.arg();
+    for (h, &i) in cfr.iter_mut().zip(indices) {
+        *h *= Complex64::cis(-(beta * i as f64 + intercept));
+    }
+}
+
+/// Sanitizes every CFR of a MIMO snapshot (`csi[tx][subcarrier]`) with the
+/// robust matched-delay method.
+pub fn sanitize_snapshot(csi: &mut [Vec<Complex64>], indices: &[i32]) {
+    for cfr in csi {
+        sanitize_matched_delay(cfr, indices);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_restores_continuity() {
+        // A steep linear phase wraps repeatedly; unwrap must restore it.
+        let true_phase: Vec<f64> = (0..50).map(|k| 0.7 * k as f64).collect();
+        let wrapped: Vec<f64> = true_phase
+            .iter()
+            .map(|&p| rim_dsp::stats::wrap_angle(p))
+            .collect();
+        let unwrapped = unwrap_phase(&wrapped);
+        for (u, t) in unwrapped.iter().zip(&true_phase) {
+            assert!((u - t).abs() < 1e-9, "{u} vs {t}");
+        }
+    }
+
+    #[test]
+    fn unwrap_handles_empty_and_single() {
+        assert!(unwrap_phase(&[]).is_empty());
+        assert_eq!(unwrap_phase(&[1.2]), vec![1.2]);
+    }
+
+    #[test]
+    fn sanitize_removes_pure_linear_phase() {
+        let indices: Vec<i32> = (-8..=-1).chain(1..=8).collect();
+        let mut cfr: Vec<Complex64> = indices
+            .iter()
+            .map(|&i| Complex64::from_polar(2.0, 0.3 * i as f64 + 1.1))
+            .collect();
+        sanitize_linear_phase(&mut cfr, &indices);
+        for h in &cfr {
+            assert!((h.abs() - 2.0).abs() < 1e-9, "magnitude preserved");
+            assert!(h.arg().abs() < 1e-6, "phase flattened, got {}", h.arg());
+        }
+    }
+
+    #[test]
+    fn sanitize_preserves_multipath_structure() {
+        // A two-path channel has nonlinear phase; sanitation must keep the
+        // curvature (the fingerprint) while removing added linear ramps.
+        let indices: Vec<i32> = (-28..=-1).chain(1..=28).collect();
+        let channel: Vec<Complex64> = indices
+            .iter()
+            .map(|&i| {
+                Complex64::cis(0.02 * i as f64) + Complex64::from_polar(0.6, 0.3 * i as f64 + 0.9)
+            })
+            .collect();
+        let mut dirty: Vec<Complex64> = channel
+            .iter()
+            .zip(&indices)
+            .map(|(h, &i)| *h * Complex64::cis(0.11 * i as f64 + 2.0))
+            .collect();
+        let mut clean = channel.clone();
+        sanitize_linear_phase(&mut dirty, &indices);
+        sanitize_linear_phase(&mut clean, &indices);
+        // After sanitising both, they agree (same residual after removing
+        // each one's own linear fit).
+        for (d, c) in dirty.iter().zip(&clean) {
+            assert!((*d - *c).abs() < 1e-6);
+        }
+        // And the result still differs from a flat channel: curvature kept.
+        let curvature: f64 = clean
+            .windows(3)
+            .map(|w| {
+                let d1 = (w[1] * w[0].conj()).arg();
+                let d2 = (w[2] * w[1].conj()).arg();
+                (d2 - d1).abs()
+            })
+            .sum();
+        assert!(curvature > 0.1, "multipath curvature survives: {curvature}");
+    }
+
+    #[test]
+    fn sanitize_makes_trrs_invariant_to_timing_offset() {
+        // The end goal: TRRS of (sanitised dirty) vs (sanitised clean) ≈ 1.
+        let indices: Vec<i32> = (-28..=-1).chain(1..=28).collect();
+        let channel: Vec<Complex64> = indices
+            .iter()
+            .map(|&i| {
+                Complex64::cis(0.05 * i as f64)
+                    + Complex64::from_polar(0.5, -0.21 * i as f64)
+                    + Complex64::from_polar(0.3, 0.4 * i as f64 + 1.0)
+            })
+            .collect();
+        let mut dirty: Vec<Complex64> = channel
+            .iter()
+            .zip(&indices)
+            .map(|(h, &i)| *h * Complex64::from_polar(1.0, -0.23 * i as f64 + 0.7))
+            .collect();
+        let mut clean = channel.clone();
+        sanitize_linear_phase(&mut dirty, &indices);
+        sanitize_linear_phase(&mut clean, &indices);
+        let ip = rim_dsp::inner_product(&clean, &dirty).abs();
+        let trrs = ip * ip / (rim_dsp::norm_sqr(&clean) * rim_dsp::norm_sqr(&dirty));
+        assert!(trrs > 0.999, "sanitised TRRS ≈ 1, got {trrs}");
+    }
+
+    #[test]
+    fn sanitize_short_or_mismatched_is_noop() {
+        let mut one = vec![Complex64::from_polar(1.0, 0.5)];
+        let orig = one.clone();
+        sanitize_linear_phase(&mut one, &[0]);
+        assert_eq!(one, orig);
+        let mut two = vec![Complex64::from_re(1.0); 4];
+        let orig2 = two.clone();
+        sanitize_linear_phase(&mut two, &[0, 1]); // length mismatch
+        assert_eq!(two, orig2);
+    }
+
+    #[test]
+    fn sanitize_snapshot_covers_all_tx() {
+        let indices: Vec<i32> = (0..16).collect();
+        let mut csi: Vec<Vec<Complex64>> = (0..3)
+            .map(|t| {
+                indices
+                    .iter()
+                    .map(|&i| Complex64::from_polar(1.0, (0.2 + 0.1 * t as f64) * i as f64))
+                    .collect()
+            })
+            .collect();
+        sanitize_snapshot(&mut csi, &indices);
+        // A pure linear-phase CFR is a single tap: after matched-delay
+        // sanitation the phase is flat.
+        for cfr in &csi {
+            for h in cfr {
+                assert!(h.arg().abs() < 1e-3, "{}", h.arg());
+            }
+        }
+    }
+
+    #[test]
+    fn matched_delay_invariant_to_timing_offset() {
+        // Multipath channel, two different STO slopes: the sanitised
+        // fingerprints must agree (TRRS ≈ 1).
+        let indices: Vec<i32> = (-28..=-1).chain(1..=28).collect();
+        let channel: Vec<Complex64> = indices
+            .iter()
+            .map(|&i| {
+                Complex64::cis(0.05 * i as f64)
+                    + Complex64::from_polar(0.5, -0.21 * i as f64)
+                    + Complex64::from_polar(0.3, 0.4 * i as f64 + 1.0)
+            })
+            .collect();
+        let mut a = channel.clone();
+        let mut b: Vec<Complex64> = channel
+            .iter()
+            .zip(&indices)
+            .map(|(h, &i)| *h * Complex64::from_polar(1.0, -0.23 * i as f64 + 0.7))
+            .collect();
+        sanitize_matched_delay(&mut a, &indices);
+        sanitize_matched_delay(&mut b, &indices);
+        let ip = rim_dsp::inner_product(&a, &b).abs();
+        let trrs = ip * ip / (rim_dsp::norm_sqr(&a) * rim_dsp::norm_sqr(&b));
+        assert!(trrs > 0.999, "matched-delay invariance: {trrs}");
+    }
+
+    #[test]
+    fn matched_delay_robust_to_single_bad_phase() {
+        // One corrupted deep-fade subcarrier must not disturb the rest of
+        // the fingerprint (the unwrap-based fit fails this).
+        let indices: Vec<i32> = (-28..=-1).chain(1..=28).collect();
+        let channel: Vec<Complex64> = indices
+            .iter()
+            .map(|&i| Complex64::cis(0.05 * i as f64) + Complex64::from_polar(0.4, -0.3 * i as f64))
+            .collect();
+        let mut clean = channel.clone();
+        let mut bad = channel.clone();
+        bad[20] = Complex64::from_polar(1e-4, 2.9); // fade + garbage phase
+        sanitize_matched_delay(&mut clean, &indices);
+        sanitize_matched_delay(&mut bad, &indices);
+        let ip = rim_dsp::inner_product(&clean, &bad).abs();
+        let trrs = ip * ip / (rim_dsp::norm_sqr(&clean) * rim_dsp::norm_sqr(&bad));
+        assert!(trrs > 0.98, "robustness: {trrs}");
+    }
+
+    #[test]
+    fn matched_delay_short_input_is_noop() {
+        let mut one = vec![Complex64::from_polar(1.0, 0.5)];
+        let orig = one.clone();
+        sanitize_matched_delay(&mut one, &[0]);
+        assert_eq!(one, orig);
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-NIC packet synchronisation.
+//!
+//! RIM does not need phase synchronisation across NICs — only *packet*
+//! synchronisation (§5): because the AP broadcasts, two frames carrying
+//! the same sequence number were received simultaneously (propagation
+//! delay is negligible), so the broadcast acts as a coarse external clock.
+//! This module merges per-NIC frame streams into a single device-wide
+//! timeline indexed by sequence number, inserting nulls where a NIC lost a
+//! packet.
+
+use crate::frame::{CsiFrame, CsiSnapshot};
+
+/// A synchronised device sample: one entry per antenna across all NICs
+/// (NIC 0's antennas first); `None` where that NIC lost the packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncedSample {
+    /// Broadcast sequence number.
+    pub seq: u64,
+    /// Per-antenna snapshot or `None` on loss.
+    pub antennas: Vec<Option<CsiSnapshot>>,
+}
+
+/// Merges per-NIC frame streams by sequence number.
+///
+/// `streams[n]` holds the frames NIC `n` actually received (strictly
+/// increasing `seq` within each stream); `antennas_per_nic[n]` is the
+/// antenna count of that NIC (needed to emit the right number of nulls
+/// when a frame is missing). The output covers every sequence number from
+/// the smallest to the largest observed on any NIC.
+///
+/// # Panics
+/// Panics if `streams` and `antennas_per_nic` lengths differ, or a stream
+/// is not strictly increasing in `seq`.
+pub fn synchronize(streams: &[Vec<CsiFrame>], antennas_per_nic: &[usize]) -> Vec<SyncedSample> {
+    assert_eq!(
+        streams.len(),
+        antennas_per_nic.len(),
+        "one antenna count per NIC"
+    );
+    for s in streams {
+        for w in s.windows(2) {
+            assert!(
+                w[0].seq < w[1].seq,
+                "stream must be strictly increasing in seq"
+            );
+        }
+    }
+    let lo = streams
+        .iter()
+        .filter_map(|s| s.first())
+        .map(|f| f.seq)
+        .min();
+    let hi = streams.iter().filter_map(|s| s.last()).map(|f| f.seq).max();
+    let (Some(lo), Some(hi)) = (lo, hi) else {
+        return Vec::new();
+    };
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out = Vec::with_capacity((hi - lo + 1) as usize);
+    for seq in lo..=hi {
+        let mut antennas = Vec::new();
+        for (n, stream) in streams.iter().enumerate() {
+            let cur = &mut cursors[n];
+            if *cur < stream.len() && stream[*cur].seq == seq {
+                for snap in &stream[*cur].rx {
+                    antennas.push(Some(snap.clone()));
+                }
+                *cur += 1;
+            } else {
+                for _ in 0..antennas_per_nic[n] {
+                    antennas.push(None);
+                }
+            }
+        }
+        out.push(SyncedSample { seq, antennas });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_dsp::complex::Complex64;
+
+    fn frame(seq: u64, n_rx: usize, tag: f64) -> CsiFrame {
+        CsiFrame {
+            seq,
+            timestamp_s: seq as f64 * 0.005,
+            rx: (0..n_rx)
+                .map(|r| CsiSnapshot {
+                    per_tx: vec![vec![Complex64::from_re(tag + r as f64)]],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merges_complete_streams() {
+        let a = vec![frame(10, 3, 1.0), frame(11, 3, 1.0)];
+        let b = vec![frame(10, 3, 2.0), frame(11, 3, 2.0)];
+        let synced = synchronize(&[a, b], &[3, 3]);
+        assert_eq!(synced.len(), 2);
+        assert_eq!(synced[0].seq, 10);
+        assert_eq!(synced[0].antennas.len(), 6);
+        assert!(synced[0].antennas.iter().all(|s| s.is_some()));
+        // NIC order preserved: first three antennas are NIC A's.
+        assert_eq!(synced[0].antennas[0].as_ref().unwrap().per_tx[0][0].re, 1.0);
+        assert_eq!(synced[0].antennas[3].as_ref().unwrap().per_tx[0][0].re, 2.0);
+    }
+
+    #[test]
+    fn inserts_nulls_for_lost_packets() {
+        let a = vec![frame(5, 3, 1.0), frame(7, 3, 1.0)]; // lost 6
+        let b = vec![frame(5, 3, 2.0), frame(6, 3, 2.0), frame(7, 3, 2.0)];
+        let synced = synchronize(&[a, b], &[3, 3]);
+        assert_eq!(synced.len(), 3);
+        let s6 = &synced[1];
+        assert_eq!(s6.seq, 6);
+        assert!(s6.antennas[..3].iter().all(|s| s.is_none()), "NIC A nulled");
+        assert!(s6.antennas[3..].iter().all(|s| s.is_some()), "NIC B intact");
+    }
+
+    #[test]
+    fn covers_union_of_ranges() {
+        let a = vec![frame(3, 1, 1.0)];
+        let b = vec![frame(1, 1, 2.0), frame(5, 1, 2.0)];
+        let synced = synchronize(&[a, b], &[1, 1]);
+        assert_eq!(synced.len(), 5);
+        assert_eq!(synced[0].seq, 1);
+        assert_eq!(synced[4].seq, 5);
+        // seq 3: A present, B missing.
+        assert!(synced[2].antennas[0].is_some());
+        assert!(synced[2].antennas[1].is_none());
+    }
+
+    #[test]
+    fn empty_streams_yield_empty() {
+        assert!(synchronize(&[vec![], vec![]], &[3, 3]).is_empty());
+        let empty: &[Vec<CsiFrame>] = &[];
+        assert!(synchronize(empty, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_out_of_order_stream() {
+        let a = vec![frame(5, 1, 1.0), frame(5, 1, 1.0)];
+        let _ = synchronize(&[a], &[1]);
+    }
+}

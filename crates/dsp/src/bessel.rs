@@ -1,0 +1,119 @@
+//! Bessel function of the first kind, order zero.
+//!
+//! `J₀` is the theoretical spatial autocorrelation of a 2-D isotropic
+//! diffuse field (Clarke's model): the channel correlation at displacement
+//! `d` is `J₀(2πd/λ)`, so the TRRS decays as `J₀²`. The evaluation harness
+//! overlays this theory curve on the measured Fig. 4 decay, and the
+//! WiBall-style estimator maps its first zero to a distance.
+//!
+//! Implementation: the classic Abramowitz & Stegun §9.4 rational
+//! approximations (|error| < 5·10⁻⁸ over ℝ), the standard choice when a
+//! dependency-free `j0` is needed.
+
+/// `J₀(x)` for any finite `x`.
+pub fn j0(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 8.0 {
+        // Rational approximation on [0, 8); numerator and denominator
+        // share the leading constant so J0(0) = 1 to double precision.
+        let y = x * x;
+        let p1 = 57_568_490_574.0
+            + y * (-13_362_590_354.0
+                + y * (651_619_640.7
+                    + y * (-11_214_424.18 + y * (77_392.330_17 + y * (-184.905_245_6)))));
+        let p2 = 57_568_490_411.0
+            + y * (1_029_532_985.0
+                + y * (9_494_680.718 + y * (59_272.648_53 + y * (267.853_271_2 + y))));
+        p1 / p2
+    } else {
+        // A&S 9.4.3.
+        let z = 8.0 / ax;
+        let y = z * z;
+        let xx = ax - std::f64::consts::FRAC_PI_4;
+        let p1 = 1.0
+            + y * (-0.109_862_862_7e-2
+                + y * (0.273_451_040_7e-4 + y * (-0.207_337_063_9e-5 + y * 0.209_388_721_1e-6)));
+        let p2 = -0.156_249_999_5e-1
+            + y * (0.143_048_876_5e-3
+                + y * (-0.691_114_765_1e-5 + y * (0.762_109_516_1e-6 + y * (-0.934_935_152e-7))));
+        (std::f64::consts::FRAC_2_PI / ax).sqrt() * (xx.cos() * p1 - z * xx.sin() * p2)
+    }
+}
+
+/// First positive zero of `J₀`: x ≈ 2.404826.
+pub const J0_FIRST_ZERO: f64 = 2.404_825_557_695_773;
+
+/// Theoretical TRRS (squared correlation) of an isotropic diffuse field at
+/// displacement `d` metres for carrier wavelength `lambda`.
+pub fn theory_trrs(d: f64, lambda: f64) -> f64 {
+    let x = std::f64::consts::TAU * d / lambda;
+    let j = j0(x);
+    j * j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // Reference values (Abramowitz & Stegun tables).
+        let cases = [
+            (0.0, 1.0),
+            (0.5, 0.938_469_8),
+            (1.0, 0.765_197_7),
+            (2.0, 0.223_890_8),
+            (3.0, -0.260_051_9),
+            (5.0, -0.177_596_8),
+            (10.0, -0.245_935_8),
+            (20.0, 0.167_024_6),
+        ];
+        for (x, expect) in cases {
+            let got = j0(x);
+            assert!(
+                (got - expect).abs() < 5e-7,
+                "J0({x}) = {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn even_function() {
+        for x in [0.3, 1.7, 4.2, 9.9] {
+            assert!((j0(x) - j0(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_zero_location() {
+        assert!(j0(J0_FIRST_ZERO).abs() < 1e-7);
+        assert!(j0(J0_FIRST_ZERO - 0.01) > 0.0);
+        assert!(j0(J0_FIRST_ZERO + 0.01) < 0.0);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        for k in 0..200 {
+            let x = k as f64 * 0.25;
+            assert!(j0(x).abs() <= 1.0 + 1e-6, "J0({x})");
+        }
+    }
+
+    #[test]
+    fn theory_trrs_shape() {
+        let lambda = 0.0517;
+        assert!((theory_trrs(0.0, lambda) - 1.0).abs() < 1e-7);
+        // Zero at d = first_zero·λ/2π ≈ 0.383 λ ≈ 1.98 cm.
+        let d0 = J0_FIRST_ZERO * lambda / std::f64::consts::TAU;
+        assert!(theory_trrs(d0, lambda) < 1e-10);
+        assert!((d0 - 0.0198).abs() < 2e-4);
+        // Monotone decay up to the zero.
+        let mut prev = 1.0;
+        for k in 1..20 {
+            let d = d0 * k as f64 / 20.0;
+            let v = theory_trrs(d, lambda);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The RIM pipeline is built on inner products and convolutions of channel
+//! frequency responses, which are vectors of complex numbers. We implement
+//! the small amount of complex arithmetic we need directly instead of
+//! pulling in an external numerics crate; everything here is `Copy`, inlined
+//! and branch-free.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The imaginary unit `i`.
+pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+/// Complex zero.
+pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+
+/// Complex one.
+pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+impl Complex64 {
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::new(r * c, r * s)
+    }
+
+    /// Unit phasor `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`, computed without a square root.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`. Uses `hypot` for robustness against overflow.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value if `z` is zero, matching IEEE semantics of
+    /// the underlying division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `z / |z|`, or zero if `z` is zero.
+    #[inline]
+    pub fn normalize(self) -> Self {
+        let a = self.abs();
+        if a == 0.0 {
+            ZERO
+        } else {
+            self.scale(1.0 / a)
+        }
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Fused multiply-add: `self * b + c`.
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Self::new(
+            self.re * b.re - self.im * b.im + c.re,
+            self.re * b.im + self.im * b.re + c.im,
+        )
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    // Division *is* multiplication by the inverse for complex numbers.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+/// Hermitian inner product `⟨x, y⟩ = Σ x[k]* · y[k]` (conjugate on the left,
+/// matching the `H₁ᴴH₂` convention of the TRRS definition).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn inner_product(x: &[Complex64], y: &[Complex64]) -> Complex64 {
+    assert_eq!(x.len(), y.len(), "inner product of unequal lengths");
+    let mut acc = ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        acc = a.conj().mul_add(b, acc);
+    }
+    acc
+}
+
+/// Squared Euclidean norm `Σ |x[k]|²`.
+pub fn norm_sqr(x: &[Complex64]) -> f64 {
+    x.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Scales a vector in place so that its Euclidean norm is 1.
+///
+/// A zero vector is left unchanged.
+pub fn normalize_in_place(x: &mut [Complex64]) {
+    let n = norm_sqr(x).sqrt();
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for z in x {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!(close(z + ZERO, z));
+        assert!(close(z * ONE, z));
+        assert!(close(z * z.inv(), ONE));
+        assert!(close(z - z, ZERO));
+        assert!(close(-z + z, ZERO));
+        assert!(close(z / z, ONE));
+    }
+
+    #[test]
+    fn abs_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z.normalize(), Complex64::new(0.6, 0.8)));
+        assert_eq!(ZERO.normalize(), ZERO);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..32 {
+            let theta = k as f64 * 0.41;
+            assert!((Complex64::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex64::new(1.5, 2.5);
+        let b = Complex64::new(-0.5, 4.0);
+        assert!(close((a * b).conj(), a.conj() * b.conj()));
+        assert!(close((a + b).conj(), a.conj() + b.conj()));
+        assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn exp_of_zero_and_pi() {
+        assert!(close(ZERO.exp(), ONE));
+        let e_ipi = (I * std::f64::consts::PI).exp();
+        assert!((e_ipi + ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        let c = Complex64::new(-2.0, 0.5);
+        assert!(close(a.mul_add(b, c), a * b + c));
+    }
+
+    #[test]
+    fn inner_product_hermitian_symmetry() {
+        let x = [Complex64::new(1.0, 1.0), Complex64::new(0.0, 2.0)];
+        let y = [Complex64::new(2.0, -1.0), Complex64::new(1.0, 1.0)];
+        let xy = inner_product(&x, &y);
+        let yx = inner_product(&y, &x);
+        assert!(close(xy, yx.conj()));
+    }
+
+    #[test]
+    fn inner_product_with_self_is_norm() {
+        let x = [Complex64::new(1.0, 2.0), Complex64::new(-3.0, 0.5)];
+        let ip = inner_product(&x, &x);
+        assert!((ip.im).abs() < 1e-12);
+        assert!((ip.re - norm_sqr(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn inner_product_length_mismatch_panics() {
+        let _ = inner_product(&[ZERO], &[ZERO, ZERO]);
+    }
+
+    #[test]
+    fn normalize_in_place_unit_norm() {
+        let mut x = vec![Complex64::new(3.0, 0.0), Complex64::new(0.0, 4.0)];
+        normalize_in_place(&mut x);
+        assert!((norm_sqr(&x) - 1.0).abs() < 1e-12);
+        let mut zeros = vec![ZERO; 4];
+        normalize_in_place(&mut zeros);
+        assert!(zeros.iter().all(|&z| z == ZERO));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let xs = [ONE, I, Complex64::new(2.0, 3.0)];
+        let s: Complex64 = xs.iter().copied().sum();
+        assert!(close(s, Complex64::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2i");
+    }
+}

@@ -1,0 +1,193 @@
+//! Linear convolution and correlation.
+//!
+//! The time-domain form of the TRRS (paper Eqn. 1) is a linear convolution
+//! of one CIR with the time-reversed conjugate of another; this module
+//! provides both a direct `O(N·M)` implementation and an FFT-accelerated one
+//! with identical semantics, plus cross-correlation helpers used by tests
+//! and by the sensor substrate.
+
+use crate::complex::{Complex64, ZERO};
+use crate::fft::{fft, ifft};
+
+/// Direct (schoolbook) linear convolution.
+///
+/// Output length is `x.len() + y.len() - 1`; an empty input yields an empty
+/// output.
+pub fn convolve_direct(x: &[Complex64], y: &[Complex64]) -> Vec<Complex64> {
+    if x.is_empty() || y.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len() + y.len() - 1;
+    let mut out = vec![ZERO; n];
+    for (i, &a) in x.iter().enumerate() {
+        for (j, &b) in y.iter().enumerate() {
+            out[i + j] = a.mul_add(b, out[i + j]);
+        }
+    }
+    out
+}
+
+/// FFT-based linear convolution; identical output to [`convolve_direct`]
+/// up to rounding, `O((N+M)·log(N+M))`.
+pub fn convolve_fft(x: &[Complex64], y: &[Complex64]) -> Vec<Complex64> {
+    if x.is_empty() || y.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len() + y.len() - 1;
+    let m = n.next_power_of_two();
+    let mut a = vec![ZERO; m];
+    let mut b = vec![ZERO; m];
+    a[..x.len()].copy_from_slice(x);
+    b[..y.len()].copy_from_slice(y);
+    let fa = fft(&a);
+    let fb = fft(&b);
+    let prod: Vec<Complex64> = fa.iter().zip(&fb).map(|(&u, &v)| u * v).collect();
+    let mut out = ifft(&prod);
+    out.truncate(n);
+    out
+}
+
+/// Linear convolution, choosing the direct path for short inputs and the
+/// FFT path for long ones.
+pub fn convolve(x: &[Complex64], y: &[Complex64]) -> Vec<Complex64> {
+    // The crossover is approximate; both paths are exact.
+    if x.len().saturating_mul(y.len()) <= 4096 {
+        convolve_direct(x, y)
+    } else {
+        convolve_fft(x, y)
+    }
+}
+
+/// Time-reverses and conjugates a vector: `g[k] = h*[T-1-k]` — the
+/// time-reversal operator `g₂` from paper Eqn. 1.
+pub fn time_reverse_conjugate(h: &[Complex64]) -> Vec<Complex64> {
+    h.iter().rev().map(|z| z.conj()).collect()
+}
+
+/// Full cross-correlation of real-valued sequences.
+///
+/// `out[k]` for `k in 0..(x.len() + y.len() - 1)` equals
+/// `Σ_n x[n] · y[n - (k - (y.len()-1))]`, i.e. lag runs from
+/// `-(y.len()-1)` to `x.len()-1`.
+pub fn xcorr_real(x: &[f64], y: &[f64]) -> Vec<f64> {
+    if x.is_empty() || y.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len() + y.len() - 1;
+    let mut out = vec![0.0; n];
+    for (i, &a) in x.iter().enumerate() {
+        for (j, &b) in y.iter().enumerate() {
+            out[i + (y.len() - 1 - j)] += a * b;
+        }
+    }
+    out
+}
+
+/// Lag (in samples) of the maximum of the cross-correlation of `x` and `y`.
+/// Positive lag means `x` is delayed relative to `y`. Returns `None` for
+/// empty inputs.
+pub fn xcorr_peak_lag(x: &[f64], y: &[f64]) -> Option<isize> {
+    if x.is_empty() || y.is_empty() {
+        return None;
+    }
+    let c = xcorr_real(x, y);
+    let (idx, _) = c
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+    Some(idx as isize - (y.len() as isize - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Complex64 {
+        Complex64::from_re(re)
+    }
+
+    #[test]
+    fn direct_matches_hand_computed() {
+        let x = [c(1.0), c(2.0), c(3.0)];
+        let y = [c(1.0), c(1.0)];
+        let out = convolve_direct(&x, &y);
+        let expect = [1.0, 3.0, 5.0, 3.0];
+        assert_eq!(out.len(), expect.len());
+        for (o, e) in out.iter().zip(expect) {
+            assert!((o.re - e).abs() < 1e-12 && o.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let x: Vec<Complex64> = (0..37)
+            .map(|k| Complex64::new((k as f64).cos(), (k as f64 * 0.3).sin()))
+            .collect();
+        let y: Vec<Complex64> = (0..23)
+            .map(|k| Complex64::new(k as f64 * 0.1, -(k as f64) * 0.05))
+            .collect();
+        let a = convolve_direct(&x, &y);
+        let b = convolve_fft(&x, &y);
+        assert_eq!(a.len(), b.len());
+        for (u, v) in a.iter().zip(&b) {
+            assert!((*u - *v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(convolve(&[], &[c(1.0)]).is_empty());
+        assert!(convolve(&[c(1.0)], &[]).is_empty());
+        assert!(xcorr_real(&[], &[1.0]).is_empty());
+        assert_eq!(xcorr_peak_lag(&[], &[1.0]), None);
+    }
+
+    #[test]
+    fn convolution_commutes() {
+        let x = [c(1.0), c(-2.0), c(0.5)];
+        let y = [c(3.0), c(1.0), c(4.0), c(1.0)];
+        let a = convolve(&x, &y);
+        let b = convolve(&y, &x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((*u - *v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_kernel() {
+        let x = [c(5.0), c(-1.0), c(2.0)];
+        let out = convolve(&x, &[c(1.0)]);
+        for (u, v) in out.iter().zip(&x) {
+            assert!((*u - *v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn time_reverse_conjugate_matches_definition() {
+        let h = [Complex64::new(1.0, 2.0), Complex64::new(3.0, -4.0)];
+        let g = time_reverse_conjugate(&h);
+        assert_eq!(g[0], Complex64::new(3.0, 4.0));
+        assert_eq!(g[1], Complex64::new(1.0, -2.0));
+        // Involution: applying twice gives back the original.
+        let gg = time_reverse_conjugate(&g);
+        assert_eq!(&gg[..], &h[..]);
+    }
+
+    #[test]
+    fn xcorr_detects_shift() {
+        let base: Vec<f64> = (0..50).map(|k| ((k as f64) * 0.3).sin()).collect();
+        let mut shifted = vec![0.0; 7];
+        shifted.extend_from_slice(&base);
+        // `shifted` is `base` delayed by 7 samples.
+        assert_eq!(xcorr_peak_lag(&shifted, &base), Some(7));
+        assert_eq!(xcorr_peak_lag(&base, &shifted), Some(-7));
+    }
+
+    #[test]
+    fn xcorr_zero_lag_is_energy() {
+        let x = [1.0, -2.0, 3.0];
+        let c = xcorr_real(&x, &x);
+        // Zero lag sits at index len-1.
+        assert!((c[2] - 14.0).abs() < 1e-12);
+    }
+}

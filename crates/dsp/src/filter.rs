@@ -1,0 +1,298 @@
+//! Smoothing and filtering primitives for noisy motion estimates.
+//!
+//! The RIM reckoning stage (paper §4.4) smooths instantaneous speed and
+//! heading estimates before integrating them into a trajectory; the sensor
+//! substrate low-passes simulated MEMS streams. All filters here operate on
+//! plain `f64` slices and are allocation-light.
+
+/// Centred moving average with window half-width `half` (full window
+/// `2·half + 1`), shrinking the window near the edges so output length
+/// equals input length.
+pub fn moving_average(x: &[f64], half: usize) -> Vec<f64> {
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let s: f64 = x[lo..hi].iter().sum();
+        out.push(s / (hi - lo) as f64);
+    }
+    out
+}
+
+/// Centred median filter with window half-width `half`; the window shrinks
+/// at the edges. Robust to impulsive outliers such as single mis-tracked
+/// alignment delays.
+pub fn median_filter(x: &[f64], half: usize) -> Vec<f64> {
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    let mut buf = Vec::with_capacity(2 * half + 1);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        buf.clear();
+        buf.extend_from_slice(&x[lo..hi]);
+        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let m = buf.len();
+        let med = if m % 2 == 1 {
+            buf[m / 2]
+        } else {
+            0.5 * (buf[m / 2 - 1] + buf[m / 2])
+        };
+        out.push(med);
+    }
+    out
+}
+
+/// First-order exponential smoother `y[i] = α·x[i] + (1-α)·y[i-1]`.
+///
+/// # Panics
+/// Panics unless `0 < alpha <= 1`.
+pub fn exponential_smooth(x: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let mut out = Vec::with_capacity(x.len());
+    let mut state = match x.first() {
+        Some(&v) => v,
+        None => return out,
+    };
+    out.push(state);
+    for &v in &x[1..] {
+        state = alpha * v + (1.0 - alpha) * state;
+        out.push(state);
+    }
+    out
+}
+
+/// Savitzky–Golay smoothing: least-squares fit of a polynomial of degree
+/// `degree` over a centred window of half-width `half`, evaluated at the
+/// centre point. Preserves low-order moments (peak heights) far better than
+/// a box filter, which matters when smoothing speed profiles containing
+/// genuine accelerations.
+///
+/// The window shrinks near the edges (falling back to the widest window
+/// that fits, and to a plain average when the window cannot support the
+/// requested degree).
+///
+/// # Panics
+/// Panics if `degree` is 0 and `half` is 0 simultaneously is fine; panics
+/// only on internal solver failure, which cannot happen for well-formed
+/// Vandermonde systems of the sizes used here.
+pub fn savitzky_golay(x: &[f64], half: usize, degree: usize) -> Vec<f64> {
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let window = &x[lo..hi];
+        let deg = degree.min(window.len().saturating_sub(1));
+        // Fit p(t) = Σ c_k t^k over t = (index − i), evaluate at t = 0 → c₀.
+        let ts: Vec<f64> = (lo..hi).map(|j| j as f64 - i as f64).collect();
+        out.push(polyfit_eval_at_zero(&ts, window, deg));
+    }
+    out
+}
+
+/// Fits a degree-`deg` polynomial to `(ts, ys)` by normal equations and
+/// returns its value at t = 0 (the constant coefficient).
+fn polyfit_eval_at_zero(ts: &[f64], ys: &[f64], deg: usize) -> f64 {
+    let m = deg + 1;
+    // Normal matrix A[j][k] = Σ t^(j+k), rhs b[j] = Σ y·t^j.
+    let mut a = vec![vec![0.0; m]; m];
+    let mut b = vec![0.0; m];
+    for (&t, &y) in ts.iter().zip(ys) {
+        let mut tp = vec![1.0; 2 * m - 1];
+        for p in 1..2 * m - 1 {
+            tp[p] = tp[p - 1] * t;
+        }
+        for j in 0..m {
+            for k in 0..m {
+                a[j][k] += tp[j + k];
+            }
+            b[j] += y * tp[j];
+        }
+    }
+    let coeffs = solve_linear(&mut a, &mut b);
+    coeffs[0]
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+/// `a` and `b` are consumed as scratch space.
+fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let piv = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        if d.abs() < 1e-300 {
+            continue; // Degenerate; leave row as-is (coefficient stays 0).
+        }
+        for row in col + 1..n {
+            let f = a[row][col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            // Split borrow: the pivot row is read while `row` is written.
+            let (pivot_row, rest) = {
+                let (head, tail) = a.split_at_mut(col + 1);
+                (&head[col], &mut tail[row - col - 1])
+            };
+            for (dst, &src) in rest[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *dst -= f * src;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in col + 1..n {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-300 {
+            0.0
+        } else {
+            s / a[col][col]
+        };
+    }
+    x
+}
+
+/// Simple single-pole low-pass filter parameterised by cut-off frequency
+/// and sample rate — used by the sensor substrate to band-limit MEMS noise.
+pub fn low_pass(x: &[f64], cutoff_hz: f64, sample_rate_hz: f64) -> Vec<f64> {
+    assert!(cutoff_hz > 0.0 && sample_rate_hz > 0.0);
+    let rc = 1.0 / (std::f64::consts::TAU * cutoff_hz);
+    let dt = 1.0 / sample_rate_hz;
+    let alpha = dt / (rc + dt);
+    exponential_smooth(x, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_constant_is_identity() {
+        let x = vec![3.5; 10];
+        for half in 0..4 {
+            let y = moving_average(&x, half);
+            assert!(y.iter().all(|&v| (v - 3.5).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn moving_average_window_zero_is_identity() {
+        let x = [1.0, 2.0, -3.0];
+        assert_eq!(moving_average(&x, 0), x.to_vec());
+    }
+
+    #[test]
+    fn moving_average_hand_example() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = moving_average(&x, 1);
+        assert!((y[0] - 1.5).abs() < 1e-12);
+        assert!((y[1] - 2.0).abs() < 1e-12);
+        assert!((y[2] - 3.0).abs() < 1e-12);
+        assert!((y[3] - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_filter_removes_impulse() {
+        let mut x = vec![1.0; 11];
+        x[5] = 100.0;
+        let y = median_filter(&x, 1);
+        assert!((y[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_filter_even_window_at_edge() {
+        let x = [1.0, 3.0];
+        let y = median_filter(&x, 1);
+        // Both positions see the full 2-element window → median 2.0.
+        assert!((y[0] - 2.0).abs() < 1e-12);
+        assert!((y[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_smooth_alpha_one_is_identity() {
+        let x = [1.0, -2.0, 4.0];
+        assert_eq!(exponential_smooth(&x, 1.0), x.to_vec());
+    }
+
+    #[test]
+    fn exponential_smooth_converges_to_constant() {
+        let x = vec![5.0; 200];
+        let y = exponential_smooth(&x, 0.1);
+        assert!((y[199] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn exponential_smooth_rejects_bad_alpha() {
+        let _ = exponential_smooth(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn savgol_preserves_polynomial() {
+        // A quadratic must pass through a degree-2 SG filter unchanged.
+        let x: Vec<f64> = (0..40)
+            .map(|k| {
+                let t = k as f64;
+                0.5 * t * t - 3.0 * t + 2.0
+            })
+            .collect();
+        let y = savitzky_golay(&x, 4, 2);
+        for (u, v) in x.iter().zip(&y) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn savgol_smooths_noise() {
+        // Deterministic pseudo-noise around a line.
+        let x: Vec<f64> = (0..100)
+            .map(|k| k as f64 * 0.1 + ((k * 7919 % 100) as f64 / 100.0 - 0.5))
+            .collect();
+        let y = savitzky_golay(&x, 6, 2);
+        let rough: f64 = x.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+        let smooth: f64 = y.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+        assert!(smooth < rough * 0.6, "rough {rough} smooth {smooth}");
+    }
+
+    #[test]
+    fn low_pass_attenuates_high_frequency() {
+        let fs = 200.0;
+        let slow: Vec<f64> = (0..400)
+            .map(|k| (k as f64 / fs * std::f64::consts::TAU * 1.0).sin())
+            .collect();
+        let fast: Vec<f64> = (0..400)
+            .map(|k| (k as f64 / fs * std::f64::consts::TAU * 50.0).sin())
+            .collect();
+        let ys = low_pass(&slow, 5.0, fs);
+        let yf = low_pass(&fast, 5.0, fs);
+        let amp = |v: &[f64]| v[100..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(amp(&ys) > 0.7, "slow signal should pass: {}", amp(&ys));
+        assert!(
+            amp(&yf) < 0.3,
+            "fast signal should be attenuated: {}",
+            amp(&yf)
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert!(moving_average(&[], 3).is_empty());
+        assert!(median_filter(&[], 3).is_empty());
+        assert!(exponential_smooth(&[], 0.5).is_empty());
+        assert!(savitzky_golay(&[], 3, 2).is_empty());
+    }
+}

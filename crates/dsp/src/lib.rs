@@ -1,0 +1,25 @@
+//! # rim-dsp
+//!
+//! Digital-signal-processing substrate for the RIM (RF-based Inertial
+//! Measurement, SIGCOMM 2019) reproduction: complex arithmetic, FFTs,
+//! convolution/correlation, interpolation, smoothing filters, descriptive
+//! statistics and plane geometry.
+//!
+//! This crate has no dependencies and every function is deterministic,
+//! making it the foundation the channel simulator, CSI layer and RIM core
+//! are built (and property-tested) on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bessel;
+pub mod complex;
+pub mod conv;
+pub mod fft;
+pub mod filter;
+pub mod geom;
+pub mod interp;
+pub mod stats;
+
+pub use complex::{inner_product, norm_sqr, normalize_in_place, Complex64};
+pub use geom::{Point2, Segment, Vec2};

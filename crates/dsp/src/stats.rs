@@ -1,0 +1,316 @@
+//! Descriptive statistics, quantiles, empirical CDFs, linear regression and
+//! circular (angular) statistics.
+//!
+//! The evaluation harness reports medians, percentiles and CDF curves for
+//! every experiment (paper Figs. 11–17); the CSI sanitation step fits and
+//! removes a linear phase slope; heading errors are circular quantities.
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Unbiased sample variance; `NaN` for fewer than two samples.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
+}
+
+/// Sample standard deviation; `NaN` for fewer than two samples.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Root mean square; `NaN` for an empty slice.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    (x.iter().map(|&v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Quantile `q ∈ [0, 1]` by linear interpolation between order statistics
+/// (the common "type 7" estimator). `NaN` for an empty slice.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(x: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    let mut s = x.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let t = pos - lo as f64;
+        s[lo] * (1.0 - t) + s[hi] * t
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(x: &[f64]) -> f64 {
+    quantile(x, 0.5)
+}
+
+/// Maximum; `NaN` for an empty slice. Ignores `NaN` elements.
+pub fn max(x: &[f64]) -> f64 {
+    x.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::NAN, |a, b| if a.is_nan() || b > a { b } else { a })
+}
+
+/// Minimum; `NaN` for an empty slice. Ignores `NaN` elements.
+pub fn min(x: &[f64]) -> f64 {
+    x.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(f64::NAN, |a, b| if a.is_nan() || b < a { b } else { a })
+}
+
+/// An empirical CDF: sorted sample values paired with cumulative
+/// probabilities, suitable for printing the CDF curves in the paper's
+/// figures.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of a sample. `NaN`s are dropped.
+    pub fn new(x: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = x.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ v)`.
+    pub fn prob_at(&self, v: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let count = self.sorted.partition_point(|&s| s <= v);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at probability `q` (inverse CDF / quantile).
+    pub fn value_at(&self, q: f64) -> f64 {
+        quantile(&self.sorted, q)
+    }
+
+    /// Evaluates the CDF on `n` evenly spaced points spanning the sample
+    /// range, returning `(value, probability)` rows for plotting.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        (0..n)
+            .map(|k| {
+                let v = if n == 1 {
+                    hi
+                } else {
+                    lo + (hi - lo) * k as f64 / (n - 1) as f64
+                };
+                (v, self.prob_at(v))
+            })
+            .collect()
+    }
+}
+
+/// Ordinary least-squares fit `y ≈ slope·x + intercept`.
+/// Returns `(slope, intercept)`; `(NaN, NaN)` for fewer than two points or
+/// degenerate (constant) abscissae.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|&v| v * v).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(&a, &b)| a * b).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return (f64::NAN, f64::NAN);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    (slope, intercept)
+}
+
+/// Wraps an angle to `(-π, π]`.
+pub fn wrap_angle(theta: f64) -> f64 {
+    let mut t = theta % std::f64::consts::TAU;
+    if t > std::f64::consts::PI {
+        t -= std::f64::consts::TAU;
+    } else if t <= -std::f64::consts::PI {
+        t += std::f64::consts::TAU;
+    }
+    t
+}
+
+/// Smallest absolute angular difference between two angles, in `[0, π]`.
+pub fn angle_diff(a: f64, b: f64) -> f64 {
+    wrap_angle(a - b).abs()
+}
+
+/// Circular mean of angles (radians); `NaN` for an empty slice or when the
+/// resultant vector vanishes (perfectly dispersed input).
+pub fn circular_mean(angles: &[f64]) -> f64 {
+    if angles.is_empty() {
+        return f64::NAN;
+    }
+    let (s, c) = angles
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+    if s.abs() < 1e-12 && c.abs() < 1e-12 {
+        return f64::NAN;
+    }
+    s.atan2(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn mean_and_variance() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((variance(&x) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(rms(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+        assert!(max(&[]).is_nan());
+        assert!(min(&[]).is_nan());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&x, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&x, 1.0) - 4.0).abs() < 1e-12);
+        assert!((median(&x) - 2.5).abs() < 1e-12);
+        assert!((quantile(&x, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let x = [9.0, 1.0, 5.0];
+        assert!((median(&x) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn ecdf_probabilities() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((e.prob_at(0.5) - 0.0).abs() < 1e-12);
+        assert!((e.prob_at(2.0) - 0.5).abs() < 1e-12);
+        assert!((e.prob_at(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn ecdf_drops_nan() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn ecdf_curve_monotone() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        let curve = e.curve(20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_value_at_inverts_prob() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((e.value_at(0.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..50).map(|k| k as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * x - 7.0).collect();
+        let (m, b) = linear_fit(&xs, &ys);
+        assert!((m - 2.5).abs() < 1e-9);
+        assert!((b + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_is_nan() {
+        let (m, b) = linear_fit(&[1.0, 1.0], &[0.0, 5.0]);
+        assert!(m.is_nan() && b.is_nan());
+        let (m, b) = linear_fit(&[1.0], &[1.0]);
+        assert!(m.is_nan() && b.is_nan());
+    }
+
+    #[test]
+    fn wrap_angle_range() {
+        assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_angle(0.5) - 0.5).abs() < 1e-12);
+        for k in -10..10 {
+            let t = wrap_angle(k as f64 * 1.7);
+            assert!(t > -PI - 1e-12 && t <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn angle_diff_shortest_path() {
+        assert!((angle_diff(0.1, -0.1) - 0.2).abs() < 1e-12);
+        assert!((angle_diff(PI - 0.05, -PI + 0.05) - 0.1).abs() < 1e-12);
+        assert!((angle_diff(0.0, PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_mean_wraps() {
+        let m = circular_mean(&[PI - 0.1, -PI + 0.1]);
+        assert!(
+            angle_diff(m, PI) < 1e-9,
+            "mean of angles near ±π is π, got {m}"
+        );
+        assert!(circular_mean(&[]).is_nan());
+        assert!(circular_mean(&[0.0, PI]).is_nan());
+    }
+}

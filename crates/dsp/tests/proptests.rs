@@ -1,0 +1,168 @@
+//! Property-based tests of the DSP substrate.
+
+use proptest::prelude::*;
+use rim_dsp::complex::{inner_product, norm_sqr, Complex64};
+use rim_dsp::conv::{convolve_direct, convolve_fft};
+use rim_dsp::fft::{dft_naive, fft, ifft};
+use rim_dsp::filter::{median_filter, moving_average};
+use rim_dsp::geom::{Point2, Segment};
+use rim_dsp::interp::fill_gaps_complex;
+use rim_dsp::stats::{angle_diff, quantile, wrap_angle};
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex64::new(re, im)),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_matches_naive(x in complex_vec(48)) {
+        let a = fft(&x);
+        let b = dft_naive(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((*u - *v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_round_trip(x in complex_vec(64)) {
+        let y = ifft(&fft(&x));
+        for (u, v) in x.iter().zip(&y) {
+            prop_assert!((*u - *v).abs() < 1e-7 * (1.0 + u.abs()));
+        }
+    }
+
+    #[test]
+    fn parseval(x in complex_vec(64)) {
+        let y = fft(&x);
+        let ex = norm_sqr(&x);
+        let ey = norm_sqr(&y) / x.len() as f64;
+        prop_assert!((ex - ey).abs() < 1e-6 * (1.0 + ex));
+    }
+
+    #[test]
+    fn convolution_fft_equals_direct(
+        x in complex_vec(24),
+        y in complex_vec(24),
+    ) {
+        let a = convolve_direct(&x, &y);
+        let b = convolve_fft(&x, &y);
+        prop_assert_eq!(a.len(), b.len());
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((*u - *v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn convolution_commutes(x in complex_vec(16), y in complex_vec(16)) {
+        let a = convolve_direct(&x, &y);
+        let b = convolve_direct(&y, &x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((*u - *v).abs() < 1e-8 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn inner_product_cauchy_schwarz(x in complex_vec(32), y in complex_vec(32)) {
+        let n = x.len().min(y.len());
+        let ip = inner_product(&x[..n], &y[..n]).abs();
+        let bound = (norm_sqr(&x[..n]) * norm_sqr(&y[..n])).sqrt();
+        prop_assert!(ip <= bound * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn wrap_angle_in_range_and_idempotent(theta in -1e3f64..1e3) {
+        let w = wrap_angle(theta);
+        prop_assert!(w > -std::f64::consts::PI - 1e-9 && w <= std::f64::consts::PI + 1e-9);
+        prop_assert!((wrap_angle(w) - w).abs() < 1e-9);
+        // Wrapping preserves the angle modulo 2π.
+        prop_assert!(angle_diff(w, theta) < 1e-6);
+    }
+
+    #[test]
+    fn quantile_within_sample_bounds(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..50),
+        q in 0.0f64..1.0,
+    ) {
+        let v = quantile(&xs, q);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v >= xs[0] - 1e-9 && v <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn moving_average_bounded_by_extremes(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..40),
+        half in 0usize..5,
+    ) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in moving_average(&xs, half) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn median_filter_output_is_sample_value_or_midpoint(
+        xs in prop::collection::vec(-10.0f64..10.0, 1..30),
+        half in 0usize..4,
+    ) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in median_filter(&xs, half) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fill_gaps_preserves_present_samples(
+        xs in prop::collection::vec(
+            prop::option::weighted(0.7, (-10.0f64..10.0, -10.0f64..10.0)
+                .prop_map(|(re, im)| Complex64::new(re, im))),
+            1..30,
+        ),
+    ) {
+        if let Some(filled) = fill_gaps_complex(&xs) {
+            prop_assert_eq!(filled.len(), xs.len());
+            for (f, x) in filled.iter().zip(&xs) {
+                if let Some(v) = x {
+                    prop_assert!((*f - *v).abs() < 1e-12);
+                }
+            }
+        } else {
+            prop_assert!(xs.iter().all(|v| v.is_none()));
+        }
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+        bx in -10.0f64..10.0, by in -10.0f64..10.0,
+        cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+        dx in -10.0f64..10.0, dy in -10.0f64..10.0,
+    ) {
+        let s1 = Segment::new(Point2::new(ax, ay), Point2::new(bx, by));
+        let s2 = Segment::new(Point2::new(cx, cy), Point2::new(dx, dy));
+        match (s1.intersect(s2), s2.intersect(s1)) {
+            (Some(p), Some(q)) => prop_assert!(p.distance(q) < 1e-6),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "asymmetric intersection: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn mirror_is_involution(
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+        bx in -10.0f64..10.0, by in -10.0f64..10.0,
+        px in -10.0f64..10.0, py in -10.0f64..10.0,
+    ) {
+        prop_assume!((ax - bx).abs() > 1e-6 || (ay - by).abs() > 1e-6);
+        let wall = Segment::new(Point2::new(ax, ay), Point2::new(bx, by));
+        let p = Point2::new(px, py);
+        let pp = wall.mirror_point(wall.mirror_point(p));
+        prop_assert!(pp.distance(p) < 1e-6);
+    }
+}

@@ -1,0 +1,23 @@
+//! # rim-sensors
+//!
+//! MEMS inertial-sensor substrate: the *baselines* RIM is evaluated
+//! against. Simulates consumer accelerometer / gyroscope / magnetometer
+//! streams from a ground-truth trajectory with the standard error model
+//! (turn-on bias, white noise, bias random walk, scale error, and a
+//! spatial magnetometer distortion field), plus the dead-reckoning
+//! estimators built on them: gyro integration, strapdown double
+//! integration, threshold movement detectors and a step counter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod imu;
+pub mod reckoning;
+pub mod spec;
+
+pub use imu::{ImuConfig, ImuRecording, SimulatedImu};
+pub use reckoning::{
+    accel_movement_indicator, double_integrate_accel, gyro_movement_indicator, gyro_rotation_angle,
+    integrate_gyro, track_length, StepCounter,
+};
+pub use spec::{consumer_accelerometer, consumer_gyroscope, consumer_magnetometer, AxisSpec};

@@ -1,0 +1,100 @@
+//! MEMS sensor error specifications.
+//!
+//! The standard consumer-IMU error model: constant bias (per power-up),
+//! white noise (density · √rate), bias random walk (instability), and
+//! scale-factor error. Defaults are typical of the Bosch BNO055 class of
+//! parts the paper's prototype carries (§5).
+
+use serde::{Deserialize, Serialize};
+
+/// Error specification of a single sensor axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AxisSpec {
+    /// Constant (turn-on) bias, in the sensor's output unit.
+    pub bias: f64,
+    /// White-noise density, unit/√Hz; per-sample σ = density · √(rate/2)…
+    /// we use the simpler convention σ = density · √rate.
+    pub noise_density: f64,
+    /// Bias random-walk intensity, unit/√s — models bias instability.
+    pub bias_walk: f64,
+    /// Multiplicative scale-factor error (0.01 = 1 % too large).
+    pub scale_error: f64,
+}
+
+impl AxisSpec {
+    /// An ideal, error-free axis.
+    pub fn ideal() -> Self {
+        Self {
+            bias: 0.0,
+            noise_density: 0.0,
+            bias_walk: 0.0,
+            scale_error: 0.0,
+        }
+    }
+}
+
+/// Consumer-grade accelerometer (per axis, m/s² units).
+///
+/// ~25 mg turn-on bias, 300 µg/√Hz noise: enough to ruin double-integrated
+/// position within seconds, as the paper notes (§6.2.1: accelerometer
+/// "easily produces errors of tens of meters").
+pub fn consumer_accelerometer() -> AxisSpec {
+    AxisSpec {
+        bias: 0.025 * 9.81,
+        noise_density: 300e-6 * 9.81,
+        bias_walk: 0.002 * 9.81,
+        scale_error: 0.005,
+    }
+}
+
+/// Consumer-grade gyroscope (z axis, rad/s units).
+///
+/// ~0.5 °/s turn-on bias (assumed mostly calibrated away at rest to
+/// 0.05 °/s residual), 0.014 °/s/√Hz noise, 10 °/h instability — good
+/// enough that integrated rotation over tens of seconds stays within a few
+/// degrees, which is why the gyroscope beats RIM on rotating angle
+/// (paper Fig. 13).
+pub fn consumer_gyroscope() -> AxisSpec {
+    AxisSpec {
+        bias: 0.05f64.to_radians(),
+        noise_density: 0.014f64.to_radians(),
+        bias_walk: (10.0f64 / 3600.0).to_radians(),
+        scale_error: 0.002,
+    }
+}
+
+/// Consumer-grade magnetometer heading output (radians): the dominant
+/// error indoors is environmental distortion, handled separately; this
+/// spec covers the sensor-intrinsic part.
+pub fn consumer_magnetometer() -> AxisSpec {
+    AxisSpec {
+        bias: 1.0f64.to_radians(),
+        noise_density: 0.5f64.to_radians(),
+        bias_walk: 0.0,
+        scale_error: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_all_zero() {
+        let s = AxisSpec::ideal();
+        assert_eq!(s.bias, 0.0);
+        assert_eq!(s.noise_density, 0.0);
+        assert_eq!(s.bias_walk, 0.0);
+        assert_eq!(s.scale_error, 0.0);
+    }
+
+    #[test]
+    fn consumer_specs_sane() {
+        let a = consumer_accelerometer();
+        assert!(a.bias > 0.1 && a.bias < 1.0, "tens of mg in m/s²");
+        let g = consumer_gyroscope();
+        assert!(g.bias < 0.01, "sub-degree-per-second residual gyro bias");
+        let m = consumer_magnetometer();
+        assert!(m.bias.to_degrees() < 5.0);
+    }
+}

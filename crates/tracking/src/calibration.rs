@@ -1,0 +1,158 @@
+//! RIM-assisted inertial sensor calibration (paper §7: "both by applying
+//! RIM to calibrate inertial sensors and by incorporating inertial sensors
+//! with RIM").
+//!
+//! Two calibrations the fusion stack uses:
+//!
+//! * **Gyro bias** — RIM's movement detector knows, from CSI alone, when
+//!   the device is truly static; averaging the gyro output over those
+//!   stretches estimates its bias far better than factory zero-rate
+//!   calibration, and keeps tracking it as the bias walks.
+//! * **Magnetometer heading offset** — while RIM reports a confident
+//!   discrete heading and the device moves straight, the difference to
+//!   the magnetometer's heading estimates the local field distortion.
+
+use rim_core::MotionEstimate;
+use rim_dsp::stats::wrap_angle;
+
+/// Estimated gyro bias from RIM-detected static periods, rad/s, plus how
+/// many samples supported it. Returns `None` when fewer than `min_samples`
+/// static samples exist.
+pub fn gyro_bias_from_static(
+    gyro_z: &[f64],
+    estimate: &MotionEstimate,
+    min_samples: usize,
+) -> Option<(f64, usize)> {
+    assert_eq!(
+        gyro_z.len(),
+        estimate.moving.len(),
+        "gyro and estimate must align"
+    );
+    let vals: Vec<f64> = gyro_z
+        .iter()
+        .zip(&estimate.moving)
+        .filter(|(_, &m)| !m)
+        .map(|(&g, _)| g)
+        .collect();
+    if vals.len() < min_samples.max(1) {
+        return None;
+    }
+    Some((vals.iter().sum::<f64>() / vals.len() as f64, vals.len()))
+}
+
+/// Applies a bias correction to a gyro stream.
+pub fn debias_gyro(gyro_z: &[f64], bias: f64) -> Vec<f64> {
+    gyro_z.iter().map(|&g| g - bias).collect()
+}
+
+/// Estimates the magnetometer's heading offset (environmental distortion
+/// plus mounting offset) as the circular mean of
+/// `magnetometer − (RIM heading)` over samples where RIM is confident and
+/// the device moves along its own axis (orientation = heading, i.e. a
+/// normal forward push). Returns `None` without enough support.
+pub fn magnetometer_offset(
+    mag_orientation: &[f64],
+    estimate: &MotionEstimate,
+    min_samples: usize,
+) -> Option<f64> {
+    assert_eq!(
+        mag_orientation.len(),
+        estimate.heading_device.len(),
+        "magnetometer and estimate must align"
+    );
+    let diffs: Vec<f64> = mag_orientation
+        .iter()
+        .zip(&estimate.heading_device)
+        .filter_map(|(&m, h)| {
+            // Forward motion in the device frame: heading ≈ 0 means the
+            // device axis points along the motion, so the magnetometer
+            // should read the world heading directly.
+            let h = (*h)?;
+            if h.abs() < 0.1 {
+                Some(wrap_angle(m))
+            } else {
+                None
+            }
+        })
+        .collect();
+    if diffs.len() < min_samples.max(1) {
+        return None;
+    }
+    let mean = rim_dsp::stats::circular_mean(&diffs);
+    mean.is_finite().then_some(mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_core::pipeline::MotionEstimate;
+
+    fn estimate(moving: Vec<bool>, heading: Vec<Option<f64>>) -> MotionEstimate {
+        let n = moving.len();
+        MotionEstimate {
+            sample_rate_hz: 100.0,
+            movement_indicator: vec![1.0; n],
+            moving,
+            speed_mps: vec![0.0; n],
+            heading_device: heading,
+            angular_rate: vec![0.0; n],
+            segments: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bias_from_static_periods() {
+        // First half static, second half moving; gyro has bias 0.02 plus
+        // real rotation during movement.
+        let n = 200;
+        let moving: Vec<bool> = (0..n).map(|i| i >= 100).collect();
+        let gyro: Vec<f64> = (0..n)
+            .map(|i| 0.02 + if i >= 100 { 1.0 } else { 0.0 })
+            .collect();
+        let est = estimate(moving, vec![None; n]);
+        let (bias, support) = gyro_bias_from_static(&gyro, &est, 50).unwrap();
+        assert!((bias - 0.02).abs() < 1e-12);
+        assert_eq!(support, 100);
+        let fixed = debias_gyro(&gyro, bias);
+        assert!(fixed[0].abs() < 1e-12);
+        assert!((fixed[150] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_requires_support() {
+        let est = estimate(vec![true; 10], vec![None; 10]);
+        assert!(gyro_bias_from_static(&[0.0; 10], &est, 5).is_none());
+    }
+
+    #[test]
+    fn magnetometer_offset_from_forward_motion() {
+        let n = 100;
+        // Device pushed forward: RIM heading 0 in device frame; the
+        // magnetometer reads a 0.3 rad distorted orientation.
+        let heading: Vec<Option<f64>> = vec![Some(0.0); n];
+        let est = estimate(vec![true; n], heading);
+        let mag = vec![0.3; n];
+        let off = magnetometer_offset(&mag, &est, 10).unwrap();
+        assert!((off - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnetometer_offset_ignores_sideway_samples() {
+        let n = 40;
+        let mut heading: Vec<Option<f64>> = vec![Some(std::f64::consts::FRAC_PI_2); n];
+        for h in heading.iter_mut().take(5) {
+            *h = Some(0.0);
+        }
+        let est = estimate(vec![true; n], heading);
+        let mag = vec![0.1; n];
+        // Only 5 qualifying samples; require 10 → None.
+        assert!(magnetometer_offset(&mag, &est, 10).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let est = estimate(vec![true; 2], vec![None; 2]);
+        let _ = gyro_bias_from_static(&[0.0; 3], &est, 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! RIM + inertial-sensor fusion (paper §6.3.3, Fig. 21).
+//!
+//! With a single 3-antenna NIC, RIM's distance estimates are excellent but
+//! its heading resolution is limited; the paper therefore fuses RIM
+//! distance with gyroscope-integrated orientation, and optionally runs the
+//! result through the map-constrained particle filter.
+
+use crate::particle::{ParticleFilter, ParticleFilterConfig};
+use rim_channel::floorplan::Floorplan;
+use rim_core::MotionEstimate;
+use rim_dsp::geom::{Point2, Vec2};
+use rim_sensors::integrate_gyro;
+
+/// A fused trajectory: per-sample positions plus the raw inputs used.
+#[derive(Debug, Clone)]
+pub struct FusedTrack {
+    /// Dead-reckoned positions (RIM distance + gyro heading).
+    pub dead_reckoned: Vec<Point2>,
+    /// Particle-filter corrected positions (empty if no filter was used).
+    pub filtered: Vec<Point2>,
+}
+
+/// Fuses RIM's per-sample speed with a gyroscope orientation track into a
+/// world trajectory.
+///
+/// `gyro_z` must be sampled at the same rate as the motion estimate.
+/// Samples where RIM reports no finite speed contribute no displacement.
+///
+/// # Panics
+/// Panics if the gyro track length differs from the estimate's.
+pub fn fuse_with_gyro(
+    estimate: &MotionEstimate,
+    gyro_z: &[f64],
+    start: Point2,
+    initial_heading: f64,
+) -> Vec<Point2> {
+    assert_eq!(
+        gyro_z.len(),
+        estimate.speed_mps.len(),
+        "gyro and RIM tracks must align"
+    );
+    let orientation = integrate_gyro(gyro_z, estimate.sample_rate_hz, initial_heading);
+    let dt = 1.0 / estimate.sample_rate_hz;
+    let mut pos = start;
+    let mut out = Vec::with_capacity(gyro_z.len());
+    for (i, &theta) in orientation.iter().enumerate() {
+        let v = estimate.speed_mps[i];
+        if v.is_finite() && v > 0.0 && estimate.moving[i] {
+            pos += Vec2::from_angle(theta) * (v * dt);
+        }
+        out.push(pos);
+    }
+    out
+}
+
+/// Configuration of the full fusion pipeline.
+#[derive(Debug, Clone)]
+pub struct FusionConfig {
+    /// Particle-filter settings.
+    pub filter: ParticleFilterConfig,
+    /// How many samples to aggregate per filter step (the filter runs at
+    /// a coarser rate than the CSI stream).
+    pub samples_per_step: usize,
+    /// RNG seed for the particle filter.
+    pub seed: u64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self {
+            filter: ParticleFilterConfig::default(),
+            samples_per_step: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs RIM + gyro fusion, with and without the map-constrained particle
+/// filter (paper Fig. 21 shows both).
+pub fn fuse_with_map(
+    estimate: &MotionEstimate,
+    gyro_z: &[f64],
+    floorplan: &Floorplan,
+    start: Point2,
+    initial_heading: f64,
+    config: &FusionConfig,
+) -> FusedTrack {
+    let dead_reckoned = fuse_with_gyro(estimate, gyro_z, start, initial_heading);
+
+    let orientation = integrate_gyro(gyro_z, estimate.sample_rate_hz, initial_heading);
+    let dt = 1.0 / estimate.sample_rate_hz;
+    let mut pf = ParticleFilter::new(floorplan.clone(), start, config.filter, config.seed);
+    let mut filtered = Vec::with_capacity(dead_reckoned.len());
+    let mut pending_dx = Vec2::ZERO;
+    let mut since_step = 0usize;
+    let mut current = start;
+    #[allow(clippy::needless_range_loop)] // three parallel series are indexed
+    for i in 0..dead_reckoned.len() {
+        let v = estimate.speed_mps[i];
+        if v.is_finite() && v > 0.0 && estimate.moving[i] {
+            pending_dx = pending_dx + Vec2::from_angle(orientation[i]) * (v * dt);
+        }
+        since_step += 1;
+        if since_step >= config.samples_per_step {
+            let d = pending_dx.norm();
+            if d > 1e-9 {
+                let dt_s = config.samples_per_step as f64 / estimate.sample_rate_hz;
+                current = pf.step(d, pending_dx.angle(), dt_s);
+            }
+            pending_dx = Vec2::ZERO;
+            since_step = 0;
+        }
+        filtered.push(current);
+    }
+    FusedTrack {
+        dead_reckoned,
+        filtered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_core::pipeline::{MotionEstimate, SegmentEstimate, SegmentKind};
+
+    /// Builds a synthetic estimate: constant speed, no rotation.
+    fn synthetic_estimate(n: usize, fs: f64, v: f64) -> MotionEstimate {
+        MotionEstimate {
+            sample_rate_hz: fs,
+            movement_indicator: vec![0.0; n],
+            moving: vec![true; n],
+            speed_mps: vec![v; n],
+            heading_device: vec![Some(0.0); n],
+            angular_rate: vec![0.0; n],
+            segments: vec![SegmentEstimate {
+                start: 0,
+                end: n,
+                kind: SegmentKind::Translation,
+                distance_m: v * n as f64 / fs,
+                heading_device: Some(0.0),
+                rotation_rad: 0.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn fuse_straight_line() {
+        let est = synthetic_estimate(200, 100.0, 1.0);
+        let gyro = vec![0.0; 200];
+        let track = fuse_with_gyro(&est, &gyro, Point2::ORIGIN, 0.0);
+        let end = *track.last().unwrap();
+        assert!((end.x - 2.0).abs() < 1e-9, "{end:?}");
+        assert!(end.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuse_quarter_turn() {
+        // Constant gyro rate turning 90° over the trace: the track curves.
+        let n = 200;
+        let fs = 100.0;
+        let est = synthetic_estimate(n, fs, 1.0);
+        let w = std::f64::consts::FRAC_PI_2 / (n as f64 / fs);
+        let gyro = vec![w; n];
+        let track = fuse_with_gyro(&est, &gyro, Point2::ORIGIN, 0.0);
+        let end = *track.last().unwrap();
+        // An arc of length 2 with 90° net turn: endpoint at (R, R) with
+        // R = 2/(π/2) ≈ 1.27.
+        let r = 2.0 / std::f64::consts::FRAC_PI_2;
+        assert!((end.x - r).abs() < 0.05, "{end:?}");
+        assert!((end.y - r).abs() < 0.05, "{end:?}");
+    }
+
+    #[test]
+    fn stationary_samples_do_not_move() {
+        let mut est = synthetic_estimate(100, 100.0, 1.0);
+        for m in est.moving.iter_mut() {
+            *m = false;
+        }
+        let track = fuse_with_gyro(&est, &vec![0.0; 100], Point2::new(1.0, 1.0), 0.0);
+        assert!(track
+            .iter()
+            .all(|p| p.distance(Point2::new(1.0, 1.0)) < 1e-12));
+    }
+
+    #[test]
+    fn map_fusion_outputs_both_tracks() {
+        let est = synthetic_estimate(400, 100.0, 0.5);
+        let gyro = vec![0.0; 400];
+        let fp = Floorplan::empty();
+        let out = fuse_with_map(
+            &est,
+            &gyro,
+            &fp,
+            Point2::ORIGIN,
+            0.0,
+            &FusionConfig::default(),
+        );
+        assert_eq!(out.dead_reckoned.len(), 400);
+        assert_eq!(out.filtered.len(), 400);
+        let dr_end = out.dead_reckoned.last().unwrap();
+        let pf_end = out.filtered.last().unwrap();
+        assert!((dr_end.x - 2.0).abs() < 1e-6);
+        assert!(pf_end.distance(*dr_end) < 0.3, "filter tracks the motion");
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_gyro_length_panics() {
+        let est = synthetic_estimate(10, 100.0, 1.0);
+        let _ = fuse_with_gyro(&est, &[0.0; 5], Point2::ORIGIN, 0.0);
+    }
+}

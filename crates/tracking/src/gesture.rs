@@ -1,0 +1,236 @@
+//! Gesture recognition (paper §6.3.2, Fig. 19).
+//!
+//! The paper's pointer unit performs four gestures — move towards
+//! left/right/up/down and back — and recognises them from the speed
+//! pattern: "RIM will observe speed in one direction in which the user's
+//! hand moves towards, immediately followed by a speed in the opposite
+//! direction when the hand moves back." We implement exactly that: find a
+//! moving burst, check it splits into two opposite-heading phases, and
+//! quantise the first phase's heading to the four gesture directions.
+
+use rim_channel::trajectory::{back_and_forth, Trajectory};
+use rim_core::MotionEstimate;
+use rim_dsp::geom::Point2;
+use rim_dsp::stats::{angle_diff, circular_mean};
+
+/// The four gestures of the paper's study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gesture {
+    /// Move towards −x and back.
+    Left,
+    /// Move towards +x and back.
+    Right,
+    /// Move towards +y and back.
+    Up,
+    /// Move towards −y and back.
+    Down,
+}
+
+impl Gesture {
+    /// All gestures.
+    pub const ALL: [Gesture; 4] = [Gesture::Left, Gesture::Right, Gesture::Up, Gesture::Down];
+
+    /// Outbound heading of the gesture, radians.
+    pub fn heading(self) -> f64 {
+        match self {
+            Gesture::Right => 0.0,
+            Gesture::Up => std::f64::consts::FRAC_PI_2,
+            Gesture::Left => std::f64::consts::PI,
+            Gesture::Down => -std::f64::consts::FRAC_PI_2,
+        }
+    }
+
+    /// The gesture whose heading is closest to `theta`.
+    pub fn from_heading(theta: f64) -> Gesture {
+        *Gesture::ALL
+            .iter()
+            .min_by(|a, b| {
+                angle_diff(a.heading(), theta)
+                    .partial_cmp(&angle_diff(b.heading(), theta))
+                    .unwrap()
+            })
+            .expect("ALL is non-empty")
+    }
+}
+
+/// Gesture-detector parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GestureConfig {
+    /// Minimum travelled distance of each phase, metres.
+    pub min_phase_m: f64,
+    /// Maximum angular deviation of the return phase from the exact
+    /// opposite of the outbound phase, radians.
+    pub reversal_tolerance: f64,
+    /// Maximum angular deviation of the outbound heading from one of the
+    /// four gesture directions, radians.
+    pub direction_tolerance: f64,
+}
+
+impl Default for GestureConfig {
+    fn default() -> Self {
+        Self {
+            min_phase_m: 0.05,
+            reversal_tolerance: 40f64.to_radians(),
+            direction_tolerance: 30f64.to_radians(),
+        }
+    }
+}
+
+/// Detects a gesture in a motion estimate. Returns `None` when no
+/// out-and-back pattern is present (the no-false-trigger path).
+pub fn detect_gesture(estimate: &MotionEstimate, config: &GestureConfig) -> Option<Gesture> {
+    let dt = 1.0 / estimate.sample_rate_hz;
+    // Collect (heading, step) for every moving sample with an estimate.
+    let steps: Vec<(f64, f64)> = (0..estimate.speed_mps.len())
+        .filter_map(|i| {
+            let v = estimate.speed_mps[i];
+            let h = estimate.heading_device[i]?;
+            if estimate.moving[i] && v.is_finite() && v > 0.0 {
+                Some((h, v * dt))
+            } else {
+                None
+            }
+        })
+        .collect();
+    if steps.is_empty() {
+        return None;
+    }
+    // Split into the outbound phase and the return phase at the largest
+    // heading reversal.
+    let outbound_heading = {
+        let hs: Vec<f64> = steps.iter().map(|&(h, _)| h).collect();
+        // The first third establishes the outbound direction.
+        let take = (hs.len() / 3).max(1);
+        circular_mean(&hs[..take])
+    };
+    if !outbound_heading.is_finite() {
+        return None;
+    }
+    let mut out_dist = 0.0;
+    let mut back_dist = 0.0;
+    for &(h, d) in &steps {
+        if angle_diff(h, outbound_heading) < std::f64::consts::FRAC_PI_2 {
+            out_dist += d;
+        } else if angle_diff(h, outbound_heading + std::f64::consts::PI) < config.reversal_tolerance
+        {
+            back_dist += d;
+        }
+    }
+    if out_dist < config.min_phase_m || back_dist < config.min_phase_m {
+        return None;
+    }
+    let g = Gesture::from_heading(outbound_heading);
+    if angle_diff(g.heading(), outbound_heading) > config.direction_tolerance {
+        return None;
+    }
+    Some(g)
+}
+
+/// Generates the device trajectory of performing a gesture: out
+/// `amplitude_m`, a short hold, and back, at `speed` m/s.
+pub fn gesture_trajectory(
+    gesture: Gesture,
+    start: Point2,
+    amplitude_m: f64,
+    speed: f64,
+    sample_rate_hz: f64,
+) -> Trajectory {
+    back_and_forth(
+        start,
+        gesture.heading(),
+        amplitude_m,
+        speed,
+        0.15,
+        sample_rate_hz,
+        // The pointer is held still; only the hand translates.
+        rim_channel::trajectory::OrientationMode::Fixed(0.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_core::pipeline::MotionEstimate;
+
+    fn estimate_from_phases(phases: &[(f64, usize)], fs: f64) -> MotionEstimate {
+        // Each phase: (heading, n_samples) at 0.3 m/s.
+        let n: usize = phases.iter().map(|&(_, k)| k).sum();
+        let mut heading = Vec::with_capacity(n);
+        for &(h, k) in phases {
+            heading.extend(std::iter::repeat_n(Some(h), k));
+        }
+        MotionEstimate {
+            sample_rate_hz: fs,
+            movement_indicator: vec![0.0; n],
+            moving: vec![true; n],
+            speed_mps: vec![0.3; n],
+            heading_device: heading,
+            angular_rate: vec![0.0; n],
+            segments: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn recognises_all_four() {
+        for g in Gesture::ALL {
+            let est = estimate_from_phases(
+                &[
+                    (g.heading(), 100),
+                    (g.heading() + std::f64::consts::PI, 100),
+                ],
+                200.0,
+            );
+            assert_eq!(
+                detect_gesture(&est, &GestureConfig::default()),
+                Some(g),
+                "{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_way_motion_is_not_a_gesture() {
+        let est = estimate_from_phases(&[(0.0, 200)], 200.0);
+        assert_eq!(detect_gesture(&est, &GestureConfig::default()), None);
+    }
+
+    #[test]
+    fn too_short_motion_is_rejected() {
+        let est = estimate_from_phases(&[(0.0, 10), (std::f64::consts::PI, 10)], 200.0);
+        assert_eq!(detect_gesture(&est, &GestureConfig::default()), None);
+    }
+
+    #[test]
+    fn static_estimate_is_rejected() {
+        let mut est = estimate_from_phases(&[(0.0, 100)], 200.0);
+        for m in est.moving.iter_mut() {
+            *m = false;
+        }
+        assert_eq!(detect_gesture(&est, &GestureConfig::default()), None);
+    }
+
+    #[test]
+    fn diagonal_motion_is_rejected() {
+        // 45° out-and-back is ambiguous between Right and Up: outside the
+        // direction tolerance, no gesture.
+        let d = 45f64.to_radians();
+        let est = estimate_from_phases(&[(d, 100), (d + std::f64::consts::PI, 100)], 200.0);
+        assert_eq!(detect_gesture(&est, &GestureConfig::default()), None);
+    }
+
+    #[test]
+    fn from_heading_quantises() {
+        assert_eq!(Gesture::from_heading(0.1), Gesture::Right);
+        assert_eq!(Gesture::from_heading(3.1), Gesture::Left);
+        assert_eq!(Gesture::from_heading(1.5), Gesture::Up);
+        assert_eq!(Gesture::from_heading(-1.6), Gesture::Down);
+    }
+
+    #[test]
+    fn trajectory_is_out_and_back() {
+        let t = gesture_trajectory(Gesture::Up, Point2::ORIGIN, 0.2, 0.4, 200.0);
+        let end = t.poses().last().unwrap().pos;
+        assert!(end.distance(Point2::ORIGIN) < 1e-6, "returns to start");
+        assert!((t.total_distance() - 0.4).abs() < 0.01);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rim-tracking
+//!
+//! The application layer of the RIM reproduction — the systems the paper
+//! builds on top of the core inertial measurements (§6.3):
+//!
+//! * [`particle`] — map-constrained particle filter (discard particles
+//!   that cross walls) for floor-scale tracking;
+//! * [`fusion`] — RIM distance + gyroscope heading dead reckoning and its
+//!   particle-filtered variant (Fig. 21);
+//! * [`handwriting`] — letter templates, writing workloads and scoring
+//!   (Fig. 18);
+//! * [`gesture`] — the four-direction pointer gestures and their
+//!   recogniser (Fig. 19);
+//! * [`metrics`] — the error measures used across the evaluation;
+//! * [`calibration`] — RIM-assisted calibration of inertial sensors
+//!   (gyro bias from CSI-detected static periods, §7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod fusion;
+pub mod gesture;
+pub mod handwriting;
+pub mod metrics;
+pub mod particle;
+
+pub use calibration::{debias_gyro, gyro_bias_from_static, magnetometer_offset};
+pub use fusion::{fuse_with_gyro, fuse_with_map, FusedTrack, FusionConfig};
+pub use gesture::{detect_gesture, gesture_trajectory, Gesture, GestureConfig};
+pub use handwriting::{letter_template, write_letter, HandwritingRun};
+pub use metrics::{
+    distance_error, heading_error, mean_projection_error, point_to_polyline, pointwise_errors,
+    relative_distance_error, rotation_error,
+};
+pub use particle::{Particle, ParticleFilter, ParticleFilterConfig};

@@ -1,0 +1,134 @@
+//! Error metrics for trajectory and motion evaluation.
+//!
+//! These are the measures the paper reports: distance error (Figs. 11,
+//! 14–17), heading error (Fig. 12), rotation error (Fig. 13) and the
+//! minimum-projection trajectory error of the handwriting study (§6.3.1:
+//! "we approximate the tracking error as the minimum projection distance
+//! from the estimated location to the trajectory").
+
+use rim_dsp::geom::{Point2, Segment};
+use rim_dsp::stats::angle_diff;
+
+/// Absolute moving-distance error, metres.
+pub fn distance_error(estimated_m: f64, truth_m: f64) -> f64 {
+    (estimated_m - truth_m).abs()
+}
+
+/// Relative distance error (fraction of the true distance).
+pub fn relative_distance_error(estimated_m: f64, truth_m: f64) -> f64 {
+    if truth_m == 0.0 {
+        return f64::NAN;
+    }
+    (estimated_m - truth_m).abs() / truth_m
+}
+
+/// Heading error: smallest angular difference, radians.
+pub fn heading_error(estimated: f64, truth: f64) -> f64 {
+    angle_diff(estimated, truth)
+}
+
+/// Rotation-angle error, radians (signed angles compared directly; a
+/// missed rotation scores the full true magnitude).
+pub fn rotation_error(estimated: f64, truth: f64) -> f64 {
+    (estimated - truth).abs()
+}
+
+/// Minimum distance from a point to a polyline.
+pub fn point_to_polyline(p: Point2, polyline: &[Point2]) -> f64 {
+    if polyline.is_empty() {
+        return f64::NAN;
+    }
+    if polyline.len() == 1 {
+        return p.distance(polyline[0]);
+    }
+    polyline
+        .windows(2)
+        .map(|w| Segment::new(w[0], w[1]).distance_to_point(p))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Mean minimum-projection error of an estimated track against a
+/// ground-truth polyline — the handwriting/trajectory metric of §6.3.1.
+pub fn mean_projection_error(estimate: &[Point2], truth: &[Point2]) -> f64 {
+    if estimate.is_empty() {
+        return f64::NAN;
+    }
+    estimate
+        .iter()
+        .map(|&p| point_to_polyline(p, truth))
+        .sum::<f64>()
+        / estimate.len() as f64
+}
+
+/// Per-sample position errors against a time-aligned ground-truth track
+/// (both sampled at the same instants).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn pointwise_errors(estimate: &[Point2], truth: &[Point2]) -> Vec<f64> {
+    assert_eq!(estimate.len(), truth.len(), "tracks must be time-aligned");
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| a.distance(*b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_errors() {
+        assert!((distance_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_distance_error(1.1, 1.0) - 0.1).abs() < 1e-9);
+        assert!(relative_distance_error(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn heading_error_wraps() {
+        let e = heading_error(179f64.to_radians(), -179f64.to_radians());
+        assert!((e.to_degrees() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_to_polyline_cases() {
+        let line = [Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        assert!((point_to_polyline(Point2::new(5.0, 2.0), &line) - 2.0).abs() < 1e-12);
+        assert!((point_to_polyline(Point2::new(-3.0, 4.0), &line) - 5.0).abs() < 1e-12);
+        assert!((point_to_polyline(Point2::new(1.0, 0.0), &[Point2::ORIGIN]) - 1.0).abs() < 1e-12);
+        assert!(point_to_polyline(Point2::ORIGIN, &[]).is_nan());
+    }
+
+    #[test]
+    fn projection_error_on_l_shape() {
+        let truth = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+        ];
+        // Estimate hugging the truth at 5 cm offset.
+        let est = [
+            Point2::new(0.2, 0.05),
+            Point2::new(0.8, 0.05),
+            Point2::new(0.95, 0.5),
+        ];
+        let e = mean_projection_error(&est, &truth);
+        assert!((e - 0.05).abs() < 1e-9, "{e}");
+        assert!(mean_projection_error(&[], &truth).is_nan());
+    }
+
+    #[test]
+    fn pointwise_matches_geometry() {
+        let a = [Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let b = [Point2::new(3.0, 4.0), Point2::new(1.0, 1.0)];
+        let e = pointwise_errors(&a, &b);
+        assert_eq!(e, vec![5.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-aligned")]
+    fn pointwise_length_mismatch_panics() {
+        let _ = pointwise_errors(&[Point2::ORIGIN], &[]);
+    }
+}

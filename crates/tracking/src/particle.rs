@@ -1,0 +1,328 @@
+//! Particle filter with floorplan constraints (paper §6.3.3).
+//!
+//! RIM's relative trajectory slowly accumulates heading error; the paper
+//! corrects it with a particle filter that "will discard every particle
+//! that hits a wall and let others survive". Each particle carries a pose
+//! hypothesis; prediction applies the per-step displacement with jitter;
+//! the wall constraint re-weights; systematic resampling keeps the
+//! population healthy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rim_channel::floorplan::Floorplan;
+use rim_dsp::geom::{Point2, Vec2};
+
+/// One pose hypothesis.
+#[derive(Debug, Clone, Copy)]
+pub struct Particle {
+    /// Position hypothesis.
+    pub pos: Point2,
+    /// Current heading correction (added to the measured heading), radians.
+    /// Captures constant sensor offsets.
+    pub heading_bias: f64,
+    /// Heading-drift-rate hypothesis, radians/second: models a gyro whose
+    /// error *accumulates* (bias × time), which a constant offset cannot
+    /// express. The wall constraint selects particles whose rate matches.
+    pub drift_rate: f64,
+    /// Importance weight.
+    pub weight: f64,
+}
+
+/// Particle-filter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleFilterConfig {
+    /// Number of particles.
+    pub n_particles: usize,
+    /// Standard deviation of per-step distance jitter (fraction of step).
+    pub step_noise: f64,
+    /// Standard deviation of per-step heading jitter, radians.
+    pub heading_noise: f64,
+    /// Random-walk rate of the heading-bias hypothesis, radians/step.
+    pub bias_walk: f64,
+    /// Spread of the initial drift-rate hypotheses, radians/second —
+    /// should cover the plausible gyro bias range (≈1 °/s for an
+    /// uncalibrated consumer part).
+    pub drift_rate_std: f64,
+    /// Resample when the effective sample size falls below this fraction.
+    pub resample_threshold: f64,
+}
+
+impl Default for ParticleFilterConfig {
+    fn default() -> Self {
+        Self {
+            n_particles: 500,
+            step_noise: 0.1,
+            heading_noise: 0.03,
+            bias_walk: 0.002,
+            drift_rate_std: 1.0f64.to_radians(),
+            resample_threshold: 0.5,
+        }
+    }
+}
+
+/// Map-constrained particle filter.
+#[derive(Debug, Clone)]
+pub struct ParticleFilter {
+    particles: Vec<Particle>,
+    config: ParticleFilterConfig,
+    floorplan: Floorplan,
+    rng: StdRng,
+}
+
+impl ParticleFilter {
+    /// Creates a filter with all particles at the known start pose, with
+    /// drift-rate hypotheses spread over the configured range.
+    pub fn new(
+        floorplan: Floorplan,
+        start: Point2,
+        config: ParticleFilterConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(config.n_particles > 0, "need at least one particle");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = 1.0 / config.n_particles as f64;
+        let particles = (0..config.n_particles)
+            .map(|_| Particle {
+                pos: start,
+                heading_bias: 0.0,
+                drift_rate: config.drift_rate_std * normal(&mut rng),
+                weight: w,
+            })
+            .collect();
+        Self {
+            particles,
+            config,
+            floorplan,
+            rng,
+        }
+    }
+
+    /// The current particle population.
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// Advances the filter by one measured step: `distance` metres along
+    /// world `heading` radians (as estimated by RIM + orientation source),
+    /// covering `dt_s` seconds of motion. Returns the posterior position
+    /// estimate.
+    pub fn step(&mut self, distance: f64, heading: f64, dt_s: f64) -> Point2 {
+        let cfg = self.config;
+        for p in &mut self.particles {
+            if p.weight == 0.0 {
+                continue;
+            }
+            // The drift-rate hypothesis accumulates into the heading
+            // correction, letting the filter track a gyro whose error
+            // grows with time.
+            p.heading_bias += p.drift_rate * dt_s + cfg.bias_walk * normal(&mut self.rng);
+            let d = distance * (1.0 + cfg.step_noise * normal(&mut self.rng));
+            let h = heading + p.heading_bias + cfg.heading_noise * normal(&mut self.rng);
+            let next = p.pos + Vec2::from_angle(h) * d;
+            // The map constraint: a step through a wall is impossible.
+            if self.floorplan.blocks(p.pos, next) {
+                p.weight = 0.0;
+            } else {
+                p.pos = next;
+            }
+        }
+        self.normalise_or_recover();
+        if self.effective_sample_fraction() < cfg.resample_threshold {
+            self.resample();
+        }
+        self.estimate()
+    }
+
+    /// Weighted mean position.
+    pub fn estimate(&self) -> Point2 {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for p in &self.particles {
+            x += p.pos.x * p.weight;
+            y += p.pos.y * p.weight;
+        }
+        Point2::new(x, y)
+    }
+
+    /// Effective sample size as a fraction of the population.
+    pub fn effective_sample_fraction(&self) -> f64 {
+        let sum_sq: f64 = self.particles.iter().map(|p| p.weight * p.weight).sum();
+        if sum_sq <= 0.0 {
+            return 0.0;
+        }
+        1.0 / sum_sq / self.particles.len() as f64
+    }
+
+    /// Normalises weights; if every particle died (all crossed walls —
+    /// the kidnapped-robot corner case), revives the population in place
+    /// with uniform weights rather than panicking.
+    fn normalise_or_recover(&mut self) {
+        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        if total > 0.0 {
+            for p in &mut self.particles {
+                p.weight /= total;
+            }
+        } else {
+            let w = 1.0 / self.particles.len() as f64;
+            for p in &mut self.particles {
+                p.weight = w;
+            }
+        }
+    }
+
+    /// Systematic resampling.
+    fn resample(&mut self) {
+        let n = self.particles.len();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for p in &self.particles {
+            acc += p.weight;
+            cumulative.push(acc);
+        }
+        let step = 1.0 / n as f64;
+        let mut u = self.rng.gen_range(0.0..step);
+        let mut out = Vec::with_capacity(n);
+        let mut idx = 0;
+        for _ in 0..n {
+            while idx + 1 < n && cumulative[idx] < u {
+                idx += 1;
+            }
+            let mut p = self.particles[idx];
+            p.weight = step;
+            // Roughen the duplicated hypotheses a little to keep the
+            // drift-rate population diverse.
+            p.drift_rate += 0.02 * self.config.drift_rate_std * normal(&mut self.rng);
+            out.push(p);
+            u += step;
+        }
+        self.particles = out;
+    }
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_channel::floorplan::Wall;
+    use rim_channel::Material;
+
+    fn corridor() -> Floorplan {
+        // A 2 m wide corridor along +x.
+        Floorplan::new(vec![
+            Wall::new(-1.0, 1.0, 20.0, 1.0, Material::drywall()),
+            Wall::new(-1.0, -1.0, 20.0, -1.0, Material::drywall()),
+        ])
+    }
+
+    #[test]
+    fn tracks_straight_walk() {
+        let mut pf = ParticleFilter::new(
+            corridor(),
+            Point2::ORIGIN,
+            ParticleFilterConfig::default(),
+            1,
+        );
+        let mut last = Point2::ORIGIN;
+        for _ in 0..100 {
+            last = pf.step(0.05, 0.0, 0.05);
+        }
+        assert!((last.x - 5.0).abs() < 0.3, "walked ~5 m: {last:?}");
+        assert!(last.y.abs() < 0.3);
+    }
+
+    #[test]
+    fn walls_correct_heading_bias() {
+        // Feed a heading that is biased 10° to the left; the corridor
+        // walls must keep the estimate inside and suppress the drift that
+        // dead reckoning would accumulate.
+        let mut pf = ParticleFilter::new(
+            corridor(),
+            Point2::ORIGIN,
+            ParticleFilterConfig::default(),
+            2,
+        );
+        let bias = 10f64.to_radians();
+        let mut last = Point2::ORIGIN;
+        for _ in 0..200 {
+            last = pf.step(0.05, bias, 0.05);
+        }
+        // Dead reckoning would sit at y = 10·sin(10°) ≈ 1.74 — outside.
+        assert!(last.y.abs() < 1.0, "map keeps the estimate in: {last:?}");
+        assert!(last.x > 8.0, "and forward progress continues: {last:?}");
+    }
+
+    #[test]
+    fn estimate_is_weighted_mean() {
+        let pf = ParticleFilter::new(
+            Floorplan::empty(),
+            Point2::new(3.0, 4.0),
+            ParticleFilterConfig {
+                n_particles: 10,
+                ..Default::default()
+            },
+            3,
+        );
+        let e = pf.estimate();
+        assert!((e.x - 3.0).abs() < 1e-12 && (e.y - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_dead_population_recovers() {
+        // A box so tight that every step crosses a wall.
+        let fp = Floorplan::new(vec![
+            Wall::new(-0.01, -0.01, 0.01, -0.01, Material::concrete()),
+            Wall::new(0.01, -0.01, 0.01, 0.01, Material::concrete()),
+            Wall::new(0.01, 0.01, -0.01, 0.01, Material::concrete()),
+            Wall::new(-0.01, 0.01, -0.01, -0.01, Material::concrete()),
+        ]);
+        let mut pf = ParticleFilter::new(fp, Point2::ORIGIN, ParticleFilterConfig::default(), 4);
+        let est = pf.step(1.0, 0.0, 1.0); // Every particle dies; filter recovers.
+        assert!(est.x.is_finite() && est.y.is_finite());
+        let ws: f64 = pf.particles().iter().map(|p| p.weight).sum();
+        assert!((ws - 1.0).abs() < 1e-9, "weights renormalised: {ws}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = |seed| {
+            let mut pf = ParticleFilter::new(
+                corridor(),
+                Point2::ORIGIN,
+                ParticleFilterConfig::default(),
+                seed,
+            );
+            let mut last = Point2::ORIGIN;
+            for _ in 0..50 {
+                last = pf.step(0.05, 0.01, 0.05);
+            }
+            last
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one particle")]
+    fn zero_particles_rejected() {
+        let _ = ParticleFilter::new(
+            Floorplan::empty(),
+            Point2::ORIGIN,
+            ParticleFilterConfig {
+                n_particles: 0,
+                ..Default::default()
+            },
+            0,
+        );
+    }
+}

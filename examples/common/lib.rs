@@ -1,0 +1,96 @@
+//! Shared helpers for the runnable examples: simulate → record → analyze
+//! plumbing and a small ASCII plotter for trajectories.
+
+use rim_array::ArrayGeometry;
+use rim_channel::trajectory::Trajectory;
+use rim_channel::ChannelSimulator;
+use rim_core::{MotionEstimate, Rim, RimConfig};
+use rim_csi::{CsiRecorder, DeviceConfig, RecorderConfig};
+use rim_dsp::geom::Point2;
+
+/// Builds the device configuration matching an array geometry (one NIC per
+/// geometry NIC group).
+pub fn device_for(geometry: &ArrayGeometry) -> DeviceConfig {
+    if geometry.nic_groups().len() == 2 {
+        DeviceConfig::dual_nic(geometry.offsets().to_vec())
+    } else {
+        DeviceConfig::single_nic(geometry.offsets().to_vec())
+    }
+}
+
+/// Records a trajectory and runs the full RIM pipeline on it.
+pub fn simulate_and_analyze(
+    sim: &ChannelSimulator,
+    geometry: &ArrayGeometry,
+    trajectory: &Trajectory,
+    config: RimConfig,
+    seed: u64,
+) -> MotionEstimate {
+    let device = device_for(geometry);
+    let recorder = CsiRecorder::new(
+        sim,
+        device,
+        RecorderConfig {
+            sanitize: true,
+            seed,
+        },
+    );
+    let dense = recorder
+        .record(trajectory)
+        .interpolated()
+        .expect("recording is interpolable");
+    let rim = Rim::new(geometry.clone(), config);
+    rim.analyze(&dense)
+}
+
+/// Renders one or two point tracks as an ASCII plot (`*` = first track,
+/// `o` = second, `#` = both in the same cell).
+pub fn ascii_plot(tracks: &[&[Point2]], width: usize, height: usize) -> String {
+    let points: Vec<Point2> = tracks.iter().flat_map(|t| t.iter().copied()).collect();
+    if points.is_empty() {
+        return String::from("(empty plot)\n");
+    }
+    let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let max_x = points.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+    let min_y = points.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let max_y = points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let mut grid = vec![vec![b' '; width]; height];
+    for (idx, track) in tracks.iter().enumerate() {
+        let mark = if idx == 0 { b'*' } else { b'o' };
+        for p in track.iter() {
+            let cx = (((p.x - min_x) / span_x) * (width - 1) as f64).round() as usize;
+            let cy = (((p.y - min_y) / span_y) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            let cell = &mut grid[row][cx];
+            *cell = match (*cell, mark) {
+                (b' ', m) => m,
+                (c, m) if c == m => m,
+                _ => b'#',
+            };
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push_str(std::str::from_utf8(&row).unwrap());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_plot_marks_tracks() {
+        let a = [Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let b = [Point2::new(0.0, 1.0)];
+        let plot = ascii_plot(&[&a, &b], 10, 5);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert_eq!(plot.lines().count(), 5);
+        assert_eq!(ascii_plot(&[], 5, 5), "(empty plot)\n");
+    }
+}

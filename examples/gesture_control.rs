@@ -1,0 +1,62 @@
+//! Gesture control with a pointer-like unit (paper §6.3.2, Fig. 19): an
+//! L-shaped 3-antenna array performs left/right/up/down flicks that RIM
+//! detects and classifies — enough to turn a phone into a presentation
+//! pointer.
+//!
+//! ```sh
+//! cargo run --release -p rim-examples --bin gesture_control
+//! ```
+
+use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
+use rim_channel::ChannelSimulator;
+use rim_core::RimConfig;
+use rim_dsp::geom::Point2;
+use rim_examples::simulate_and_analyze;
+use rim_tracking::gesture::{detect_gesture, gesture_trajectory, Gesture, GestureConfig};
+
+fn main() {
+    let fs = 200.0;
+    let sim = ChannelSimulator::open_lab(7);
+    // The compact pointer unit: one NIC, three antennas in an "L".
+    let geometry = ArrayGeometry::l_shape(HALF_WAVELENGTH);
+    let det_cfg = GestureConfig::default();
+
+    println!("performing each gesture 5 times (20 cm flick at 0.5 m/s)\n");
+    let mut correct = 0usize;
+    let mut missed = 0usize;
+    let mut total = 0usize;
+    for gesture in Gesture::ALL {
+        print!("{gesture:>6?}: ");
+        for rep in 0..5 {
+            let traj = gesture_trajectory(
+                gesture,
+                Point2::new(0.4 + 0.05 * rep as f64, 1.8),
+                0.20,
+                0.5,
+                fs,
+            );
+            let config = RimConfig::for_sample_rate(fs).with_min_speed(0.2, HALF_WAVELENGTH, fs);
+            let estimate = simulate_and_analyze(&sim, &geometry, &traj, config, 40 + total as u64);
+            total += 1;
+            match detect_gesture(&estimate, &det_cfg) {
+                Some(g) if g == gesture => {
+                    correct += 1;
+                    print!("✓ ");
+                }
+                Some(g) => print!("✗({g:?}) "),
+                None => {
+                    missed += 1;
+                    print!("– ");
+                }
+            }
+        }
+        println!();
+    }
+    println!(
+        "\ndetected {}/{} ({:.0}%), {} missed (paper: 96.25% detection, 0 misclassified)",
+        correct,
+        total,
+        100.0 * correct as f64 / total as f64,
+        missed
+    );
+}

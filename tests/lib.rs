@@ -1,0 +1,46 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
+use rim_channel::trajectory::Trajectory;
+use rim_channel::ChannelSimulator;
+use rim_core::{MotionEstimate, Rim, RimConfig};
+use rim_csi::{CsiRecorder, DeviceConfig, RecorderConfig};
+
+/// The standard test sample rate (100 Hz keeps integration tests fast
+/// while staying above the paper's accuracy knee for ≤1 m/s motion).
+pub const FS: f64 = 100.0;
+
+/// λ/2 spacing.
+pub const SPACING: f64 = HALF_WAVELENGTH;
+
+/// Records and analyses a trajectory against a simulator.
+pub fn run_pipeline(
+    sim: &ChannelSimulator,
+    geometry: &ArrayGeometry,
+    traj: &Trajectory,
+    config: RimConfig,
+    seed: u64,
+) -> MotionEstimate {
+    let device = if geometry.nic_groups().len() == 2 {
+        DeviceConfig::dual_nic(geometry.offsets().to_vec())
+    } else {
+        DeviceConfig::single_nic(geometry.offsets().to_vec())
+    };
+    let dense = CsiRecorder::new(
+        sim,
+        device,
+        RecorderConfig {
+            sanitize: true,
+            seed,
+        },
+    )
+    .record(traj)
+    .interpolated()
+    .expect("interpolable recording");
+    Rim::new(geometry.clone(), config).analyze(&dense)
+}
+
+/// Standard config bounded at a minimum speed.
+pub fn config(min_speed: f64) -> RimConfig {
+    RimConfig::for_sample_rate(FS).with_min_speed(min_speed, SPACING, FS)
+}

@@ -1,0 +1,106 @@
+//! §4.4 claim test: "The varying speed will be captured by continuous
+//! estimation" — RIM's per-sample speed must follow a non-constant
+//! ground-truth profile, not just integrate to the right total.
+
+use rim_array::ArrayGeometry;
+use rim_channel::trajectory::line_ramped;
+use rim_channel::trajectory::OrientationMode;
+use rim_channel::ChannelSimulator;
+use rim_dsp::geom::Point2;
+use rim_integration_tests::{config, run_pipeline, FS, SPACING};
+
+#[test]
+fn speed_estimates_follow_trapezoidal_profile() {
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = ArrayGeometry::linear(3, SPACING);
+    // Accelerate to 1 m/s, cruise, decelerate — over 4 m.
+    let traj = line_ramped(
+        Point2::new(-1.0, 2.0),
+        0.0,
+        4.0,
+        1.0,
+        1.0,
+        FS,
+        OrientationMode::FollowPath,
+    );
+    let truth_speeds = traj.speeds();
+    let est = run_pipeline(&sim, &geo, &traj, config(0.25), 1);
+    assert_eq!(est.speed_mps.len(), truth_speeds.len());
+
+    // Compare where RIM produced an estimate (skip the blind ramp-in).
+    let mut errs = Vec::new();
+    let mut cruise_speeds = Vec::new();
+    let mut slow_phase_speeds = Vec::new();
+    for (i, (&v, &t)) in est.speed_mps.iter().zip(&truth_speeds).enumerate() {
+        if !v.is_finite() {
+            continue;
+        }
+        errs.push((v - t).abs());
+        if t > 0.95 {
+            cruise_speeds.push(v);
+        }
+        // The deceleration phase in the middle of its ramp.
+        if (0.4..0.7).contains(&t) && i > est.speed_mps.len() / 2 {
+            slow_phase_speeds.push(v);
+        }
+    }
+    assert!(errs.len() > 200, "most samples estimated: {}", errs.len());
+    let median_err = rim_dsp::stats::median(&errs);
+    assert!(median_err < 0.12, "median speed error {median_err:.3} m/s");
+
+    // The profile shape is tracked: cruise readings sit near 1 m/s and the
+    // deceleration readings sit clearly below them.
+    let cruise = rim_dsp::stats::median(&cruise_speeds);
+    assert!((cruise - 1.0).abs() < 0.1, "cruise speed {cruise:.2}");
+    if slow_phase_speeds.len() > 5 {
+        let slow = rim_dsp::stats::median(&slow_phase_speeds);
+        assert!(
+            slow < cruise - 0.2,
+            "deceleration tracked: {slow:.2} vs cruise {cruise:.2}"
+        );
+    }
+}
+
+#[test]
+fn two_speed_trace_resolves_both_plateaus() {
+    // 1 m at 0.5 m/s then 1 m at 1.0 m/s, continuously.
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = ArrayGeometry::linear(3, SPACING);
+    let mut traj = rim_channel::trajectory::line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        1.0,
+        0.5,
+        FS,
+        OrientationMode::FollowPath,
+    );
+    traj.extend(&rim_channel::trajectory::line(
+        Point2::new(1.0, 2.0),
+        0.0,
+        1.0,
+        1.0,
+        FS,
+        OrientationMode::FollowPath,
+    ));
+    let est = run_pipeline(&sim, &geo, &traj, config(0.25), 2);
+    let n = est.speed_mps.len();
+    let first: Vec<f64> = est.speed_mps[n / 8..3 * n / 8]
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    let second: Vec<f64> = est.speed_mps[3 * n / 4..]
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    let v1 = rim_dsp::stats::median(&first);
+    let v2 = rim_dsp::stats::median(&second);
+    assert!((v1 - 0.5).abs() < 0.12, "first plateau {v1:.2} m/s");
+    assert!((v2 - 1.0).abs() < 0.15, "second plateau {v2:.2} m/s");
+    assert!(
+        (est.total_distance() - 2.0).abs() < 0.2,
+        "total {:.2} m",
+        est.total_distance()
+    );
+}
