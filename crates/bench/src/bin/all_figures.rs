@@ -1,7 +1,15 @@
 //! Runs every reproduced figure in order and prints the reports; with
 //! `--markdown`, emits the Markdown blocks EXPERIMENTS.md embeds.
+//! Afterwards it profiles one representative pipeline run and writes the
+//! stage-level observability report to `BENCH_pipeline.json`.
+use rim_bench::env;
 use rim_bench::figs;
 use rim_bench::report::Report;
+use rim_channel::trajectory::{line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::Rim;
+use rim_csi::{CsiRecorder, RecorderConfig};
+use rim_dsp::geom::Point2;
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
@@ -38,5 +46,41 @@ fn main() {
             report.print();
         }
         eprintln!("[{name}] done in {:.1?}", t0.elapsed());
+    }
+    write_pipeline_profile();
+}
+
+/// Profiles one representative pipeline run (2 m lab push at the standard
+/// sample rate) with the rim-obs recorder — acquisition through reckoning
+/// — and writes the run report to `BENCH_pipeline.json`.
+fn write_pipeline_profile() {
+    let recorder = rim_obs::Recorder::new();
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = env::linear_array();
+    let fs = env::SAMPLE_RATE;
+    let traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        2.0,
+        1.0,
+        fs,
+        OrientationMode::FollowPath,
+    );
+    let dense = CsiRecorder::new(
+        &sim,
+        env::device_for(&geo),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record_probed(&traj, &recorder)
+    .interpolated()
+    .expect("recording interpolable");
+    Rim::new(geo, env::rim_config(fs, 0.3)).analyze_probed(&dense, &recorder);
+    let json = recorder.report().to_json();
+    match std::fs::write("BENCH_pipeline.json", json + "\n") {
+        Ok(()) => eprintln!("[obs] wrote BENCH_pipeline.json"),
+        Err(e) => eprintln!("[obs] could not write BENCH_pipeline.json: {e}"),
     }
 }

@@ -13,14 +13,18 @@ use rim_dsp::geom::{Point2, Vec2};
 
 /// One cart trace: place a 10 m run inside the office open band.
 fn cart_trace(k: usize, fs: f64) -> (Point2, f64, f64) {
-    // Alternate between west→east runs in the two open corridors.
+    // North↔south runs through the central open area, east of the
+    // concrete service core. Every midpoint is LOS from AP #1 in the open
+    // area and NLOS from the far-corner AP #0 (behind the y = 20 corridor
+    // wall or the core), so the same trace set serves both classes.
+    const NORTH: f64 = std::f64::consts::FRAC_PI_2;
     let starts = [
-        (Point2::new(4.0, 9.5), 0.0),
-        (Point2::new(32.0, 10.5), std::f64::consts::PI),
-        (Point2::new(4.5, 17.0), 0.0),
-        (Point2::new(31.0, 18.5), std::f64::consts::PI),
-        (Point2::new(5.0, 13.0), 0.0),
-        (Point2::new(30.0, 14.5), std::f64::consts::PI),
+        (Point2::new(22.5, 8.5), NORTH),
+        (Point2::new(23.5, 18.5), -NORTH),
+        (Point2::new(20.5, 9.5), NORTH),
+        (Point2::new(26.5, 18.5), -NORTH),
+        (Point2::new(24.5, 8.7), NORTH),
+        (Point2::new(19.8, 18.8), -NORTH),
     ];
     let (p, h) = starts[k % starts.len()];
     let _ = fs;

@@ -17,13 +17,58 @@ rim — RF-based inertial measurement (RIM, SIGCOMM 2019) in Rust
 USAGE:
   rim simulate <out.rimc> [--scenario line|square|rotation] [--env lab|office]
                [--array linear3|hexagonal|l] [--distance M] [--speed M/S]
-               [--rate HZ] [--loss P] [--seed N]
+               [--rate HZ] [--loss P] [--seed N] [--obs json|report]
   rim analyze  <in.rimc>  [--array linear3|hexagonal|l] [--min-speed M/S]
-               [--start X,Y] [--verbose]
+               [--start X,Y] [--verbose] [--obs json|report]
   rim floorplan
-  rim demo     [--seed N]
+  rim demo     [--seed N] [--obs json|report]
   rim help
+
+  --obs report prints a per-stage observability table (timings, counters,
+  diagnostics); --obs json emits the same run report as machine-readable
+  JSON on stdout (and nothing else, so it pipes cleanly).
 ";
+
+/// Rejects `--options` the subcommand does not know. The parser accepts
+/// any `--key value`, so without this check a typo like `--sceanrio` was
+/// silently swallowed and the default used instead.
+fn check_options(args: &Args, allowed: &[&str]) -> Result<(), String> {
+    for key in args.options.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown option --{key} (valid options: {})",
+                if allowed.is_empty() {
+                    String::from("none")
+                } else {
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Observability output mode selected with `--obs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObsMode {
+    /// Machine-readable `RunReport` JSON, alone on stdout.
+    Json,
+    /// Human text table appended to the normal output.
+    Report,
+}
+
+fn obs_mode(args: &Args) -> Result<Option<ObsMode>, String> {
+    match args.options.get("obs").map(String::as_str) {
+        None => Ok(None),
+        Some("json") => Ok(Some(ObsMode::Json)),
+        Some("report") => Ok(Some(ObsMode::Report)),
+        Some(other) => Err(format!("--obs expects json or report, got {other:?}")),
+    }
+}
 
 /// Resolves an array geometry by name.
 fn array_by_name(name: &str) -> Result<ArrayGeometry, String> {
@@ -94,6 +139,13 @@ fn scenario(
 
 /// `rim simulate`.
 pub fn simulate(args: &Args) -> Result<(), String> {
+    check_options(
+        args,
+        &[
+            "scenario", "env", "array", "distance", "speed", "rate", "loss", "seed", "obs",
+        ],
+    )?;
+    let obs = obs_mode(args)?;
     let out_path = args
         .positional
         .first()
@@ -122,19 +174,28 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         }
         device = device.with_loss(LossModel::Iid { p: loss });
     }
-    let recording = CsiRecorder::new(
+    let recorder = rim_obs::Recorder::new();
+    let csi_recorder = CsiRecorder::new(
         &sim,
         device,
         RecorderConfig {
             sanitize: true,
             seed,
         },
-    )
-    .record(&traj);
+    );
+    let recording = if obs.is_some() {
+        csi_recorder.record_probed(&traj, &recorder)
+    } else {
+        csi_recorder.record(&traj)
+    };
 
     let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     rim_csi::storage::save_recording(&recording, BufWriter::new(file))
         .map_err(|e| format!("write failed: {e}"))?;
+    if obs == Some(ObsMode::Json) {
+        println!("{}", recorder.report().to_json());
+        return Ok(());
+    }
     println!(
         "wrote {out_path}: {} samples × {} antennas at {rate} Hz \
          ({scenario_name} in {env_name}, {:.2} m ground truth, loss {:.0}%)",
@@ -143,11 +204,16 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         traj.total_distance(),
         recording.loss_rate() * 100.0,
     );
+    if obs == Some(ObsMode::Report) {
+        print!("{}", recorder.report().render());
+    }
     Ok(())
 }
 
 /// `rim analyze`.
 pub fn analyze(args: &Args) -> Result<(), String> {
+    check_options(args, &["array", "min-speed", "start", "verbose", "obs"])?;
+    let obs = obs_mode(args)?;
     let in_path = args
         .positional
         .first()
@@ -171,8 +237,18 @@ pub fn analyze(args: &Args) -> Result<(), String> {
         .ok_or("capture is not interpolable (an antenna lost every packet)")?;
     let fs = dense.sample_rate_hz;
     let config = RimConfig::for_sample_rate(fs).with_min_speed(min_speed, HALF_WAVELENGTH, fs);
-    let estimate = Rim::new(geometry, config).analyze(&dense);
+    let rim = Rim::new(geometry, config);
+    let recorder = rim_obs::Recorder::new();
+    let estimate = if obs.is_some() {
+        rim.analyze_probed(&dense, &recorder)
+    } else {
+        rim.analyze(&dense)
+    };
 
+    if obs == Some(ObsMode::Json) {
+        println!("{}", recorder.report().to_json());
+        return Ok(());
+    }
     println!(
         "{in_path}: {} samples at {fs} Hz, loss {:.1}%",
         dense.n_samples(),
@@ -216,11 +292,52 @@ pub fn analyze(args: &Args) -> Result<(), String> {
             println!("  t={:6.2}s  ({:7.3}, {:7.3})", i as f64 / fs, p.x, p.y);
         }
     }
+    if obs == Some(ObsMode::Report) {
+        print!(
+            "{}",
+            render_obs_report(&recorder, rim.config(), &dense, &estimate)
+        );
+    }
     Ok(())
 }
 
+/// Full observability report: the per-stage table plus the paper-figure
+/// diagnostics (movement-indicator sparkline, alignment-matrix heatmap of
+/// the first moving segment) promoted from `rim_core::diagnostics`.
+fn render_obs_report(
+    recorder: &rim_obs::Recorder,
+    config: &RimConfig,
+    dense: &rim_csi::recorder::DenseCsi,
+    estimate: &rim_core::MotionEstimate,
+) -> String {
+    let mut out = recorder.report().render();
+    out.push_str("\nmovement indicator (self-TRRS, lower = moving):\n");
+    out.push_str(&rim_core::diagnostics::render_trace(
+        &estimate.movement_indicator,
+        72,
+        6,
+    ));
+    if let Some(seg) = estimate.segments.first() {
+        // Heatmap of the first segment's alignment matrix (first antenna
+        // pair), bounded so long captures stay readable and cheap.
+        let end = seg.end.min(seg.start + 600).min(dense.n_samples());
+        if end > seg.start + 4 && dense.n_antennas() >= 2 {
+            let a = rim_core::NormSnapshot::series(&dense.antennas[0][seg.start..end]);
+            let b = rim_core::NormSnapshot::series(&dense.antennas[1][seg.start..end]);
+            let m = rim_core::alignment_matrix(&a, &b, config.alignment);
+            out.push_str(&format!(
+                "\nalignment matrix, segment [{}..{}) antennas (0,1):\n",
+                seg.start, end
+            ));
+            out.push_str(&rim_core::diagnostics::render_matrix(&m, 72, 16));
+        }
+    }
+    out
+}
+
 /// `rim floorplan`.
-pub fn floorplan(_args: &Args) -> Result<(), String> {
+pub fn floorplan(args: &Args) -> Result<(), String> {
+    check_options(args, &[])?;
     let (fp, aps) = rim_channel::office_floorplan();
     let (lo, hi) = fp.bounds().expect("walls");
     println!(
@@ -238,6 +355,8 @@ pub fn floorplan(_args: &Args) -> Result<(), String> {
 
 /// `rim demo` — a self-contained end-to-end run.
 pub fn demo(args: &Args) -> Result<(), String> {
+    check_options(args, &["seed", "obs"])?;
+    let obs = obs_mode(args)?;
     let seed = args.get_u64("seed", 7)?;
     let sim = ChannelSimulator::open_lab(seed);
     let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
@@ -249,24 +368,45 @@ pub fn demo(args: &Args) -> Result<(), String> {
         200.0,
         OrientationMode::FollowPath,
     );
-    let dense = CsiRecorder::new(
+    let recorder = rim_obs::Recorder::new();
+    let csi_recorder = CsiRecorder::new(
         &sim,
         DeviceConfig::single_nic(geometry.offsets().to_vec()),
         RecorderConfig {
             sanitize: true,
             seed,
         },
-    )
-    .record(&traj)
-    .interpolated()
-    .ok_or("recording not interpolable")?;
+    );
+    let recording = if obs.is_some() {
+        csi_recorder.record_probed(&traj, &recorder)
+    } else {
+        csi_recorder.record(&traj)
+    };
+    let dense = recording
+        .interpolated()
+        .ok_or("recording not interpolable")?;
     let config = RimConfig::for_sample_rate(200.0).with_min_speed(0.3, HALF_WAVELENGTH, 200.0);
-    let est = Rim::new(geometry, config).analyze(&dense);
+    let rim = Rim::new(geometry, config);
+    let est = if obs.is_some() {
+        rim.analyze_probed(&dense, &recorder)
+    } else {
+        rim.analyze(&dense)
+    };
+    if obs == Some(ObsMode::Json) {
+        println!("{}", recorder.report().to_json());
+        return Ok(());
+    }
     println!(
         "demo: pushed the array 1.000 m; RIM measured {:.3} m ({:+.1} cm)",
         est.total_distance(),
         (est.total_distance() - 1.0) * 100.0
     );
+    if obs == Some(ObsMode::Report) {
+        print!(
+            "{}",
+            render_obs_report(&recorder, rim.config(), &dense, &est)
+        );
+    }
     Ok(())
 }
 
@@ -345,6 +485,66 @@ mod tests {
     fn missing_paths_error() {
         assert!(simulate(&args(&["simulate"])).is_err());
         assert!(analyze(&args(&["analyze"])).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_with_valid_list() {
+        // A typo'd option must error instead of silently using defaults.
+        let err = simulate(&args(&["simulate", "out.rimc", "--sceanrio", "line"]))
+            .expect_err("typo rejected");
+        assert!(err.contains("--sceanrio"), "{err}");
+        assert!(err.contains("--scenario"), "lists valid options: {err}");
+        let err = analyze(&args(&["analyze", "in.rimc", "--distance", "2"]))
+            .expect_err("simulate-only option rejected on analyze");
+        assert!(err.contains("--distance"), "{err}");
+        let err = floorplan(&args(&["floorplan", "--seed", "1"])).expect_err("no options");
+        assert!(err.contains("none"), "{err}");
+        let err = demo(&args(&["demo", "--obs", "xml"])).expect_err("bad obs mode");
+        assert!(err.contains("json or report"), "{err}");
+    }
+
+    #[test]
+    fn demo_obs_json_is_parseable_and_covers_pipeline() {
+        // `demo --obs json` must produce a valid RunReport that includes
+        // the CSI ingest stage and the translation pipeline stages.
+        let seed = args(&["demo", "--seed", "7", "--obs", "json"]);
+        let obs = obs_mode(&seed).unwrap();
+        assert_eq!(obs, Some(ObsMode::Json));
+        // Run the same path demo() takes, capturing the report object
+        // rather than stdout.
+        let sim = ChannelSimulator::open_lab(7);
+        let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let traj = line(
+            Point2::new(0.0, 2.0),
+            0.0,
+            1.0,
+            1.0,
+            200.0,
+            OrientationMode::FollowPath,
+        );
+        let recorder = rim_obs::Recorder::new();
+        let dense = CsiRecorder::new(
+            &sim,
+            DeviceConfig::single_nic(geometry.offsets().to_vec()),
+            RecorderConfig {
+                sanitize: true,
+                seed: 7,
+            },
+        )
+        .record_probed(&traj, &recorder)
+        .interpolated()
+        .unwrap();
+        let config = RimConfig::for_sample_rate(200.0).with_min_speed(0.3, HALF_WAVELENGTH, 200.0);
+        Rim::new(geometry, config).analyze_probed(&dense, &recorder);
+        let report = recorder.report();
+        let round_trip = rim_obs::RunReport::from_json(&report.to_json()).expect("valid JSON");
+        for stage in rim_obs::stage::PIPELINE {
+            assert!(
+                round_trip.stage(stage).is_some(),
+                "stage {stage} missing from report"
+            );
+        }
+        assert!(round_trip.stage(rim_obs::stage::CSI_INGEST).is_some());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn render_matrix(m: &AlignmentMatrix, max_cols: usize, max_rows: usize) -> S
     let mut k = n_lags;
     while k > 0 {
         let kk = k - 1;
-        if kk % row_stride != 0 {
+        if !kk.is_multiple_of(row_stride) {
             k -= 1;
             continue;
         }
@@ -59,8 +59,8 @@ pub fn render_matrix(m: &AlignmentMatrix, max_cols: usize, max_rows: usize) -> S
             // Average the block for stability.
             let mut acc = 0.0;
             let mut n = 0;
-            for tt in t..(t + col_stride).min(t_len) {
-                acc += prominence[tt][kk];
+            for row in &prominence[t..(t + col_stride).min(t_len)] {
+                acc += row[kk];
                 n += 1;
             }
             let v = (acc / n as f64 - lo) / span;
@@ -109,8 +109,18 @@ pub fn render_trace(values: &[f64], width: usize, height: usize) -> String {
         .collect();
     let mut out = String::new();
     for row in (0..height).rev() {
-        let threshold = row as f64 / (height - 1).max(1) as f64;
-        let label = if row == height - 1 {
+        // A single row cannot show a gradient: previously every finite
+        // cell cleared the row-0 threshold of 0, drawing a solid bar under
+        // a max-only label. Use the mid-scale threshold instead and label
+        // with the full range.
+        let threshold = if height == 1 {
+            0.5
+        } else {
+            row as f64 / (height - 1) as f64
+        };
+        let label = if height == 1 {
+            format!("{lo:>8.3}..{hi:.3} ")
+        } else if row == height - 1 {
             format!("{hi:>8.3} ")
         } else if row == 0 {
             format!("{lo:>8.3} ")
@@ -186,6 +196,17 @@ mod tests {
         assert!(art.contains('█'));
         // Annotated bounds present.
         assert!(art.contains("1.000") || art.contains("0.99"), "{art}");
+    }
+
+    #[test]
+    fn single_row_trace_uses_mid_threshold_and_range_label() {
+        let vals = [0.0, 0.0, 1.0, 1.0];
+        let art = render_trace(&vals, 4, 1);
+        assert_eq!(art.lines().count(), 1);
+        // Both bounds are annotated and only above-mid cells fill.
+        assert!(art.contains("0.000..1.000"), "{art}");
+        let cells: String = art.trim_end().chars().rev().take(4).collect();
+        assert_eq!(cells, "██  ", "low half blank, high half filled: {art}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rim_csi::recorder::DenseCsi;
 use rim_dsp::filter::{median_filter, savitzky_golay};
 use rim_dsp::geom::Point2;
 use rim_dsp::stats::{circular_mean, wrap_angle};
+use rim_obs::{stage, NullProbe, Probe};
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone)]
@@ -230,6 +231,18 @@ impl Rim {
     /// # Panics
     /// Panics if the recording's antenna count differs from the geometry's.
     pub fn analyze(&self, csi: &DenseCsi) -> MotionEstimate {
+        self.analyze_probed(csi, &NullProbe)
+    }
+
+    /// [`Rim::analyze`] with an observability probe: each pipeline stage
+    /// reports a timing span plus counters/gauges/distributions through
+    /// `probe` (see [`rim_obs::stage`] for the stage names). Passing
+    /// [`NullProbe`] monomorphises to the un-instrumented pipeline — the
+    /// hooks inline to nothing, so `analyze` simply delegates here.
+    ///
+    /// # Panics
+    /// Panics if the recording's antenna count differs from the geometry's.
+    pub fn analyze_probed<P: Probe + ?Sized>(&self, csi: &DenseCsi, probe: &P) -> MotionEstimate {
         assert_eq!(
             csi.n_antennas(),
             self.geometry.n_antennas(),
@@ -243,6 +256,7 @@ impl Rim {
             .map(|s| NormSnapshot::series(s))
             .collect();
 
+        let md_span = probe.span(stage::MOVEMENT_DETECTION);
         // §4.1 — movement detection. We take the *minimum* indicator over
         // antennas: a static device keeps every antenna's self-TRRS ≈ 1,
         // while motion must decorrelate at least one of them — the minimum
@@ -282,6 +296,18 @@ impl Rim {
             }
         }
         let segments_idx = merged;
+        drop(md_span);
+        probe.count(stage::MOVEMENT_DETECTION, "samples", n as u64);
+        probe.count(
+            stage::MOVEMENT_DETECTION,
+            "segments",
+            segments_idx.len() as u64,
+        );
+        probe.gauge(
+            stage::MOVEMENT_DETECTION,
+            "moving_fraction",
+            moving.iter().filter(|&&m| m).count() as f64 / n.max(1) as f64,
+        );
 
         let mut speed = vec![0.0f64; n];
         let mut heading: Vec<Option<f64>> = vec![None; n];
@@ -289,7 +315,7 @@ impl Rim {
         let mut segments = Vec::new();
 
         for (s, e) in segments_idx {
-            let seg = self.analyze_segment(&series, fs, s, e);
+            let seg = self.analyze_segment(&series, fs, s, e, probe);
             for (i, v) in seg.speed.iter().enumerate() {
                 speed[s + i] = *v;
             }
@@ -314,14 +340,16 @@ impl Rim {
     }
 
     /// Per-segment analysis: classify, track, reckon.
-    pub(crate) fn analyze_segment(
+    pub(crate) fn analyze_segment<P: Probe + ?Sized>(
         &self,
         series: &[Vec<NormSnapshot>],
         fs: f64,
         s: usize,
         e: usize,
+        probe: &P,
     ) -> SegmentResult {
         let groups = self.geometry.parallel_groups();
+        let pre_span = probe.span(stage::PRE_DETECTION);
         // §4.3 pre-detection ("for a specific period, we consider only
         // antenna pairs that experience prominent peaks most of the
         // time"): cheap strided prominence per group, evaluated per block
@@ -345,6 +373,15 @@ impl Rim {
             })
             .collect();
         let best = prominences.iter().cloned().fold(0.0f64, f64::max);
+        drop(pre_span);
+        probe.count(
+            stage::PRE_DETECTION,
+            "groups_considered",
+            groups.len() as u64,
+        );
+        for &p in &prominences {
+            probe.observe(stage::PRE_DETECTION, "group_prominence", p);
+        }
         if std::env::var_os("RIM_DEBUG").is_some() {
             eprintln!("[rim] segment {s}..{e} prominences: {prominences:?} best {best}");
         }
@@ -355,9 +392,11 @@ impl Rim {
         // one or two groups parallel to the motion.
         let is_rotation = self.rotation_signature(&groups, &prominences, best);
         if is_rotation {
-            if let Some(result) = self.estimate_rotation(series, fs, s, e) {
+            if let Some(result) = self.estimate_rotation(series, fs, s, e, probe) {
+                probe.count(stage::PRE_DETECTION, "rotation_segments", 1);
                 return result;
             }
+            probe.count(stage::PRE_DETECTION, "rotation_fallbacks", 1);
         }
         // A group survives pre-detection if it is prominent in *any*
         // block of the segment.
@@ -387,10 +426,16 @@ impl Rim {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             {
                 survivors.push(g);
+                probe.count(stage::PRE_DETECTION, "fallback_best_group", 1);
             }
         }
         survivors.sort_unstable();
-        self.estimate_translation(series, fs, s, e, &groups, &survivors)
+        probe.count(
+            stage::PRE_DETECTION,
+            "groups_survived",
+            survivors.len() as u64,
+        );
+        self.estimate_translation(series, fs, s, e, &groups, &survivors, probe)
     }
 
     /// Per-block prominence of a parallel group: the segment is divided
@@ -484,7 +529,8 @@ impl Rim {
     }
 
     /// Translation estimation (§4.4 (1), (2)).
-    fn estimate_translation(
+    #[allow(clippy::too_many_arguments)]
+    fn estimate_translation<P: Probe + ?Sized>(
         &self,
         series: &[Vec<NormSnapshot>],
         fs: f64,
@@ -492,6 +538,7 @@ impl Rim {
         e: usize,
         groups: &[Vec<rim_array::PairGeometry>],
         survivors: &[usize],
+        probe: &P,
     ) -> SegmentResult {
         let len = e - s;
         let cfg = &self.config;
@@ -511,20 +558,36 @@ impl Rim {
         let smooth_half = ((cfg.smooth_half_s * fs).round() as usize).max(1);
         for &k in survivors {
             let g = &groups[k];
-            let pair_mats: Vec<(AlignmentMatrix, AlignmentMatrix)> = g
-                .iter()
-                .map(|pg| self.segment_matrices(&series[pg.pair.i], &series[pg.pair.j], s, e))
-                .collect();
-            let full_refs: Vec<&AlignmentMatrix> = pair_mats.iter().map(|m| &m.0).collect();
-            let gate_refs: Vec<&AlignmentMatrix> = pair_mats.iter().map(|m| &m.1).collect();
-            let avg = AlignmentMatrix::average(&full_refs);
-            let gate = AlignmentMatrix::average(&gate_refs);
-            let path = track_peaks(&avg, cfg.dp);
+            let (avg, gate) = {
+                let _span = probe.span(stage::ALIGNMENT_BUILD);
+                let pair_mats: Vec<(AlignmentMatrix, AlignmentMatrix)> = g
+                    .iter()
+                    .map(|pg| self.segment_matrices(&series[pg.pair.i], &series[pg.pair.j], s, e))
+                    .collect();
+                let full_refs: Vec<&AlignmentMatrix> = pair_mats.iter().map(|m| &m.0).collect();
+                let gate_refs: Vec<&AlignmentMatrix> = pair_mats.iter().map(|m| &m.1).collect();
+                (
+                    AlignmentMatrix::average(&full_refs),
+                    AlignmentMatrix::average(&gate_refs),
+                )
+            };
+            probe.count(stage::ALIGNMENT_BUILD, "pair_matrices", g.len() as u64);
+            probe.gauge(stage::ALIGNMENT_BUILD, "matrix_lags", avg.n_lags() as f64);
+            probe.gauge(stage::ALIGNMENT_BUILD, "matrix_times", avg.n_times() as f64);
+            let path = {
+                let _span = probe.span(stage::DP_TRACKING);
+                track_peaks(&avg, cfg.dp)
+            };
+            probe.observe(stage::DP_TRACKING, "path_mean_trrs", path.mean_trrs);
+            probe.observe(stage::DP_TRACKING, "path_jumpiness", path.jumpiness);
             // Ridge prominence above each column's noise floor, from the
             // lightly-averaged matrix so ridge endpoints stay sharp.
             let raw_quality: Vec<f64> = (0..len)
                 .map(|i| gate.at(i, path.lags[i]) - gate.column_floor(i))
                 .collect();
+            for &q in &raw_quality {
+                probe.observe(stage::POST_DETECTION, "ridge_prominence", q);
+            }
             let refined: Vec<f64> = (0..len)
                 .map(|i| {
                     if cfg.subsample_refinement {
@@ -567,6 +630,10 @@ impl Rim {
         let mut chosen_sep = None;
 
         if !tracks.is_empty() {
+            let _span = probe.span(stage::POST_DETECTION);
+            let mut switches = 0u64;
+            let mut gated = 0u64;
+            let mut resolved = 0u64;
             // §4.3 post-detection with hysteresis: follow the best-scoring
             // group per sample, switching only on a clear margin.
             let mut current = (0..tracks.len())
@@ -588,19 +655,23 @@ impl Rim {
                     && tracks[challenger].score[i] > tracks[current].score[i] + cfg.switch_margin
                 {
                     current = challenger;
+                    switches += 1;
                 }
                 let tr = &tracks[current];
                 if tr.raw_quality[i] < cfg.min_peak_prominence {
+                    gated += 1;
                     continue;
                 }
                 // Skip boundary-pinned alignments (see estimate_rotation).
                 let src = i as isize - tr.path.lags[i];
                 if src < 3 || src > len as isize - 3 {
+                    gated += 1;
                     continue;
                 }
                 let lag = tr.refined[i];
                 if let Some(v) = speed_from_frac_lag(tr.sep, lag, fs) {
                     speed[i] = v;
+                    resolved += 1;
                 }
                 heading[i] = if cfg.continuous_heading {
                     // §7 "angle resolution": weight every genuinely-aligned
@@ -669,8 +740,13 @@ impl Rim {
                 speed[i] = f64::NAN;
                 heading[i] = None;
             }
+            probe.count(stage::POST_DETECTION, "group_switches", switches);
+            probe.count(stage::POST_DETECTION, "samples_gated", gated);
+            probe.count(stage::POST_DETECTION, "samples_resolved", resolved);
+            probe.count(stage::POST_DETECTION, "initial_cut_samples", cut as u64);
         }
 
+        let reck_span = probe.span(stage::RECKONING);
         // The segment is moving throughout (movement detection says so);
         // where the quality gate blanked the ridge (weak-decorrelation
         // stretches, §6.2.4's hardest AP placements), bridge *interior*
@@ -679,6 +755,7 @@ impl Rim {
         // latency, and holding the last speed there would fabricate
         // distance. Heading is held alongside bridged samples.
         {
+            let mut bridged = 0u64;
             let mut last_known: Option<(usize, f64)> = None;
             let mut i = 0usize;
             while i < len {
@@ -701,6 +778,7 @@ impl Rim {
                                     heading[k] = heading[i0];
                                 }
                             }
+                            bridged += (j - i) as u64;
                             i = j;
                         }
                         None => {
@@ -712,6 +790,7 @@ impl Rim {
                     i += 1;
                 }
             }
+            probe.count(stage::RECKONING, "bridged_samples", bridged);
         }
 
         // Smooth speed: median to kill single-lag outliers, then a gentle
@@ -741,6 +820,9 @@ impl Rim {
         } else {
             Some(circular_mean(&headings_present))
         };
+        drop(reck_span);
+        probe.count(stage::RECKONING, "segments", 1);
+        probe.observe(stage::RECKONING, "segment_distance_m", distance);
 
         SegmentResult {
             speed,
@@ -759,12 +841,13 @@ impl Rim {
 
     /// Rotation estimation (§4.4 (3)). Returns `None` when the geometry
     /// has no ring or no ring pair yields a usable path.
-    fn estimate_rotation(
+    fn estimate_rotation<P: Probe + ?Sized>(
         &self,
         series: &[Vec<NormSnapshot>],
         fs: f64,
         s: usize,
         e: usize,
+        probe: &P,
     ) -> Option<SegmentResult> {
         let ring = self.geometry.adjacent_ring_pairs()?;
         let radius = self.geometry.ring_radius()?;
@@ -780,21 +863,33 @@ impl Rim {
         let mut rates: Vec<Vec<f64>> = Vec::new(); // per group: rate per sample (NaN invalid)
         let mut median_lags: Vec<isize> = Vec::new();
         for k in 0..half.max(1) {
-            let mut mats =
-                vec![self.segment_matrices(&series[ring[k].i], &series[ring[k].j], s, e)];
-            if half > 0 && k + half < n_ring {
-                mats.push(self.segment_matrices(
-                    &series[ring[k + half].i],
-                    &series[ring[k + half].j],
-                    s,
-                    e,
-                ));
-            }
-            let full_refs: Vec<&AlignmentMatrix> = mats.iter().map(|m| &m.0).collect();
-            let gate_refs: Vec<&AlignmentMatrix> = mats.iter().map(|m| &m.1).collect();
-            let avg = AlignmentMatrix::average(&full_refs);
-            let gatem = AlignmentMatrix::average(&gate_refs);
-            let path = track_peaks(&avg, cfg.dp);
+            let (avg, gatem, n_mats) = {
+                let _span = probe.span(stage::ALIGNMENT_BUILD);
+                let mut mats =
+                    vec![self.segment_matrices(&series[ring[k].i], &series[ring[k].j], s, e)];
+                if half > 0 && k + half < n_ring {
+                    mats.push(self.segment_matrices(
+                        &series[ring[k + half].i],
+                        &series[ring[k + half].j],
+                        s,
+                        e,
+                    ));
+                }
+                let full_refs: Vec<&AlignmentMatrix> = mats.iter().map(|m| &m.0).collect();
+                let gate_refs: Vec<&AlignmentMatrix> = mats.iter().map(|m| &m.1).collect();
+                (
+                    AlignmentMatrix::average(&full_refs),
+                    AlignmentMatrix::average(&gate_refs),
+                    mats.len() as u64,
+                )
+            };
+            probe.count(stage::ALIGNMENT_BUILD, "pair_matrices", n_mats);
+            let path = {
+                let _span = probe.span(stage::DP_TRACKING);
+                track_peaks(&avg, cfg.dp)
+            };
+            probe.observe(stage::DP_TRACKING, "path_mean_trrs", path.mean_trrs);
+            probe.observe(stage::DP_TRACKING, "path_jumpiness", path.jumpiness);
             let quality: Vec<f64> = (0..len)
                 .map(|i| gatem.at(i, path.lags[i]) - gatem.column_floor(i))
                 .collect();
@@ -830,6 +925,7 @@ impl Rim {
             // with a solid ridge for a meaningful stretch. Otherwise this
             // was not a rotation — fall back to translation handling.
             if valid_lags.len() < (len / 8).max(4) {
+                probe.count(stage::POST_DETECTION, "rotation_rejections", 1);
                 return None;
             }
             let mut sorted = valid_lags;
@@ -870,8 +966,10 @@ impl Rim {
         // delays must share one nonzero sign.
         let signs: Vec<isize> = median_lags.iter().map(|l| l.signum()).collect();
         if signs.contains(&0) || signs.windows(2).any(|w| w[0] != w[1]) {
+            probe.count(stage::POST_DETECTION, "rotation_rejections", 1);
             return None;
         }
+        let _reck_span = probe.span(stage::RECKONING);
         // §4.4: use the average speed across adjacent pairs.
         let mut angular = vec![f64::NAN; len];
         for i in 0..len {

@@ -19,6 +19,7 @@ use crate::pipeline::{MotionEstimate, Rim, RimConfig, SegmentEstimate};
 use crate::trrs::NormSnapshot;
 use rim_array::ArrayGeometry;
 use rim_csi::frame::CsiSnapshot;
+use rim_obs::{stage, NullProbe, Probe};
 use std::collections::VecDeque;
 
 /// An incremental update emitted by the stream.
@@ -105,6 +106,21 @@ impl RimStream {
     /// # Panics
     /// Panics if the snapshot count differs from the geometry's antennas.
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Vec<StreamEvent> {
+        self.push_probed(snapshots, &NullProbe)
+    }
+
+    /// [`RimStream::push`] with an observability probe: the streaming
+    /// front-end reports ring occupancy, sample/segment counters, and
+    /// flush latency under [`stage::STREAM`]; the per-segment analysis it
+    /// triggers reports under the six pipeline stages.
+    ///
+    /// # Panics
+    /// Panics if the snapshot count differs from the geometry's antennas.
+    pub fn push_probed<P: Probe + ?Sized>(
+        &mut self,
+        snapshots: &[CsiSnapshot],
+        probe: &P,
+    ) -> Vec<StreamEvent> {
         assert_eq!(snapshots.len(), self.ring.len(), "one snapshot per antenna");
         for (ring, snap) in self.ring.iter_mut().zip(snapshots) {
             ring.push_back(NormSnapshot::from_snapshot(snap));
@@ -121,10 +137,21 @@ impl RimStream {
         let newest = self.pushed - 1;
         match (self.open_segment, flag) {
             (None, true) => {
-                let start = newest.saturating_sub(mcfg.lag).max(self.ring_base);
-                self.open_segment = Some(start);
-                self.segment_continued = false;
-                events.push(StreamEvent::MovementStarted { at: start });
+                // Debounce opening: a lone moving flag (noise flicker while
+                // static) must not start a segment. Require a short run of
+                // consecutive moving samples, then backdate the start to
+                // cover the confirmation wait plus the indicator lag.
+                let confirm = ((0.05 * self.fs) as usize).max(2);
+                let tail_moving = self.moving.len() >= confirm
+                    && self.moving.iter().rev().take(confirm).all(|&m| m);
+                if tail_moving {
+                    let start = (newest + 1 - confirm)
+                        .saturating_sub(mcfg.lag)
+                        .max(self.ring_base);
+                    self.open_segment = Some(start);
+                    self.segment_continued = false;
+                    events.push(StreamEvent::MovementStarted { at: start });
+                }
             }
             (Some(start), false) => {
                 // Require a debounce of consecutive static samples before
@@ -132,7 +159,9 @@ impl RimStream {
                 let quiet = (0.2 * self.fs) as usize;
                 let tail_static = self.moving.iter().rev().take(quiet).all(|&m| !m);
                 if tail_static && self.moving.len() >= quiet {
-                    if let Some(seg) = self.flush_segment(start, newest + 1 - quiet.min(newest)) {
+                    if let Some(seg) =
+                        self.flush_segment(start, newest + 1 - quiet.min(newest), probe)
+                    {
                         events.push(StreamEvent::Segment(seg));
                     }
                     events.push(StreamEvent::MovementStopped { at: newest });
@@ -142,7 +171,7 @@ impl RimStream {
             (Some(start), true) => {
                 // Partial flush of very long movements to bound memory.
                 if newest - start >= self.max_open {
-                    if let Some(seg) = self.flush_segment(start, newest + 1) {
+                    if let Some(seg) = self.flush_segment(start, newest + 1, probe) {
                         events.push(StreamEvent::Segment(seg));
                     }
                     self.open_segment = Some(newest + 1);
@@ -153,15 +182,24 @@ impl RimStream {
         }
 
         self.trim_ring();
+        probe.count(stage::STREAM, "samples_pushed", 1);
+        probe.gauge(stage::STREAM, "ring_occupancy", self.ring_len() as f64);
+        probe.gauge(stage::STREAM, "ring_capacity", self.capacity as f64);
         events
     }
 
     /// Flushes the open segment if any (e.g. at end of stream) and
     /// returns its estimate.
     pub fn finish(&mut self) -> Vec<StreamEvent> {
+        self.finish_probed(&NullProbe)
+    }
+
+    /// [`RimStream::finish`] with an observability probe (see
+    /// [`RimStream::push_probed`]).
+    pub fn finish_probed<P: Probe + ?Sized>(&mut self, probe: &P) -> Vec<StreamEvent> {
         let mut events = Vec::new();
         if let Some(start) = self.open_segment.take() {
-            if let Some(seg) = self.flush_segment(start, self.pushed) {
+            if let Some(seg) = self.flush_segment(start, self.pushed, probe) {
                 events.push(StreamEvent::Segment(seg));
             }
             events.push(StreamEvent::MovementStopped { at: self.pushed });
@@ -191,10 +229,18 @@ impl RimStream {
 
     /// Analyzes absolute range `[start, end)` and returns its segment
     /// estimate (if the stretch was resolvable).
-    fn flush_segment(&mut self, start: usize, end: usize) -> Option<SegmentEstimate> {
+    fn flush_segment<P: Probe + ?Sized>(
+        &mut self,
+        start: usize,
+        end: usize,
+        probe: &P,
+    ) -> Option<SegmentEstimate> {
         if end <= start {
             return None;
         }
+        // Flush latency: everything from ring materialisation through the
+        // per-segment pipeline run.
+        let _span = probe.span(stage::STREAM);
         // Materialise the ring as contiguous series (bounded size).
         let series: Vec<Vec<NormSnapshot>> = self
             .ring
@@ -206,7 +252,9 @@ impl RimStream {
         if e_rel <= s_rel {
             return None;
         }
-        let mut result = self.rim.analyze_segment(&series, self.fs, s_rel, e_rel);
+        let mut result = self
+            .rim
+            .analyze_segment(&series, self.fs, s_rel, e_rel, probe);
         if self.segment_continued {
             // A continuation chunk: remove the per-segment Δd compensation
             // that analyze_segment applied (the motion did not restart).
@@ -226,6 +274,7 @@ impl RimStream {
         // Re-anchor to absolute sample indices.
         result.summary.start = start;
         result.summary.end = end;
+        probe.count(stage::STREAM, "segments_flushed", 1);
         Some(result.summary)
     }
 

@@ -31,6 +31,12 @@ pub struct WiballConfig {
     /// well below the static value of ≈1, so a "minimum" above this is
     /// treated as no-motion.
     pub max_valley_level: f64,
+    /// Minimum drop from the lag-1 TRRS down to the valley. A genuine
+    /// `J₀` zero sits far below the adjacent-sample correlation, while a
+    /// static antenna's noise plateau is flat — its wiggles can cross
+    /// `max_valley_level` when the SNR puts the plateau near that line,
+    /// but they never have contrast.
+    pub min_valley_contrast: f64,
     /// Maximum lag searched, samples.
     pub max_lag: usize,
 }
@@ -42,6 +48,7 @@ impl WiballConfig {
             wavelength: 299_792_458.0 / 5.8e9,
             virtual_antennas: ((0.1 * sample_rate_hz).round() as usize).clamp(3, 30),
             max_valley_level: 0.8,
+            min_valley_contrast: 0.1,
             max_lag: ((0.5 * sample_rate_hz).round() as usize).max(8),
         }
     }
@@ -73,6 +80,9 @@ pub fn speed_at(
         if curve[lag] <= curve[lag - 1] && curve[lag] < curve[lag + 1] {
             if curve[lag] > config.max_valley_level {
                 return None; // Shallow wiggle near 1: not a J₀ zero.
+            }
+            if curve[1] - curve[lag] < config.min_valley_contrast {
+                return None; // Flat noise plateau, not a J₀ descent.
             }
             // Parabolic refinement of the valley position.
             let g_m = curve[lag - 1];

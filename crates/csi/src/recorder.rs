@@ -271,6 +271,22 @@ impl<'a> CsiRecorder<'a> {
 
     /// Records the full trajectory into a [`CsiRecording`].
     pub fn record(&self, traj: &Trajectory) -> CsiRecording {
+        self.record_probed(traj, &rim_obs::NullProbe)
+    }
+
+    /// [`CsiRecorder::record`] with an observability probe: acquisition
+    /// reports snapshots ingested/dropped and sanitize rejections
+    /// (snapshots left with non-finite values) under
+    /// [`rim_obs::stage::CSI_INGEST`].
+    pub fn record_probed<P: rim_obs::Probe + ?Sized>(
+        &self,
+        traj: &Trajectory,
+        probe: &P,
+    ) -> CsiRecording {
+        let ingest_span = probe.span(rim_obs::stage::CSI_INGEST);
+        let mut ingested = 0u64;
+        let mut dropped = 0u64;
+        let mut rejected = 0u64;
         let sampler = self.sim.sampler();
         let indices = self.sim.layout().indices.clone();
         let n_ant = self.device.n_antennas();
@@ -311,6 +327,7 @@ impl<'a> CsiRecorder<'a> {
                     for a in 0..n_rx {
                         antennas[ant_base + a].push(None);
                     }
+                    dropped += n_rx as u64;
                     ant_base += n_rx;
                     continue;
                 }
@@ -328,11 +345,24 @@ impl<'a> CsiRecorder<'a> {
                     if self.config.sanitize {
                         sanitize_snapshot(&mut snap, &indices);
                     }
+                    if probe.enabled() {
+                        ingested += 1;
+                        let finite = snap
+                            .iter()
+                            .all(|cfr| cfr.iter().all(|h| h.re.is_finite() && h.im.is_finite()));
+                        if !finite {
+                            rejected += 1;
+                        }
+                    }
                     antennas[ant_base + a].push(Some(CsiSnapshot { per_tx: snap }));
                 }
                 ant_base += n_rx;
             }
         }
+        drop(ingest_span);
+        probe.count(rim_obs::stage::CSI_INGEST, "snapshots_ingested", ingested);
+        probe.count(rim_obs::stage::CSI_INGEST, "snapshots_dropped", dropped);
+        probe.count(rim_obs::stage::CSI_INGEST, "sanitize_rejections", rejected);
         CsiRecording {
             sample_rate_hz: traj.sample_rate_hz(),
             subcarrier_indices: indices,

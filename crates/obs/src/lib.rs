@@ -1,0 +1,66 @@
+//! Structured observability for the RIM pipeline.
+//!
+//! The pipeline stages (paper §4.2–§4.5: movement detection,
+//! pre-detection, alignment-matrix build, DP tracking, post-detection,
+//! reckoning) are instrumented against the [`Probe`] trait defined here.
+//! Callers choose at the call site what instrumentation costs:
+//!
+//! * [`NullProbe`] — the default. A zero-sized type whose hooks are empty
+//!   inlineable bodies, so the instrumented pipeline monomorphises to the
+//!   uninstrumented machine code. No timer reads, no allocation.
+//! * [`Recorder`] — aggregates per-stage call counts, wall-time totals,
+//!   log-scale latency histograms (for p50/p95), named counters, gauges,
+//!   and bounded value distributions. A finished run snapshots into a
+//!   [`RunReport`] that renders as a human text table
+//!   ([`RunReport::render`]) or machine-readable JSON
+//!   ([`RunReport::to_json`] / [`RunReport::from_json`]).
+//!
+//! The crate is dependency-light on purpose: timing uses
+//! `std::time::Instant` (monotonic), aggregation uses `std::sync::Mutex`
+//! (uncontended in the single-threaded pipeline; the lock exists so a
+//! `Recorder` can be shared across threads), and JSON is a small
+//! self-contained writer/parser in [`json`].
+
+mod json;
+mod probe;
+mod recorder;
+mod report;
+
+pub use json::JsonValue;
+pub use probe::{NullProbe, Probe, Span};
+pub use recorder::Recorder;
+pub use report::{DistributionReport, RunReport, StageReport};
+
+/// Canonical stage names, in pipeline order. Instrumentation sites use
+/// these constants so reports, tests, and docs agree on spelling.
+pub mod stage {
+    /// §4.2 movement detection over TRRS self-similarity.
+    pub const MOVEMENT_DETECTION: &str = "movement_detection";
+    /// §4.5 pre-detection: prominence blocks gating segment analysis.
+    pub const PRE_DETECTION: &str = "pre_detection";
+    /// §4.3 alignment-matrix build (virtual-antenna TRRS averaging).
+    pub const ALIGNMENT_BUILD: &str = "alignment_build";
+    /// §4.4 dynamic-programming peak tracking across the matrix.
+    pub const DP_TRACKING: &str = "dp_tracking";
+    /// §4.5 post-detection: hysteresis on tracked-path quality.
+    pub const POST_DETECTION: &str = "post_detection";
+    /// §4.5 reckoning: speed/heading integration into displacement.
+    pub const RECKONING: &str = "reckoning";
+
+    /// Streaming front-end (ring buffer, incremental flushes). Not one of
+    /// the six offline stages, so not part of [`PIPELINE`].
+    pub const STREAM: &str = "stream";
+    /// CSI acquisition (snapshots ingested/dropped, sanitize rejections).
+    /// Upstream of the pipeline, so not part of [`PIPELINE`].
+    pub const CSI_INGEST: &str = "csi_ingest";
+
+    /// All six pipeline stages in execution order.
+    pub const PIPELINE: [&str; 6] = [
+        MOVEMENT_DETECTION,
+        PRE_DETECTION,
+        ALIGNMENT_BUILD,
+        DP_TRACKING,
+        POST_DETECTION,
+        RECKONING,
+    ];
+}

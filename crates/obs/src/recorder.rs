@@ -1,0 +1,309 @@
+//! Aggregation backend for live instrumentation.
+
+use crate::report::{DistributionReport, RunReport, StageReport};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log₂ latency buckets: bucket `i` holds durations whose
+/// nanosecond count has `i` significant bits, so the histogram spans
+/// 1 ns ..= u64::MAX ns with ~2× resolution.
+const BUCKETS: usize = 64;
+
+/// Cap on retained samples per value distribution. Keeping the first N
+/// samples (rather than a random reservoir) is deterministic, which the
+/// golden-report tests rely on; beyond the cap only count/sum/min/max
+/// keep updating.
+const DIST_SAMPLE_CAP: usize = 4096;
+
+/// Aggregates stage timings, counters, gauges, and value distributions.
+///
+/// Interior mutability via a `Mutex` keeps the recording API `&self`, so
+/// one recorder can thread through the pipeline alongside borrowed CSI
+/// data and also be shared across threads. The pipeline is
+/// single-threaded, so the lock is uncontended (`parking_lot` is not
+/// available in this build environment; `std::sync::Mutex` is equivalent
+/// here).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    stages: BTreeMap<&'static str, StageStats>,
+}
+
+#[derive(Debug)]
+struct StageStats {
+    calls: u64,
+    total_ns: u64,
+    latency_hist: [u64; BUCKETS],
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    distributions: BTreeMap<&'static str, Distribution>,
+}
+
+impl Default for StageStats {
+    fn default() -> Self {
+        Self {
+            calls: 0,
+            total_ns: 0,
+            latency_hist: [0; BUCKETS],
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            distributions: BTreeMap::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Distribution {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+impl Distribution {
+    fn push(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        if self.samples.len() < DIST_SAMPLE_CAP {
+            self.samples.push(value);
+        }
+    }
+}
+
+/// Log₂ bucket index for a duration in nanoseconds.
+fn bucket_of(ns: u64) -> usize {
+    (64 - ns.max(1).leading_zeros()) as usize - 1
+}
+
+/// Representative duration (ns) for a bucket: its geometric midpoint,
+/// `2^i * 1.5`.
+fn bucket_value(bucket: usize) -> f64 {
+    (1u64 << bucket) as f64 * 1.5
+}
+
+impl Recorder {
+    /// New empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed invocation of `stage` (called by
+    /// [`crate::Span`] on drop).
+    pub fn record_duration(&self, stage: &'static str, ns: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let stats = inner.stages.entry(stage).or_default();
+        stats.calls += 1;
+        stats.total_ns = stats.total_ns.saturating_add(ns);
+        stats.latency_hist[bucket_of(ns)] += 1;
+    }
+
+    /// Adds `n` to a named counter under `stage`.
+    pub fn count(&self, stage: &'static str, counter: &'static str, n: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let stats = inner.stages.entry(stage).or_default();
+        *stats.counters.entry(counter).or_insert(0) += n;
+    }
+
+    /// Sets a named gauge under `stage` to its latest value.
+    pub fn gauge(&self, stage: &'static str, gauge: &'static str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        let stats = inner.stages.entry(stage).or_default();
+        stats.gauges.insert(gauge, value);
+    }
+
+    /// Feeds one sample into a named value distribution under `stage`.
+    pub fn observe(&self, stage: &'static str, distribution: &'static str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        let stats = inner.stages.entry(stage).or_default();
+        stats
+            .distributions
+            .entry(distribution)
+            .or_default()
+            .push(value);
+    }
+
+    /// Snapshots the aggregate state into an immutable [`RunReport`].
+    /// Stages appear in name order; recording may continue afterwards.
+    pub fn report(&self) -> RunReport {
+        let inner = self.inner.lock().unwrap();
+        RunReport {
+            stages: inner
+                .stages
+                .iter()
+                .map(|(name, stats)| StageReport {
+                    name: (*name).to_string(),
+                    calls: stats.calls,
+                    total_ms: stats.total_ns as f64 / 1e6,
+                    p50_ms: latency_percentile_ms(&stats.latency_hist, stats.calls, 0.50),
+                    p95_ms: latency_percentile_ms(&stats.latency_hist, stats.calls, 0.95),
+                    counters: stats
+                        .counters
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), *v))
+                        .collect(),
+                    gauges: stats
+                        .gauges
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), *v))
+                        .collect(),
+                    distributions: stats
+                        .distributions
+                        .iter()
+                        .map(|(k, d)| distribution_report(k, d))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Percentile (in ms) from a log₂ latency histogram: walk cumulative
+/// counts to the target rank's bucket and return that bucket's geometric
+/// midpoint. Resolution is therefore ~2×, which is plenty for a stage
+/// profile.
+fn latency_percentile_ms(hist: &[u64; BUCKETS], calls: u64, q: f64) -> f64 {
+    if calls == 0 {
+        return 0.0;
+    }
+    // Rank of the q-th percentile, 1-based: ceil(q * calls) clamped to
+    // [1, calls].
+    let rank = ((q * calls as f64).ceil() as u64).clamp(1, calls);
+    let mut seen = 0u64;
+    for (bucket, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_value(bucket) / 1e6;
+        }
+    }
+    bucket_value(BUCKETS - 1) / 1e6
+}
+
+fn distribution_report(name: &str, d: &Distribution) -> DistributionReport {
+    let mut sorted = d.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let sample_percentile = |q: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    };
+    DistributionReport {
+        name: name.to_string(),
+        count: d.count,
+        mean: if d.count == 0 {
+            0.0
+        } else {
+            d.sum / d.count as f64
+        },
+        min: d.min,
+        max: d.max,
+        p50: sample_percentile(0.50),
+        p95: sample_percentile(0.95),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0); // clamped to 1 ns
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(1025), 10);
+        assert_eq!(bucket_of(2047), 10);
+        assert_eq!(bucket_of(2048), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_counts() {
+        let mut hist = [0u64; BUCKETS];
+        // 90 fast calls in bucket 10 (~1 µs), 10 slow in bucket 20 (~1 ms).
+        hist[10] = 90;
+        hist[20] = 10;
+        let p50 = latency_percentile_ms(&hist, 100, 0.50);
+        let p95 = latency_percentile_ms(&hist, 100, 0.95);
+        assert_eq!(p50, bucket_value(10) / 1e6);
+        assert_eq!(p95, bucket_value(20) / 1e6);
+        // p90 rank = 90 → still the fast bucket.
+        assert_eq!(
+            latency_percentile_ms(&hist, 100, 0.90),
+            bucket_value(10) / 1e6
+        );
+        // Empty histogram reports zero.
+        assert_eq!(latency_percentile_ms(&[0; BUCKETS], 0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn single_call_percentiles_are_its_bucket() {
+        let recorder = Recorder::new();
+        recorder.record_duration("s", 1_000_000); // 1 ms → bucket 19
+        let report = recorder.report();
+        let stage = report.stage("s").unwrap();
+        assert_eq!(stage.calls, 1);
+        assert_eq!(stage.p50_ms, stage.p95_ms);
+        // Geometric midpoint of the enclosing power-of-two bucket.
+        let bucket = bucket_of(1_000_000);
+        assert_eq!(stage.p50_ms, bucket_value(bucket) / 1e6);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let recorder = Recorder::new();
+        recorder.count("s", "snapshots", 3);
+        recorder.count("s", "snapshots", 4);
+        recorder.gauge("s", "occupancy", 0.2);
+        recorder.gauge("s", "occupancy", 0.8);
+        let report = recorder.report();
+        let stage = report.stage("s").unwrap();
+        assert_eq!(stage.counters, vec![("snapshots".to_string(), 7)]);
+        assert_eq!(stage.gauges, vec![("occupancy".to_string(), 0.8)]);
+    }
+
+    #[test]
+    fn distributions_track_summary_and_percentiles() {
+        let recorder = Recorder::new();
+        for v in 1..=100 {
+            recorder.observe("s", "prominence", v as f64);
+        }
+        let report = recorder.report();
+        let dist = &report.stage("s").unwrap().distributions[0];
+        assert_eq!(dist.name, "prominence");
+        assert_eq!(dist.count, 100);
+        assert_eq!(dist.min, 1.0);
+        assert_eq!(dist.max, 100.0);
+        assert!((dist.mean - 50.5).abs() < 1e-9);
+        assert_eq!(dist.p50, 50.0);
+        assert_eq!(dist.p95, 95.0);
+    }
+
+    #[test]
+    fn distribution_sample_cap_keeps_summary_exact() {
+        let recorder = Recorder::new();
+        for v in 0..(DIST_SAMPLE_CAP + 500) {
+            recorder.observe("s", "d", v as f64);
+        }
+        let report = recorder.report();
+        let dist = &report.stage("s").unwrap().distributions[0];
+        assert_eq!(dist.count, (DIST_SAMPLE_CAP + 500) as u64);
+        assert_eq!(dist.max, (DIST_SAMPLE_CAP + 500 - 1) as f64);
+    }
+}

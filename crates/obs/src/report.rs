@@ -1,0 +1,333 @@
+//! Immutable run reports: the machine-readable product of a recorded run.
+
+use crate::json::{self, JsonValue};
+use std::fmt::Write as _;
+
+/// Schema tag stamped into the JSON form, bumped on breaking layout
+/// changes.
+pub const SCHEMA: &str = "rim-obs/1";
+
+/// Snapshot of every instrumented stage of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Per-stage aggregates, sorted by stage name.
+    pub stages: Vec<StageReport>,
+}
+
+/// Aggregates for one named stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name (see [`crate::stage`] for the pipeline's canonical set).
+    pub name: String,
+    /// Completed span count.
+    pub calls: u64,
+    /// Total wall time across calls, milliseconds.
+    pub total_ms: f64,
+    /// Median per-call latency (log₂-bucket resolution), milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-call latency, milliseconds.
+    pub p95_ms: f64,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges (latest value wins), sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Named value distributions, sorted by name.
+    pub distributions: Vec<DistributionReport>,
+}
+
+/// Summary of one value distribution (e.g. ridge prominence).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionReport {
+    /// Distribution name.
+    pub name: String,
+    /// Samples observed.
+    pub count: u64,
+    /// Arithmetic mean over all samples.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median of the retained sample prefix.
+    pub p50: f64,
+    /// 95th percentile of the retained sample prefix.
+    pub p95: f64,
+}
+
+impl RunReport {
+    /// The stage named `name`, if recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Serialises to a compact single-document JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        json::write_string(&mut out, SCHEMA);
+        out.push_str(",\"stages\":[");
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            stage.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report serialised by [`RunReport::to_json`].
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = json::parse(input)?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(SCHEMA) => {}
+            other => return Err(format!("unsupported schema {other:?}")),
+        }
+        let stages = doc
+            .get("stages")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing stages array")?;
+        Ok(RunReport {
+            stages: stages
+                .iter()
+                .map(StageReport::from_json_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Renders the human-readable stage table (columns in the style of the
+    /// bench figure reports). Extra sections such as heatmaps are appended
+    /// by callers.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== RIM run report {}", "=".repeat(56));
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12} {:>10} {:>10}",
+            "stage", "calls", "total_ms", "p50_ms", "p95_ms"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(74));
+        for stage in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>12.3} {:>10.4} {:>10.4}",
+                stage.name, stage.calls, stage.total_ms, stage.p50_ms, stage.p95_ms
+            );
+            if !stage.counters.is_empty() {
+                let list = stage
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join("  ");
+                let _ = writeln!(out, "    counters: {list}");
+            }
+            if !stage.gauges.is_empty() {
+                let list = stage
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:.4}"))
+                    .collect::<Vec<_>>()
+                    .join("  ");
+                let _ = writeln!(out, "    gauges:   {list}");
+            }
+            for dist in &stage.distributions {
+                let _ = writeln!(
+                    out,
+                    "    dist {}: n={} mean={:.4} min={:.4} p50={:.4} p95={:.4} max={:.4}",
+                    dist.name, dist.count, dist.mean, dist.min, dist.p50, dist.p95, dist.max
+                );
+            }
+        }
+        let _ = writeln!(out, "{}", "=".repeat(74));
+        out
+    }
+}
+
+impl StageReport {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        json::write_string(out, &self.name);
+        let _ = write!(out, ",\"calls\":{}", self.calls);
+        out.push_str(",\"total_ms\":");
+        json::write_f64(out, self.total_ms);
+        out.push_str(",\"p50_ms\":");
+        json::write_f64(out, self.p50_ms);
+        out.push_str(",\"p95_ms\":");
+        json::write_f64(out, self.p95_ms);
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(out, k);
+            out.push(':');
+            json::write_f64(out, *v);
+        }
+        out.push_str("},\"distributions\":[");
+        for (i, dist) in self.distributions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_string(out, &dist.name);
+            let _ = write!(out, ",\"count\":{}", dist.count);
+            for (key, value) in [
+                ("mean", dist.mean),
+                ("min", dist.min),
+                ("max", dist.max),
+                ("p50", dist.p50),
+                ("p95", dist.p95),
+            ] {
+                let _ = write!(out, ",\"{key}\":");
+                json::write_f64(out, value);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("stage missing name")?
+            .to_string();
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("stage {name} missing {key}"))
+        };
+        let mut counters = Vec::new();
+        if let Some(JsonValue::Object(map)) = v.get("counters") {
+            for (k, c) in map {
+                counters.push((
+                    k.clone(),
+                    c.as_u64().ok_or_else(|| format!("bad counter {k}"))?,
+                ));
+            }
+        }
+        let mut gauges = Vec::new();
+        if let Some(JsonValue::Object(map)) = v.get("gauges") {
+            for (k, g) in map {
+                gauges.push((
+                    k.clone(),
+                    g.as_f64().ok_or_else(|| format!("bad gauge {k}"))?,
+                ));
+            }
+        }
+        let mut distributions = Vec::new();
+        if let Some(dists) = v.get("distributions").and_then(JsonValue::as_array) {
+            for d in dists {
+                let dname = d
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("distribution missing name")?
+                    .to_string();
+                let dnum = |key: &str| -> Result<f64, String> {
+                    d.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("distribution {dname} missing {key}"))
+                };
+                distributions.push(DistributionReport {
+                    count: d
+                        .get("count")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("distribution missing count")?,
+                    mean: dnum("mean")?,
+                    min: dnum("min")?,
+                    max: dnum("max")?,
+                    p50: dnum("p50")?,
+                    p95: dnum("p95")?,
+                    name: dname,
+                });
+            }
+        }
+        Ok(StageReport {
+            calls: v
+                .get("calls")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("stage {name} missing calls"))?,
+            total_ms: num("total_ms")?,
+            p50_ms: num("p50_ms")?,
+            p95_ms: num("p95_ms")?,
+            counters,
+            gauges,
+            distributions,
+            name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            stages: vec![
+                StageReport {
+                    name: "dp_tracking".into(),
+                    calls: 12,
+                    total_ms: 34.5,
+                    p50_ms: 2.1,
+                    p95_ms: 6.3,
+                    counters: vec![("peaks".into(), 240)],
+                    gauges: vec![("matrix_rows".into(), 61.0)],
+                    distributions: vec![DistributionReport {
+                        name: "prominence".into(),
+                        count: 240,
+                        mean: 0.42,
+                        min: 0.01,
+                        max: 0.99,
+                        p50: 0.40,
+                        p95: 0.88,
+                    }],
+                },
+                StageReport {
+                    name: "movement_detection".into(),
+                    calls: 1,
+                    total_ms: 0.75,
+                    p50_ms: 0.75,
+                    p95_ms: 0.75,
+                    counters: vec![],
+                    gauges: vec![],
+                    distributions: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample_report();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn json_rejects_wrong_schema() {
+        assert!(RunReport::from_json("{\"schema\":\"other/9\",\"stages\":[]}").is_err());
+        assert!(RunReport::from_json("{\"stages\":[]}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn render_lists_every_stage_and_annotation() {
+        let text = sample_report().render();
+        assert!(text.contains("dp_tracking"));
+        assert!(text.contains("movement_detection"));
+        assert!(text.contains("peaks=240"));
+        assert!(text.contains("matrix_rows=61.0000"));
+        assert!(text.contains("dist prominence: n=240"));
+    }
+}

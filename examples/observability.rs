@@ -1,0 +1,71 @@
+//! Observability: instrument a pipeline run with `rim-obs` and inspect
+//! where the time goes, stage by stage.
+//!
+//! ```sh
+//! cargo run --release -p rim-examples --bin observability
+//! ```
+//!
+//! The pipeline is written against the [`rim_obs::Probe`] trait. The
+//! default `NullProbe` costs nothing — the hooks monomorphise away — while
+//! a `Recorder` aggregates per-stage wall time, call counts, counters,
+//! and value distributions, and snapshots into a `RunReport` that renders
+//! as text or round-trips through JSON.
+
+use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
+use rim_channel::trajectory::{line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::{Rim, RimConfig};
+use rim_csi::{CsiRecorder, DeviceConfig, RecorderConfig};
+use rim_dsp::geom::Point2;
+use rim_obs::{Recorder, RunReport};
+
+fn main() {
+    let sim = ChannelSimulator::open_lab(7);
+    let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+    let trajectory = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        1.0,
+        1.0,
+        200.0,
+        OrientationMode::FollowPath,
+    );
+
+    // One recorder observes both acquisition and analysis.
+    let recorder = Recorder::new();
+    let dense = CsiRecorder::new(
+        &sim,
+        DeviceConfig::single_nic(geometry.offsets().to_vec()),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record_probed(&trajectory, &recorder)
+    .interpolated()
+    .expect("interpolable recording");
+
+    let config = RimConfig::for_sample_rate(200.0).with_min_speed(0.2, HALF_WAVELENGTH, 200.0);
+    let estimate = Rim::new(geometry, config).analyze_probed(&dense, &recorder);
+    println!(
+        "measured {:.3} m over a 1.000 m push; per-stage profile:\n",
+        estimate.total_distance()
+    );
+
+    // Human-readable table…
+    let report = recorder.report();
+    print!("{}", report.render());
+
+    // …and the same data as machine-readable JSON, which round-trips.
+    let json = report.to_json();
+    let parsed = RunReport::from_json(&json).expect("report JSON round-trips");
+    let slowest = parsed
+        .stages
+        .iter()
+        .max_by(|a, b| a.total_ms.total_cmp(&b.total_ms))
+        .expect("stages recorded");
+    println!(
+        "\nslowest stage: {} ({:.2} ms over {} calls)",
+        slowest.name, slowest.total_ms, slowest.calls
+    );
+}

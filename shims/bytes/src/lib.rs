@@ -1,0 +1,255 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the CSI wire formats use: a growable
+//! [`BytesMut`] with big-endian `put_*` writers, an immutable [`Bytes`]
+//! produced by [`BytesMut::freeze`], and a [`Buf`] reader implementation
+//! over `&[u8]` with big-endian `get_*` accessors. Backed by plain
+//! `Vec<u8>` — no refcounted slab sharing, which nothing here needs.
+
+use std::ops::Deref;
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { inner: self.inner }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    inner: Vec<u8>,
+}
+
+impl Bytes {
+    /// Copies a slice into an owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            inner: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(inner: Vec<u8>) -> Self {
+        Self { inner }
+    }
+}
+
+/// Big-endian writers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Big-endian readers over a shrinking cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Copies out exactly `dst.len()` bytes.
+    ///
+    /// # Panics
+    /// Panics if not enough bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16(0x0102);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(42);
+        buf.put_i32(-5);
+        buf.put_f64(std::f64::consts::PI);
+        buf.put_slice(b"xy");
+        // Big-endian layout: u16 0x0102 serialises high byte first.
+        assert_eq!(buf[1..3], [0x01, 0x02]);
+        let frozen = buf.freeze();
+        let mut cur = &frozen[..];
+        assert_eq!(cur.remaining(), 1 + 2 + 4 + 8 + 4 + 8 + 2);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16(), 0x0102);
+        assert_eq!(cur.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64(), 42);
+        assert_eq!(cur.get_i32(), -5);
+        assert_eq!(cur.get_f64(), std::f64::consts::PI);
+        cur.advance(1);
+        assert_eq!(cur, b"y");
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn reading_past_end_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        let _ = cur.get_u32();
+    }
+}

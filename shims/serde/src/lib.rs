@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no registry access, so the workspace vendors the
+//! tiny subset it actually relies on: the `Serialize` / `Deserialize`
+//! *marker* traits and derives that accept the usual attribute grammar.
+//! Nothing in the workspace serialises through serde at runtime — binary
+//! capture files go through `rim_csi::storage` and observability JSON
+//! through `rim_obs::json` — so no-op derives are sufficient and keep
+//! every `#[derive(Serialize, Deserialize)]` annotation compiling
+//! unchanged for the day a real registry is available.
+
+/// Marker for types that declare themselves serialisable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserialisable.
+pub trait Deserialize<'de> {}
+
+/// Marker for types deserialisable without borrowing from the input.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

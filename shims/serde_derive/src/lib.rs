@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! stand-in: they accept the same attribute grammar (`#[serde(...)]`)
+//! but emit nothing — the workspace's types only *tag* themselves as
+//! serialisable; actual wire formats are hand-rolled (`rim_csi::storage`,
+//! `rim_obs::json`).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,95 @@
+//! Observability integration: the instrumented pipeline must report every
+//! stage, round-trip its report through JSON, and leave the estimates
+//! untouched whether probed by a recorder or by the no-op probe.
+
+use rim_array::ArrayGeometry;
+use rim_channel::trajectory::{line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::Rim;
+use rim_csi::{CsiRecorder, DeviceConfig, RecorderConfig};
+use rim_dsp::geom::Point2;
+use rim_integration_tests::{config, FS, SPACING};
+use rim_obs::{stage, NullProbe, Recorder, RunReport};
+
+fn small_run() -> (Rim, rim_csi::recorder::DenseCsi) {
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = ArrayGeometry::linear(3, SPACING);
+    let traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        0.8,
+        1.0,
+        FS,
+        OrientationMode::FollowPath,
+    );
+    let dense = CsiRecorder::new(
+        &sim,
+        DeviceConfig::single_nic(geo.offsets().to_vec()),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record(&traj)
+    .interpolated()
+    .expect("interpolable");
+    (Rim::new(geo, config(0.3)), dense)
+}
+
+#[test]
+fn run_report_covers_every_stage_and_round_trips() {
+    let (rim, dense) = small_run();
+    let recorder = Recorder::new();
+    rim.analyze_probed(&dense, &recorder);
+    let report = recorder.report();
+
+    for name in stage::PIPELINE {
+        let s = report
+            .stage(name)
+            .unwrap_or_else(|| panic!("stage {name} missing"));
+        assert!(s.calls >= 1, "{name} called");
+        assert!(s.total_ms >= 0.0);
+    }
+    // Stage-specific content the instrumentation promises.
+    let md = report.stage(stage::MOVEMENT_DETECTION).unwrap();
+    assert_eq!(
+        md.counters
+            .iter()
+            .find(|(k, _)| k == "samples")
+            .map(|(_, v)| *v),
+        Some(dense.n_samples() as u64)
+    );
+    let post = report.stage(stage::POST_DETECTION).unwrap();
+    assert!(
+        post.distributions
+            .iter()
+            .any(|d| d.name == "ridge_prominence"),
+        "ridge prominence distribution recorded"
+    );
+
+    // Golden JSON round-trip: parse(to_json) reproduces the report.
+    let json = report.to_json();
+    let parsed = RunReport::from_json(&json).expect("valid report JSON");
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn null_probe_matches_unprobed_analysis_exactly() {
+    let (rim, dense) = small_run();
+    let plain = rim.analyze(&dense);
+    let probed = rim.analyze_probed(&dense, &NullProbe);
+    let recorded = {
+        let recorder = Recorder::new();
+        rim.analyze_probed(&dense, &recorder)
+    };
+    // Instrumentation must be purely observational: identical estimates
+    // with the no-op probe and with a live recorder.
+    for est in [&probed, &recorded] {
+        assert_eq!(est.total_distance(), plain.total_distance());
+        assert_eq!(est.segments.len(), plain.segments.len());
+        assert_eq!(est.moving, plain.moving);
+    }
+    // The disabled probe stays zero-sized — the generic pipeline carries
+    // no recorder state in that instantiation.
+    assert_eq!(std::mem::size_of::<NullProbe>(), 0);
+}
