@@ -36,9 +36,10 @@ fn bench_pipeline(c: &mut Criterion) {
     let rim_lin = Rim::new(
         lin,
         RimConfig::for_sample_rate(fs).with_min_speed(0.3, HALF_WAVELENGTH, fs),
-    );
+    )
+    .unwrap();
     c.bench_function("analyze_1s_linear3", |b| {
-        b.iter(|| rim_lin.analyze(black_box(&dense_lin)))
+        b.iter(|| rim_lin.analyze(black_box(&dense_lin)).unwrap())
     });
 
     // 6-antenna hexagonal array, 1 s of motion.
@@ -54,11 +55,12 @@ fn bench_pipeline(c: &mut Criterion) {
     let rim_hex = Rim::new(
         hex,
         RimConfig::for_sample_rate(fs).with_min_speed(0.3, HALF_WAVELENGTH, fs),
-    );
+    )
+    .unwrap();
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(20);
     group.bench_function("analyze_1s_hexagonal6", |b| {
-        b.iter(|| rim_hex.analyze(black_box(&dense_hex)))
+        b.iter(|| rim_hex.analyze(black_box(&dense_hex)).unwrap())
     });
     group.finish();
 }

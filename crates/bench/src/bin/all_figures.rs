@@ -48,6 +48,7 @@ fn main() {
         eprintln!("[{name}] done in {:.1?}", t0.elapsed());
     }
     write_pipeline_profile();
+    write_parallel_sweep(fast);
 }
 
 /// Profiles one representative pipeline run (2 m lab push at the standard
@@ -77,10 +78,114 @@ fn write_pipeline_profile() {
     .record_probed(&traj, &recorder)
     .interpolated()
     .expect("recording interpolable");
-    Rim::new(geo, env::rim_config(fs, 0.3)).analyze_probed(&dense, &recorder);
+    Rim::new(geo, env::rim_config(fs, 0.3))
+        .expect("valid config")
+        .session()
+        .probe(&recorder)
+        .analyze(&dense)
+        .expect("analyzable recording");
     let json = recorder.report().to_json();
     match std::fs::write("BENCH_pipeline.json", json + "\n") {
         Ok(()) => eprintln!("[obs] wrote BENCH_pipeline.json"),
         Err(e) => eprintln!("[obs] could not write BENCH_pipeline.json: {e}"),
+    }
+}
+
+/// Re-analyzes one fig11-style trace at several thread counts and writes
+/// the throughput sweep to `BENCH_parallel.json`. Speedups are relative
+/// to the 1-thread run on this machine; `hardware_threads` records how
+/// much parallelism the host actually offered, so a 1-core CI box
+/// reporting ~1× is expected rather than a regression.
+fn write_parallel_sweep(fast: bool) {
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = env::linear_array();
+    let fs = env::SAMPLE_RATE;
+    let length_m = if fast { 1.0 } else { 4.0 };
+    let traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        length_m,
+        1.0,
+        fs,
+        OrientationMode::FollowPath,
+    );
+    let dense = CsiRecorder::new(
+        &sim,
+        env::device_for(&geo),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record(&traj)
+    .interpolated()
+    .expect("recording interpolable");
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps = if fast { 1 } else { 3 };
+    let reference = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+        .expect("valid config")
+        .analyze(&dense)
+        .expect("analyzable recording");
+
+    let mut entries = Vec::new();
+    let mut serial_ms = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let rim = Rim::new(geo.clone(), env::rim_config(fs, 0.3).with_threads(threads))
+            .expect("valid config");
+        let mut best_ms = f64::INFINITY;
+        let mut estimate = None;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let e = rim.analyze(&dense).expect("analyzable recording");
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            estimate = Some(e);
+        }
+        let estimate = estimate.expect("at least one rep");
+        let bit_identical = estimate.speed_mps.len() == reference.speed_mps.len()
+            && estimate
+                .speed_mps
+                .iter()
+                .zip(&reference.speed_mps)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if threads == 1 {
+            serial_ms = best_ms;
+        }
+        entries.push(format!(
+            concat!(
+                "    {{\"threads\": {}, \"wall_ms\": {:.3}, ",
+                "\"speedup_vs_serial\": {:.3}, \"bit_identical\": {}}}"
+            ),
+            threads,
+            best_ms,
+            serial_ms / best_ms,
+            bit_identical
+        ));
+        eprintln!(
+            "[par] threads={threads}: {best_ms:.1} ms ({:.2}x), bit_identical={bit_identical}",
+            serial_ms / best_ms
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"parallel_sweep\",\n",
+            "  \"trace\": \"open_lab line {length} m @ {fs} Hz\",\n",
+            "  \"samples\": {samples},\n",
+            "  \"hardware_threads\": {hw},\n",
+            "  \"reps\": {reps},\n",
+            "  \"runs\": [\n{runs}\n  ]\n}}\n"
+        ),
+        length = length_m,
+        fs = fs,
+        samples = dense.n_samples(),
+        hw = hardware_threads,
+        reps = reps,
+        runs = entries.join(",\n")
+    );
+    match std::fs::write("BENCH_parallel.json", json) {
+        Ok(()) => eprintln!("[par] wrote BENCH_parallel.json"),
+        Err(e) => eprintln!("[par] could not write BENCH_parallel.json: {e}"),
     }
 }

@@ -81,7 +81,10 @@ pub fn run_rim(
     seed: u64,
 ) -> MotionEstimate {
     let dense = record(sim, geometry, traj, seed, LossModel::None, None);
-    Rim::new(geometry.clone(), config).analyze(&dense)
+    Rim::new(geometry.clone(), config)
+        .unwrap()
+        .analyze(&dense)
+        .unwrap()
 }
 
 /// Deterministic per-trace start points inside the office open area.

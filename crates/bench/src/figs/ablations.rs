@@ -131,7 +131,10 @@ pub fn run(fast: bool) -> Report {
             .record(&traj)
             .interpolated()
             .unwrap();
-            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+                .unwrap()
+                .analyze(&dense)
+                .unwrap();
             errs.push((est.total_distance() - truth_m).abs());
         }
         report.row(
@@ -167,7 +170,10 @@ pub fn run(fast: bool) -> Report {
                     }
                 }
             }
-            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+                .unwrap()
+                .analyze(&dense)
+                .unwrap();
             errs.push((est.total_distance() - truth_m).abs());
         }
         report.row(
@@ -197,7 +203,10 @@ pub fn run(fast: bool) -> Report {
                 LossModel::None,
                 Some(noisy.clone()),
             );
-            let est = Rim::new((*g).clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+            let est = Rim::new((*g).clone(), env::rim_config(fs, 0.3))
+                .unwrap()
+                .analyze(&dense)
+                .unwrap();
             errs.push((est.total_distance() - truth_m).abs());
         }
         report.row(label.to_string(), ErrorStats::of(&errs).fmt_cm());
@@ -211,7 +220,10 @@ pub fn run(fast: bool) -> Report {
             let sim = ChannelSimulator::open_lab(7 + k as u64);
             let traj = make_traj(k);
             let dense = env::record(&sim, &geo, &traj, 340 + k as u64, LossModel::None, None);
-            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+                .unwrap()
+                .analyze(&dense)
+                .unwrap();
             rim_errs.push((est.total_distance() - truth_m).abs());
             // WiBall: single antenna (the middle one), same recording.
             let series = rim_core::trrs::NormSnapshot::series(&dense.antennas[1]);
@@ -271,7 +283,10 @@ pub fn run(fast: bool) -> Report {
                         }
                     }
                 }
-                let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+                let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+                    .unwrap()
+                    .analyze(&dense)
+                    .unwrap();
                 errs.push((est.total_distance() - truth_m).abs());
             }
             report.row(label.to_string(), ErrorStats::of(&errs).fmt_cm());

@@ -78,7 +78,10 @@ pub fn run(fast: bool) -> Report {
             OrientationMode::Fixed(0.0),
         );
         let dense = env::record(&sim, &geo, &traj, seed + 9, LossModel::None, None);
-        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
         if est.total_distance() > 0.0 {
             ratios.push(est.total_distance() / truth);
         }

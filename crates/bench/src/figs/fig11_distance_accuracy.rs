@@ -56,7 +56,10 @@ pub fn run(fast: bool) -> Report {
             OrientationMode::Fixed(0.0),
         );
         let dense = env::record(&sim, &geo, &traj, k as u64, LossModel::None, None);
-        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
         desk_err.push((est.total_distance() - traj.total_distance()).abs());
     }
 
@@ -88,7 +91,10 @@ pub fn run(fast: bool) -> Report {
             let is_los = sim.tracer().floorplan().is_los(sim.ap().pos, mid);
             debug_assert_eq!(is_los, class == "los", "AP {ap} trace {k}");
             let dense = env::record(&sim, &geo, &traj, 31 + k as u64, LossModel::None, None);
-            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+                .unwrap()
+                .analyze(&dense)
+                .unwrap();
             errs.push((est.total_distance() - traj.total_distance()).abs());
         }
     }

@@ -43,7 +43,10 @@ pub fn run(fast: bool) -> Report {
             OrientationMode::Fixed(0.0),
         );
         let dense = env::record(&sim, &geo, &traj, k as u64, LossModel::None, None);
-        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
         let err = match est.segments.first().and_then(|s| s.heading_device) {
             Some(h) => angle_diff(h, dir.to_radians()),
             None => std::f64::consts::PI, // total miss
@@ -98,7 +101,10 @@ pub fn run(fast: bool) -> Report {
         let dense = env::record(&sim, &geo, &traj, k as u64, LossModel::None, None);
         let mut config = env::rim_config(fs, 0.3);
         config.continuous_heading = true;
-        let est = Rim::new(geo.clone(), config).analyze(&dense);
+        let est = Rim::new(geo.clone(), config)
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
         let err = match est.segments.first().and_then(|s| s.heading_device) {
             Some(h) => angle_diff(h, dir.to_radians()),
             None => std::f64::consts::PI,

@@ -61,7 +61,10 @@ pub fn run(fast: bool) -> Report {
                 LossModel::None,
                 None,
             );
-            let est = Rim::new(geo.clone(), config.clone()).analyze(&dense);
+            let est = Rim::new(geo.clone(), config.clone())
+                .unwrap()
+                .analyze(&dense)
+                .unwrap();
             let err = (est.total_rotation() - truth).abs();
             rim_errors.push(err);
             rim_per_angle.push(err.to_degrees());

@@ -51,7 +51,10 @@ pub fn run(fast: bool) -> Report {
                 LossModel::None,
                 None,
             );
-            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+                .unwrap()
+                .analyze(&dense)
+                .unwrap();
             errors.push((est.total_distance() - traj.total_distance()).abs());
         }
         let stats = ErrorStats::of(&errors);

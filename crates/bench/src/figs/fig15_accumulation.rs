@@ -32,7 +32,10 @@ pub fn run(fast: bool) -> Report {
         let start = Point2::new(4.0 + (k % 2) as f64, 9.5 + 2.7 * (k % 3) as f64);
         let traj = line(start, 0.0, 10.0, 1.0, fs, OrientationMode::FollowPath);
         let dense = env::record(&sim, &geo, &traj, 41 + k as u64, LossModel::None, None);
-        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
 
         // Estimated cumulative distance: integrate per-sample speed and
         // add the initial-motion compensation at the segment start.

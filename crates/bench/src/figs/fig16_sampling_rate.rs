@@ -59,7 +59,10 @@ pub fn run(fast: bool) -> Report {
                 // the same minimum-speed coverage.
                 let mut config = env::rim_config(rate, 0.3);
                 config.subsample_refinement = refinement;
-                let est = Rim::new(geo.clone(), config).analyze(&dec);
+                let est = Rim::new(geo.clone(), config)
+                    .unwrap()
+                    .analyze(&dec)
+                    .unwrap();
                 errors.push((est.total_distance() - truth).abs());
             }
             report.row(

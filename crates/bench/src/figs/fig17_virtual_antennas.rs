@@ -61,7 +61,7 @@ pub fn run(fast: bool) -> Report {
         for (rec, &truth) in recordings.iter().zip(&truths) {
             let mut config = env::rim_config(fs, 0.3);
             config.alignment.virtual_antennas = v;
-            let est = Rim::new(geo.clone(), config).analyze(rec);
+            let est = Rim::new(geo.clone(), config).unwrap().analyze(rec).unwrap();
             errors.push((est.total_distance() - truth).abs());
         }
         report.row(format!("V = {v:>3}"), ErrorStats::of(&errors).fmt_cm());

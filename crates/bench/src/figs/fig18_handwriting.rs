@@ -42,7 +42,10 @@ pub fn run(fast: bool) -> Report {
             LossModel::None,
             None,
         );
-        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.12)).analyze(&dense);
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.12))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
         let track = est.trajectory(run.truth[0], 0.0);
         let err = mean_projection_error(&track, &run.truth);
         // A collapsed track (nothing estimated) scores against the whole

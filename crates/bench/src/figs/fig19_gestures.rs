@@ -47,7 +47,10 @@ pub fn run(fast: bool) -> Report {
                     );
                     let traj = gesture_trajectory(gesture, start, amp, speed, fs);
                     let dense = env::record(&sim, &geo, &traj, seed, LossModel::None, None);
-                    let est = Rim::new(geo.clone(), env::rim_config(fs, 0.2)).analyze(&dense);
+                    let est = Rim::new(geo.clone(), env::rim_config(fs, 0.2))
+                        .unwrap()
+                        .analyze(&dense)
+                        .unwrap();
                     total += 1;
                     user_n += 1;
                     match detect_gesture(&est, &det_cfg) {
@@ -83,7 +86,10 @@ pub fn run(fast: bool) -> Report {
         let sim = ChannelSimulator::open_lab(7 + (k % 5) as u64);
         let traj = dwell(env::lab_start(k), 0.0, 1.2, fs);
         let dense = env::record(&sim, &geo, &traj, 500 + k as u64, LossModel::None, None);
-        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.2)).analyze(&dense);
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.2))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
         if detect_gesture(&est, &det_cfg).is_some() {
             false_triggers += 1;
         }

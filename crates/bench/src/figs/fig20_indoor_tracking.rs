@@ -60,7 +60,10 @@ pub fn run(fast: bool) -> Report {
         let traj = polyline(&wps, 1.0, fs, OrientationMode::Fixed(0.0));
         let truth: Vec<Point2> = traj.poses().iter().map(|p| p.pos).collect();
         let dense = env::record(&sim, &geo, &traj, 90 + idx as u64, LossModel::None, None);
-        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
         let track = est.trajectory(wps[0], 0.0);
         let end_err = track.last().unwrap().distance(*truth.last().unwrap());
         report.row(

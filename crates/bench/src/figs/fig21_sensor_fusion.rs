@@ -47,7 +47,10 @@ pub fn run(fast: bool) -> Report {
     let truth: Vec<Point2> = traj.poses().iter().map(|p| p.pos).collect();
 
     let dense = env::record(&sim, &geo, &traj, 7, LossModel::None, None);
-    let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+    let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+        .unwrap()
+        .analyze(&dense)
+        .unwrap();
     report.row(
         "RIM distance",
         format!(

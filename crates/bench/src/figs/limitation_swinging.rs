@@ -43,7 +43,10 @@ pub fn run(fast: bool) -> Report {
             fs,
         );
         let dense = env::record(&sim, &geo, &traj, 400 + k as u64, LossModel::None, None);
-        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+        let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
         dist_err.push((est.total_distance() - traj.total_distance()).abs());
         rot_captured.push(est.total_rotation().abs().to_degrees());
     }

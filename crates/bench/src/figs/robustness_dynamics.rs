@@ -62,7 +62,10 @@ pub fn run(fast: bool) -> Report {
                 OrientationMode::FollowPath,
             );
             let dense = env::record(&sim, &geo, &traj, 200 + k as u64, LossModel::None, None);
-            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3)).analyze(&dense);
+            let est = Rim::new(geo.clone(), env::rim_config(fs, 0.3))
+                .unwrap()
+                .analyze(&dense)
+                .unwrap();
             errors.push((est.total_distance() - traj.total_distance()).abs());
         }
         report.row(

@@ -18,8 +18,9 @@ USAGE:
   rim simulate <out.rimc> [--scenario line|square|rotation] [--env lab|office]
                [--array linear3|hexagonal|l] [--distance M] [--speed M/S]
                [--rate HZ] [--loss P] [--seed N] [--obs json|report]
-  rim analyze  <in.rimc>  [--array linear3|hexagonal|l] [--min-speed M/S]
-               [--start X,Y] [--verbose] [--obs json|report]
+  rim analyze  <in.rimc> [<in2.rimc>…] [--array linear3|hexagonal|l]
+               [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
+               [--obs json|report]
   rim floorplan
   rim demo     [--seed N] [--obs json|report]
   rim help
@@ -27,6 +28,9 @@ USAGE:
   --obs report prints a per-stage observability table (timings, counters,
   diagnostics); --obs json emits the same run report as machine-readable
   JSON on stdout (and nothing else, so it pipes cleanly).
+
+  analyze accepts several captures at once and fans them across the worker
+  pool; --threads N sizes the pool (default: RIM_THREADS, then all cores).
 ";
 
 /// Rejects `--options` the subcommand does not know. The parser accepts
@@ -212,38 +216,82 @@ pub fn simulate(args: &Args) -> Result<(), String> {
 
 /// `rim analyze`.
 pub fn analyze(args: &Args) -> Result<(), String> {
-    check_options(args, &["array", "min-speed", "start", "verbose", "obs"])?;
+    check_options(
+        args,
+        &["array", "min-speed", "start", "verbose", "obs", "threads"],
+    )?;
     let obs = obs_mode(args)?;
-    let in_path = args
-        .positional
-        .first()
-        .ok_or("analyze needs an input path (a .rimc capture)")?;
+    if args.positional.is_empty() {
+        return Err("analyze needs an input path (a .rimc capture)".into());
+    }
     let array_name = args.get_str("array", "linear3");
     let min_speed = args.get_f64("min-speed", 0.3)?;
+    let threads = args.get_u64("threads", 0)? as usize;
     let geometry = array_by_name(&array_name)?;
 
-    let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
-    let recording = rim_csi::storage::load_recording(BufReader::new(file))
-        .map_err(|e| format!("load failed: {e}"))?;
-    if recording.n_antennas() != geometry.n_antennas() {
-        return Err(format!(
-            "capture has {} antennas but array {array_name:?} has {} — pass --array",
-            recording.n_antennas(),
-            geometry.n_antennas()
-        ));
+    let mut loaded = Vec::new();
+    for in_path in &args.positional {
+        let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
+        let recording = rim_csi::storage::load_recording(BufReader::new(file))
+            .map_err(|e| format!("load failed: {e}"))?;
+        if recording.n_antennas() != geometry.n_antennas() {
+            return Err(format!(
+                "capture {in_path} has {} antennas but array {array_name:?} has {} — \
+                 pass --array",
+                recording.n_antennas(),
+                geometry.n_antennas()
+            ));
+        }
+        let dense = recording.interpolated().ok_or_else(|| {
+            format!("capture {in_path} is not interpolable (an antenna lost every packet)")
+        })?;
+        loaded.push((in_path.as_str(), recording, dense));
     }
-    let dense = recording
-        .interpolated()
-        .ok_or("capture is not interpolable (an antenna lost every packet)")?;
-    let fs = dense.sample_rate_hz;
-    let config = RimConfig::for_sample_rate(fs).with_min_speed(min_speed, HALF_WAVELENGTH, fs);
-    let rim = Rim::new(geometry, config);
+    let fs = loaded[0].2.sample_rate_hz;
+    let config = RimConfig::for_sample_rate(fs)
+        .with_min_speed(min_speed, HALF_WAVELENGTH, fs)
+        .with_threads(threads);
+    // Config/geometry errors surface as one-line messages, not backtraces.
+    let rim = Rim::new(geometry, config).map_err(|e| e.to_string())?;
+
+    // Several captures: fan the independent sessions across the worker
+    // pool and print one summary line per capture.
+    if loaded.len() > 1 {
+        let recorder = rim_obs::Recorder::new();
+        let denses: Vec<&rim_csi::recorder::DenseCsi> = loaded.iter().map(|l| &l.2).collect();
+        let estimates = if obs.is_some() {
+            rim.session().probe(&recorder).analyze_batch(&denses)
+        } else {
+            rim.session().analyze_batch(&denses)
+        }
+        .map_err(|e| e.to_string())?;
+        if obs == Some(ObsMode::Json) {
+            println!("{}", recorder.report().to_json());
+            return Ok(());
+        }
+        for ((path, recording, dense), est) in loaded.iter().zip(&estimates) {
+            println!(
+                "{path}: {} samples at {} Hz, loss {:.1}%, total distance {:.3} m",
+                dense.n_samples(),
+                dense.sample_rate_hz,
+                recording.loss_rate() * 100.0,
+                est.total_distance()
+            );
+        }
+        if obs == Some(ObsMode::Report) {
+            print!("{}", recorder.report().render());
+        }
+        return Ok(());
+    }
+
+    let (in_path, recording, dense) = &loaded[0];
     let recorder = rim_obs::Recorder::new();
     let estimate = if obs.is_some() {
-        rim.analyze_probed(&dense, &recorder)
+        rim.session().probe(&recorder).analyze(dense)
     } else {
-        rim.analyze(&dense)
-    };
+        rim.analyze(dense)
+    }
+    .map_err(|e| e.to_string())?;
 
     if obs == Some(ObsMode::Json) {
         println!("{}", recorder.report().to_json());
@@ -295,7 +343,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     if obs == Some(ObsMode::Report) {
         print!(
             "{}",
-            render_obs_report(&recorder, rim.config(), &dense, &estimate)
+            render_obs_report(&recorder, rim.config(), dense, &estimate)
         );
     }
     Ok(())
@@ -386,12 +434,13 @@ pub fn demo(args: &Args) -> Result<(), String> {
         .interpolated()
         .ok_or("recording not interpolable")?;
     let config = RimConfig::for_sample_rate(200.0).with_min_speed(0.3, HALF_WAVELENGTH, 200.0);
-    let rim = Rim::new(geometry, config);
+    let rim = Rim::new(geometry, config).map_err(|e| e.to_string())?;
     let est = if obs.is_some() {
-        rim.analyze_probed(&dense, &recorder)
+        rim.session().probe(&recorder).analyze(&dense)
     } else {
         rim.analyze(&dense)
-    };
+    }
+    .map_err(|e| e.to_string())?;
     if obs == Some(ObsMode::Json) {
         println!("{}", recorder.report().to_json());
         return Ok(());
@@ -535,7 +584,12 @@ mod tests {
         .interpolated()
         .unwrap();
         let config = RimConfig::for_sample_rate(200.0).with_min_speed(0.3, HALF_WAVELENGTH, 200.0);
-        Rim::new(geometry, config).analyze_probed(&dense, &recorder);
+        Rim::new(geometry, config)
+            .unwrap()
+            .session()
+            .probe(&recorder)
+            .analyze(&dense)
+            .unwrap();
         let report = recorder.report();
         let round_trip = rim_obs::RunReport::from_json(&report.to_json()).expect("valid JSON");
         for stage in rim_obs::stage::PIPELINE {

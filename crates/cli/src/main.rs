@@ -4,8 +4,8 @@
 //! rim simulate out.rimc [--scenario line|square|rotation] [--env lab|office]
 //!              [--array linear3|hexagonal|l] [--distance M] [--speed M/S]
 //!              [--rate HZ] [--loss P] [--seed N]
-//! rim analyze  in.rimc  [--array linear3|hexagonal|l] [--min-speed M/S]
-//!              [--start X,Y] [--verbose]
+//! rim analyze  in.rimc [in2.rimc…] [--array linear3|hexagonal|l]
+//!              [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
 //! rim floorplan
 //! rim demo     [--seed N]
 //! ```

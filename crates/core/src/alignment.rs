@@ -14,6 +14,7 @@
 //! `O(T·W)`, instead of the naive `O(T·W·V·S·N)`.
 
 use crate::trrs::{trrs_norm, NormSnapshot};
+use rim_par::Pool;
 
 /// Parameters of alignment-matrix computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +82,17 @@ impl AlignmentMatrix {
     /// # Panics
     /// Panics if the list is empty or shapes differ.
     pub fn average(mats: &[&AlignmentMatrix]) -> AlignmentMatrix {
+        Self::average_with(mats, &Pool::serial())
+    }
+
+    /// [`AlignmentMatrix::average`] as a parallel reduction: time rows are
+    /// tiled across `pool`'s workers. Each element sums its inputs in
+    /// matrix order regardless of scheduling, so the result is
+    /// bit-identical to the serial average.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or shapes differ.
+    pub fn average_with(mats: &[&AlignmentMatrix], pool: &Pool) -> AlignmentMatrix {
         assert!(!mats.is_empty(), "need at least one matrix");
         let w = mats[0].window;
         let t = mats[0].n_times();
@@ -88,21 +100,26 @@ impl AlignmentMatrix {
             mats.iter().all(|m| m.window == w && m.n_times() == t),
             "matrix shapes must agree"
         );
-        let mut values = vec![vec![0.0; 2 * w + 1]; t];
-        for m in mats {
-            for (acc, row) in values.iter_mut().zip(&m.values) {
-                for (a, &v) in acc.iter_mut().zip(row) {
-                    *a += v;
-                }
-            }
-        }
         let inv = 1.0 / mats.len() as f64;
-        for row in &mut values {
-            for v in row {
-                *v *= inv;
-            }
+        let tiles = pool.run_tiles(t, |_, rows| {
+            rows.map(|row| {
+                let mut acc = vec![0.0f64; 2 * w + 1];
+                for m in mats {
+                    for (a, &v) in acc.iter_mut().zip(&m.values[row]) {
+                        *a += v;
+                    }
+                }
+                for v in &mut acc {
+                    *v *= inv;
+                }
+                acc
+            })
+            .collect::<Vec<Vec<f64>>>()
+        });
+        AlignmentMatrix {
+            window: w,
+            values: tiles.into_iter().flatten().collect(),
         }
-        AlignmentMatrix { window: w, values }
     }
 
     /// Median TRRS of column `t` — the column's noise floor. Ridge
@@ -169,47 +186,94 @@ pub fn base_cross_trrs_range(
     t0: usize,
     t1: usize,
 ) -> AlignmentMatrix {
-    assert_eq!(a.len(), b.len(), "series must have equal length");
-    assert!(t0 <= t1 && t1 <= a.len(), "column range out of bounds");
+    base_cross_trrs_range_with(a, b, window, t0, t1, &Pool::serial())
+}
+
+/// One time column of the cross-TRRS matrix. Shared by the serial and
+/// tiled paths so both perform the identical per-element arithmetic.
+fn cross_trrs_row(a: &[NormSnapshot], b: &[NormSnapshot], window: usize, t: usize) -> Vec<f64> {
     let t_len = a.len();
     let w = window as isize;
-    let mut values = vec![vec![0.0; 2 * window + 1]; t1 - t0];
-    for (row_idx, row) in values.iter_mut().enumerate() {
-        let t = t0 + row_idx;
-        for (k, slot) in row.iter_mut().enumerate() {
-            let lag = k as isize - w;
-            let src = t as isize - lag;
-            if src < 0 || src as usize >= t_len {
-                continue;
-            }
-            *slot = trrs_norm(&a[t], &b[src as usize]);
+    let mut row = vec![0.0; 2 * window + 1];
+    for (k, slot) in row.iter_mut().enumerate() {
+        let lag = k as isize - w;
+        let src = t as isize - lag;
+        if src < 0 || src as usize >= t_len {
+            continue;
         }
+        *slot = trrs_norm(&a[t], &b[src as usize]);
     }
-    AlignmentMatrix { window, values }
+    row
+}
+
+/// [`base_cross_trrs_range`] with the time columns tiled across `pool`'s
+/// workers — the dominant `O(T·W·S·N)` cost of the pipeline. Every column
+/// is independent and computed by the same per-element code as the serial
+/// path, so the result is bit-identical regardless of thread count.
+///
+/// # Panics
+/// Panics if the series lengths differ or the range is out of bounds.
+pub fn base_cross_trrs_range_with(
+    a: &[NormSnapshot],
+    b: &[NormSnapshot],
+    window: usize,
+    t0: usize,
+    t1: usize,
+    pool: &Pool,
+) -> AlignmentMatrix {
+    assert_eq!(a.len(), b.len(), "series must have equal length");
+    assert!(t0 <= t1 && t1 <= a.len(), "column range out of bounds");
+    let tiles = pool.run_tiles(t1 - t0, |_, rows| {
+        rows.map(|row_idx| cross_trrs_row(a, b, window, t0 + row_idx))
+            .collect::<Vec<Vec<f64>>>()
+    });
+    AlignmentMatrix {
+        window,
+        values: tiles.into_iter().flatten().collect(),
+    }
 }
 
 /// Applies the virtual-massive-antenna average (Eqn. 4): a centred box
 /// filter of length `v` along the time axis, per lag. Edge positions
 /// average over the in-range part of the block.
 pub fn virtual_average(base: &AlignmentMatrix, v: usize) -> AlignmentMatrix {
+    virtual_average_with(base, v, &Pool::serial())
+}
+
+/// [`virtual_average`] as a parallel reduction: lag columns are tiled
+/// across `pool`'s workers, each running the identical per-lag prefix-sum
+/// arithmetic, then transposed back to row-major. Bit-identical to the
+/// serial path for any thread count.
+pub fn virtual_average_with(base: &AlignmentMatrix, v: usize, pool: &Pool) -> AlignmentMatrix {
     if v <= 1 {
         return base.clone();
     }
     let t_len = base.n_times();
     let n_lags = base.n_lags();
     let half = (v / 2) as isize;
+    // Prefix sums per lag for O(1) window averages; one column per lag,
+    // transposed to row-major afterwards.
+    let tiles = pool.run_tiles(n_lags, |_, lags| {
+        let mut prefix = vec![0.0f64; t_len + 1];
+        lags.map(|k| {
+            prefix[0] = 0.0;
+            for t in 0..t_len {
+                prefix[t + 1] = prefix[t] + base.values[t][k];
+            }
+            let mut col = vec![0.0f64; t_len];
+            for (t, slot) in col.iter_mut().enumerate() {
+                let lo = (t as isize - half).max(0) as usize;
+                let hi = ((t as isize + half) as usize).min(t_len - 1);
+                *slot = (prefix[hi + 1] - prefix[lo]) / (hi - lo + 1) as f64;
+            }
+            col
+        })
+        .collect::<Vec<Vec<f64>>>()
+    });
     let mut values = vec![vec![0.0; n_lags]; t_len];
-    // Prefix sums per lag for O(1) window averages.
-    let mut prefix = vec![0.0f64; t_len + 1];
-    for k in 0..n_lags {
-        prefix[0] = 0.0;
-        for t in 0..t_len {
-            prefix[t + 1] = prefix[t] + base.values[t][k];
-        }
-        for (t, row) in values.iter_mut().enumerate() {
-            let lo = (t as isize - half).max(0) as usize;
-            let hi = ((t as isize + half) as usize).min(t_len - 1);
-            row[k] = (prefix[hi + 1] - prefix[lo]) / (hi - lo + 1) as f64;
+    for (k, col) in tiles.into_iter().flatten().enumerate() {
+        for (t, x) in col.into_iter().enumerate() {
+            values[t][k] = x;
         }
     }
     AlignmentMatrix {
@@ -223,6 +287,15 @@ pub fn virtual_average(base: &AlignmentMatrix, v: usize) -> AlignmentMatrix {
 /// the in-range part of the block.
 pub fn virtual_average_range(base: &AlignmentMatrix, v: usize) -> AlignmentMatrix {
     virtual_average(base, v)
+}
+
+/// Alias of [`virtual_average_with`] for range-computed base matrices.
+pub fn virtual_average_range_with(
+    base: &AlignmentMatrix,
+    v: usize,
+    pool: &Pool,
+) -> AlignmentMatrix {
+    virtual_average_with(base, v, pool)
 }
 
 /// Convenience: full alignment matrix `G` for a pair of antenna series
@@ -358,6 +431,27 @@ mod tests {
         for t in 0..m.n_times() {
             for k in 0..m.n_lags() {
                 assert!((avg.values[t][k] - m.values[t][k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_paths_are_bit_identical_to_serial() {
+        let (a, b) = shifted_series(60, 2);
+        let serial = base_cross_trrs(&a, &b, 9);
+        let g_serial = virtual_average(&serial, 7);
+        let avg_serial = AlignmentMatrix::average(&[&serial, &g_serial]);
+        for threads in [2usize, 4, 8] {
+            let pool = Pool::new(threads, 5);
+            let base = base_cross_trrs_range_with(&a, &b, 9, 0, a.len(), &pool);
+            let g = virtual_average_with(&base, 7, &pool);
+            let avg = AlignmentMatrix::average_with(&[&base, &g], &pool);
+            for (x, y) in [(&base, &serial), (&g, &g_serial), (&avg, &avg_serial)] {
+                for (rx, ry) in x.values.iter().zip(&y.values) {
+                    for (vx, vy) in rx.iter().zip(ry) {
+                        assert_eq!(vx.to_bits(), vy.to_bits(), "threads={threads}");
+                    }
+                }
             }
         }
     }

@@ -17,12 +17,30 @@
 //!   (the paper's C++ online system);
 //! * [`wiball`] — the WiBall-style single-antenna speed estimator the
 //!   paper discusses as a complement (§7).
+//!
+//! ## Entry points and errors
+//!
+//! Construct a [`Rim`] with [`Rim::new`] (which validates the
+//! [`RimConfig`] and geometry) and analyze through the session builder:
+//!
+//! ```text
+//! let rim = Rim::new(geometry, config)?;
+//! let estimate = rim.session().probe(&recorder).analyze(&csi)?;
+//! let batch    = rim.session().analyze_batch(&[&csi_a, &csi_b])?;
+//! ```
+//!
+//! Fallible operations return [`Error`], whose messages name the
+//! offending parameter and the fix — user input never panics. The
+//! alignment hot path runs on a deterministic work-stealing pool
+//! (`rim-par`), sized by [`RimConfig::with_threads`] or `RIM_THREADS`;
+//! results are bit-identical at every thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alignment;
 pub mod diagnostics;
+pub mod error;
 pub mod movement;
 pub mod pipeline;
 pub mod reckoning;
@@ -32,8 +50,9 @@ pub mod trrs;
 pub mod wiball;
 
 pub use alignment::{alignment_matrix, AlignmentConfig, AlignmentMatrix};
+pub use error::Error;
 pub use movement::{auto_threshold, detect_movement, movement_indicator, MovementConfig};
-pub use pipeline::{MotionEstimate, Rim, RimConfig, SegmentEstimate, SegmentKind};
-pub use stream::{RimStream, StreamAggregate, StreamEvent};
+pub use pipeline::{MotionEstimate, Rim, RimConfig, SegmentEstimate, SegmentKind, Session};
+pub use stream::{RimStream, StreamAggregate, StreamEvent, StreamSession};
 pub use tracking_dp::{track_peaks, DpConfig, TrackedPath};
 pub use trrs::{trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, NormSnapshot};

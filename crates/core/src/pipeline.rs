@@ -4,8 +4,10 @@
 //! rotation reckoning, integrated into a motion estimate.
 
 use crate::alignment::{
-    base_cross_trrs_range, virtual_average_range, AlignmentConfig, AlignmentMatrix,
+    base_cross_trrs_range, base_cross_trrs_range_with, virtual_average_range_with, AlignmentConfig,
+    AlignmentMatrix,
 };
+use crate::error::Error;
 use crate::movement::{movement_indicator, moving_segments, MovementConfig};
 use crate::reckoning::{
     angular_rate_from_frac_lag, heading_from_frac_lag, integrate_trajectory, speed_from_frac_lag,
@@ -18,6 +20,8 @@ use rim_dsp::filter::{median_filter, savitzky_golay};
 use rim_dsp::geom::Point2;
 use rim_dsp::stats::{circular_mean, wrap_angle};
 use rim_obs::{stage, NullProbe, Probe};
+use rim_par::Pool;
+use std::sync::Arc;
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone)]
@@ -63,6 +67,18 @@ pub struct RimConfig {
     /// group showing genuine alignment — deviated motion between two
     /// resolvable directions then interpolates between them.
     pub continuous_heading: bool,
+    /// The sample rate the configuration was derived for, Hz. Used by the
+    /// streaming front-end and by [`RimConfig::validate`]; offline
+    /// analysis reads the actual rate from the recording.
+    pub sample_rate_hz: f64,
+    /// Worker threads for the rim-par pool. `0` (the default) resolves
+    /// from the `RIM_THREADS` environment variable, falling back to the
+    /// machine's available parallelism; `1` forces the serial path.
+    pub threads: usize,
+    /// Tile size (time columns per work unit) for the pool. `0` (the
+    /// default) lets the pool pick ~8 tiles per worker. Tiling never
+    /// changes results — parallel output is bit-identical to serial.
+    pub tile_columns: usize,
 }
 
 impl RimConfig {
@@ -83,6 +99,9 @@ impl RimConfig {
             compensate_initial_motion: true,
             subsample_refinement: true,
             continuous_heading: false,
+            sample_rate_hz,
+            threads: 0,
+            tile_columns: 0,
         }
     }
 
@@ -93,6 +112,84 @@ impl RimConfig {
         let w = (sep / min_speed * sample_rate_hz).ceil() as usize;
         self.alignment.window = w.max(4);
         self
+    }
+
+    /// Sets the worker-thread count (`0` = auto, see
+    /// [`RimConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Checks every parameter against its valid range, with messages
+    /// that name the parameter, the offending value, and the fix. Called
+    /// by [`Rim::new`] and [`crate::RimStream::new`], so a hand-edited
+    /// configuration fails fast instead of panicking mid-pipeline.
+    pub fn validate(&self) -> Result<(), Error> {
+        let bad = |msg: String| Err(Error::Config(msg));
+        if !(self.sample_rate_hz.is_finite() && self.sample_rate_hz > 0.0) {
+            return bad(format!(
+                "sample_rate_hz = {}; the sample rate must be a positive, finite \
+                 frequency (build the config with RimConfig::for_sample_rate)",
+                self.sample_rate_hz
+            ));
+        }
+        if self.alignment.window == 0 {
+            return bad(
+                "alignment.window = 0; the lag half-window W must be at least 1 sample \
+                 (size it to antenna separation / slowest speed × sample rate)"
+                    .into(),
+            );
+        }
+        if self.alignment.window > 100_000 {
+            return bad(format!(
+                "alignment.window = {}; windows beyond 100000 lags make the O(T·W) \
+                 matrices intractable — lower the window or the sample rate",
+                self.alignment.window
+            ));
+        }
+        if self.alignment.virtual_antennas == 0 {
+            return bad("alignment.virtual_antennas = 0; Eqn. 4 needs V >= 1 \
+                 (V = 1 disables virtual-massive averaging)"
+                .into());
+        }
+        if self.movement.lag == 0 {
+            return bad(
+                "movement.lag = 0; movement detection compares against history, \
+                 so the lag must be at least 1 sample"
+                    .into(),
+            );
+        }
+        if !(self.movement.threshold > 0.0 && self.movement.threshold <= 1.0) {
+            return bad(format!(
+                "movement.threshold = {}; the self-TRRS threshold must lie in (0, 1] \
+                 (TRRS is normalised to that range)",
+                self.movement.threshold
+            ));
+        }
+        if self.pre_stride == 0 {
+            return bad(
+                "pre_stride = 0; the pre-detection pass samples every pre_stride-th \
+                 column, so the stride must be at least 1"
+                    .into(),
+            );
+        }
+        if !(self.pre_keep_ratio > 0.0 && self.pre_keep_ratio <= 1.0) {
+            return bad(format!(
+                "pre_keep_ratio = {}; the keep ratio is a fraction of the best \
+                 group's prominence and must lie in (0, 1]",
+                self.pre_keep_ratio
+            ));
+        }
+        if self.threads > rim_par::MAX_THREADS {
+            return bad(format!(
+                "threads = {} exceeds the cap of {}; use 0 to size the pool from \
+                 the machine's available parallelism",
+                self.threads,
+                rim_par::MAX_THREADS
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -175,7 +272,12 @@ impl MotionEstimate {
     }
 }
 
-/// The RIM engine: geometry + configuration.
+/// The RIM engine: geometry + configuration + worker pool.
+///
+/// Analyses run through a [`Session`] built with [`Rim::session`]; the
+/// [`Rim::analyze`] shorthand covers the common case. Construction
+/// validates the configuration ([`RimConfig::validate`]) and geometry, so
+/// every later failure mode is an [`Error`] rather than a panic.
 ///
 /// ```
 /// use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
@@ -201,19 +303,58 @@ impl MotionEstimate {
 ///
 /// let config = RimConfig::for_sample_rate(100.0)
 ///     .with_min_speed(0.3, HALF_WAVELENGTH, 100.0);
-/// let estimate = Rim::new(geometry, config).analyze(&csi);
+/// let rim = Rim::new(geometry, config).unwrap();
+/// let estimate = rim.session().analyze(&csi).unwrap();
 /// assert!((estimate.total_distance() - 0.5).abs() < 0.1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rim {
     geometry: ArrayGeometry,
     config: RimConfig,
+    pool: Arc<Pool>,
+}
+
+/// A builder-style handle for running analyses against a [`Rim`] engine.
+///
+/// Created by [`Rim::session`]; by default un-instrumented
+/// ([`NullProbe`]). Chain [`Session::probe`] to attach an observability
+/// probe, then call [`Session::analyze`] or [`Session::analyze_batch`]:
+///
+/// ```no_run
+/// # fn run(rim: &rim_core::Rim, csi: &rim_csi::recorder::DenseCsi)
+/// #     -> Result<(), rim_core::Error> {
+/// let recorder = rim_obs::Recorder::new();
+/// let estimate = rim.session().probe(&recorder).analyze(csi)?;
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Session<'r, P: Probe + ?Sized = NullProbe> {
+    rim: &'r Rim,
+    probe: &'r P,
 }
 
 impl Rim {
-    /// Creates an engine.
-    pub fn new(geometry: ArrayGeometry, config: RimConfig) -> Self {
-        Self { geometry, config }
+    /// Creates an engine, validating the configuration and geometry.
+    ///
+    /// # Errors
+    /// [`Error::Config`] when a parameter is out of range (see
+    /// [`RimConfig::validate`]); [`Error::Geometry`] when the array has
+    /// fewer than two antennas (no pair to align).
+    pub fn new(geometry: ArrayGeometry, config: RimConfig) -> Result<Self, Error> {
+        config.validate()?;
+        if geometry.n_antennas() < 2 {
+            return Err(Error::Geometry(format!(
+                "{} antenna(s); alignment needs at least two antennas to form a \
+                 pair — use ArrayGeometry::linear(2, ..) or larger",
+                geometry.n_antennas()
+            )));
+        }
+        let pool = Arc::new(Pool::new(config.threads, config.tile_columns));
+        Ok(Self {
+            geometry,
+            config,
+            pool,
+        })
     }
 
     /// The array geometry.
@@ -226,28 +367,140 @@ impl Rim {
         &self.config
     }
 
-    /// Runs the full pipeline on a dense CSI recording.
-    ///
-    /// # Panics
-    /// Panics if the recording's antenna count differs from the geometry's.
-    pub fn analyze(&self, csi: &DenseCsi) -> MotionEstimate {
-        self.analyze_probed(csi, &NullProbe)
+    /// The engine's worker pool (shared with sessions and streams).
+    pub(crate) fn pool(&self) -> &Pool {
+        &self.pool
     }
 
-    /// [`Rim::analyze`] with an observability probe: each pipeline stage
-    /// reports a timing span plus counters/gauges/distributions through
-    /// `probe` (see [`rim_obs::stage`] for the stage names). Passing
-    /// [`NullProbe`] monomorphises to the un-instrumented pipeline — the
-    /// hooks inline to nothing, so `analyze` simply delegates here.
+    /// Starts an un-instrumented analysis session.
+    pub fn session(&self) -> Session<'_, NullProbe> {
+        Session {
+            rim: self,
+            probe: &NullProbe,
+        }
+    }
+
+    /// Runs the full pipeline on a dense CSI recording. Shorthand for
+    /// [`Rim::session`] + [`Session::analyze`].
     ///
-    /// # Panics
-    /// Panics if the recording's antenna count differs from the geometry's.
-    pub fn analyze_probed<P: Probe + ?Sized>(&self, csi: &DenseCsi, probe: &P) -> MotionEstimate {
-        assert_eq!(
-            csi.n_antennas(),
-            self.geometry.n_antennas(),
-            "recording antennas must match the array geometry"
-        );
+    /// # Errors
+    /// [`Error::AntennaMismatch`] when the recording's antenna count
+    /// differs from the geometry's; [`Error::SeriesTooShort`] when the
+    /// recording is shorter than one movement-detection lag.
+    pub fn analyze(&self, csi: &DenseCsi) -> Result<MotionEstimate, Error> {
+        self.session().analyze(csi)
+    }
+
+    /// [`Rim::analyze`] with an observability probe.
+    #[deprecated(note = "use `rim.session().probe(probe).analyze(csi)` instead")]
+    pub fn analyze_probed<P: Probe + ?Sized>(
+        &self,
+        csi: &DenseCsi,
+        probe: &P,
+    ) -> Result<MotionEstimate, Error> {
+        self.session().probe(probe).analyze(csi)
+    }
+
+    /// Rejects input a session cannot analyze.
+    fn check_input(&self, csi: &DenseCsi) -> Result<(), Error> {
+        if csi.n_antennas() != self.geometry.n_antennas() {
+            return Err(Error::AntennaMismatch {
+                expected: self.geometry.n_antennas(),
+                got: csi.n_antennas(),
+            });
+        }
+        let needed = self.config.movement.lag + 1;
+        if csi.n_samples() < needed {
+            return Err(Error::SeriesTooShort {
+                needed,
+                got: csi.n_samples(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Drains the pool's accumulated statistics into `probe` under
+    /// [`stage::PARALLEL`].
+    fn report_pool_stats<P: Probe + ?Sized>(&self, probe: &P) {
+        let stats = self.pool.drain_stats();
+        probe.gauge(stage::PARALLEL, "workers", self.pool.threads() as f64);
+        probe.count(stage::PARALLEL, "runs", stats.runs);
+        probe.count(stage::PARALLEL, "parallel_runs", stats.parallel_runs);
+        probe.count(stage::PARALLEL, "tiles", stats.tiles);
+        probe.count(stage::PARALLEL, "steals", stats.steals);
+        probe.count(stage::PARALLEL, "steal_attempts", stats.steal_attempts);
+        for &ns in &stats.busy_ns {
+            probe.observe(stage::PARALLEL, "worker_busy_ms", ns as f64 / 1e6);
+        }
+    }
+}
+
+impl<'r, P: Probe + ?Sized> Session<'r, P> {
+    /// Attaches an observability probe: each pipeline stage reports a
+    /// timing span plus counters/gauges/distributions through it (see
+    /// [`rim_obs::stage`] for the stage names). With the default
+    /// [`NullProbe`] the hooks inline to nothing, so the session
+    /// monomorphises to the un-instrumented pipeline.
+    pub fn probe<Q: Probe + ?Sized>(self, probe: &'r Q) -> Session<'r, Q> {
+        Session {
+            rim: self.rim,
+            probe,
+        }
+    }
+
+    /// Runs the full pipeline on a dense CSI recording, tiling the
+    /// alignment hot path across the engine's worker pool. Results are
+    /// bit-identical for every thread count.
+    ///
+    /// # Errors
+    /// [`Error::AntennaMismatch`] when the recording's antenna count
+    /// differs from the geometry's; [`Error::SeriesTooShort`] when the
+    /// recording is shorter than one movement-detection lag.
+    pub fn analyze(&self, csi: &DenseCsi) -> Result<MotionEstimate, Error> {
+        let est = self
+            .rim
+            .analyze_internal(csi, self.rim.pool(), self.probe)?;
+        self.rim.report_pool_stats(self.probe);
+        Ok(est)
+    }
+
+    /// Analyzes several independent recordings, fanning the sessions
+    /// across the worker pool (one recording per work item; each inner
+    /// analysis runs serially, so there is no nested parallelism).
+    /// Results are returned in input order and are bit-identical to N
+    /// independent [`Session::analyze`] calls with one thread.
+    ///
+    /// # Errors
+    /// Validates every recording up front and fails before analyzing
+    /// anything, so a batch never does partial work.
+    pub fn analyze_batch(&self, csis: &[&DenseCsi]) -> Result<Vec<MotionEstimate>, Error> {
+        let rim = self.rim;
+        for csi in csis {
+            rim.check_input(csi)?;
+        }
+        let span = self.probe.span(stage::PARALLEL);
+        let results = rim.pool.map(csis, |csi| {
+            rim.analyze_internal(csi, &Pool::serial(), &NullProbe)
+        });
+        drop(span);
+        self.probe
+            .count(stage::PARALLEL, "batch_sessions", csis.len() as u64);
+        rim.report_pool_stats(self.probe);
+        results.into_iter().collect()
+    }
+}
+
+impl Rim {
+    /// The pipeline body. `pool` is threaded through explicitly so batch
+    /// workers can run serial inner sessions on the caller's pool-worker
+    /// thread.
+    fn analyze_internal<P: Probe + ?Sized>(
+        &self,
+        csi: &DenseCsi,
+        pool: &Pool,
+        probe: &P,
+    ) -> Result<MotionEstimate, Error> {
+        self.check_input(csi)?;
         let fs = csi.sample_rate_hz;
         let n = csi.n_samples();
         let series: Vec<Vec<NormSnapshot>> = csi
@@ -262,13 +515,15 @@ impl Rim {
         // while motion must decorrelate at least one of them — the minimum
         // stays sensitive even when the arriving energy has narrow angular
         // spread (deep NLOS) and some antennas decorrelate slowly.
+        // Antennas are independent, so they fan out across the pool; the
+        // fold below runs in antenna order, keeping the result identical
+        // to the serial loop.
+        let movement_cfg = self.config.movement;
+        let per_antenna = pool.map(&series, |s| movement_indicator(s, movement_cfg));
         let mut indicator = vec![f64::INFINITY; n];
-        for s in &series {
-            for (acc, v) in indicator
-                .iter_mut()
-                .zip(movement_indicator(s, self.config.movement))
-            {
-                *acc = acc.min(v);
+        for v in &per_antenna {
+            for (acc, x) in indicator.iter_mut().zip(v) {
+                *acc = acc.min(*x);
             }
         }
         let moving: Vec<bool> = indicator
@@ -315,7 +570,7 @@ impl Rim {
         let mut segments = Vec::new();
 
         for (s, e) in segments_idx {
-            let seg = self.analyze_segment(&series, fs, s, e, probe);
+            let seg = self.analyze_segment(&series, fs, s, e, pool, probe);
             for (i, v) in seg.speed.iter().enumerate() {
                 speed[s + i] = *v;
             }
@@ -328,7 +583,7 @@ impl Rim {
             segments.push(seg.summary);
         }
 
-        MotionEstimate {
+        Ok(MotionEstimate {
             sample_rate_hz: fs,
             movement_indicator: indicator,
             moving,
@@ -336,7 +591,7 @@ impl Rim {
             heading_device: heading,
             angular_rate: angular,
             segments,
-        }
+        })
     }
 
     /// Per-segment analysis: classify, track, reckon.
@@ -346,6 +601,7 @@ impl Rim {
         fs: f64,
         s: usize,
         e: usize,
+        pool: &Pool,
         probe: &P,
     ) -> SegmentResult {
         let groups = self.geometry.parallel_groups();
@@ -355,11 +611,12 @@ impl Rim {
         // time"): cheap strided prominence per group, evaluated per block
         // so a group aligned during only one leg of a multi-direction
         // segment (e.g. one stroke of a letter) is still kept.
+        // Groups are independent; fan them across the pool (the strided
+        // single-column probes inside stay serial).
         let block_len = ((0.6 * fs).round() as usize).max(8);
-        let per_block: Vec<Vec<f64>> = groups
-            .iter()
-            .map(|g| self.group_prominence_blocks(series, g, s, e, block_len))
-            .collect();
+        let per_block: Vec<Vec<f64>> = pool.map(&groups, |g| {
+            self.group_prominence_blocks(series, g, s, e, block_len)
+        });
         let n_blocks = per_block.first().map_or(0, Vec::len);
         // Whole-segment prominence (block mean) drives the rotation check.
         let prominences: Vec<f64> = per_block
@@ -392,7 +649,7 @@ impl Rim {
         // one or two groups parallel to the motion.
         let is_rotation = self.rotation_signature(&groups, &prominences, best);
         if is_rotation {
-            if let Some(result) = self.estimate_rotation(series, fs, s, e, probe) {
+            if let Some(result) = self.estimate_rotation(series, fs, s, e, pool, probe) {
                 probe.count(stage::PRE_DETECTION, "rotation_segments", 1);
                 return result;
             }
@@ -435,7 +692,7 @@ impl Rim {
             "groups_survived",
             survivors.len() as u64,
         );
-        self.estimate_translation(series, fs, s, e, &groups, &survivors, probe)
+        self.estimate_translation(series, fs, s, e, &groups, &survivors, pool, probe)
     }
 
     /// Per-block prominence of a parallel group: the segment is divided
@@ -538,6 +795,7 @@ impl Rim {
         e: usize,
         groups: &[Vec<rim_array::PairGeometry>],
         survivors: &[usize],
+        pool: &Pool,
         probe: &P,
     ) -> SegmentResult {
         let len = e - s;
@@ -562,13 +820,15 @@ impl Rim {
                 let _span = probe.span(stage::ALIGNMENT_BUILD);
                 let pair_mats: Vec<(AlignmentMatrix, AlignmentMatrix)> = g
                     .iter()
-                    .map(|pg| self.segment_matrices(&series[pg.pair.i], &series[pg.pair.j], s, e))
+                    .map(|pg| {
+                        self.segment_matrices(&series[pg.pair.i], &series[pg.pair.j], s, e, pool)
+                    })
                     .collect();
                 let full_refs: Vec<&AlignmentMatrix> = pair_mats.iter().map(|m| &m.0).collect();
                 let gate_refs: Vec<&AlignmentMatrix> = pair_mats.iter().map(|m| &m.1).collect();
                 (
-                    AlignmentMatrix::average(&full_refs),
-                    AlignmentMatrix::average(&gate_refs),
+                    AlignmentMatrix::average_with(&full_refs, pool),
+                    AlignmentMatrix::average_with(&gate_refs, pool),
                 )
             };
             probe.count(stage::ALIGNMENT_BUILD, "pair_matrices", g.len() as u64);
@@ -847,6 +1107,7 @@ impl Rim {
         fs: f64,
         s: usize,
         e: usize,
+        pool: &Pool,
         probe: &P,
     ) -> Option<SegmentResult> {
         let ring = self.geometry.adjacent_ring_pairs()?;
@@ -866,20 +1127,21 @@ impl Rim {
             let (avg, gatem, n_mats) = {
                 let _span = probe.span(stage::ALIGNMENT_BUILD);
                 let mut mats =
-                    vec![self.segment_matrices(&series[ring[k].i], &series[ring[k].j], s, e)];
+                    vec![self.segment_matrices(&series[ring[k].i], &series[ring[k].j], s, e, pool)];
                 if half > 0 && k + half < n_ring {
                     mats.push(self.segment_matrices(
                         &series[ring[k + half].i],
                         &series[ring[k + half].j],
                         s,
                         e,
+                        pool,
                     ));
                 }
                 let full_refs: Vec<&AlignmentMatrix> = mats.iter().map(|m| &m.0).collect();
                 let gate_refs: Vec<&AlignmentMatrix> = mats.iter().map(|m| &m.1).collect();
                 (
-                    AlignmentMatrix::average(&full_refs),
-                    AlignmentMatrix::average(&gate_refs),
+                    AlignmentMatrix::average_with(&full_refs, pool),
+                    AlignmentMatrix::average_with(&gate_refs, pool),
                     mats.len() as u64,
                 )
             };
@@ -1027,11 +1289,12 @@ impl Rim {
         b: &[NormSnapshot],
         s: usize,
         e: usize,
+        pool: &Pool,
     ) -> (AlignmentMatrix, AlignmentMatrix) {
         let cfg = self.config.alignment;
-        let base = base_cross_trrs_range(a, b, cfg.window, s, e);
-        let full = virtual_average_range(&base, cfg.virtual_antennas);
-        let gate = virtual_average_range(&base, cfg.virtual_antennas.min(5));
+        let base = base_cross_trrs_range_with(a, b, cfg.window, s, e, pool);
+        let full = virtual_average_range_with(&base, cfg.virtual_antennas, pool);
+        let gate = virtual_average_range_with(&base, cfg.virtual_antennas.min(5), pool);
         (full, gate)
     }
 }
@@ -1112,11 +1375,14 @@ mod tests {
             fs,
             OrientationMode::FollowPath,
         );
-        let est = Rim::new(geo, config(fs)).analyze(&record(
-            &sim,
-            &rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH),
-            &traj,
-        ));
+        let est = Rim::new(geo, config(fs))
+            .unwrap()
+            .analyze(&record(
+                &sim,
+                &rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH),
+                &traj,
+            ))
+            .unwrap();
         let err = (est.total_distance() - 0.8).abs();
         assert!(err < 0.10, "distance error {err} m");
         assert_eq!(est.segments.len(), 1);
@@ -1131,7 +1397,10 @@ mod tests {
         let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
         let fs = 100.0;
         let traj = dwell(Point2::new(1.0, 1.5), 0.0, 1.0, fs);
-        let est = Rim::new(geo.clone(), config(fs)).analyze(&record(&sim, &geo, &traj));
+        let est = Rim::new(geo.clone(), config(fs))
+            .unwrap()
+            .analyze(&record(&sim, &geo, &traj))
+            .unwrap();
         assert!(est.segments.is_empty(), "{:?}", est.segments);
         assert_eq!(est.total_distance(), 0.0);
         assert!(est.moving.iter().filter(|&&m| m).count() < est.moving.len() / 10);
@@ -1150,7 +1419,10 @@ mod tests {
             fs,
             OrientationMode::Fixed(0.0),
         );
-        let est = Rim::new(geo.clone(), config(fs)).analyze(&record(&sim, &geo, &traj));
+        let est = Rim::new(geo.clone(), config(fs))
+            .unwrap()
+            .analyze(&record(&sim, &geo, &traj))
+            .unwrap();
         let h = est.segments[0].heading_device.expect("heading");
         assert!(
             rim_dsp::stats::angle_diff(h, std::f64::consts::PI) < 10f64.to_radians(),
@@ -1172,23 +1444,123 @@ mod tests {
             fs,
             OrientationMode::FollowPath,
         );
-        let est = Rim::new(geo.clone(), config(fs)).analyze(&record(&sim, &geo, &traj));
+        let est = Rim::new(geo.clone(), config(fs))
+            .unwrap()
+            .analyze(&record(&sim, &geo, &traj))
+            .unwrap();
         let track = est.trajectory(Point2::new(0.0, 2.0), 0.0);
         let end = track.last().unwrap();
         assert!(end.distance(Point2::new(1.0, 2.0)) < 0.15, "end {end:?}");
     }
 
     #[test]
-    fn mismatched_antenna_count_panics() {
+    fn mismatched_antenna_count_is_rejected() {
         let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
-        let rim = Rim::new(geo, config(100.0));
+        let rim = Rim::new(geo, config(100.0)).unwrap();
         let csi = DenseCsi {
             sample_rate_hz: 100.0,
             subcarrier_indices: vec![0, 1],
             antennas: vec![vec![CsiSnapshot { per_tx: vec![] }]; 2],
         };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rim.analyze(&csi)));
-        assert!(result.is_err());
+        let err = rim.analyze(&csi).unwrap_err();
+        assert_eq!(
+            err,
+            crate::Error::AntennaMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("antenna count mismatch"));
+    }
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        let geo = rim_array::ArrayGeometry::linear(2, HALF_WAVELENGTH);
+        let rim = Rim::new(geo, config(100.0)).unwrap();
+        let csi = DenseCsi {
+            sample_rate_hz: 100.0,
+            subcarrier_indices: vec![0, 1],
+            antennas: vec![vec![CsiSnapshot { per_tx: vec![] }; 2]; 2],
+        };
+        let err = rim.analyze(&csi).unwrap_err();
+        assert!(
+            matches!(err, crate::Error::SeriesTooShort { got: 2, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        let geo = rim_array::ArrayGeometry::linear(2, HALF_WAVELENGTH);
+        let cases: Vec<(RimConfig, &str)> = vec![
+            (
+                {
+                    let mut c = config(100.0);
+                    c.alignment.window = 0;
+                    c
+                },
+                "alignment.window",
+            ),
+            (
+                {
+                    let mut c = config(100.0);
+                    c.alignment.virtual_antennas = 0;
+                    c
+                },
+                "virtual_antennas",
+            ),
+            (
+                {
+                    let mut c = config(100.0);
+                    c.sample_rate_hz = 0.0;
+                    c
+                },
+                "sample_rate_hz",
+            ),
+            (
+                {
+                    let mut c = config(100.0);
+                    c.movement.threshold = 1.5;
+                    c
+                },
+                "movement.threshold",
+            ),
+            (
+                {
+                    let mut c = config(100.0);
+                    c.threads = rim_par::MAX_THREADS + 1;
+                    c
+                },
+                "threads",
+            ),
+        ];
+        for (bad, needle) in cases {
+            let err = Rim::new(geo.clone(), bad).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should name {needle:?}");
+            assert!(msg.starts_with("invalid configuration"), "{msg:?}");
+        }
+        // A one-antenna array has no pair to align.
+        let lone = rim_array::ArrayGeometry::custom(
+            vec![rim_dsp::geom::Vec2::new(0.0, 0.0)],
+            vec![vec![0]],
+        );
+        let err = Rim::new(lone, config(100.0)).unwrap_err();
+        assert!(matches!(err, crate::Error::Geometry(_)), "{err:?}");
+    }
+
+    #[test]
+    fn deprecated_probed_wrapper_still_works() {
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let rim = Rim::new(geo, config(100.0)).unwrap();
+        let csi = DenseCsi {
+            sample_rate_hz: 100.0,
+            subcarrier_indices: vec![0, 1],
+            antennas: vec![vec![CsiSnapshot { per_tx: vec![] }]; 2],
+        };
+        #[allow(deprecated)]
+        let err = rim.analyze_probed(&csi, &NullProbe).unwrap_err();
+        assert!(matches!(err, crate::Error::AntennaMismatch { .. }));
     }
 
     #[test]
@@ -1248,7 +1620,10 @@ mod tests {
             fs,
             OrientationMode::Fixed(0.0),
         );
-        let est = Rim::new(geo.clone(), config(fs)).analyze(&record(&sim, &geo, &traj));
+        let est = Rim::new(geo.clone(), config(fs))
+            .unwrap()
+            .analyze(&record(&sim, &geo, &traj))
+            .unwrap();
         assert!(est.total_distance() > 0.5, "deviated motion still measured");
         let h = est.segments[0].heading_device.expect("heading");
         assert!(rim_dsp::stats::angle_diff(h, 0.0) < 15f64.to_radians());

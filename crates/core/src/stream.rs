@@ -14,6 +14,7 @@
 //! chunks continue seamlessly (the Δd compensation is applied only once
 //! per physical movement).
 
+use crate::error::Error;
 use crate::movement::{movement_indicator, MovementConfig};
 use crate::pipeline::{MotionEstimate, Rim, RimConfig, SegmentEstimate};
 use crate::trrs::NormSnapshot;
@@ -65,17 +66,71 @@ pub struct RimStream {
     fs: f64,
 }
 
+/// A builder-style handle for probed streaming pushes, created by
+/// [`RimStream::session`]. Mirrors [`crate::Session`] for the push-based
+/// engine:
+///
+/// ```no_run
+/// # fn run(stream: &mut rim_core::RimStream,
+/// #        snaps: &[rim_csi::frame::CsiSnapshot])
+/// #     -> Result<(), rim_core::Error> {
+/// let recorder = rim_obs::Recorder::new();
+/// let events = stream.session().probe(&recorder).push(snaps)?;
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct StreamSession<'s, P: Probe + ?Sized = NullProbe> {
+    stream: &'s mut RimStream,
+    probe: &'s P,
+}
+
+impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
+    /// Attaches an observability probe: the streaming front-end reports
+    /// ring occupancy, sample/segment counters, and flush latency under
+    /// [`stage::STREAM`]; the per-segment analyses it triggers report
+    /// under the six pipeline stages.
+    pub fn probe<Q: Probe + ?Sized>(self, probe: &'s Q) -> StreamSession<'s, Q> {
+        StreamSession {
+            stream: self.stream,
+            probe,
+        }
+    }
+
+    /// Pushes one synchronized sample (one snapshot per antenna) and
+    /// returns any events it completes.
+    ///
+    /// # Errors
+    /// [`Error::AntennaMismatch`] when the snapshot count differs from
+    /// the geometry's antennas.
+    pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
+        self.stream.push_internal(snapshots, self.probe)
+    }
+
+    /// Flushes the open segment if any (e.g. at end of stream) and
+    /// returns its estimate.
+    pub fn finish(&mut self) -> Vec<StreamEvent> {
+        self.stream.finish_internal(self.probe)
+    }
+}
+
 impl RimStream {
-    /// Creates a streaming engine. The ring holds
-    /// `4·(W + V)` samples plus the maximum open-segment length.
-    pub fn new(geometry: ArrayGeometry, config: RimConfig, sample_rate_hz: f64) -> Self {
+    /// Creates a streaming engine for the configuration's sample rate
+    /// ([`RimConfig::sample_rate_hz`]). The ring holds `4·(W + V)`
+    /// samples plus the maximum open-segment length.
+    ///
+    /// # Errors
+    /// The same validation as [`Rim::new`]: [`Error::Config`] for
+    /// out-of-range parameters, [`Error::Geometry`] for arrays with
+    /// fewer than two antennas.
+    pub fn new(geometry: ArrayGeometry, config: RimConfig) -> Result<Self, Error> {
         let w = config.alignment.window;
         let v = config.alignment.virtual_antennas;
-        let max_open = (4.0 * sample_rate_hz) as usize; // flush at least every 4 s
+        let fs = config.sample_rate_hz;
+        let max_open = (4.0 * fs) as usize; // flush at least every 4 s
         let capacity = max_open + 4 * (w + v) + 8;
         let n_ant = geometry.n_antennas();
-        Self {
-            rim: Rim::new(geometry, config),
+        Ok(Self {
+            rim: Rim::new(geometry, config)?,
             ring: (0..n_ant)
                 .map(|_| VecDeque::with_capacity(capacity))
                 .collect(),
@@ -86,7 +141,16 @@ impl RimStream {
             segment_continued: false,
             capacity,
             max_open,
-            fs: sample_rate_hz,
+            fs,
+        })
+    }
+
+    /// Starts an un-instrumented streaming session (see
+    /// [`StreamSession`]).
+    pub fn session(&mut self) -> StreamSession<'_, NullProbe> {
+        StreamSession {
+            stream: self,
+            probe: &NullProbe,
         }
     }
 
@@ -101,27 +165,39 @@ impl RimStream {
     }
 
     /// Pushes one synchronized sample (one snapshot per antenna) and
-    /// returns any events it completes.
+    /// returns any events it completes. Shorthand for
+    /// [`RimStream::session`] + [`StreamSession::push`].
     ///
-    /// # Panics
-    /// Panics if the snapshot count differs from the geometry's antennas.
-    pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Vec<StreamEvent> {
-        self.push_probed(snapshots, &NullProbe)
+    /// # Errors
+    /// [`Error::AntennaMismatch`] when the snapshot count differs from
+    /// the geometry's antennas.
+    pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
+        self.push_internal(snapshots, &NullProbe)
     }
 
-    /// [`RimStream::push`] with an observability probe: the streaming
-    /// front-end reports ring occupancy, sample/segment counters, and
-    /// flush latency under [`stage::STREAM`]; the per-segment analysis it
-    /// triggers reports under the six pipeline stages.
-    ///
-    /// # Panics
-    /// Panics if the snapshot count differs from the geometry's antennas.
+    /// [`RimStream::push`] with an observability probe.
+    #[deprecated(note = "use `stream.session().probe(probe).push(snapshots)` instead")]
     pub fn push_probed<P: Probe + ?Sized>(
         &mut self,
         snapshots: &[CsiSnapshot],
         probe: &P,
-    ) -> Vec<StreamEvent> {
-        assert_eq!(snapshots.len(), self.ring.len(), "one snapshot per antenna");
+    ) -> Result<Vec<StreamEvent>, Error> {
+        self.push_internal(snapshots, probe)
+    }
+
+    /// The push body shared by [`RimStream::push`], [`StreamSession`],
+    /// and the deprecated probed wrapper.
+    fn push_internal<P: Probe + ?Sized>(
+        &mut self,
+        snapshots: &[CsiSnapshot],
+        probe: &P,
+    ) -> Result<Vec<StreamEvent>, Error> {
+        if snapshots.len() != self.ring.len() {
+            return Err(Error::AntennaMismatch {
+                expected: self.ring.len(),
+                got: snapshots.len(),
+            });
+        }
         for (ring, snap) in self.ring.iter_mut().zip(snapshots) {
             ring.push_back(NormSnapshot::from_snapshot(snap));
         }
@@ -185,18 +261,24 @@ impl RimStream {
         probe.count(stage::STREAM, "samples_pushed", 1);
         probe.gauge(stage::STREAM, "ring_occupancy", self.ring_len() as f64);
         probe.gauge(stage::STREAM, "ring_capacity", self.capacity as f64);
-        events
+        Ok(events)
     }
 
     /// Flushes the open segment if any (e.g. at end of stream) and
-    /// returns its estimate.
+    /// returns its estimate. Shorthand for [`RimStream::session`] +
+    /// [`StreamSession::finish`].
     pub fn finish(&mut self) -> Vec<StreamEvent> {
-        self.finish_probed(&NullProbe)
+        self.finish_internal(&NullProbe)
     }
 
-    /// [`RimStream::finish`] with an observability probe (see
-    /// [`RimStream::push_probed`]).
+    /// [`RimStream::finish`] with an observability probe.
+    #[deprecated(note = "use `stream.session().probe(probe).finish()` instead")]
     pub fn finish_probed<P: Probe + ?Sized>(&mut self, probe: &P) -> Vec<StreamEvent> {
+        self.finish_internal(probe)
+    }
+
+    /// The finish body shared by the public entry points.
+    fn finish_internal<P: Probe + ?Sized>(&mut self, probe: &P) -> Vec<StreamEvent> {
         let mut events = Vec::new();
         if let Some(start) = self.open_segment.take() {
             if let Some(seg) = self.flush_segment(start, self.pushed, probe) {
@@ -252,9 +334,9 @@ impl RimStream {
         if e_rel <= s_rel {
             return None;
         }
-        let mut result = self
-            .rim
-            .analyze_segment(&series, self.fs, s_rel, e_rel, probe);
+        let mut result =
+            self.rim
+                .analyze_segment(&series, self.fs, s_rel, e_rel, self.rim.pool(), probe);
         if self.segment_continued {
             // A continuation chunk: remove the per-segment Δd compensation
             // that analyze_segment applied (the motion did not restart).
@@ -403,16 +485,19 @@ mod tests {
         .unwrap();
 
         // Offline reference.
-        let offline = Rim::new(geo.clone(), config(fs)).analyze(&dense);
+        let offline = Rim::new(geo.clone(), config(fs))
+            .unwrap()
+            .analyze(&dense)
+            .unwrap();
 
         // Streamed.
-        let mut stream = RimStream::new(geo, config(fs), fs);
+        let mut stream = RimStream::new(geo, config(fs)).unwrap();
         let mut agg = StreamAggregate::default();
         let mut started = 0;
         let mut stopped = 0;
         for i in 0..dense.n_samples() {
             let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
-            let events = stream.push(&snaps);
+            let events = stream.push(&snaps).unwrap();
             for e in &events {
                 match e {
                     StreamEvent::MovementStarted { .. } => started += 1,
@@ -460,12 +545,12 @@ mod tests {
         .record(&traj)
         .interpolated()
         .unwrap();
-        let mut stream = RimStream::new(geo, config(fs), fs);
+        let mut stream = RimStream::new(geo, config(fs)).unwrap();
         let mut agg = StreamAggregate::default();
         let mut max_ring = 0usize;
         for i in 0..dense.n_samples() {
             let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
-            agg.absorb(&stream.push(&snaps));
+            agg.absorb(&stream.push(&snaps).unwrap());
             max_ring = max_ring.max(stream.ring_len());
         }
         agg.absorb(&stream.finish());
@@ -496,21 +581,29 @@ mod tests {
         .record(&traj)
         .interpolated()
         .unwrap();
-        let mut stream = RimStream::new(geo, config(fs), fs);
+        let mut stream = RimStream::new(geo, config(fs)).unwrap();
         let mut events = Vec::new();
         for i in 0..dense.n_samples() {
             let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
-            events.extend(stream.push(&snaps));
+            events.extend(stream.push(&snaps).unwrap());
         }
         events.extend(stream.finish());
         assert!(events.is_empty(), "{events:?}");
     }
 
     #[test]
-    #[should_panic(expected = "one snapshot per antenna")]
-    fn wrong_antenna_count_panics() {
+    fn wrong_antenna_count_is_rejected() {
         let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
-        let mut stream = RimStream::new(geo, config(100.0), 100.0);
-        let _ = stream.push(&[]);
+        let mut stream = RimStream::new(geo, config(100.0)).unwrap();
+        let err = stream.push(&[]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::AntennaMismatch {
+                expected: 3,
+                got: 0
+            }
+        );
+        // The stream stays usable after a rejected push.
+        assert_eq!(stream.samples_pushed(), 0);
     }
 }

@@ -1,11 +1,15 @@
 //! Property-based tests of the RIM core invariants.
 
 use proptest::prelude::*;
-use rim_core::alignment::{base_cross_trrs, virtual_average, AlignmentMatrix};
+use rim_core::alignment::{
+    base_cross_trrs, base_cross_trrs_range_with, virtual_average, virtual_average_with,
+    AlignmentMatrix,
+};
 use rim_core::tracking_dp::{track_peaks, DpConfig};
 use rim_core::trrs::{trrs_cfr, trrs_massive, trrs_norm, NormSnapshot};
 use rim_csi::frame::CsiSnapshot;
 use rim_dsp::complex::Complex64;
+use rim_par::Pool;
 
 fn cfr_strategy(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
     prop::collection::vec(
@@ -83,6 +87,53 @@ proptest! {
         for row in &g.values {
             for &v in row {
                 prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_alignment_is_bit_identical_to_serial(
+        a in snapshot_series(24, 8),
+        b in snapshot_series(24, 8),
+        window in 2usize..6,
+        v in 1usize..7,
+    ) {
+        // Tiling the hot path must never change a single bit, for any
+        // thread count or tile size.
+        let base = base_cross_trrs(&a, &b, window);
+        let avg = virtual_average(&base, v);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads, 3);
+            let base_p = base_cross_trrs_range_with(&a, &b, window, 0, a.len(), &pool);
+            let avg_p = virtual_average_with(&base_p, v, &pool);
+            for (x, y) in [(&base_p, &base), (&avg_p, &avg)] {
+                prop_assert_eq!(x.window, y.window);
+                prop_assert_eq!(x.values.len(), y.values.len());
+                for (rx, ry) in x.values.iter().zip(&y.values) {
+                    for (vx, vy) in rx.iter().zip(ry) {
+                        prop_assert_eq!(vx.to_bits(), vy.to_bits(),
+                            "threads={} differs from serial", threads);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn averaging_matrices_is_bit_identical_to_serial(
+        a in snapshot_series(16, 6),
+        b in snapshot_series(16, 6),
+    ) {
+        let m1 = base_cross_trrs(&a, &b, 3);
+        let m2 = base_cross_trrs(&b, &a, 3);
+        let serial = AlignmentMatrix::average(&[&m1, &m2]);
+        for threads in [2usize, 4, 8] {
+            let pool = Pool::new(threads, 2);
+            let par = AlignmentMatrix::average_with(&[&m1, &m2], &pool);
+            for (rx, ry) in par.values.iter().zip(&serial.values) {
+                for (vx, vy) in rx.iter().zip(ry) {
+                    prop_assert_eq!(vx.to_bits(), vy.to_bits());
+                }
             }
         }
     }

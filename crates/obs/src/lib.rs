@@ -50,6 +50,9 @@ pub mod stage {
     /// Streaming front-end (ring buffer, incremental flushes). Not one of
     /// the six offline stages, so not part of [`PIPELINE`].
     pub const STREAM: &str = "stream";
+    /// The rim-par work-stealing pool (tiles, steals, per-worker busy
+    /// time). Cross-cutting, so not part of [`PIPELINE`].
+    pub const PARALLEL: &str = "parallel_pool";
     /// CSI acquisition (snapshots ingested/dropped, sanitize rejections).
     /// Upstream of the pipeline, so not part of [`PIPELINE`].
     pub const CSI_INGEST: &str = "csi_ingest";

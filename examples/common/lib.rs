@@ -39,8 +39,8 @@ pub fn simulate_and_analyze(
         .record(trajectory)
         .interpolated()
         .expect("recording is interpolable");
-    let rim = Rim::new(geometry.clone(), config);
-    rim.analyze(&dense)
+    let rim = Rim::new(geometry.clone(), config).expect("valid config");
+    rim.analyze(&dense).expect("analyzable recording")
 }
 
 /// Renders one or two point tracks as an ASCII plot (`*` = first track,

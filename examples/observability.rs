@@ -46,7 +46,12 @@ fn main() {
     .expect("interpolable recording");
 
     let config = RimConfig::for_sample_rate(200.0).with_min_speed(0.2, HALF_WAVELENGTH, 200.0);
-    let estimate = Rim::new(geometry, config).analyze_probed(&dense, &recorder);
+    let rim = Rim::new(geometry, config).expect("valid config");
+    let estimate = rim
+        .session()
+        .probe(&recorder)
+        .analyze(&dense)
+        .expect("analyzable recording");
     println!(
         "measured {:.3} m over a 1.000 m push; per-stage profile:\n",
         estimate.total_distance()

@@ -50,13 +50,13 @@ fn main() {
     .unwrap();
 
     let config = RimConfig::for_sample_rate(fs).with_min_speed(0.3, HALF_WAVELENGTH, fs);
-    let mut stream = RimStream::new(geometry, config, fs);
+    let mut stream = RimStream::new(geometry, config).expect("valid config");
     let mut agg = StreamAggregate::default();
 
     println!("pushing {} CSI samples one at a time…\n", dense.n_samples());
     for i in 0..dense.n_samples() {
         let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
-        let events = stream.push(&snaps);
+        let events = stream.push(&snaps).expect("matching antenna count");
         for e in &events {
             let t = i as f64 / fs;
             match e {

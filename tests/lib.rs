@@ -37,7 +37,10 @@ pub fn run_pipeline(
     .record(traj)
     .interpolated()
     .expect("interpolable recording");
-    Rim::new(geometry.clone(), config).analyze(&dense)
+    Rim::new(geometry.clone(), config)
+        .unwrap()
+        .analyze(&dense)
+        .unwrap()
 }
 
 /// Standard config bounded at a minimum speed.

@@ -35,7 +35,10 @@ fn run_with(
     );
     let recording = rec.record(&traj);
     let dense = recording.interpolated().expect("interpolable");
-    let est = Rim::new(geometry.clone(), cfg).analyze(&dense);
+    let est = Rim::new(geometry.clone(), cfg)
+        .unwrap()
+        .analyze(&dense)
+        .unwrap();
     (est.total_distance(), traj.total_distance())
 }
 
@@ -156,9 +159,9 @@ fn capture_file_round_trip_preserves_analysis() {
     rim_csi::storage::save_recording(&recording, &mut buf).unwrap();
     let reloaded = rim_csi::storage::load_recording(&buf[..]).unwrap();
 
-    let rim = Rim::new(geo.clone(), config(0.3));
-    let a = rim.analyze(&recording.interpolated().unwrap());
-    let b = rim.analyze(&reloaded.interpolated().unwrap());
+    let rim = Rim::new(geo.clone(), config(0.3)).unwrap();
+    let a = rim.analyze(&recording.interpolated().unwrap()).unwrap();
+    let b = rim.analyze(&reloaded.interpolated().unwrap()).unwrap();
     assert_eq!(a.total_distance(), b.total_distance());
     assert_eq!(a.segments.len(), b.segments.len());
 }

@@ -33,14 +33,17 @@ fn small_run() -> (Rim, rim_csi::recorder::DenseCsi) {
     .record(&traj)
     .interpolated()
     .expect("interpolable");
-    (Rim::new(geo, config(0.3)), dense)
+    (Rim::new(geo, config(0.3)).expect("valid config"), dense)
 }
 
 #[test]
 fn run_report_covers_every_stage_and_round_trips() {
     let (rim, dense) = small_run();
     let recorder = Recorder::new();
-    rim.analyze_probed(&dense, &recorder);
+    rim.session()
+        .probe(&recorder)
+        .analyze(&dense)
+        .expect("analyzable");
     let report = recorder.report();
 
     for name in stage::PIPELINE {
@@ -76,11 +79,11 @@ fn run_report_covers_every_stage_and_round_trips() {
 #[test]
 fn null_probe_matches_unprobed_analysis_exactly() {
     let (rim, dense) = small_run();
-    let plain = rim.analyze(&dense);
-    let probed = rim.analyze_probed(&dense, &NullProbe);
+    let plain = rim.analyze(&dense).unwrap();
+    let probed = rim.session().probe(&NullProbe).analyze(&dense).unwrap();
     let recorded = {
         let recorder = Recorder::new();
-        rim.analyze_probed(&dense, &recorder)
+        rim.session().probe(&recorder).analyze(&dense).unwrap()
     };
     // Instrumentation must be purely observational: identical estimates
     // with the no-op probe and with a live recorder.
