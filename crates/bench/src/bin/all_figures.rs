@@ -34,6 +34,7 @@ fn main() {
         ("fig20", figs::fig20_indoor_tracking::run),
         ("fig21", figs::fig21_sensor_fusion::run),
         ("dyn", figs::robustness_dynamics::run),
+        ("fault", figs::fault_tolerance::run),
         ("limitation", figs::limitation_swinging::run),
         ("ablations", figs::ablations::run),
     ];

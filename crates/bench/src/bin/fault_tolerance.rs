@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::figs::fault_tolerance`.
+fn main() {
+    rim_bench::figs::fault_tolerance::run(rim_bench::fast_mode()).print();
+}

@@ -195,14 +195,7 @@ pub fn run(fast: bool) -> Report {
         for k in 0..traces {
             let sim = ChannelSimulator::open_lab(7 + k as u64);
             let traj = make_traj(k);
-            let dense = env::record(
-                &sim,
-                g,
-                &traj,
-                330 + k as u64,
-                LossModel::None,
-                Some(noisy.clone()),
-            );
+            let dense = env::record(&sim, g, &traj, 330 + k as u64, LossModel::None, Some(noisy));
             let est = Rim::new((*g).clone(), env::rim_config(fs, 0.3))
                 .unwrap()
                 .analyze(&dense)
@@ -266,7 +259,7 @@ pub fn run(fast: bool) -> Report {
                     &traj,
                     350 + k as u64,
                     LossModel::None,
-                    Some(noisy.clone()),
+                    Some(noisy),
                 );
                 if keep_every > 1 {
                     dense.subcarrier_indices = dense

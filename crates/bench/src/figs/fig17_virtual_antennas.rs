@@ -52,7 +52,7 @@ pub fn run(fast: bool) -> Report {
             &traj,
             71 + k as u64,
             LossModel::Iid { p: 0.15 },
-            Some(profile.clone()),
+            Some(profile),
         ));
     }
 

@@ -2,6 +2,7 @@
 //! the ablation studies. Every module exposes `run(fast: bool) -> Report`.
 
 pub mod ablations;
+pub mod fault_tolerance;
 pub mod fig04_trrs_resolution;
 pub mod fig05_alignment_matrix;
 pub mod fig06_deviated_retracing;

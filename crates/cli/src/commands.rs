@@ -17,13 +17,19 @@ rim — RF-based inertial measurement (RIM, SIGCOMM 2019) in Rust
 USAGE:
   rim simulate <out.rimc> [--scenario line|square|rotation] [--env lab|office]
                [--array linear3|hexagonal|l] [--distance M] [--speed M/S]
-               [--rate HZ] [--loss P] [--seed N] [--obs json|report]
+               [--rate HZ] [--loss SPEC] [--seed N] [--obs json|report]
   rim analyze  <in.rimc> [<in2.rimc>…] [--array linear3|hexagonal|l]
                [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
-               [--obs json|report]
+               [--loss SPEC] [--loss-seed N] [--obs json|report]
   rim floorplan
   rim demo     [--seed N] [--obs json|report]
   rim help
+
+  --loss SPEC is `none`, a bare probability, `iid:P`, or
+  `ge:ENTER,EXIT,GOOD,BAD` (Gilbert–Elliott burst loss). On simulate it
+  drops packets per NIC while recording; on analyze it degrades the loaded
+  capture post hoc (whole-device drops, seeded by --loss-seed) so gap
+  tolerance can be tested against a stored clean capture.
 
   --obs report prints a per-stage observability table (timings, counters,
   diagnostics); --obs json emits the same run report as machine-readable
@@ -158,7 +164,8 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     let rate = args.get_f64("rate", 200.0)?;
     let speed = args.get_f64("speed", 1.0)?;
     let distance = args.get_f64("distance", 2.0)?;
-    let loss = args.get_f64("loss", 0.0)?;
+    let loss =
+        LossModel::parse(&args.get_str("loss", "none")).map_err(|e| format!("--loss: {e}"))?;
     let env_name = args.get_str("env", "lab");
     let array_name = args.get_str("array", "linear3");
     let scenario_name = args.get_str("scenario", "line");
@@ -172,11 +179,8 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     } else {
         DeviceConfig::single_nic(geometry.offsets().to_vec())
     };
-    if loss > 0.0 {
-        if !(0.0..1.0).contains(&loss) {
-            return Err(format!("--loss must be in [0, 1), got {loss}"));
-        }
-        device = device.with_loss(LossModel::Iid { p: loss });
+    if loss != LossModel::None {
+        device = device.with_loss(loss);
     }
     let recorder = rim_obs::Recorder::new();
     let csi_recorder = CsiRecorder::new(
@@ -218,7 +222,16 @@ pub fn simulate(args: &Args) -> Result<(), String> {
 pub fn analyze(args: &Args) -> Result<(), String> {
     check_options(
         args,
-        &["array", "min-speed", "start", "verbose", "obs", "threads"],
+        &[
+            "array",
+            "min-speed",
+            "start",
+            "verbose",
+            "obs",
+            "threads",
+            "loss",
+            "loss-seed",
+        ],
     )?;
     let obs = obs_mode(args)?;
     if args.positional.is_empty() {
@@ -227,13 +240,21 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let array_name = args.get_str("array", "linear3");
     let min_speed = args.get_f64("min-speed", 0.3)?;
     let threads = args.get_u64("threads", 0)? as usize;
+    let loss =
+        LossModel::parse(&args.get_str("loss", "none")).map_err(|e| format!("--loss: {e}"))?;
+    let loss_seed = args.get_u64("loss-seed", 1)?;
     let geometry = array_by_name(&array_name)?;
 
     let mut loaded = Vec::new();
-    for in_path in &args.positional {
+    for (k, in_path) in args.positional.iter().enumerate() {
         let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
-        let recording = rim_csi::storage::load_recording(BufReader::new(file))
+        let mut recording = rim_csi::storage::load_recording(BufReader::new(file))
             .map_err(|e| format!("load failed: {e}"))?;
+        if loss != LossModel::None {
+            // Post-hoc transport loss: each capture gets its own derived
+            // seed so multi-capture runs do not share one realisation.
+            recording = recording.degrade(loss, loss_seed.wrapping_add(k as u64));
+        }
         if recording.n_antennas() != geometry.n_antennas() {
             return Err(format!(
                 "capture {in_path} has {} antennas but array {array_name:?} has {} — \
@@ -311,7 +332,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     }
     for seg in &estimate.segments {
         println!(
-            "segment [{:.2}s..{:.2}s] {:?}: {:.3} m{}{}",
+            "segment [{:.2}s..{:.2}s] {:?}: {:.3} m{}{}, confidence {:.2}{}",
             seg.start as f64 / fs,
             seg.end as f64 / fs,
             seg.kind,
@@ -321,6 +342,15 @@ pub fn analyze(args: &Args) -> Result<(), String> {
                 .unwrap_or_default(),
             if seg.rotation_rad.abs() > 1e-9 {
                 format!(", rotation {:.1}°", seg.rotation_rad.to_degrees())
+            } else {
+                String::new()
+            },
+            seg.confidence.score(),
+            if seg.confidence.interpolated_fraction > 0.0 {
+                format!(
+                    " ({:.0}% interpolated)",
+                    seg.confidence.interpolated_fraction * 100.0
+                )
             } else {
                 String::new()
             },
@@ -534,6 +564,43 @@ mod tests {
     fn missing_paths_error() {
         assert!(simulate(&args(&["simulate"])).is_err());
         assert!(analyze(&args(&["analyze"])).is_err());
+    }
+
+    #[test]
+    fn loss_specs_parse_and_degrade_on_analyze() {
+        let dir = std::env::temp_dir().join("rim_cli_test_loss");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rimc");
+        let path_str = path.to_str().unwrap();
+        simulate(&args(&[
+            "simulate",
+            path_str,
+            "--distance",
+            "0.6",
+            "--rate",
+            "100",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        // Post-hoc burst loss on a clean capture must analyze cleanly.
+        analyze(&args(&[
+            "analyze",
+            path_str,
+            "--loss",
+            "ge:0.05,0.2,0.01,0.8",
+            "--loss-seed",
+            "11",
+        ]))
+        .expect("burst-degraded capture analyzes");
+        // Bad specs fail with an actionable message on both subcommands.
+        let err = simulate(&args(&["simulate", path_str, "--loss", "burst"]))
+            .expect_err("bad spec rejected");
+        assert!(err.contains("ge:"), "{err}");
+        let err = analyze(&args(&["analyze", path_str, "--loss", "iid:2"]))
+            .expect_err("out-of-range rejected");
+        assert!(err.contains("iid"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

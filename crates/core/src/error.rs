@@ -33,6 +33,15 @@ pub enum Error {
         /// Samples offered.
         got: usize,
     },
+    /// A CSI snapshot containing NaN or infinite values. TRRS on
+    /// non-finite input silently poisons every downstream estimate, so
+    /// the engine rejects it at the boundary instead.
+    NonFiniteCsi {
+        /// Antenna index of the offending snapshot.
+        antenna: usize,
+        /// Sample index (or stream sequence number) of the snapshot.
+        sample: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -51,6 +60,12 @@ impl fmt::Display for Error {
                 "CSI series too short: got {got} samples but at least {needed} are \
                  needed (one movement-detection lag of history); record longer or \
                  lower the sample rate"
+            ),
+            Error::NonFiniteCsi { antenna, sample } => write!(
+                f,
+                "non-finite CSI: antenna {antenna} at sample {sample} contains NaN \
+                 or infinite values; sanitize the capture (rim-csi rejects such \
+                 packets as loss) or drop the sample before offering it"
             ),
         }
     }
@@ -76,5 +91,11 @@ mod tests {
         assert!(e.to_string().contains("11"), "{e}");
         let e = Error::Geometry("1 antenna".into());
         assert!(e.to_string().contains("1 antenna"));
+        let e = Error::NonFiniteCsi {
+            antenna: 2,
+            sample: 41,
+        };
+        assert!(e.to_string().contains("antenna 2"), "{e}");
+        assert!(e.to_string().contains("sample 41"), "{e}");
     }
 }

@@ -52,7 +52,12 @@ pub mod wiball;
 pub use alignment::{alignment_matrix, AlignmentConfig, AlignmentMatrix};
 pub use error::Error;
 pub use movement::{auto_threshold, detect_movement, movement_indicator, MovementConfig};
-pub use pipeline::{MotionEstimate, Rim, RimConfig, SegmentEstimate, SegmentKind, Session};
-pub use stream::{RimStream, StreamAggregate, StreamEvent, StreamSession};
+pub use pipeline::{
+    Confidence, GapConfig, MotionEstimate, Rim, RimConfig, SegmentEstimate, SegmentKind, Session,
+};
+pub use stream::{
+    DegradeReason, DropReason, GapFilter, GapOutcome, GapSample, RimStream, StreamAggregate,
+    StreamEvent, StreamSession,
+};
 pub use tracking_dp::{track_peaks, DpConfig, TrackedPath};
 pub use trrs::{trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, NormSnapshot};

@@ -10,7 +10,8 @@ use crate::alignment::{
 use crate::error::Error;
 use crate::movement::{movement_indicator, moving_segments, MovementConfig};
 use crate::reckoning::{
-    angular_rate_from_frac_lag, heading_from_frac_lag, integrate_trajectory, speed_from_frac_lag,
+    angular_rate_from_frac_lag, fraction_finite, heading_from_frac_lag, integrate_trajectory,
+    speed_from_frac_lag,
 };
 use crate::tracking_dp::{track_peaks, DpConfig, TrackedPath};
 use crate::trrs::NormSnapshot;
@@ -71,6 +72,9 @@ pub struct RimConfig {
     /// streaming front-end and by [`RimConfig::validate`]; offline
     /// analysis reads the actual rate from the recording.
     pub sample_rate_hz: f64,
+    /// Gap tolerance and degraded-mode watchdog knobs for the streaming
+    /// front-end ([`crate::RimStream`]).
+    pub gap: GapConfig,
     /// Worker threads for the rim-par pool. `0` (the default) resolves
     /// from the `RIM_THREADS` environment variable, falling back to the
     /// machine's available parallelism; `1` forces the serial path.
@@ -79,6 +83,46 @@ pub struct RimConfig {
     /// default) lets the pool pick ~8 tiles per worker. Tiling never
     /// changes results — parallel output is bit-identical to serial.
     pub tile_columns: usize,
+}
+
+/// Gap tolerance and degraded-mode watchdog configuration for the
+/// streaming front-end (paper §5/§7: loss is tolerated "to a certain
+/// extent by interpolation"; beyond that extent the stream must split
+/// segments rather than integrate garbage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapConfig {
+    /// Longest run of entirely missing samples the stream bridges by
+    /// linear interpolation. A longer gap closes the open segment and
+    /// restarts alignment after it.
+    pub max_gap: usize,
+    /// Sliding window (samples) over which the watchdog measures the
+    /// interpolated-input fraction.
+    pub watchdog_window: usize,
+    /// Enter degraded mode when the windowed interpolated fraction
+    /// reaches this value.
+    pub degraded_enter: f64,
+    /// Leave degraded mode once the windowed fraction falls back to this
+    /// value (hysteresis: must not exceed `degraded_enter`).
+    pub degraded_exit: f64,
+    /// Minimum alignment-coverage ratio ([`Confidence::alignment_coverage`])
+    /// a flushed segment needs before the watchdog flags alignment
+    /// quality as degraded.
+    pub min_coverage: f64,
+}
+
+impl GapConfig {
+    /// Paper-style defaults for a sample rate: bridge up to 100 ms of
+    /// loss, watch a 1 s window, degrade at 35 % interpolated input and
+    /// recover below 15 %.
+    pub fn for_sample_rate(sample_rate_hz: f64) -> Self {
+        Self {
+            max_gap: ((0.1 * sample_rate_hz).round() as usize).max(2),
+            watchdog_window: ((1.0 * sample_rate_hz).round() as usize).max(8),
+            degraded_enter: 0.35,
+            degraded_exit: 0.15,
+            min_coverage: 0.2,
+        }
+    }
 }
 
 impl RimConfig {
@@ -100,6 +144,7 @@ impl RimConfig {
             subsample_refinement: true,
             continuous_heading: false,
             sample_rate_hz,
+            gap: GapConfig::for_sample_rate(sample_rate_hz),
             threads: 0,
             tile_columns: 0,
         }
@@ -181,6 +226,42 @@ impl RimConfig {
                 self.pre_keep_ratio
             ));
         }
+        if self.gap.watchdog_window == 0 {
+            return bad(
+                "gap.watchdog_window = 0; the degraded-mode watchdog needs at \
+                 least one sample of history (about one second of samples is a \
+                 sensible window)"
+                    .into(),
+            );
+        }
+        if self.gap.max_gap > self.gap.watchdog_window {
+            return bad(format!(
+                "gap.max_gap = {} exceeds gap.watchdog_window = {}; a bridged gap \
+                 longer than the watchdog window could never trip degraded mode — \
+                 shrink max_gap or widen the window",
+                self.gap.max_gap, self.gap.watchdog_window
+            ));
+        }
+        for (name, v) in [
+            ("gap.degraded_enter", self.gap.degraded_enter),
+            ("gap.degraded_exit", self.gap.degraded_exit),
+            ("gap.min_coverage", self.gap.min_coverage),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return bad(format!(
+                    "{name} = {v}; watchdog thresholds are fractions and must lie \
+                     in [0, 1]"
+                ));
+            }
+        }
+        if self.gap.degraded_exit > self.gap.degraded_enter {
+            return bad(format!(
+                "gap.degraded_exit = {} exceeds gap.degraded_enter = {}; the exit \
+                 threshold must sit at or below the entry threshold (hysteresis), \
+                 or the watchdog would oscillate",
+                self.gap.degraded_exit, self.gap.degraded_enter
+            ));
+        }
         if self.threads > rim_par::MAX_THREADS {
             return bad(format!(
                 "threads = {} exceeds the cap of {}; use 0 to size the pool from \
@@ -202,6 +283,38 @@ pub enum SegmentKind {
     Rotation,
 }
 
+/// How much an estimate should be trusted — the degraded-mode contract
+/// that lets downstream fusion down-weight bad stretches instead of
+/// diverging on them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Confidence {
+    /// Mean TRRS prominence of the tracked ridge above each column's
+    /// noise floor, over the samples that resolved an estimate. Higher
+    /// is sharper alignment; values near zero mean the ridge barely
+    /// cleared the post-detection gate.
+    pub peak_margin: f64,
+    /// Fraction of the segment's input samples that were synthesized by
+    /// gap interpolation rather than received (0 for offline analyses of
+    /// already-dense recordings).
+    pub interpolated_fraction: f64,
+    /// Fraction of the segment's samples that resolved a speed/rate from
+    /// a genuine alignment (before gap bridging).
+    pub alignment_coverage: f64,
+}
+
+impl Confidence {
+    /// Collapses the three signals into one weight in `[0, 1]`:
+    /// alignment coverage scaled down by the interpolated fraction, with
+    /// the peak margin saturating at the post-detection gate's scale
+    /// (0.2 ≈ a comfortably prominent ridge).
+    pub fn score(&self) -> f64 {
+        let margin = (self.peak_margin / 0.2).clamp(0.0, 1.0);
+        let coverage = self.alignment_coverage.clamp(0.0, 1.0);
+        let integrity = 1.0 - self.interpolated_fraction.clamp(0.0, 1.0);
+        (margin * coverage * integrity).clamp(0.0, 1.0)
+    }
+}
+
 /// Aggregate estimate for one moving segment.
 #[derive(Debug, Clone)]
 pub struct SegmentEstimate {
@@ -217,6 +330,8 @@ pub struct SegmentEstimate {
     pub heading_device: Option<f64>,
     /// Net signed rotation, radians (0 for translations).
     pub rotation_rad: f64,
+    /// How much this estimate should be trusted.
+    pub confidence: Confidence,
 }
 
 /// The full motion estimate for a CSI recording.
@@ -415,6 +530,19 @@ impl Rim {
                 needed,
                 got: csi.n_samples(),
             });
+        }
+        // NaN/Inf CSI would silently poison every TRRS downstream (the
+        // matrices, the DP costs, the movement indicator); reject it at
+        // the boundary with the offending coordinates instead.
+        for (a, series) in csi.antennas.iter().enumerate() {
+            for (i, snap) in series.iter().enumerate() {
+                if !snap.is_finite() {
+                    return Err(Error::NonFiniteCsi {
+                        antenna: a,
+                        sample: i,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -888,6 +1016,8 @@ impl Rim {
         let mut speed = vec![f64::NAN; len];
         let mut heading: Vec<Option<f64>> = vec![None; len];
         let mut chosen_sep = None;
+        let mut margin_sum = 0.0f64;
+        let mut margin_n = 0u64;
 
         if !tracks.is_empty() {
             let _span = probe.span(stage::POST_DETECTION);
@@ -932,6 +1062,8 @@ impl Rim {
                 if let Some(v) = speed_from_frac_lag(tr.sep, lag, fs) {
                     speed[i] = v;
                     resolved += 1;
+                    margin_sum += tr.raw_quality[i];
+                    margin_n += 1;
                 }
                 heading[i] = if cfg.continuous_heading {
                     // §7 "angle resolution": weight every genuinely-aligned
@@ -1005,6 +1137,19 @@ impl Rim {
             probe.count(stage::POST_DETECTION, "samples_resolved", resolved);
             probe.count(stage::POST_DETECTION, "initial_cut_samples", cut as u64);
         }
+
+        // Confidence inputs, measured before the gap bridging below
+        // fabricates interior speeds: which fraction of the segment
+        // resolved genuine alignment, and how prominent it was.
+        let confidence = Confidence {
+            peak_margin: if margin_n > 0 {
+                margin_sum / margin_n as f64
+            } else {
+                0.0
+            },
+            interpolated_fraction: 0.0,
+            alignment_coverage: fraction_finite(&speed),
+        };
 
         let reck_span = probe.span(stage::RECKONING);
         // The segment is moving throughout (movement detection says so);
@@ -1095,6 +1240,7 @@ impl Rim {
                 distance_m: distance,
                 heading_device: seg_heading,
                 rotation_rad: 0.0,
+                confidence,
             },
         }
     }
@@ -1123,6 +1269,8 @@ impl Rim {
         let half = n_ring / 2;
         let mut rates: Vec<Vec<f64>> = Vec::new(); // per group: rate per sample (NaN invalid)
         let mut median_lags: Vec<isize> = Vec::new();
+        let mut margin_sum = 0.0f64;
+        let mut margin_n = 0u64;
         for k in 0..half.max(1) {
             let (avg, gatem, n_mats) = {
                 let _span = probe.span(stage::ALIGNMENT_BUILD);
@@ -1222,6 +1370,12 @@ impl Rim {
                     angular_rate_from_frac_lag(arc, radius, frac, fs).unwrap_or(f64::NAN)
                 })
                 .collect();
+            for (i, r) in rate.iter().enumerate() {
+                if r.is_finite() {
+                    margin_sum += quality[i];
+                    margin_n += 1;
+                }
+            }
             rates.push(rate);
         }
         // Consistency: all adjacent pairs rotate together, so their median
@@ -1257,6 +1411,15 @@ impl Rim {
             let blind = std::f64::consts::TAU / self.geometry.n_antennas() as f64;
             total += blind * total.signum();
         }
+        let confidence = Confidence {
+            peak_margin: if margin_n > 0 {
+                margin_sum / margin_n as f64
+            } else {
+                0.0
+            },
+            interpolated_fraction: 0.0,
+            alignment_coverage: fraction_finite(&angular),
+        };
         // Per-sample display series: gaps as zero, lightly smoothed.
         let filled: Vec<f64> = angular
             .iter()
@@ -1274,6 +1437,7 @@ impl Rim {
                 distance_m: 0.0,
                 heading_device: None,
                 rotation_rad: total,
+                confidence,
             },
         })
     }
@@ -1588,6 +1752,7 @@ mod tests {
                     distance_m: 1.5,
                     heading_device: Some(0.0),
                     rotation_rad: 0.0,
+                    confidence: Confidence::default(),
                 },
                 SegmentEstimate {
                     start: 2,
@@ -1596,6 +1761,7 @@ mod tests {
                     distance_m: 0.0,
                     heading_device: None,
                     rotation_rad: -0.5,
+                    confidence: Confidence::default(),
                 },
             ],
         };

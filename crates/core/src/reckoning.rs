@@ -95,6 +95,17 @@ pub fn integrate_distance(speed_mps: &[f64], moving: &[bool], sample_rate_hz: f6
         .sum()
 }
 
+/// Fraction of a series that carries a finite value — the
+/// alignment-coverage ratio behind [`crate::pipeline::Confidence`]
+/// (per-sample estimates use `NaN` for "unresolved"). Empty series
+/// cover nothing.
+pub fn fraction_finite(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|v| v.is_finite()).count() as f64 / xs.len() as f64
+}
+
 /// Integrates per-sample speed and *world-frame* heading into a position
 /// track starting at `start`. Samples with no heading hold position.
 pub fn integrate_trajectory(
@@ -149,6 +160,14 @@ pub fn mean_deviation_overestimate(resolution: f64) -> f64 {
 mod tests {
     use super::*;
     use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn fraction_finite_counts_nan_as_uncovered() {
+        assert_eq!(fraction_finite(&[]), 0.0);
+        assert_eq!(fraction_finite(&[1.0, 2.0]), 1.0);
+        let half = fraction_finite(&[1.0, f64::NAN, f64::INFINITY, 0.0]);
+        assert!((half - 0.5).abs() < 1e-12, "{half}");
+    }
 
     #[test]
     fn speed_basic() {

@@ -1,4 +1,5 @@
-//! Streaming (real-time) RIM pipeline with bounded memory.
+//! Streaming (real-time) RIM pipeline with bounded memory and gap
+//! tolerance.
 //!
 //! The paper's prototype includes a real-time C++ system (§5, §6.3.3);
 //! this module is its counterpart: CSI snapshots are *pushed* sample by
@@ -8,6 +9,19 @@
 //! partial segment) can be resolved. Memory is `O(ring capacity)` no
 //! matter how long the device runs.
 //!
+//! Real captures are not clean (§7 concedes loss is only tolerable "to a
+//! certain extent by interpolation"): packets are lost, duplicated, and
+//! reordered by two unsynchronised NICs. The stream therefore ingests
+//! *sequence-numbered, possibly-incomplete* samples through a
+//! [`GapFilter`]: short gaps (≤ [`crate::GapConfig::max_gap`]) are bridged by
+//! linear interpolation with the same arithmetic as
+//! [`rim_dsp::interp::fill_gaps_complex`], long gaps split the open
+//! segment instead of silently integrating garbage, and duplicates /
+//! stale reorders are dropped idempotently. A [`Watchdog`] monitors input
+//! continuity and alignment quality and emits
+//! [`StreamEvent::Degraded`] / [`StreamEvent::Recovered`] transitions so
+//! downstream fusion can down-weight bad stretches.
+//!
 //! Latency/accuracy trade-off: segments are flushed either when movement
 //! stops or when the open segment reaches `max_open_segment` samples, in
 //! which case it is analyzed in place and the tail re-examined later
@@ -16,14 +30,19 @@
 
 use crate::error::Error;
 use crate::movement::{movement_indicator, MovementConfig};
-use crate::pipeline::{MotionEstimate, Rim, RimConfig, SegmentEstimate};
+use crate::pipeline::{GapConfig, MotionEstimate, Rim, RimConfig, SegmentEstimate};
 use crate::trrs::NormSnapshot;
 use rim_array::ArrayGeometry;
 use rim_csi::frame::CsiSnapshot;
-use rim_obs::{stage, NullProbe, Probe};
+use rim_csi::sync::SyncedSample;
+use rim_obs::{stage, stream_metric, NullProbe, Probe};
 use std::collections::VecDeque;
 
 /// An incremental update emitted by the stream.
+///
+/// Sample indices (`at`) are on the stream's absolute time axis: index 0
+/// is the first delivered sample, and lost stretches advance the axis by
+/// their sequence-number span so estimates never span a gap unknowingly.
 #[derive(Debug, Clone)]
 pub enum StreamEvent {
     /// Movement started at the given absolute sample index.
@@ -39,20 +58,385 @@ pub enum StreamEvent {
         /// Absolute sample index.
         at: usize,
     },
+    /// Input or alignment quality fell below the thresholds configured in
+    /// [`crate::GapConfig`]; estimates may be missing or low-confidence
+    /// until the matching [`StreamEvent::Recovered`].
+    Degraded {
+        /// Absolute sample index of the transition.
+        at: usize,
+        /// What tripped the watchdog.
+        reason: DegradeReason,
+    },
+    /// Every active degradation cause has cleared.
+    Recovered {
+        /// Absolute sample index of the transition.
+        at: usize,
+    },
+}
+
+/// Why the stream entered degraded mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradeReason {
+    /// A run of `lost` consecutive samples exceeded
+    /// [`crate::GapConfig::max_gap`]; the open segment was split and the
+    /// lost stretch skipped.
+    InputGap {
+        /// Consecutive samples lost.
+        lost: u64,
+    },
+    /// The interpolated fraction of the watchdog window reached
+    /// [`crate::GapConfig::degraded_enter`].
+    HighInterpolation {
+        /// Interpolated fraction at the transition.
+        fraction: f64,
+    },
+    /// The last flushed segment resolved alignment on less than
+    /// [`crate::GapConfig::min_coverage`] of its samples.
+    LowAlignment {
+        /// Alignment-coverage ratio of the offending segment.
+        coverage: f64,
+    },
+}
+
+/// One repaired sample leaving the [`GapFilter`]: a full set of
+/// per-antenna snapshots plus whether any part of it was synthesised.
+#[derive(Debug, Clone)]
+pub struct GapSample {
+    /// Sequence number this sample occupies.
+    pub seq: u64,
+    /// One snapshot per antenna, holes already repaired.
+    pub snapshots: Vec<CsiSnapshot>,
+    /// True when any snapshot was interpolated or held rather than
+    /// measured.
+    pub interpolated: bool,
+}
+
+/// What the [`GapFilter`] decided about one offered sample.
+#[derive(Debug, Clone)]
+pub enum GapOutcome {
+    /// In-order (or bridged) samples ready to analyze, oldest first. A
+    /// bridged gap delivers the synthesised samples followed by the
+    /// offered one.
+    Deliver(Vec<GapSample>),
+    /// The gap before the offered sample exceeded `max_gap`: the lost
+    /// stretch is unrecoverable, restart analysis at `resume`.
+    Split {
+        /// Consecutive samples lost.
+        lost: u64,
+        /// The offered sample, repaired, to restart from.
+        resume: GapSample,
+    },
+    /// Nothing usable: the sample was dropped.
+    Dropped(DropReason),
+}
+
+/// Why an offered sample was dropped rather than delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Sequence number of the most recently delivered sample — a
+    /// duplicate delivery.
+    Duplicate,
+    /// Sequence number older than that — an out-of-order packet that
+    /// arrived after its position was already bridged or skipped.
+    Stale,
+    /// No antenna carried data, or the stream has no history yet to
+    /// repair a partial first sample from.
+    Incomplete,
+}
+
+/// Sequence-number bookkeeping in front of the ring: detects missing,
+/// duplicate, and out-of-order samples, repairs per-antenna holes by
+/// holding the last measured value, and bridges whole-sample gaps of at
+/// most `max_gap` by linear interpolation (bit-identical to
+/// [`rim_dsp::interp::fill_gaps_complex`] on the same data).
+#[derive(Debug)]
+pub struct GapFilter {
+    n_antennas: usize,
+    max_gap: usize,
+    /// Next expected sequence number; `None` until the epoch starts.
+    next_seq: Option<u64>,
+    /// Last delivered (repaired) sample — the left interpolation anchor.
+    last: Vec<CsiSnapshot>,
+}
+
+impl GapFilter {
+    /// A filter for `n_antennas`-wide samples bridging gaps of at most
+    /// `max_gap` samples.
+    pub fn new(n_antennas: usize, max_gap: usize) -> Self {
+        Self {
+            n_antennas,
+            max_gap,
+            next_seq: None,
+            last: Vec::new(),
+        }
+    }
+
+    /// The next sequence number the filter expects (0 before the first
+    /// delivery).
+    pub fn next_expected(&self) -> u64 {
+        self.next_seq.unwrap_or(0)
+    }
+
+    /// Offers one sequence-numbered sample; `None` entries are antennas
+    /// whose snapshot was lost.
+    ///
+    /// # Panics
+    /// When `antennas.len()` differs from the count fixed at
+    /// construction.
+    pub fn offer(&mut self, seq: u64, antennas: &[Option<CsiSnapshot>]) -> GapOutcome {
+        assert_eq!(
+            antennas.len(),
+            self.n_antennas,
+            "antenna count is fixed at construction"
+        );
+        if antennas.iter().all(Option::is_none) {
+            // A fully-lost sample carries no information beyond what its
+            // absence from the sequence numbering already says.
+            return GapOutcome::Dropped(DropReason::Incomplete);
+        }
+        let expected = match self.next_seq {
+            None => {
+                // Epoch start: require a fully-measured sample so later
+                // repairs have a real anchor.
+                if antennas.iter().any(Option::is_none) {
+                    return GapOutcome::Dropped(DropReason::Incomplete);
+                }
+                let snapshots: Vec<CsiSnapshot> = antennas.iter().flatten().cloned().collect();
+                self.last.clone_from(&snapshots);
+                self.next_seq = Some(seq + 1);
+                return GapOutcome::Deliver(vec![GapSample {
+                    seq,
+                    snapshots,
+                    interpolated: false,
+                }]);
+            }
+            Some(e) => e,
+        };
+        if seq < expected {
+            return GapOutcome::Dropped(if seq + 1 == expected {
+                DropReason::Duplicate
+            } else {
+                DropReason::Stale
+            });
+        }
+        // Repair per-antenna holes by holding the last delivered value.
+        let mut interpolated = false;
+        let snapshots: Vec<CsiSnapshot> = antennas
+            .iter()
+            .enumerate()
+            .map(|(a, s)| match s {
+                Some(s) => s.clone(),
+                None => {
+                    interpolated = true;
+                    self.last[a].clone()
+                }
+            })
+            .collect();
+        let gap = (seq - expected) as usize;
+        let cur = GapSample {
+            seq,
+            snapshots,
+            interpolated,
+        };
+        let outcome = if gap == 0 {
+            GapOutcome::Deliver(vec![cur.clone()])
+        } else if gap <= self.max_gap {
+            // Bridge: interpolate the missing samples between the last
+            // delivered one (at `expected - 1`) and the offered one with
+            // the batch repair's exact arithmetic.
+            let span = (gap + 1) as f64;
+            let mut out = Vec::with_capacity(gap + 1);
+            for step in 0..gap {
+                let t = (step + 1) as f64 / span;
+                let snapshots = self
+                    .last
+                    .iter()
+                    .zip(&cur.snapshots)
+                    .map(|(l, r)| lerp_snapshot(l, r, t))
+                    .collect();
+                out.push(GapSample {
+                    seq: expected + step as u64,
+                    snapshots,
+                    interpolated: true,
+                });
+            }
+            out.push(cur.clone());
+            GapOutcome::Deliver(out)
+        } else {
+            GapOutcome::Split {
+                lost: gap as u64,
+                resume: cur.clone(),
+            }
+        };
+        self.last = cur.snapshots;
+        self.next_seq = Some(seq + 1);
+        outcome
+    }
+}
+
+/// Component-wise linear interpolation between two snapshots, using the
+/// same expression as [`rim_dsp::interp::fill_gaps_complex`] so streamed
+/// repairs are bit-identical to batch repairs of the same gap.
+fn lerp_snapshot(l: &CsiSnapshot, r: &CsiSnapshot, t: f64) -> CsiSnapshot {
+    CsiSnapshot {
+        per_tx: l
+            .per_tx
+            .iter()
+            .zip(&r.per_tx)
+            .map(|(lc, rc)| {
+                lc.iter()
+                    .zip(rc)
+                    .map(|(&lv, &rv)| lv + (rv - lv).scale(t))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Degraded-mode watchdog: tracks input continuity (interpolated
+/// fraction over a sliding window, forced splits) and alignment quality
+/// (the last segment's coverage) with enter/exit hysteresis, and turns
+/// state changes into [`StreamEvent::Degraded`] /
+/// [`StreamEvent::Recovered`] transitions.
+#[derive(Debug)]
+struct Watchdog {
+    cfg: GapConfig,
+    /// Interpolation flags of the newest `watchdog_window` samples.
+    recent: VecDeque<bool>,
+    interp_in_window: usize,
+    /// Input-continuity degradation cause (interpolation or splits).
+    input_bad: bool,
+    /// Alignment-quality degradation cause (low segment coverage).
+    alignment_bad: bool,
+    /// Index of the most recent forced split; holds input degradation
+    /// for a full window afterwards.
+    last_split: Option<usize>,
+    /// Cumulative delivered samples observed while degraded.
+    degraded_samples: u64,
+}
+
+impl Watchdog {
+    fn new(cfg: GapConfig) -> Self {
+        Self {
+            cfg,
+            recent: VecDeque::with_capacity(cfg.watchdog_window + 1),
+            interp_in_window: 0,
+            input_bad: false,
+            alignment_bad: false,
+            last_split: None,
+            degraded_samples: 0,
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        self.input_bad || self.alignment_bad
+    }
+
+    /// Interpolated fraction of the current window.
+    fn fraction(&self) -> f64 {
+        if self.recent.is_empty() {
+            0.0
+        } else {
+            self.interp_in_window as f64 / self.recent.len() as f64
+        }
+    }
+
+    /// Records one delivered sample; returns the transition event this
+    /// sample caused, if any.
+    fn on_sample(&mut self, interpolated: bool, at: usize) -> Option<StreamEvent> {
+        let was = self.degraded();
+        self.recent.push_back(interpolated);
+        if interpolated {
+            self.interp_in_window += 1;
+        }
+        if self.recent.len() > self.cfg.watchdog_window && self.recent.pop_front() == Some(true) {
+            self.interp_in_window -= 1;
+        }
+        let fraction = self.fraction();
+        let mut reason = None;
+        // The fraction is only meaningful over a full window: a couple of
+        // lost packets among the first few samples is not degradation
+        // (catastrophic early loss still degrades via the split path).
+        let window_full = self.recent.len() >= self.cfg.watchdog_window;
+        if !self.input_bad && window_full && fraction >= self.cfg.degraded_enter {
+            self.input_bad = true;
+            reason = Some(DegradeReason::HighInterpolation { fraction });
+        } else if self.input_bad && fraction <= self.cfg.degraded_exit {
+            // A recent split keeps input degraded for a full window even
+            // though the (restarted) window looks healthy.
+            let held = self
+                .last_split
+                .is_some_and(|s| at.saturating_sub(s) < self.cfg.watchdog_window);
+            if !held {
+                self.input_bad = false;
+            }
+        }
+        if self.degraded() {
+            self.degraded_samples += 1;
+        }
+        self.transition(was, at, reason)
+    }
+
+    /// Records a forced split at `at` that skipped `lost` samples.
+    fn on_split(&mut self, at: usize, lost: u64) -> Option<StreamEvent> {
+        let was = self.degraded();
+        self.last_split = Some(at);
+        self.input_bad = true;
+        // The ring restarts after the gap; stale window contents would
+        // dilute the post-gap fraction.
+        self.recent.clear();
+        self.interp_in_window = 0;
+        self.transition(was, at, Some(DegradeReason::InputGap { lost }))
+    }
+
+    /// Records a flushed segment's alignment-coverage ratio.
+    fn on_segment(&mut self, coverage: f64, at: usize) -> Option<StreamEvent> {
+        let was = self.degraded();
+        self.alignment_bad = coverage < self.cfg.min_coverage;
+        self.transition(was, at, Some(DegradeReason::LowAlignment { coverage }))
+    }
+
+    fn transition(
+        &self,
+        was: bool,
+        at: usize,
+        reason: Option<DegradeReason>,
+    ) -> Option<StreamEvent> {
+        match (was, self.degraded()) {
+            (false, true) => Some(StreamEvent::Degraded {
+                at,
+                reason: reason.unwrap_or(DegradeReason::HighInterpolation {
+                    fraction: self.fraction(),
+                }),
+            }),
+            (true, false) => Some(StreamEvent::Recovered { at }),
+            _ => None,
+        }
+    }
 }
 
 /// Push-based RIM engine with bounded memory.
 #[derive(Debug)]
 pub struct RimStream {
     rim: Rim,
+    /// Sequence-number repair in front of the ring.
+    gap_filter: GapFilter,
+    /// Degraded-mode watchdog.
+    watchdog: Watchdog,
     /// Ring of recent normalised snapshots per antenna.
     ring: Vec<VecDeque<NormSnapshot>>,
     /// Absolute index of the first sample currently in the ring.
     ring_base: usize,
-    /// Total samples pushed.
+    /// Absolute index one past the newest ingested sample. Lost
+    /// stretches advance this by their span, so indices stay aligned
+    /// with sequence numbers.
     pushed: usize,
+    /// Sequence number of the first delivered sample (absolute index 0).
+    first_seq: Option<u64>,
     /// Per-sample movement flags for the ring span (same base).
     moving: VecDeque<bool>,
+    /// Per-sample "was interpolated" flags for the ring span (same base).
+    interp: VecDeque<bool>,
     /// Absolute start of the currently open moving segment.
     open_segment: Option<usize>,
     /// Whether the open segment has already been partially flushed (so
@@ -86,9 +470,9 @@ pub struct StreamSession<'s, P: Probe + ?Sized = NullProbe> {
 
 impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
     /// Attaches an observability probe: the streaming front-end reports
-    /// ring occupancy, sample/segment counters, and flush latency under
-    /// [`stage::STREAM`]; the per-segment analyses it triggers report
-    /// under the six pipeline stages.
+    /// ring occupancy, sample/segment/gap counters, and flush latency
+    /// under [`stage::STREAM`]; the per-segment analyses it triggers
+    /// report under the six pipeline stages.
     pub fn probe<Q: Probe + ?Sized>(self, probe: &'s Q) -> StreamSession<'s, Q> {
         StreamSession {
             stream: self.stream,
@@ -97,13 +481,40 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
     }
 
     /// Pushes one synchronized sample (one snapshot per antenna) and
-    /// returns any events it completes.
+    /// returns any events it completes. The sample is assumed to be the
+    /// next in sequence; use [`StreamSession::offer`] for lossy input.
     ///
     /// # Errors
     /// [`Error::AntennaMismatch`] when the snapshot count differs from
-    /// the geometry's antennas.
+    /// the geometry's antennas; [`Error::NonFiniteCsi`] when a snapshot
+    /// contains NaN or infinite values.
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
         self.stream.push_internal(snapshots, self.probe)
+    }
+
+    /// Offers one sequence-numbered sample with per-antenna loss
+    /// (`None` = that antenna's snapshot was lost). See
+    /// [`RimStream::offer`].
+    ///
+    /// # Errors
+    /// [`Error::AntennaMismatch`] when the antenna count differs from
+    /// the geometry's; [`Error::NonFiniteCsi`] when a present snapshot
+    /// contains NaN or infinite values.
+    pub fn offer(
+        &mut self,
+        seq: u64,
+        antennas: &[Option<CsiSnapshot>],
+    ) -> Result<Vec<StreamEvent>, Error> {
+        self.stream.offer_internal(seq, antennas, self.probe)
+    }
+
+    /// [`StreamSession::offer`] for a synchronizer output sample.
+    ///
+    /// # Errors
+    /// As [`StreamSession::offer`].
+    pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
+        self.stream
+            .offer_internal(sample.seq, &sample.antennas, self.probe)
     }
 
     /// Flushes the open segment if any (e.g. at end of stream) and
@@ -116,7 +527,8 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
 impl RimStream {
     /// Creates a streaming engine for the configuration's sample rate
     /// ([`RimConfig::sample_rate_hz`]). The ring holds `4·(W + V)`
-    /// samples plus the maximum open-segment length.
+    /// samples plus the maximum open-segment length. Gap tolerance and
+    /// watchdog behaviour come from [`RimConfig::gap`].
     ///
     /// # Errors
     /// The same validation as [`Rim::new`]: [`Error::Config`] for
@@ -126,17 +538,22 @@ impl RimStream {
         let w = config.alignment.window;
         let v = config.alignment.virtual_antennas;
         let fs = config.sample_rate_hz;
+        let gap = config.gap;
         let max_open = (4.0 * fs) as usize; // flush at least every 4 s
         let capacity = max_open + 4 * (w + v) + 8;
         let n_ant = geometry.n_antennas();
         Ok(Self {
             rim: Rim::new(geometry, config)?,
+            gap_filter: GapFilter::new(n_ant, gap.max_gap),
+            watchdog: Watchdog::new(gap),
             ring: (0..n_ant)
                 .map(|_| VecDeque::with_capacity(capacity))
                 .collect(),
             ring_base: 0,
             pushed: 0,
+            first_seq: None,
             moving: VecDeque::with_capacity(capacity),
+            interp: VecDeque::with_capacity(capacity),
             open_segment: None,
             segment_continued: false,
             capacity,
@@ -154,7 +571,8 @@ impl RimStream {
         }
     }
 
-    /// Number of samples pushed so far.
+    /// Samples on the stream's absolute time axis so far: delivered
+    /// samples plus any lost stretches skipped by splits.
     pub fn samples_pushed(&self) -> usize {
         self.pushed
     }
@@ -164,15 +582,53 @@ impl RimStream {
         self.ring.first().map_or(0, VecDeque::len)
     }
 
+    /// Whether the watchdog currently reports degraded operation.
+    pub fn degraded(&self) -> bool {
+        self.watchdog.degraded()
+    }
+
+    /// Cumulative stream time spent degraded, seconds.
+    pub fn degraded_time_s(&self) -> f64 {
+        self.watchdog.degraded_samples as f64 / self.fs
+    }
+
     /// Pushes one synchronized sample (one snapshot per antenna) and
     /// returns any events it completes. Shorthand for
     /// [`RimStream::session`] + [`StreamSession::push`].
     ///
     /// # Errors
     /// [`Error::AntennaMismatch`] when the snapshot count differs from
-    /// the geometry's antennas.
+    /// the geometry's antennas; [`Error::NonFiniteCsi`] when a snapshot
+    /// contains NaN or infinite values.
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
         self.push_internal(snapshots, &NullProbe)
+    }
+
+    /// Offers one sequence-numbered sample with per-antenna loss, the
+    /// gap-tolerant entry point: missing sequence numbers are bridged
+    /// (short gaps) or split around (long gaps), duplicates and stale
+    /// reorders are dropped, and per-antenna holes are repaired from
+    /// history. Shorthand for [`RimStream::session`] +
+    /// [`StreamSession::offer`].
+    ///
+    /// # Errors
+    /// [`Error::AntennaMismatch`] when the antenna count differs from
+    /// the geometry's; [`Error::NonFiniteCsi`] when a present snapshot
+    /// contains NaN or infinite values.
+    pub fn offer(
+        &mut self,
+        seq: u64,
+        antennas: &[Option<CsiSnapshot>],
+    ) -> Result<Vec<StreamEvent>, Error> {
+        self.offer_internal(seq, antennas, &NullProbe)
+    }
+
+    /// [`RimStream::offer`] for a synchronizer output sample.
+    ///
+    /// # Errors
+    /// As [`RimStream::offer`].
+    pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
+        self.offer_internal(sample.seq, &sample.antennas, &NullProbe)
     }
 
     /// [`RimStream::push`] with an observability probe.
@@ -185,32 +641,145 @@ impl RimStream {
         self.push_internal(snapshots, probe)
     }
 
-    /// The push body shared by [`RimStream::push`], [`StreamSession`],
-    /// and the deprecated probed wrapper.
+    /// The push body: a clean push is an offer of the next expected
+    /// sequence number with every antenna present.
     fn push_internal<P: Probe + ?Sized>(
         &mut self,
         snapshots: &[CsiSnapshot],
         probe: &P,
     ) -> Result<Vec<StreamEvent>, Error> {
-        if snapshots.len() != self.ring.len() {
+        let seq = self.gap_filter.next_expected();
+        let present: Vec<Option<CsiSnapshot>> = snapshots.iter().cloned().map(Some).collect();
+        self.offer_internal(seq, &present, probe)
+    }
+
+    /// The offer body shared by every entry point.
+    fn offer_internal<P: Probe + ?Sized>(
+        &mut self,
+        seq: u64,
+        antennas: &[Option<CsiSnapshot>],
+        probe: &P,
+    ) -> Result<Vec<StreamEvent>, Error> {
+        if antennas.len() != self.ring.len() {
             return Err(Error::AntennaMismatch {
                 expected: self.ring.len(),
-                got: snapshots.len(),
+                got: antennas.len(),
             });
         }
-        for (ring, snap) in self.ring.iter_mut().zip(snapshots) {
+        for (a, snap) in antennas.iter().enumerate() {
+            if snap.as_ref().is_some_and(|s| !s.is_finite()) {
+                return Err(Error::NonFiniteCsi {
+                    antenna: a,
+                    sample: seq as usize,
+                });
+            }
+        }
+        let mut events = Vec::new();
+        match self.gap_filter.offer(seq, antennas) {
+            GapOutcome::Dropped(reason) => {
+                let name = match reason {
+                    DropReason::Duplicate => stream_metric::DUPLICATES,
+                    DropReason::Stale => stream_metric::REORDERED,
+                    DropReason::Incomplete => stream_metric::INCOMPLETE,
+                };
+                probe.count(stage::STREAM, name, 1);
+            }
+            GapOutcome::Deliver(samples) => {
+                if samples.len() > 1 {
+                    probe.count(stage::STREAM, stream_metric::GAPS, 1);
+                    probe.count(
+                        stage::STREAM,
+                        stream_metric::INTERPOLATED,
+                        (samples.len() - 1) as u64,
+                    );
+                }
+                for sample in samples {
+                    self.ingest(sample, probe, &mut events);
+                }
+            }
+            GapOutcome::Split { lost, resume } => {
+                probe.count(stage::STREAM, stream_metric::GAPS, 1);
+                probe.count(stage::STREAM, stream_metric::SPLITS, 1);
+                let gap_at = self.pushed;
+                // Close the open segment at the edge of the gap rather
+                // than integrating across unseen motion.
+                if let Some(start) = self.open_segment.take() {
+                    self.flush_and_note(start, gap_at, probe, &mut events);
+                    events.push(StreamEvent::MovementStopped { at: gap_at });
+                }
+                // Fast-forward past the lost stretch: absolute indices
+                // track sequence numbers, so the resumed sample keeps its
+                // place on the time axis.
+                let resume_idx = self.abs_index(resume.seq);
+                for ring in &mut self.ring {
+                    ring.clear();
+                }
+                self.moving.clear();
+                self.interp.clear();
+                self.ring_base = resume_idx;
+                self.pushed = resume_idx;
+                if let Some(ev) = self.watchdog.on_split(gap_at, lost) {
+                    Self::count_transition(&ev, probe);
+                    events.push(ev);
+                }
+                self.ingest(resume, probe, &mut events);
+            }
+        }
+        probe.gauge(
+            stage::STREAM,
+            stream_metric::INTERPOLATED_FRACTION,
+            self.watchdog.fraction(),
+        );
+        probe.gauge(
+            stage::STREAM,
+            stream_metric::DEGRADED_TIME_S,
+            self.degraded_time_s(),
+        );
+        Ok(events)
+    }
+
+    /// Absolute sample index of a sequence number (index 0 = first
+    /// delivered sample).
+    fn abs_index(&mut self, seq: u64) -> usize {
+        let first = *self.first_seq.get_or_insert(seq);
+        (seq - first) as usize
+    }
+
+    /// Counts a watchdog transition event on the probe.
+    fn count_transition<P: Probe + ?Sized>(event: &StreamEvent, probe: &P) {
+        match event {
+            StreamEvent::Degraded { .. } => {
+                probe.count(stage::STREAM, stream_metric::DEGRADED_EVENTS, 1);
+            }
+            StreamEvent::Recovered { .. } => {
+                probe.count(stage::STREAM, stream_metric::RECOVERED_EVENTS, 1);
+            }
+            _ => {}
+        }
+    }
+
+    /// Ingests one delivered (repaired) sample into the ring and runs
+    /// the incremental segmentation state machine on it.
+    fn ingest<P: Probe + ?Sized>(
+        &mut self,
+        sample: GapSample,
+        probe: &P,
+        events: &mut Vec<StreamEvent>,
+    ) {
+        let newest = self.abs_index(sample.seq);
+        debug_assert_eq!(newest, self.pushed, "delivered samples are contiguous");
+        for (ring, snap) in self.ring.iter_mut().zip(&sample.snapshots) {
             ring.push_back(NormSnapshot::from_snapshot(snap));
         }
-        self.pushed += 1;
+        self.interp.push_back(sample.interpolated);
+        self.pushed = newest + 1;
 
-        // Incremental movement detection: min self-TRRS across antennas at
-        // the newest sample.
+        // Incremental movement detection: min self-TRRS across antennas
+        // at the newest sample.
         let mcfg = self.rim.config().movement;
         let flag = self.instant_movement(&mcfg);
         self.moving.push_back(flag);
 
-        let mut events = Vec::new();
-        let newest = self.pushed - 1;
         match (self.open_segment, flag) {
             (None, true) => {
                 // Debounce opening: a lone moving flag (noise flicker while
@@ -235,11 +804,7 @@ impl RimStream {
                 let quiet = (0.2 * self.fs) as usize;
                 let tail_static = self.moving.iter().rev().take(quiet).all(|&m| !m);
                 if tail_static && self.moving.len() >= quiet {
-                    if let Some(seg) =
-                        self.flush_segment(start, newest + 1 - quiet.min(newest), probe)
-                    {
-                        events.push(StreamEvent::Segment(seg));
-                    }
+                    self.flush_and_note(start, newest + 1 - quiet.min(newest), probe, events);
                     events.push(StreamEvent::MovementStopped { at: newest });
                     self.open_segment = None;
                 }
@@ -247,9 +812,7 @@ impl RimStream {
             (Some(start), true) => {
                 // Partial flush of very long movements to bound memory.
                 if newest - start >= self.max_open {
-                    if let Some(seg) = self.flush_segment(start, newest + 1, probe) {
-                        events.push(StreamEvent::Segment(seg));
-                    }
+                    self.flush_and_note(start, newest + 1, probe, events);
                     self.open_segment = Some(newest + 1);
                     self.segment_continued = true;
                 }
@@ -257,11 +820,15 @@ impl RimStream {
             (None, false) => {}
         }
 
+        if let Some(ev) = self.watchdog.on_sample(sample.interpolated, newest) {
+            Self::count_transition(&ev, probe);
+            events.push(ev);
+        }
+
         self.trim_ring();
         probe.count(stage::STREAM, "samples_pushed", 1);
         probe.gauge(stage::STREAM, "ring_occupancy", self.ring_len() as f64);
         probe.gauge(stage::STREAM, "ring_capacity", self.capacity as f64);
-        Ok(events)
     }
 
     /// Flushes the open segment if any (e.g. at end of stream) and
@@ -281,9 +848,7 @@ impl RimStream {
     fn finish_internal<P: Probe + ?Sized>(&mut self, probe: &P) -> Vec<StreamEvent> {
         let mut events = Vec::new();
         if let Some(start) = self.open_segment.take() {
-            if let Some(seg) = self.flush_segment(start, self.pushed, probe) {
-                events.push(StreamEvent::Segment(seg));
-            }
+            self.flush_and_note(start, self.pushed, probe, &mut events);
             events.push(StreamEvent::MovementStopped { at: self.pushed });
         }
         events
@@ -307,6 +872,26 @@ impl RimStream {
             }
         }
         min_ind < mcfg.threshold
+    }
+
+    /// Flushes `[start, end)`, emits the segment event, and feeds the
+    /// segment's alignment coverage to the watchdog.
+    fn flush_and_note<P: Probe + ?Sized>(
+        &mut self,
+        start: usize,
+        end: usize,
+        probe: &P,
+        events: &mut Vec<StreamEvent>,
+    ) {
+        if let Some(seg) = self.flush_segment(start, end, probe) {
+            let coverage = seg.confidence.alignment_coverage;
+            let at = seg.end;
+            events.push(StreamEvent::Segment(seg));
+            if let Some(ev) = self.watchdog.on_segment(coverage, at) {
+                Self::count_transition(&ev, probe);
+                events.push(ev);
+            }
+        }
     }
 
     /// Analyzes absolute range `[start, end)` and returns its segment
@@ -353,6 +938,18 @@ impl RimStream {
                 }
             }
         }
+        // The batch pipeline cannot see which ring samples were
+        // synthesised; patch the confidence from the stream's own
+        // bookkeeping.
+        let span_len = e_rel - s_rel;
+        let synth = self
+            .interp
+            .iter()
+            .skip(s_rel)
+            .take(span_len)
+            .filter(|&&b| b)
+            .count();
+        result.summary.confidence.interpolated_fraction = synth as f64 / span_len as f64;
         // Re-anchor to absolute sample indices.
         result.summary.start = start;
         result.summary.end = end;
@@ -378,6 +975,7 @@ impl RimStream {
                 ring.pop_front();
             }
             self.moving.pop_front();
+            self.interp.pop_front();
             self.ring_base += 1;
         }
         // Hard cap: never exceed capacity.
@@ -386,25 +984,33 @@ impl RimStream {
                 ring.pop_front();
             }
             self.moving.pop_front();
+            self.interp.pop_front();
             self.ring_base += 1;
         }
     }
 }
 
 /// Aggregates streamed segments into totals comparable with the offline
-/// [`MotionEstimate`].
+/// [`MotionEstimate`], plus a tally of watchdog transitions.
 #[derive(Debug, Clone, Default)]
 pub struct StreamAggregate {
     /// Segments seen so far.
     pub segments: Vec<SegmentEstimate>,
+    /// [`StreamEvent::Degraded`] transitions seen.
+    pub degraded: usize,
+    /// [`StreamEvent::Recovered`] transitions seen.
+    pub recovered: usize,
 }
 
 impl StreamAggregate {
     /// Consumes events.
     pub fn absorb(&mut self, events: &[StreamEvent]) {
         for e in events {
-            if let StreamEvent::Segment(s) = e {
-                self.segments.push(s.clone());
+            match e {
+                StreamEvent::Segment(s) => self.segments.push(s.clone()),
+                StreamEvent::Degraded { .. } => self.degraded += 1,
+                StreamEvent::Recovered { .. } => self.recovered += 1,
+                _ => {}
             }
         }
     }
@@ -417,6 +1023,19 @@ impl StreamAggregate {
     /// Net rotation, radians.
     pub fn total_rotation(&self) -> f64 {
         self.segments.iter().map(|s| s.rotation_rad).sum()
+    }
+
+    /// Mean confidence score across segments (1.0 when no segments were
+    /// emitted: nothing was claimed, so nothing is in doubt).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.segments.is_empty() {
+            return 1.0;
+        }
+        self.segments
+            .iter()
+            .map(|s| s.confidence.score())
+            .sum::<f64>()
+            / self.segments.len() as f64
     }
 
     /// Compares against an offline estimate (used in tests).
@@ -433,7 +1052,9 @@ mod tests {
     use rim_channel::trajectory::{dwell, line, OrientationMode};
     use rim_channel::{uniform_field, Floorplan, RayTracer, SubcarrierLayout, TracerConfig};
     use rim_csi::recorder::{CsiRecorder, DeviceConfig, RecorderConfig};
+    use rim_dsp::complex::Complex64;
     use rim_dsp::geom::Point2;
+    use rim_dsp::interp::fill_gaps_complex;
 
     fn small_sim() -> ChannelSimulator {
         let scat = uniform_field(
@@ -458,6 +1079,129 @@ mod tests {
 
     fn config(fs: f64) -> RimConfig {
         RimConfig::for_sample_rate(fs).with_min_speed(0.3, HALF_WAVELENGTH, fs)
+    }
+
+    /// A one-TX snapshot with distinct subcarrier values derived from
+    /// `base`, for exact-value assertions.
+    fn probe_snap(base: f64) -> CsiSnapshot {
+        CsiSnapshot {
+            per_tx: vec![(0..4)
+                .map(|s| Complex64::new(base + s as f64, base * 0.5 - s as f64))
+                .collect()],
+        }
+    }
+
+    #[test]
+    fn gap_filter_bridges_short_gaps_like_batch_interp() {
+        let mut filter = GapFilter::new(1, 3);
+        let a = probe_snap(1.0);
+        let b = probe_snap(5.0);
+        assert!(matches!(
+            filter.offer(0, &[Some(a.clone())]),
+            GapOutcome::Deliver(ref v) if v.len() == 1 && !v[0].interpolated
+        ));
+        // Seqs 1 and 2 are lost; offering 3 bridges the gap.
+        let out = filter.offer(3, &[Some(b.clone())]);
+        let GapOutcome::Deliver(samples) = out else {
+            panic!("expected delivery, got {out:?}");
+        };
+        assert_eq!(samples.len(), 3);
+        assert_eq!(
+            samples.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(samples[0].interpolated && samples[1].interpolated);
+        assert!(!samples[2].interpolated);
+        // Bit-identical to the batch repair of the same gap, per
+        // subcarrier.
+        for sc in 0..4 {
+            let lane = [Some(a.per_tx[0][sc]), None, None, Some(b.per_tx[0][sc])];
+            let filled = fill_gaps_complex(&lane).unwrap();
+            assert_eq!(samples[0].snapshots[0].per_tx[0][sc], filled[1]);
+            assert_eq!(samples[1].snapshots[0].per_tx[0][sc], filled[2]);
+        }
+    }
+
+    #[test]
+    fn gap_filter_drops_duplicates_and_stale_reorders() {
+        let mut filter = GapFilter::new(1, 3);
+        let s = probe_snap(2.0);
+        filter.offer(0, &[Some(s.clone())]);
+        filter.offer(1, &[Some(s.clone())]);
+        assert!(matches!(
+            filter.offer(1, &[Some(s.clone())]),
+            GapOutcome::Dropped(DropReason::Duplicate)
+        ));
+        assert!(matches!(
+            filter.offer(0, &[Some(s.clone())]),
+            GapOutcome::Dropped(DropReason::Stale)
+        ));
+        assert_eq!(filter.next_expected(), 2, "drops do not advance");
+        // Delivery resumes exactly where it left off.
+        assert!(matches!(
+            filter.offer(2, &[Some(s)]),
+            GapOutcome::Deliver(ref v) if v.len() == 1
+        ));
+    }
+
+    #[test]
+    fn gap_filter_splits_on_long_gap_and_holds_antenna_holes() {
+        let mut filter = GapFilter::new(2, 2);
+        let a = probe_snap(1.0);
+        let b = probe_snap(9.0);
+        filter.offer(0, &[Some(a.clone()), Some(a.clone())]);
+        // Gap of 4 > max_gap 2: split, not interpolation.
+        let out = filter.offer(5, &[Some(b.clone()), None]);
+        let GapOutcome::Split { lost, resume } = out else {
+            panic!("expected split, got {out:?}");
+        };
+        assert_eq!(lost, 4);
+        assert_eq!(resume.seq, 5);
+        assert!(resume.interpolated, "held antenna flags the sample");
+        assert_eq!(resume.snapshots[0], b, "measured antenna kept");
+        assert_eq!(resume.snapshots[1], a, "lost antenna held from history");
+        // The split re-anchors: the next in-order sample delivers.
+        assert!(matches!(
+            filter.offer(6, &[Some(b.clone()), Some(b)]),
+            GapOutcome::Deliver(ref v) if v.len() == 1
+        ));
+    }
+
+    #[test]
+    fn gap_filter_needs_complete_first_sample() {
+        let mut filter = GapFilter::new(2, 2);
+        let s = probe_snap(1.0);
+        assert!(matches!(
+            filter.offer(0, &[Some(s.clone()), None]),
+            GapOutcome::Dropped(DropReason::Incomplete)
+        ));
+        assert!(matches!(
+            filter.offer(0, &[None, None]),
+            GapOutcome::Dropped(DropReason::Incomplete)
+        ));
+        assert!(matches!(
+            filter.offer(1, &[Some(s.clone()), Some(s)]),
+            GapOutcome::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn offer_rejects_non_finite_snapshots() {
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut stream = RimStream::new(geo, config(100.0)).unwrap();
+        let mut bad = probe_snap(1.0);
+        bad.per_tx[0][2] = Complex64::new(f64::NAN, 0.0);
+        let offer = vec![Some(probe_snap(0.0)), Some(bad), Some(probe_snap(2.0))];
+        let err = stream.offer(7, &offer).unwrap_err();
+        assert_eq!(
+            err,
+            Error::NonFiniteCsi {
+                antenna: 1,
+                sample: 7
+            }
+        );
+        // The rejected sample left no trace.
+        assert_eq!(stream.samples_pushed(), 0);
     }
 
     #[test]
@@ -502,7 +1246,7 @@ mod tests {
                 match e {
                     StreamEvent::MovementStarted { .. } => started += 1,
                     StreamEvent::MovementStopped { .. } => stopped += 1,
-                    StreamEvent::Segment(_) => {}
+                    _ => {}
                 }
             }
             agg.absorb(&events);
@@ -511,6 +1255,7 @@ mod tests {
 
         assert_eq!(started, 1, "one movement start");
         assert!(stopped >= 1, "movement stop emitted");
+        assert_eq!(agg.degraded, 0, "clean input never degrades");
         assert!(
             (agg.total_distance() - 1.0).abs() < 0.15,
             "streamed distance {:.3}",
@@ -521,6 +1266,15 @@ mod tests {
             "stream vs offline gap {:.3}",
             agg.distance_gap(&offline)
         );
+        // Clean segments carry usable confidence.
+        for seg in &agg.segments {
+            assert_eq!(seg.confidence.interpolated_fraction, 0.0);
+            assert!(
+                seg.confidence.alignment_coverage > 0.0,
+                "coverage {:?}",
+                seg.confidence
+            );
+        }
     }
 
     #[test]
@@ -589,6 +1343,120 @@ mod tests {
         }
         events.extend(stream.finish());
         assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn long_gap_splits_and_emits_degraded_then_recovered() {
+        let fs = 100.0;
+        let sim = small_sim();
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut traj = dwell(Point2::new(0.0, 2.0), 0.0, 0.4, fs);
+        traj.extend(&line(
+            Point2::new(0.0, 2.0),
+            0.0,
+            1.5,
+            1.0,
+            fs,
+            OrientationMode::FollowPath,
+        ));
+        traj.extend(&dwell(Point2::new(1.5, 2.0), 0.0, 1.0, fs));
+        let dense = CsiRecorder::new(
+            &sim,
+            DeviceConfig::single_nic(geo.offsets().to_vec()),
+            RecorderConfig::default(),
+        )
+        .record(&traj)
+        .interpolated()
+        .unwrap();
+        let cfg = config(fs);
+        let max_gap = cfg.gap.max_gap;
+        let mut stream = RimStream::new(geo, cfg).unwrap();
+        let mut agg = StreamAggregate::default();
+        let mut saw_input_gap = false;
+        // Lose a stretch longer than max_gap mid-move: samples
+        // [60, 60 + max_gap + 5) never arrive.
+        let lost = 60..60 + max_gap + 5;
+        for i in 0..dense.n_samples() {
+            if lost.contains(&i) {
+                continue;
+            }
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| Some(a[i].clone())).collect();
+            let events = stream.offer(i as u64, &snaps).unwrap();
+            for e in &events {
+                if let StreamEvent::Degraded {
+                    reason: DegradeReason::InputGap { lost: n },
+                    ..
+                } = e
+                {
+                    saw_input_gap = true;
+                    assert_eq!(*n as usize, max_gap + 5);
+                }
+            }
+            agg.absorb(&events);
+        }
+        agg.absorb(&stream.finish());
+        assert!(saw_input_gap, "split reported as an input-gap degradation");
+        assert!(agg.degraded >= 1, "degraded transition emitted");
+        assert!(
+            agg.recovered >= 1,
+            "recovered after a healthy post-gap window (degraded {}, recovered {})",
+            agg.degraded,
+            agg.recovered
+        );
+        // The time axis still spans the whole recording.
+        assert_eq!(stream.samples_pushed(), dense.n_samples());
+    }
+
+    #[test]
+    fn short_gaps_are_bridged_without_degrading() {
+        let fs = 100.0;
+        let sim = small_sim();
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut traj = dwell(Point2::new(0.0, 2.0), 0.0, 0.4, fs);
+        traj.extend(&line(
+            Point2::new(0.0, 2.0),
+            0.0,
+            1.0,
+            1.0,
+            fs,
+            OrientationMode::FollowPath,
+        ));
+        traj.extend(&dwell(Point2::new(1.0, 2.0), 0.0, 0.5, fs));
+        let dense = CsiRecorder::new(
+            &sim,
+            DeviceConfig::single_nic(geo.offsets().to_vec()),
+            RecorderConfig::default(),
+        )
+        .record(&traj)
+        .interpolated()
+        .unwrap();
+        let mut stream = RimStream::new(geo, config(fs)).unwrap();
+        let mut agg = StreamAggregate::default();
+        // Drop every 24th sample: isolated single-sample gaps, far below
+        // both max_gap and the watchdog's enter threshold.
+        for i in 0..dense.n_samples() {
+            if i % 24 == 23 {
+                continue;
+            }
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| Some(a[i].clone())).collect();
+            agg.absorb(&stream.offer(i as u64, &snaps).unwrap());
+        }
+        agg.absorb(&stream.finish());
+        assert_eq!(agg.degraded, 0, "sparse loss must not degrade");
+        assert!(
+            (agg.total_distance() - 1.0).abs() < 0.2,
+            "distance with sparse loss {:.3}",
+            agg.total_distance()
+        );
+        let interp: Vec<f64> = agg
+            .segments
+            .iter()
+            .map(|s| s.confidence.interpolated_fraction)
+            .collect();
+        assert!(
+            interp.iter().any(|&f| f > 0.0),
+            "interpolation is reflected in confidence: {interp:?}"
+        );
     }
 
     #[test]

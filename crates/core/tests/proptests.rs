@@ -1,15 +1,20 @@
 //! Property-based tests of the RIM core invariants.
 
 use proptest::prelude::*;
+use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
 use rim_core::alignment::{
     base_cross_trrs, base_cross_trrs_range_with, virtual_average, virtual_average_with,
     AlignmentMatrix,
 };
+use rim_core::stream::{GapFilter, GapOutcome, RimStream, StreamEvent};
 use rim_core::tracking_dp::{track_peaks, DpConfig};
 use rim_core::trrs::{trrs_cfr, trrs_massive, trrs_norm, NormSnapshot};
+use rim_core::RimConfig;
 use rim_csi::frame::CsiSnapshot;
 use rim_dsp::complex::Complex64;
+use rim_dsp::interp::fill_gaps_complex;
 use rim_par::Pool;
+use std::sync::OnceLock;
 
 fn cfr_strategy(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
     prop::collection::vec(
@@ -172,5 +177,228 @@ proptest! {
         prop_assert_eq!(p.lags.len(), m.n_times());
         prop_assert!((0.0..=1.0).contains(&p.mean_trrs));
         prop_assert!(p.jumpiness >= 0.0);
+    }
+}
+
+// --- gap-tolerant streaming --------------------------------------------
+
+const GAP_MAX: usize = 4;
+
+/// Whole-sample loss mask: first sample always present, loss runs capped
+/// at `GAP_MAX` so every gap is bridgeable.
+fn bridgeable_mask(n: usize, p_lost: f64) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(0.0f64..1.0, n..=n).prop_map(move |draws| {
+        let mut mask: Vec<bool> = draws.iter().map(|&x| x < p_lost).collect();
+        mask[0] = false;
+        let mut run = 0usize;
+        for lost in mask.iter_mut() {
+            if *lost {
+                run += 1;
+                if run > GAP_MAX {
+                    *lost = false;
+                    run = 0;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        mask
+    })
+}
+
+/// A deterministic two-antenna snapshot derived from a base value.
+fn gap_snap(antenna: usize, v: f64) -> CsiSnapshot {
+    CsiSnapshot {
+        per_tx: vec![(0..4)
+            .map(|s| Complex64::new(v + (antenna * 10 + s) as f64, v * 0.5 - s as f64))
+            .collect()],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gap_filter_matches_batch_interpolation(
+        values in prop::collection::vec(-8.0f64..8.0, 24..=40),
+        mask_draws in prop::collection::vec(0.0f64..1.0, 40..=40),
+    ) {
+        let n = values.len();
+        let mut mask: Vec<bool> = mask_draws[..n].iter().map(|&x| x < 0.35).collect();
+        mask[0] = false;
+        let mut run = 0usize;
+        for lost in mask.iter_mut() {
+            if *lost {
+                run += 1;
+                if run > GAP_MAX { *lost = false; run = 0; }
+            } else { run = 0; }
+        }
+
+        // Stream the surviving samples through the gap filter.
+        let mut filter = GapFilter::new(2, GAP_MAX);
+        let mut delivered = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            if mask[i] { continue; }
+            match filter.offer(
+                i as u64,
+                &[Some(gap_snap(0, v)), Some(gap_snap(1, v))],
+            ) {
+                GapOutcome::Deliver(samples) => delivered.extend(samples),
+                other => prop_assert!(false, "unexpected outcome {other:?}"),
+            }
+        }
+
+        // Batch reference: interpolate each antenna/subcarrier series with
+        // `fill_gaps_complex` over the same holes.
+        let last = (0..n).rev().find(|&i| !mask[i]).unwrap();
+        prop_assert_eq!(delivered.len(), last + 1, "every bridgeable sample delivered");
+        for antenna in 0..2usize {
+            for sc in 0..4usize {
+                let series: Vec<Option<Complex64>> = (0..n)
+                    .map(|i| (!mask[i]).then(|| gap_snap(antenna, values[i]).per_tx[0][sc]))
+                    .collect();
+                let batch = fill_gaps_complex(&series).expect("interpolable");
+                for (i, sample) in delivered.iter().enumerate() {
+                    let streamed = sample.snapshots[antenna].per_tx[0][sc];
+                    prop_assert_eq!(
+                        streamed.re.to_bits(), batch[i].re.to_bits(),
+                        "antenna {} sc {} sample {} re", antenna, sc, i
+                    );
+                    prop_assert_eq!(
+                        streamed.im.to_bits(), batch[i].im.to_bits(),
+                        "antenna {} sc {} sample {} im", antenna, sc, i
+                    );
+                    prop_assert_eq!(sample.interpolated, mask[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_filter_duplicates_and_reorders_are_idempotent(
+        values in prop::collection::vec(-8.0f64..8.0, 16..=24),
+        inject in prop::collection::vec(0u8..4, 24..=24),
+    ) {
+        let feed = |with_noise: bool| -> Vec<(u64, bool)> {
+            let mut filter = GapFilter::new(1, GAP_MAX);
+            let mut out = Vec::new();
+            for (i, &v) in values.iter().enumerate() {
+                match filter.offer(i as u64, &[Some(gap_snap(0, v))]) {
+                    GapOutcome::Deliver(samples) => {
+                        out.extend(samples.iter().map(|s| (s.seq, s.interpolated)));
+                    }
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+                if !with_noise {
+                    continue;
+                }
+                // Duplicates of the current seq and stale re-sends of
+                // older seqs must be dropped without disturbing state.
+                match inject[i] {
+                    1 => {
+                        let o = filter.offer(i as u64, &[Some(gap_snap(0, v + 1.0))]);
+                        assert!(matches!(o, GapOutcome::Dropped(_)), "{o:?}");
+                    }
+                    2 if i >= 3 => {
+                        let o = filter.offer(i as u64 - 3, &[Some(gap_snap(0, v - 1.0))]);
+                        assert!(matches!(o, GapOutcome::Dropped(_)), "{o:?}");
+                    }
+                    _ => {}
+                }
+            }
+            out
+        };
+        prop_assert_eq!(feed(false), feed(true));
+    }
+}
+
+/// A shared CSI recording for the serial/parallel streaming comparison:
+/// simulating the channel once keeps the property affordable.
+fn shared_walk() -> &'static Vec<Vec<CsiSnapshot>> {
+    static WALK: OnceLock<Vec<Vec<CsiSnapshot>>> = OnceLock::new();
+    WALK.get_or_init(|| {
+        use rim_channel::trajectory::{line, OrientationMode};
+        use rim_channel::ChannelSimulator;
+        let fs = 100.0;
+        let sim = ChannelSimulator::open_lab(7);
+        let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let dense = rim_csi::CsiRecorder::new(
+            &sim,
+            rim_csi::DeviceConfig::single_nic(geometry.offsets().to_vec()),
+            rim_csi::RecorderConfig::default(),
+        )
+        .record(&line(
+            rim_dsp::geom::Point2::new(0.0, 2.0),
+            0.0,
+            1.2,
+            1.0,
+            fs,
+            OrientationMode::Fixed(0.0),
+        ))
+        .interpolated()
+        .expect("interpolable");
+        (0..dense.n_samples())
+            .map(|i| dense.antennas.iter().map(|a| a[i].clone()).collect())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn streaming_with_gaps_is_bit_identical_across_thread_counts(
+        mask in bridgeable_mask(120, 0.2),
+    ) {
+        let walk = shared_walk();
+        let fs = 100.0;
+        let run = |threads: usize| {
+            let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+            let config = RimConfig::for_sample_rate(fs)
+                .with_min_speed(0.3, HALF_WAVELENGTH, fs)
+                .with_threads(threads);
+            let mut stream = RimStream::new(geometry, config).expect("valid config");
+            let mut segments = Vec::new();
+            let mut degraded = 0usize;
+            let mut absorb = |events: Vec<StreamEvent>| {
+                for e in events {
+                    match e {
+                        StreamEvent::Segment(s) => segments.push(s),
+                        StreamEvent::Degraded { .. } => degraded += 1,
+                        _ => {}
+                    }
+                }
+            };
+            for (i, snaps) in walk.iter().enumerate() {
+                if *mask.get(i).unwrap_or(&false) {
+                    continue;
+                }
+                let antennas: Vec<_> = snaps.iter().cloned().map(Some).collect();
+                absorb(stream.offer(i as u64, &antennas).expect("offer"));
+            }
+            absorb(stream.finish());
+            (segments, degraded)
+        };
+        let (serial, serial_degraded) = run(1);
+        let (parallel, parallel_degraded) = run(4);
+        prop_assert_eq!(serial.len(), parallel.len());
+        prop_assert_eq!(serial_degraded, parallel_degraded);
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.end, b.end);
+            prop_assert_eq!(a.distance_m.to_bits(), b.distance_m.to_bits());
+            prop_assert_eq!(
+                a.confidence.peak_margin.to_bits(),
+                b.confidence.peak_margin.to_bits()
+            );
+            prop_assert_eq!(
+                a.confidence.interpolated_fraction.to_bits(),
+                b.confidence.interpolated_fraction.to_bits()
+            );
+            prop_assert_eq!(
+                a.confidence.alignment_coverage.to_bits(),
+                b.confidence.alignment_coverage.to_bits()
+            );
+        }
     }
 }

@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use rim_dsp::complex::Complex64;
 
 /// Impairment parameters of one NIC.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareProfile {
     /// Signal-to-noise ratio of the CSI measurement, dB; `f64::INFINITY`
     /// disables noise.

@@ -32,6 +32,98 @@ pub enum LossModel {
     },
 }
 
+impl LossModel {
+    /// Parses a CLI-style loss specification:
+    ///
+    /// * `none` — no loss;
+    /// * a bare probability like `0.1` — i.i.d. loss (back-compatible
+    ///   with the old numeric `--loss` flag);
+    /// * `iid:P` — i.i.d. loss with probability `P`;
+    /// * `ge:ENTER,EXIT,GOOD,BAD` — Gilbert–Elliott with the four
+    ///   probabilities (good→bad, bad→good, loss in good, loss in bad),
+    ///   e.g. `ge:0.05,0.2,0.01,0.8`.
+    ///
+    /// # Errors
+    /// A message naming the offending field and the accepted forms.
+    pub fn parse(spec: &str) -> Result<LossModel, String> {
+        let spec = spec.trim();
+        let prob = |label: &str, s: &str, range_end: f64| -> Result<f64, String> {
+            let v: f64 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("loss spec: {label} `{s}` is not a number"))?;
+            if !(0.0..=range_end).contains(&v) {
+                return Err(format!(
+                    "loss spec: {label} {v} outside [0, {range_end}{}",
+                    if range_end < 1.0 { ")" } else { "]" }
+                ));
+            }
+            Ok(v)
+        };
+        if spec.eq_ignore_ascii_case("none") {
+            return Ok(LossModel::None);
+        }
+        if let Some(p) = spec.strip_prefix("iid:") {
+            return Ok(LossModel::Iid {
+                p: prob("iid probability", p, 0.999)?,
+            });
+        }
+        if let Some(rest) = spec.strip_prefix("ge:") {
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() != 4 {
+                return Err(format!(
+                    "loss spec: `ge:` needs 4 comma-separated probabilities \
+                     (enter_bad,exit_bad,loss_good,loss_bad), got {}",
+                    parts.len()
+                ));
+            }
+            return Ok(LossModel::GilbertElliott {
+                p_enter_bad: prob("ge enter_bad", parts[0], 1.0)?,
+                p_exit_bad: prob("ge exit_bad", parts[1], 1.0)?,
+                loss_good: prob("ge loss_good", parts[2], 1.0)?,
+                loss_bad: prob("ge loss_bad", parts[3], 1.0)?,
+            });
+        }
+        if let Ok(p) = spec.parse::<f64>() {
+            if (0.0..1.0).contains(&p) {
+                return Ok(if p == 0.0 {
+                    LossModel::None
+                } else {
+                    LossModel::Iid { p }
+                });
+            }
+            return Err(format!("loss spec: bare probability {p} outside [0, 1)"));
+        }
+        Err(format!(
+            "loss spec `{spec}` not understood; use `none`, a probability, \
+             `iid:P`, or `ge:ENTER,EXIT,GOOD,BAD`"
+        ))
+    }
+
+    /// Mean long-run loss rate implied by the model (the stationary rate
+    /// for Gilbert–Elliott).
+    pub fn mean_loss_rate(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Iid { p } => p,
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                // Stationary probability of the bad state.
+                let denom = p_enter_bad + p_exit_bad;
+                if denom <= 0.0 {
+                    return loss_good;
+                }
+                let pi_bad = p_enter_bad / denom;
+                (1.0 - pi_bad) * loss_good + pi_bad * loss_bad
+            }
+        }
+    }
+}
+
 /// A stateful loss process: deterministic per seed.
 #[derive(Debug, Clone)]
 pub struct LossProcess {
@@ -156,5 +248,58 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_probability_rejected() {
         let _ = LossProcess::new(LossModel::Iid { p: 1.5 }, 0);
+    }
+
+    #[test]
+    fn parse_accepts_all_forms() {
+        assert_eq!(LossModel::parse("none"), Ok(LossModel::None));
+        assert_eq!(LossModel::parse("NONE"), Ok(LossModel::None));
+        assert_eq!(LossModel::parse("0"), Ok(LossModel::None));
+        assert_eq!(LossModel::parse("0.1"), Ok(LossModel::Iid { p: 0.1 }));
+        assert_eq!(LossModel::parse("iid:0.25"), Ok(LossModel::Iid { p: 0.25 }));
+        assert_eq!(
+            LossModel::parse("ge:0.05,0.2,0.01,0.8"),
+            Ok(LossModel::GilbertElliott {
+                p_enter_bad: 0.05,
+                p_exit_bad: 0.2,
+                loss_good: 0.01,
+                loss_bad: 0.8,
+            })
+        );
+        assert_eq!(LossModel::parse(" iid:0.25 "), LossModel::parse("iid:0.25"));
+    }
+
+    #[test]
+    fn parse_rejects_with_actionable_messages() {
+        let e = LossModel::parse("1.5").unwrap_err();
+        assert!(e.contains("1.5"), "{e}");
+        let e = LossModel::parse("iid:nope").unwrap_err();
+        assert!(e.contains("nope"), "{e}");
+        let e = LossModel::parse("ge:0.1,0.2").unwrap_err();
+        assert!(e.contains('4'), "{e}");
+        let e = LossModel::parse("ge:0.1,0.2,0.3,1.7").unwrap_err();
+        assert!(e.contains("1.7"), "{e}");
+        let e = LossModel::parse("burst").unwrap_err();
+        assert!(e.contains("burst"), "{e}");
+    }
+
+    #[test]
+    fn mean_loss_rate_matches_measured() {
+        let model = LossModel::GilbertElliott {
+            p_enter_bad: 0.05,
+            p_exit_bad: 0.2,
+            loss_good: 0.01,
+            loss_bad: 0.8,
+        };
+        let predicted = model.mean_loss_rate();
+        let mut p = LossProcess::new(model, 9);
+        let lost = (0..100_000).filter(|_| p.next_lost()).count();
+        let measured = lost as f64 / 100_000.0;
+        assert!(
+            (measured - predicted).abs() < 0.02,
+            "predicted {predicted}, measured {measured}"
+        );
+        assert_eq!(LossModel::None.mean_loss_rate(), 0.0);
+        assert_eq!(LossModel::Iid { p: 0.3 }.mean_loss_rate(), 0.3);
     }
 }

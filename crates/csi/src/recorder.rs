@@ -93,7 +93,7 @@ impl DeviceConfig {
     /// Sets every NIC's impairment profile.
     pub fn with_profile(mut self, profile: HardwareProfile) -> Self {
         for nic in &mut self.nics {
-            nic.profile = profile.clone();
+            nic.profile = profile;
         }
         self
     }
@@ -161,6 +161,31 @@ impl CsiRecording {
             .map(|s| s.iter().filter(|v| v.is_none()).count())
             .sum();
         lost as f64 / total as f64
+    }
+
+    /// Applies a loss model to an already-recorded series, dropping whole
+    /// device samples (every antenna at once, like a lost broadcast
+    /// packet). Lets a fault harness record one clean capture and derive
+    /// arbitrarily many seeded loss scenarios from it without re-running
+    /// the channel simulator.
+    pub fn degrade(&self, model: LossModel, seed: u64) -> CsiRecording {
+        let mut process = LossProcess::new(model, seed);
+        let lost: Vec<bool> = (0..self.n_samples()).map(|_| process.next_lost()).collect();
+        CsiRecording {
+            sample_rate_hz: self.sample_rate_hz,
+            subcarrier_indices: self.subcarrier_indices.clone(),
+            antennas: self
+                .antennas
+                .iter()
+                .map(|series| {
+                    series
+                        .iter()
+                        .zip(&lost)
+                        .map(|(s, &l)| if l { None } else { s.clone() })
+                        .collect()
+                })
+                .collect(),
+        }
     }
 
     /// Repairs packet loss by per-subcarrier linear interpolation (paper
@@ -299,7 +324,7 @@ impl<'a> CsiRecorder<'a> {
             .enumerate()
             .map(|(n, nic)| {
                 ImpairmentModel::new(
-                    nic.profile.clone(),
+                    nic.profile,
                     nic.antenna_offsets.len(),
                     self.config
                         .seed
@@ -342,17 +367,21 @@ impl<'a> CsiRecorder<'a> {
                     .collect();
                 impairments[n].apply(&mut csi, &indices, t);
                 for (a, mut snap) in csi.into_iter().enumerate() {
+                    ingested += 1;
                     if self.config.sanitize {
-                        sanitize_snapshot(&mut snap, &indices);
-                    }
-                    if probe.enabled() {
-                        ingested += 1;
-                        let finite = snap
-                            .iter()
-                            .all(|cfr| cfr.iter().all(|h| h.re.is_finite() && h.im.is_finite()));
-                        if !finite {
+                        if sanitize_snapshot(&mut snap, &indices).is_err() {
+                            // Non-finite CSI is indistinguishable from a
+                            // corrupt report; record it as loss so the
+                            // interpolation layer repairs it instead of
+                            // TRRS silently absorbing NaN.
                             rejected += 1;
+                            antennas[ant_base + a].push(None);
+                            continue;
                         }
+                    } else if snap.iter().any(|cfr| cfr.iter().any(|h| !h.is_finite())) {
+                        rejected += 1;
+                        antennas[ant_base + a].push(None);
+                        continue;
                     }
                     antennas[ant_base + a].push(Some(CsiSnapshot { per_tx: snap }));
                 }
@@ -494,6 +523,39 @@ mod tests {
         let synced = crate::sync::synchronize(&streams, &[3]);
         assert!(!synced.is_empty());
         assert!(synced.len() <= traj.len());
+    }
+
+    #[test]
+    fn degrade_applies_seeded_whole_device_loss() {
+        let sim = ChannelSimulator::open_lab(7);
+        let rec = CsiRecorder::new(&sim, device3(), RecorderConfig::default());
+        let clean = rec.record(&short_traj());
+        assert_eq!(clean.loss_rate(), 0.0);
+        let lossy = rec
+            .record(&short_traj())
+            .degrade(LossModel::Iid { p: 0.3 }, 11);
+        assert!(lossy.loss_rate() > 0.1, "{}", lossy.loss_rate());
+        // Whole-device: all antennas drop together.
+        for i in 0..lossy.n_samples() {
+            let n_lost = lossy.antennas.iter().filter(|a| a[i].is_none()).count();
+            assert!(n_lost == 0 || n_lost == lossy.n_antennas());
+        }
+        // Seeded: same seed reproduces, different seed differs.
+        let again = clean.degrade(LossModel::Iid { p: 0.3 }, 11);
+        let other = clean.degrade(LossModel::Iid { p: 0.3 }, 12);
+        let mask = |r: &CsiRecording| -> Vec<bool> {
+            (0..r.n_samples())
+                .map(|i| r.antennas[0][i].is_none())
+                .collect()
+        };
+        assert_eq!(mask(&lossy), mask(&again));
+        assert_ne!(mask(&again), mask(&other));
+        // Surviving samples are untouched.
+        for i in 0..clean.n_samples() {
+            if again.antennas[0][i].is_some() {
+                assert_eq!(again.antennas[0][i], clean.antennas[0][i]);
+            }
+        }
     }
 
     #[test]

@@ -113,12 +113,49 @@ pub fn sanitize_matched_delay(cfr: &mut [Complex64], indices: &[i32]) {
     }
 }
 
+/// A MIMO snapshot containing NaN or infinite CFR values, rejected by
+/// [`sanitize_snapshot`]. Non-finite amplitudes would otherwise survive
+/// sanitation (the matched-delay objective turns NaN into a flat-NaN
+/// CFR) and silently poison every TRRS downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteCsi {
+    /// TX-antenna index of the offending CFR.
+    pub tx: usize,
+    /// Subcarrier position (index into the CFR) of the first non-finite
+    /// value.
+    pub subcarrier: usize,
+}
+
+impl std::fmt::Display for NonFiniteCsi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite CSI amplitude at tx {} subcarrier {}; treat the \
+             packet as lost (the recorder maps rejected snapshots to loss \
+             so interpolation can repair them)",
+            self.tx, self.subcarrier
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteCsi {}
+
 /// Sanitizes every CFR of a MIMO snapshot (`csi[tx][subcarrier]`) with the
 /// robust matched-delay method.
-pub fn sanitize_snapshot(csi: &mut [Vec<Complex64>], indices: &[i32]) {
+///
+/// # Errors
+/// [`NonFiniteCsi`] when any CFR entry is NaN or infinite; the snapshot
+/// is left untouched so the caller can discard it as loss.
+pub fn sanitize_snapshot(csi: &mut [Vec<Complex64>], indices: &[i32]) -> Result<(), NonFiniteCsi> {
+    for (tx, cfr) in csi.iter().enumerate() {
+        if let Some(subcarrier) = cfr.iter().position(|h| !h.is_finite()) {
+            return Err(NonFiniteCsi { tx, subcarrier });
+        }
+    }
     for cfr in csi {
         sanitize_matched_delay(cfr, indices);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -243,7 +280,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        sanitize_snapshot(&mut csi, &indices);
+        sanitize_snapshot(&mut csi, &indices).unwrap();
         // A pure linear-phase CFR is a single tap: after matched-delay
         // sanitation the phase is flat.
         for cfr in &csi {
@@ -251,6 +288,44 @@ mod tests {
                 assert!(h.arg().abs() < 1e-3, "{}", h.arg());
             }
         }
+    }
+
+    #[test]
+    fn sanitize_snapshot_rejects_non_finite_untouched() {
+        let indices: Vec<i32> = (0..16).collect();
+        let mut csi: Vec<Vec<Complex64>> = (0..2)
+            .map(|t| {
+                indices
+                    .iter()
+                    .map(|&i| Complex64::from_polar(1.0, (0.2 + 0.1 * t as f64) * i as f64))
+                    .collect()
+            })
+            .collect();
+        csi[1][5] = Complex64::new(f64::NAN, 0.3);
+        let before = csi.clone();
+        let err = sanitize_snapshot(&mut csi, &indices).unwrap_err();
+        assert_eq!(
+            err,
+            NonFiniteCsi {
+                tx: 1,
+                subcarrier: 5
+            }
+        );
+        assert!(err.to_string().contains("tx 1"), "{err}");
+        assert!(err.to_string().contains("subcarrier 5"), "{err}");
+        // Rejection leaves the snapshot untouched — even the clean TX 0
+        // must not be half-sanitised.
+        for (a, b) in csi.iter().zip(&before) {
+            for (x, y) in a.iter().zip(b) {
+                assert!(
+                    (x.re == y.re || (x.re.is_nan() && y.re.is_nan())) && x.im == y.im,
+                    "unchanged on rejection"
+                );
+            }
+        }
+        let inf = vec![vec![Complex64::new(f64::INFINITY, 0.0); 16]];
+        let mut inf_csi = inf.clone();
+        assert!(sanitize_snapshot(&mut inf_csi, &indices).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! packet.
 
 use crate::frame::{CsiFrame, CsiSnapshot};
+use crate::recorder::CsiRecording;
 
 /// A synchronised device sample: one entry per antenna across all NICs
 /// (NIC 0's antennas first); `None` where that NIC lost the packet.
@@ -74,6 +75,28 @@ pub fn synchronize(streams: &[Vec<CsiFrame>], antennas_per_nic: &[usize]) -> Vec
         out.push(SyncedSample { seq, antennas });
     }
     out
+}
+
+/// Converts an antenna-major [`CsiRecording`] (with per-sample loss holes)
+/// into the sample-major [`SyncedSample`] sequence the gap-aware streaming
+/// front-end consumes: `seq` is the sample index, and every antenna that
+/// lost the packet maps to `None`.
+///
+/// This is the lossy counterpart of `CsiRecording::interpolated()` — it
+/// preserves the holes so the consumer can decide how to repair or split,
+/// instead of interpolating them away up front.
+pub fn synced_from_recording(recording: &CsiRecording) -> Vec<SyncedSample> {
+    let n = recording.n_samples();
+    (0..n)
+        .map(|i| SyncedSample {
+            seq: i as u64,
+            antennas: recording
+                .antennas
+                .iter()
+                .map(|ant| ant[i].clone())
+                .collect(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -144,5 +167,32 @@ mod tests {
     fn rejects_out_of_order_stream() {
         let a = vec![frame(5, 1, 1.0), frame(5, 1, 1.0)];
         let _ = synchronize(&[a], &[1]);
+    }
+
+    #[test]
+    fn recording_maps_to_synced_samples_preserving_holes() {
+        let snap = |tag: f64| CsiSnapshot {
+            per_tx: vec![vec![Complex64::from_re(tag)]],
+        };
+        let recording = CsiRecording {
+            sample_rate_hz: 100.0,
+            subcarrier_indices: vec![0],
+            antennas: vec![
+                vec![Some(snap(1.0)), None, Some(snap(3.0))],
+                vec![Some(snap(10.0)), Some(snap(20.0)), None],
+            ],
+        };
+        let synced = synced_from_recording(&recording);
+        assert_eq!(synced.len(), 3);
+        assert_eq!(synced[0].seq, 0);
+        assert_eq!(synced[2].seq, 2);
+        assert_eq!(synced[0].antennas.len(), 2);
+        assert!(synced[0].antennas.iter().all(|s| s.is_some()));
+        assert!(synced[1].antennas[0].is_none());
+        assert_eq!(
+            synced[1].antennas[1].as_ref().unwrap().per_tx[0][0].re,
+            20.0
+        );
+        assert!(synced[2].antennas[1].is_none());
     }
 }

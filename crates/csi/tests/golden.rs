@@ -1,0 +1,101 @@
+//! Golden-fixture test for the `.rimc` capture format.
+//!
+//! `fixtures/golden_v1.rimc` is a committed capture written by format
+//! VERSION 1. The test pins the format in both directions:
+//!
+//! * loading the committed bytes must yield exactly the recording below
+//!   (decode stability — old captures keep loading);
+//! * saving that recording must reproduce the committed bytes
+//!   byte-for-byte (encode stability — new captures stay readable by
+//!   old tools).
+//!
+//! If the format changes intentionally, bump `VERSION` in
+//! `src/storage.rs`, add a new fixture, and keep this one loading.
+//! Regenerate with:
+//!
+//! ```sh
+//! RIM_REGEN_GOLDEN=1 cargo test -p rim-csi --test golden
+//! ```
+
+use rim_csi::frame::CsiSnapshot;
+use rim_csi::recorder::CsiRecording;
+use rim_csi::storage::{load_recording, save_recording};
+use rim_dsp::complex::Complex64;
+
+const FIXTURE: &[u8] = include_bytes!("fixtures/golden_v1.rimc");
+
+/// The recording the fixture encodes, reconstructed value by value. The
+/// numbers exercise the format's corners: negative and fractional
+/// components, loss holes, and an irrational-looking sample rate.
+fn golden_recording() -> CsiRecording {
+    let snap = |base: f64| CsiSnapshot {
+        per_tx: vec![(0..3)
+            .map(|s| Complex64::new(base + s as f64 * 0.25, -base * 0.5 + s as f64))
+            .collect()],
+    };
+    CsiRecording {
+        sample_rate_hz: 99.5,
+        subcarrier_indices: vec![-28, 0, 28],
+        antennas: vec![
+            vec![
+                Some(snap(1.0)),
+                None,
+                Some(snap(3.0)),
+                Some(snap(-4.5)),
+                Some(snap(0.125)),
+            ],
+            vec![
+                Some(snap(10.0)),
+                Some(snap(-20.25)),
+                None,
+                None,
+                Some(snap(50.5)),
+            ],
+        ],
+    }
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_v1.rimc")
+}
+
+#[test]
+fn golden_fixture_loads_to_known_recording() {
+    if std::env::var("RIM_REGEN_GOLDEN").is_ok() {
+        let mut buf = Vec::new();
+        save_recording(&golden_recording(), &mut buf).unwrap();
+        std::fs::write(fixture_path(), &buf).unwrap();
+    }
+    let loaded = load_recording(FIXTURE).expect("version-1 fixture must keep loading");
+    let expected = golden_recording();
+    assert_eq!(loaded.sample_rate_hz, expected.sample_rate_hz);
+    assert_eq!(loaded.subcarrier_indices, expected.subcarrier_indices);
+    assert_eq!(loaded.antennas.len(), expected.antennas.len());
+    for (a, (got, want)) in loaded.antennas.iter().zip(&expected.antennas).enumerate() {
+        assert_eq!(got.len(), want.len(), "antenna {a} sample count");
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g, w, "antenna {a} sample {i}");
+        }
+    }
+}
+
+#[test]
+fn golden_recording_saves_to_fixture_bytes() {
+    let mut buf = Vec::new();
+    save_recording(&golden_recording(), &mut buf).unwrap();
+    assert_eq!(
+        buf, FIXTURE,
+        "encoder output drifted from the committed version-1 capture"
+    );
+}
+
+#[test]
+fn golden_fixture_survives_a_full_round_trip() {
+    let loaded = load_recording(FIXTURE).unwrap();
+    let mut buf = Vec::new();
+    save_recording(&loaded, &mut buf).unwrap();
+    assert_eq!(buf, FIXTURE, "load→save must be the identity on v1 bytes");
+}

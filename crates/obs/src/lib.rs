@@ -47,8 +47,10 @@ pub mod stage {
     /// §4.5 reckoning: speed/heading integration into displacement.
     pub const RECKONING: &str = "reckoning";
 
-    /// Streaming front-end (ring buffer, incremental flushes). Not one of
-    /// the six offline stages, so not part of [`PIPELINE`].
+    /// Streaming front-end (ring buffer, incremental flushes, gap
+    /// repair, degraded-mode watchdog). Not one of the six offline
+    /// stages, so not part of [`PIPELINE`]. Its counters and gauges use
+    /// the canonical names in [`super::stream_metric`].
     pub const STREAM: &str = "stream";
     /// The rim-par work-stealing pool (tiles, steals, per-worker busy
     /// time). Cross-cutting, so not part of [`PIPELINE`].
@@ -66,4 +68,62 @@ pub mod stage {
         POST_DETECTION,
         RECKONING,
     ];
+}
+
+/// Canonical counter / gauge names emitted by the streaming front-end
+/// under [`stage::STREAM`]. Kept here (rather than in `rim-core`) so the
+/// CLI, tests, and report tooling can reference them without depending
+/// on the engine crate.
+pub mod stream_metric {
+    /// Counter: input gaps observed (each run of missing sequence
+    /// numbers counts once, whether bridged or split).
+    pub const GAPS: &str = "stream_gaps";
+    /// Counter: samples synthesised by interpolation to bridge short
+    /// gaps (`gap ≤ max_gap`).
+    pub const INTERPOLATED: &str = "gap_samples_interpolated";
+    /// Counter: duplicate deliveries dropped (sequence number already
+    /// delivered).
+    pub const DUPLICATES: &str = "duplicates_dropped";
+    /// Counter: out-of-order deliveries that arrived too late to use.
+    pub const REORDERED: &str = "reordered_dropped";
+    /// Counter: samples dropped because no antenna data was present (or
+    /// the stream had no history to repair a partial sample from).
+    pub const INCOMPLETE: &str = "incomplete_dropped";
+    /// Counter: segment splits forced by gaps longer than `max_gap`.
+    pub const SPLITS: &str = "stream_splits";
+    /// Counter: `StreamEvent::Degraded` transitions emitted.
+    pub const DEGRADED_EVENTS: &str = "degraded_events";
+    /// Counter: `StreamEvent::Recovered` transitions emitted.
+    pub const RECOVERED_EVENTS: &str = "recovered_events";
+    /// Gauge: cumulative wall-clock seconds of stream time spent in
+    /// degraded mode.
+    pub const DEGRADED_TIME_S: &str = "degraded_time_s";
+    /// Gauge: fraction of the watchdog window that is interpolated.
+    pub const INTERPOLATED_FRACTION: &str = "interpolated_fraction";
+}
+
+#[cfg(test)]
+mod stage_tests {
+    /// The canonical metric names are part of the report format; keep
+    /// them unique so counters can't shadow each other.
+    #[test]
+    fn stream_metric_names_are_unique() {
+        let names = [
+            super::stream_metric::GAPS,
+            super::stream_metric::INTERPOLATED,
+            super::stream_metric::DUPLICATES,
+            super::stream_metric::REORDERED,
+            super::stream_metric::INCOMPLETE,
+            super::stream_metric::SPLITS,
+            super::stream_metric::DEGRADED_EVENTS,
+            super::stream_metric::RECOVERED_EVENTS,
+            super::stream_metric::DEGRADED_TIME_S,
+            super::stream_metric::INTERPOLATED_FRACTION,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
 }

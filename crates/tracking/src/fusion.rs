@@ -7,7 +7,7 @@
 
 use crate::particle::{ParticleFilter, ParticleFilterConfig};
 use rim_channel::floorplan::Floorplan;
-use rim_core::MotionEstimate;
+use rim_core::{MotionEstimate, SegmentEstimate};
 use rim_dsp::geom::{Point2, Vec2};
 use rim_sensors::integrate_gyro;
 
@@ -47,6 +47,60 @@ pub fn fuse_with_gyro(
         let v = estimate.speed_mps[i];
         if v.is_finite() && v > 0.0 && estimate.moving[i] {
             pos += Vec2::from_angle(theta) * (v * dt);
+        }
+        out.push(pos);
+    }
+    out
+}
+
+/// Down-weight factor for one segment given a minimum acceptable
+/// confidence: 1.0 at or above `min_confidence`, scaling linearly down
+/// to 0.0 for a segment whose [`rim_core::Confidence::score`] is 0
+/// (a degraded stretch contributes proportionally less displacement
+/// instead of diverging the fused track).
+pub fn segment_weight(segment: &SegmentEstimate, min_confidence: f64) -> f64 {
+    if min_confidence <= 0.0 {
+        return 1.0;
+    }
+    (segment.confidence.score() / min_confidence).clamp(0.0, 1.0)
+}
+
+/// [`fuse_with_gyro`], with each sample's displacement scaled by the
+/// confidence weight of the segment it belongs to (samples outside any
+/// segment keep full weight — movement gating already excludes them).
+///
+/// Degraded streaming stretches (high interpolated fraction, low
+/// alignment coverage, weak TRRS peaks) therefore pull the track less,
+/// which is the §6.3.3 fusion behaviour the stream's
+/// [`rim_core::StreamEvent::Degraded`] events are designed to enable.
+///
+/// # Panics
+/// Panics if the gyro track length differs from the estimate's.
+pub fn fuse_with_gyro_weighted(
+    estimate: &MotionEstimate,
+    gyro_z: &[f64],
+    start: Point2,
+    initial_heading: f64,
+    min_confidence: f64,
+) -> Vec<Point2> {
+    assert_eq!(
+        gyro_z.len(),
+        estimate.speed_mps.len(),
+        "gyro and RIM tracks must align"
+    );
+    let orientation = integrate_gyro(gyro_z, estimate.sample_rate_hz, initial_heading);
+    let dt = 1.0 / estimate.sample_rate_hz;
+    let mut pos = start;
+    let mut out = Vec::with_capacity(gyro_z.len());
+    for (i, &theta) in orientation.iter().enumerate() {
+        let v = estimate.speed_mps[i];
+        if v.is_finite() && v > 0.0 && estimate.moving[i] {
+            let w = estimate
+                .segments
+                .iter()
+                .find(|s| s.start <= i && i < s.end)
+                .map_or(1.0, |s| segment_weight(s, min_confidence));
+            pos += Vec2::from_angle(theta) * (v * dt * w);
         }
         out.push(pos);
     }
@@ -121,9 +175,10 @@ pub fn fuse_with_map(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rim_core::pipeline::{MotionEstimate, SegmentEstimate, SegmentKind};
+    use rim_core::pipeline::{Confidence, MotionEstimate, SegmentEstimate, SegmentKind};
 
-    /// Builds a synthetic estimate: constant speed, no rotation.
+    /// Builds a synthetic estimate: constant speed, no rotation, fully
+    /// confident.
     fn synthetic_estimate(n: usize, fs: f64, v: f64) -> MotionEstimate {
         MotionEstimate {
             sample_rate_hz: fs,
@@ -139,6 +194,11 @@ mod tests {
                 distance_m: v * n as f64 / fs,
                 heading_device: Some(0.0),
                 rotation_rad: 0.0,
+                confidence: Confidence {
+                    peak_margin: 0.2,
+                    interpolated_fraction: 0.0,
+                    alignment_coverage: 1.0,
+                },
             }],
         }
     }
@@ -201,6 +261,42 @@ mod tests {
         let pf_end = out.filtered.last().unwrap();
         assert!((dr_end.x - 2.0).abs() < 1e-6);
         assert!(pf_end.distance(*dr_end) < 0.3, "filter tracks the motion");
+    }
+
+    #[test]
+    fn weighted_fusion_downweights_low_confidence_segments() {
+        // Two back-to-back 1 m segments; the second is badly degraded.
+        let n = 200;
+        let fs = 100.0;
+        let mut est = synthetic_estimate(n, fs, 1.0);
+        let good = est.segments[0].clone();
+        est.segments[0].end = n / 2;
+        est.segments[0].distance_m = 1.0;
+        est.segments.push(SegmentEstimate {
+            start: n / 2,
+            end: n,
+            distance_m: 1.0,
+            confidence: Confidence {
+                peak_margin: 0.02,
+                interpolated_fraction: 0.8,
+                alignment_coverage: 0.3,
+            },
+            ..good
+        });
+        let gyro = vec![0.0; n];
+        let full = fuse_with_gyro(&est, &gyro, Point2::ORIGIN, 0.0);
+        let weighted = fuse_with_gyro_weighted(&est, &gyro, Point2::ORIGIN, 0.0, 0.5);
+        let (full_end, wtd_end) = (full.last().unwrap(), weighted.last().unwrap());
+        assert!((full_end.x - 2.0).abs() < 1e-9, "{full_end:?}");
+        assert!(
+            (wtd_end.x - 1.0).abs() < 0.1,
+            "degraded second metre nearly vanishes: {wtd_end:?}"
+        );
+        // Confident segments are untouched.
+        assert_eq!(full[n / 2 - 1], weighted[n / 2 - 1]);
+        // min_confidence = 0 disables weighting entirely.
+        let off = fuse_with_gyro_weighted(&est, &gyro, Point2::ORIGIN, 0.0, 0.0);
+        assert_eq!(off.last(), full.last());
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod metrics;
 pub mod particle;
 
 pub use calibration::{debias_gyro, gyro_bias_from_static, magnetometer_offset};
-pub use fusion::{fuse_with_gyro, fuse_with_map, FusedTrack, FusionConfig};
+pub use fusion::{
+    fuse_with_gyro, fuse_with_gyro_weighted, fuse_with_map, segment_weight, FusedTrack,
+    FusionConfig,
+};
 pub use gesture::{detect_gesture, gesture_trajectory, Gesture, GestureConfig};
 pub use handwriting::{letter_template, write_letter, HandwritingRun};
 pub use metrics::{

@@ -75,6 +75,10 @@ fn main() {
                         .unwrap_or_else(|| "n/a".into())
                 ),
                 StreamEvent::MovementStopped { .. } => println!("[{t:6.2}s] movement stopped"),
+                StreamEvent::Degraded { reason, .. } => {
+                    println!("[{t:6.2}s] DEGRADED: {reason:?}")
+                }
+                StreamEvent::Recovered { .. } => println!("[{t:6.2}s] recovered"),
             }
         }
         agg.absorb(&events);
