@@ -73,7 +73,7 @@ pub fn run(fast: bool) -> Report {
                 RimStream::new(geo.clone(), env::rim_config(fs, 0.3)).expect("valid config");
             let mut agg = StreamAggregate::default();
             for sample in synced_from_recording(&lossy) {
-                agg.absorb(&stream.offer_synced(&sample).expect("offer never errors"));
+                agg.absorb(&stream.ingest(sample).expect("ingest never errors"));
             }
             agg.absorb(&stream.finish());
             errors.push((agg.total_distance() - traj.total_distance()).abs());

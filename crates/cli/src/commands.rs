@@ -21,6 +21,11 @@ USAGE:
   rim analyze  <in.rimc> [<in2.rimc>…] [--array linear3|hexagonal|l]
                [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
                [--loss SPEC] [--loss-seed N] [--obs json|report]
+  rim serve    <in.rimc> [--sessions K] [--array linear3|hexagonal|l]
+               [--min-speed M/S] [--threads N] [--queue N]
+               [--loss SPEC] [--loss-seed N] [--obs json|report]
+  rim serve    --listen ADDR [--rate HZ] [--array linear3|hexagonal|l]
+               [--min-speed M/S] [--threads N] [--queue N]
   rim floorplan
   rim demo     [--seed N] [--obs json|report]
   rim help
@@ -37,6 +42,13 @@ USAGE:
 
   analyze accepts several captures at once and fans them across the worker
   pool; --threads N sizes the pool (default: RIM_THREADS, then all cores).
+
+  serve starts the multi-session TCP service. With a capture it
+  self-drives: --sessions K loopback clients each stream the capture
+  (independently degraded when --loss is set) into their own session and
+  the per-session estimates are printed; with --listen ADDR it serves
+  external clients until one sends a shutdown request. --queue N bounds
+  each session's ingress queue (full queues throttle the client).
 ";
 
 /// Rejects `--options` the subcommand does not know. The parser accepts
@@ -413,6 +425,155 @@ fn render_obs_report(
     out
 }
 
+/// `rim serve` — the multi-session CSI service over the TCP wire
+/// protocol. Without `--listen` it self-drives: K loopback clients
+/// stream a capture into their own sessions concurrently, exercising
+/// admission, cross-session batching, and the wire round trip in one
+/// process.
+pub fn serve(args: &Args) -> Result<(), String> {
+    check_options(
+        args,
+        &[
+            "listen",
+            "rate",
+            "sessions",
+            "array",
+            "min-speed",
+            "threads",
+            "queue",
+            "loss",
+            "loss-seed",
+            "obs",
+        ],
+    )?;
+    let obs = obs_mode(args)?;
+    let array_name = args.get_str("array", "linear3");
+    let geometry = array_by_name(&array_name)?;
+    let min_speed = args.get_f64("min-speed", 0.3)?;
+    let threads = args.get_u64("threads", 0)? as usize;
+    let serve_cfg = rim_serve::ServeConfig {
+        queue_capacity: args.get_u64("queue", 256)? as usize,
+        ..rim_serve::ServeConfig::default()
+    };
+
+    // Listen mode: front external clients until one sends shutdown.
+    if args.flag("listen") {
+        let addr = args.get_str("listen", "127.0.0.1:0");
+        let rate = args.get_f64("rate", 200.0)?;
+        let config = RimConfig::for_sample_rate(rate)
+            .with_min_speed(min_speed, HALF_WAVELENGTH, rate)
+            .with_threads(threads);
+        let manager = std::sync::Arc::new(
+            rim_serve::SessionManager::new(geometry, config, serve_cfg)
+                .map_err(|e| e.to_string())?,
+        );
+        let mut server =
+            rim_serve::Server::bind(addr.as_str(), manager).map_err(|e| e.to_string())?;
+        println!(
+            "serving on {} ({rate} Hz, array {array_name})",
+            server.local_addr()
+        );
+        server.wait();
+        println!("shutdown requested; served cleanly");
+        return Ok(());
+    }
+
+    // Self-drive mode.
+    let in_path = args
+        .positional
+        .first()
+        .ok_or("serve needs a capture to self-drive, or --listen ADDR")?;
+    let sessions = args.get_u64("sessions", 4)?.max(1);
+    let loss =
+        LossModel::parse(&args.get_str("loss", "none")).map_err(|e| format!("--loss: {e}"))?;
+    let loss_seed = args.get_u64("loss-seed", 1)?;
+
+    let file = File::open(in_path).map_err(|e| format!("cannot open {in_path}: {e}"))?;
+    let recording = rim_csi::storage::load_recording(BufReader::new(file))
+        .map_err(|e| format!("load failed: {e}"))?;
+    if recording.n_antennas() != geometry.n_antennas() {
+        return Err(format!(
+            "capture {in_path} has {} antennas but array {array_name:?} has {} — pass --array",
+            recording.n_antennas(),
+            geometry.n_antennas()
+        ));
+    }
+    let fs = recording.sample_rate_hz;
+    let config = RimConfig::for_sample_rate(fs)
+        .with_min_speed(min_speed, HALF_WAVELENGTH, fs)
+        .with_threads(threads);
+    let manager = std::sync::Arc::new(
+        rim_serve::SessionManager::new(geometry, config, serve_cfg).map_err(|e| e.to_string())?,
+    );
+    let mut server = rim_serve::Server::bind("127.0.0.1:0", std::sync::Arc::clone(&manager))
+        .map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for k in 0..sessions {
+        let recording = if loss != LossModel::None {
+            recording.degrade(loss, loss_seed.wrapping_add(k))
+        } else {
+            recording.clone()
+        };
+        handles.push(std::thread::spawn(move || -> Result<_, String> {
+            let samples = rim_csi::sync::synced_from_recording(&recording);
+            let sent = samples.len();
+            let mut client =
+                rim_serve::Client::connect(addr).map_err(|e| format!("session {k}: {e}"))?;
+            let mut events = Vec::new();
+            for sample in samples {
+                let (admit, drained) = client
+                    .ingest_blocking(k, sample)
+                    .map_err(|e| format!("session {k}: {e}"))?;
+                if let rim_serve::Admit::Rejected { reason } = admit {
+                    return Err(format!("session {k} rejected: {reason:?}"));
+                }
+                events.extend(drained);
+            }
+            events.extend(client.finish(k).map_err(|e| format!("session {k}: {e}"))?);
+            Ok((k, sent, events))
+        }));
+    }
+    let mut results = Vec::new();
+    for h in handles {
+        results.push(h.join().map_err(|_| "session thread panicked")??);
+    }
+    // Shut the server down over the wire, then join its threads.
+    rim_serve::Client::connect(addr)
+        .and_then(|mut c| c.shutdown())
+        .map_err(|e| e.to_string())?;
+    server.shutdown();
+
+    if obs == Some(ObsMode::Json) {
+        println!("{}", manager.report().to_json());
+        return Ok(());
+    }
+    println!(
+        "served {sessions} sessions × {} samples over {addr} ({fs} Hz, array {array_name})",
+        results.first().map_or(0, |(_, sent, _)| *sent),
+    );
+    for (k, sent, events) in &results {
+        let segments: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                rim_core::StreamEvent::Segment(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let distance: f64 = segments.iter().map(|s| s.distance_m).sum();
+        println!(
+            "session {k}: {sent} samples, {} events, {} segments, {distance:.3} m",
+            events.len(),
+            segments.len(),
+        );
+    }
+    if obs == Some(ObsMode::Report) {
+        print!("{}", manager.report().render());
+    }
+    Ok(())
+}
+
 /// `rim floorplan`.
 pub fn floorplan(args: &Args) -> Result<(), String> {
     check_options(args, &[])?;
@@ -671,5 +832,38 @@ mod tests {
     #[test]
     fn floorplan_prints() {
         floorplan(&args(&["floorplan"])).unwrap();
+    }
+
+    #[test]
+    fn serve_self_drives_concurrent_sessions() {
+        let dir = std::env::temp_dir().join("rim_cli_test_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rimc");
+        let path_str = path.to_str().unwrap();
+        simulate(&args(&[
+            "simulate",
+            path_str,
+            "--distance",
+            "0.5",
+            "--rate",
+            "100",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        serve(&args(&[
+            "serve",
+            path_str,
+            "--sessions",
+            "3",
+            "--loss",
+            "iid:0.05",
+        ]))
+        .expect("self-drive serves cleanly");
+        // Missing capture and bad loss specs surface as errors.
+        assert!(serve(&args(&["serve"])).is_err());
+        let err = serve(&args(&["serve", path_str, "--loss", "burst"])).expect_err("bad loss spec");
+        assert!(err.contains("loss"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

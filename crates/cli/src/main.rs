@@ -6,6 +6,7 @@
 //!              [--rate HZ] [--loss P] [--seed N]
 //! rim analyze  in.rimc [in2.rimc…] [--array linear3|hexagonal|l]
 //!              [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
+//! rim serve    in.rimc [--sessions K] [--loss SPEC] | --listen ADDR
 //! rim floorplan
 //! rim demo     [--seed N]
 //! ```
@@ -25,6 +26,7 @@ fn main() -> ExitCode {
     let result = match parsed.command.as_deref() {
         Some("simulate") => commands::simulate(&parsed),
         Some("analyze") => commands::analyze(&parsed),
+        Some("serve") => commands::serve(&parsed),
         Some("floorplan") => commands::floorplan(&parsed),
         Some("demo") => commands::demo(&parsed),
         Some("help") | None => {

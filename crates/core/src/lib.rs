@@ -57,7 +57,7 @@ pub use pipeline::{
 };
 pub use stream::{
     DegradeReason, DropReason, GapFilter, GapOutcome, GapSample, RimStream, StreamAggregate,
-    StreamEvent, StreamSession,
+    StreamEvent, StreamInput, StreamSession,
 };
 pub use tracking_dp::{track_peaks, DpConfig, TrackedPath};
 pub use trrs::{trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, NormSnapshot};

@@ -506,16 +506,6 @@ impl Rim {
         self.session().analyze(csi)
     }
 
-    /// [`Rim::analyze`] with an observability probe.
-    #[deprecated(note = "use `rim.session().probe(probe).analyze(csi)` instead")]
-    pub fn analyze_probed<P: Probe + ?Sized>(
-        &self,
-        csi: &DenseCsi,
-        probe: &P,
-    ) -> Result<MotionEstimate, Error> {
-        self.session().probe(probe).analyze(csi)
-    }
-
     /// Rejects input a session cannot analyze.
     fn check_input(&self, csi: &DenseCsi) -> Result<(), Error> {
         if csi.n_antennas() != self.geometry.n_antennas() {
@@ -1714,7 +1704,7 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_probed_wrapper_still_works() {
+    fn session_rejects_antenna_mismatch() {
         let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
         let rim = Rim::new(geo, config(100.0)).unwrap();
         let csi = DenseCsi {
@@ -1722,8 +1712,7 @@ mod tests {
             subcarrier_indices: vec![0, 1],
             antennas: vec![vec![CsiSnapshot { per_tx: vec![] }]; 2],
         };
-        #[allow(deprecated)]
-        let err = rim.analyze_probed(&csi, &NullProbe).unwrap_err();
+        let err = rim.session().probe(&NullProbe).analyze(&csi).unwrap_err();
         assert!(matches!(err, crate::Error::AntennaMismatch { .. }));
     }
 

@@ -415,6 +415,81 @@ impl Watchdog {
     }
 }
 
+/// One unit of streaming input, accepted by [`RimStream::ingest`] and
+/// [`StreamSession::ingest`].
+///
+/// The three variants correspond to the three acquisition front-ends:
+/// dense in-order capture, lossy sequence-numbered capture, and the
+/// output of the cross-NIC synchronizer. Conversions exist from the
+/// natural argument shapes so call sites stay terse:
+///
+/// ```no_run
+/// # fn run(stream: &mut rim_core::RimStream,
+/// #        snaps: Vec<rim_csi::frame::CsiSnapshot>,
+/// #        holes: Vec<Option<rim_csi::frame::CsiSnapshot>>,
+/// #        sample: &rim_csi::sync::SyncedSample)
+/// #     -> Result<(), rim_core::Error> {
+/// stream.ingest(&snaps[..])?;        // dense, implicitly next in sequence
+/// stream.ingest((7, &holes[..]))?;   // sequence-numbered with loss
+/// stream.ingest(sample)?;            // synchronizer output
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub enum StreamInput {
+    /// A dense, in-order sample: one snapshot per antenna, implicitly
+    /// the next in sequence with nothing lost.
+    Dense(Vec<CsiSnapshot>),
+    /// A sequence-numbered sample with per-antenna loss (`None` = that
+    /// antenna's snapshot was lost); the gap-tolerant entry point.
+    Sequenced {
+        /// Broadcast sequence number.
+        seq: u64,
+        /// Per-antenna snapshot or `None` on loss.
+        antennas: Vec<Option<CsiSnapshot>>,
+    },
+    /// A synchronizer output sample (see [`rim_csi::sync::synchronize`]).
+    Synced(SyncedSample),
+}
+
+impl From<&[CsiSnapshot]> for StreamInput {
+    fn from(snapshots: &[CsiSnapshot]) -> Self {
+        StreamInput::Dense(snapshots.to_vec())
+    }
+}
+
+impl From<Vec<CsiSnapshot>> for StreamInput {
+    fn from(snapshots: Vec<CsiSnapshot>) -> Self {
+        StreamInput::Dense(snapshots)
+    }
+}
+
+impl From<(u64, &[Option<CsiSnapshot>])> for StreamInput {
+    fn from((seq, antennas): (u64, &[Option<CsiSnapshot>])) -> Self {
+        StreamInput::Sequenced {
+            seq,
+            antennas: antennas.to_vec(),
+        }
+    }
+}
+
+impl From<(u64, Vec<Option<CsiSnapshot>>)> for StreamInput {
+    fn from((seq, antennas): (u64, Vec<Option<CsiSnapshot>>)) -> Self {
+        StreamInput::Sequenced { seq, antennas }
+    }
+}
+
+impl From<&SyncedSample> for StreamInput {
+    fn from(sample: &SyncedSample) -> Self {
+        StreamInput::Synced(sample.clone())
+    }
+}
+
+impl From<SyncedSample> for StreamInput {
+    fn from(sample: SyncedSample) -> Self {
+        StreamInput::Synced(sample)
+    }
+}
+
 /// Push-based RIM engine with bounded memory.
 #[derive(Debug)]
 pub struct RimStream {
@@ -459,7 +534,7 @@ pub struct RimStream {
 /// #        snaps: &[rim_csi::frame::CsiSnapshot])
 /// #     -> Result<(), rim_core::Error> {
 /// let recorder = rim_obs::Recorder::new();
-/// let events = stream.session().probe(&recorder).push(snaps)?;
+/// let events = stream.session().probe(&recorder).ingest(snaps)?;
 /// # Ok(()) }
 /// ```
 #[derive(Debug)]
@@ -480,26 +555,33 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
         }
     }
 
-    /// Pushes one synchronized sample (one snapshot per antenna) and
-    /// returns any events it completes. The sample is assumed to be the
-    /// next in sequence; use [`StreamSession::offer`] for lossy input.
+    /// Ingests one unit of streaming input — dense, sequence-numbered,
+    /// or synchronizer output (see [`StreamInput`]) — and returns any
+    /// events it completes.
     ///
     /// # Errors
     /// [`Error::AntennaMismatch`] when the snapshot count differs from
-    /// the geometry's antennas; [`Error::NonFiniteCsi`] when a snapshot
-    /// contains NaN or infinite values.
+    /// the geometry's antennas; [`Error::NonFiniteCsi`] when a present
+    /// snapshot contains NaN or infinite values.
+    pub fn ingest(&mut self, input: impl Into<StreamInput>) -> Result<Vec<StreamEvent>, Error> {
+        self.stream.ingest_input(input.into(), self.probe)
+    }
+
+    /// Pushes one dense sample. Superseded by [`StreamSession::ingest`].
+    ///
+    /// # Errors
+    /// As [`StreamSession::ingest`].
+    #[deprecated(since = "0.4.0", note = "use `ingest(snapshots)` instead")]
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
         self.stream.push_internal(snapshots, self.probe)
     }
 
-    /// Offers one sequence-numbered sample with per-antenna loss
-    /// (`None` = that antenna's snapshot was lost). See
-    /// [`RimStream::offer`].
+    /// Offers one sequence-numbered sample with per-antenna loss.
+    /// Superseded by [`StreamSession::ingest`].
     ///
     /// # Errors
-    /// [`Error::AntennaMismatch`] when the antenna count differs from
-    /// the geometry's; [`Error::NonFiniteCsi`] when a present snapshot
-    /// contains NaN or infinite values.
+    /// As [`StreamSession::ingest`].
+    #[deprecated(since = "0.4.0", note = "use `ingest((seq, antennas))` instead")]
     pub fn offer(
         &mut self,
         seq: u64,
@@ -508,10 +590,12 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
         self.stream.offer_internal(seq, antennas, self.probe)
     }
 
-    /// [`StreamSession::offer`] for a synchronizer output sample.
+    /// Offers a synchronizer output sample. Superseded by
+    /// [`StreamSession::ingest`].
     ///
     /// # Errors
-    /// As [`StreamSession::offer`].
+    /// As [`StreamSession::ingest`].
+    #[deprecated(since = "0.4.0", note = "use `ingest(sample)` instead")]
     pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
         self.stream
             .offer_internal(sample.seq, &sample.antennas, self.probe)
@@ -535,15 +619,24 @@ impl RimStream {
     /// out-of-range parameters, [`Error::Geometry`] for arrays with
     /// fewer than two antennas.
     pub fn new(geometry: ArrayGeometry, config: RimConfig) -> Result<Self, Error> {
+        Ok(Self::with_engine(Rim::new(geometry, config)?))
+    }
+
+    /// Builds a streaming front-end around an existing engine, sharing
+    /// its validated configuration and thread pool. This is how a
+    /// multi-session server keeps N streams on one pool instead of N:
+    /// [`Rim`] is cheap to clone (the pool is shared by `Arc`), so each
+    /// session wraps a clone of one template engine.
+    pub fn with_engine(rim: Rim) -> Self {
+        let config = rim.config();
         let w = config.alignment.window;
         let v = config.alignment.virtual_antennas;
         let fs = config.sample_rate_hz;
         let gap = config.gap;
         let max_open = (4.0 * fs) as usize; // flush at least every 4 s
         let capacity = max_open + 4 * (w + v) + 8;
-        let n_ant = geometry.n_antennas();
-        Ok(Self {
-            rim: Rim::new(geometry, config)?,
+        let n_ant = rim.geometry().n_antennas();
+        Self {
             gap_filter: GapFilter::new(n_ant, gap.max_gap),
             watchdog: Watchdog::new(gap),
             ring: (0..n_ant)
@@ -559,7 +652,8 @@ impl RimStream {
             capacity,
             max_open,
             fs,
-        })
+            rim,
+        }
     }
 
     /// Starts an un-instrumented streaming session (see
@@ -592,29 +686,54 @@ impl RimStream {
         self.watchdog.degraded_samples as f64 / self.fs
     }
 
-    /// Pushes one synchronized sample (one snapshot per antenna) and
-    /// returns any events it completes. Shorthand for
-    /// [`RimStream::session`] + [`StreamSession::push`].
+    /// Ingests one unit of streaming input and returns any events it
+    /// completes. This is the single entry point for all three input
+    /// shapes (see [`StreamInput`]): dense in-order samples are treated
+    /// as the next expected sequence number with every antenna present;
+    /// sequence-numbered and synchronizer samples go through the
+    /// gap-tolerant path, where missing sequence numbers are bridged
+    /// (short gaps) or split around (long gaps), duplicates and stale
+    /// reorders are dropped, and per-antenna holes are repaired from
+    /// history. Shorthand for [`RimStream::session`] +
+    /// [`StreamSession::ingest`].
     ///
     /// # Errors
     /// [`Error::AntennaMismatch`] when the snapshot count differs from
-    /// the geometry's antennas; [`Error::NonFiniteCsi`] when a snapshot
-    /// contains NaN or infinite values.
+    /// the geometry's antennas; [`Error::NonFiniteCsi`] when a present
+    /// snapshot contains NaN or infinite values.
+    pub fn ingest(&mut self, input: impl Into<StreamInput>) -> Result<Vec<StreamEvent>, Error> {
+        self.ingest_input(input.into(), &NullProbe)
+    }
+
+    /// The ingest body: dispatches one [`StreamInput`] to the shared
+    /// push/offer internals.
+    fn ingest_input<P: Probe + ?Sized>(
+        &mut self,
+        input: StreamInput,
+        probe: &P,
+    ) -> Result<Vec<StreamEvent>, Error> {
+        match input {
+            StreamInput::Dense(snapshots) => self.push_internal(&snapshots, probe),
+            StreamInput::Sequenced { seq, antennas } => self.offer_internal(seq, &antennas, probe),
+            StreamInput::Synced(sample) => self.offer_internal(sample.seq, &sample.antennas, probe),
+        }
+    }
+
+    /// Pushes one dense sample. Superseded by [`RimStream::ingest`].
+    ///
+    /// # Errors
+    /// As [`RimStream::ingest`].
+    #[deprecated(since = "0.4.0", note = "use `ingest(snapshots)` instead")]
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
         self.push_internal(snapshots, &NullProbe)
     }
 
-    /// Offers one sequence-numbered sample with per-antenna loss, the
-    /// gap-tolerant entry point: missing sequence numbers are bridged
-    /// (short gaps) or split around (long gaps), duplicates and stale
-    /// reorders are dropped, and per-antenna holes are repaired from
-    /// history. Shorthand for [`RimStream::session`] +
-    /// [`StreamSession::offer`].
+    /// Offers one sequence-numbered sample with per-antenna loss.
+    /// Superseded by [`RimStream::ingest`].
     ///
     /// # Errors
-    /// [`Error::AntennaMismatch`] when the antenna count differs from
-    /// the geometry's; [`Error::NonFiniteCsi`] when a present snapshot
-    /// contains NaN or infinite values.
+    /// As [`RimStream::ingest`].
+    #[deprecated(since = "0.4.0", note = "use `ingest((seq, antennas))` instead")]
     pub fn offer(
         &mut self,
         seq: u64,
@@ -623,22 +742,14 @@ impl RimStream {
         self.offer_internal(seq, antennas, &NullProbe)
     }
 
-    /// [`RimStream::offer`] for a synchronizer output sample.
+    /// Offers a synchronizer output sample. Superseded by
+    /// [`RimStream::ingest`].
     ///
     /// # Errors
-    /// As [`RimStream::offer`].
+    /// As [`RimStream::ingest`].
+    #[deprecated(since = "0.4.0", note = "use `ingest(sample)` instead")]
     pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
         self.offer_internal(sample.seq, &sample.antennas, &NullProbe)
-    }
-
-    /// [`RimStream::push`] with an observability probe.
-    #[deprecated(note = "use `stream.session().probe(probe).push(snapshots)` instead")]
-    pub fn push_probed<P: Probe + ?Sized>(
-        &mut self,
-        snapshots: &[CsiSnapshot],
-        probe: &P,
-    ) -> Result<Vec<StreamEvent>, Error> {
-        self.push_internal(snapshots, probe)
     }
 
     /// The push body: a clean push is an offer of the next expected
@@ -694,7 +805,7 @@ impl RimStream {
                     );
                 }
                 for sample in samples {
-                    self.ingest(sample, probe, &mut events);
+                    self.ingest_sample(sample, probe, &mut events);
                 }
             }
             GapOutcome::Split { lost, resume } => {
@@ -722,7 +833,7 @@ impl RimStream {
                     Self::count_transition(&ev, probe);
                     events.push(ev);
                 }
-                self.ingest(resume, probe, &mut events);
+                self.ingest_sample(resume, probe, &mut events);
             }
         }
         probe.gauge(
@@ -760,7 +871,7 @@ impl RimStream {
 
     /// Ingests one delivered (repaired) sample into the ring and runs
     /// the incremental segmentation state machine on it.
-    fn ingest<P: Probe + ?Sized>(
+    fn ingest_sample<P: Probe + ?Sized>(
         &mut self,
         sample: GapSample,
         probe: &P,
@@ -836,12 +947,6 @@ impl RimStream {
     /// [`StreamSession::finish`].
     pub fn finish(&mut self) -> Vec<StreamEvent> {
         self.finish_internal(&NullProbe)
-    }
-
-    /// [`RimStream::finish`] with an observability probe.
-    #[deprecated(note = "use `stream.session().probe(probe).finish()` instead")]
-    pub fn finish_probed<P: Probe + ?Sized>(&mut self, probe: &P) -> Vec<StreamEvent> {
-        self.finish_internal(probe)
     }
 
     /// The finish body shared by the public entry points.
@@ -1192,7 +1297,7 @@ mod tests {
         let mut bad = probe_snap(1.0);
         bad.per_tx[0][2] = Complex64::new(f64::NAN, 0.0);
         let offer = vec![Some(probe_snap(0.0)), Some(bad), Some(probe_snap(2.0))];
-        let err = stream.offer(7, &offer).unwrap_err();
+        let err = stream.ingest((7, offer)).unwrap_err();
         assert_eq!(
             err,
             Error::NonFiniteCsi {
@@ -1241,7 +1346,7 @@ mod tests {
         let mut stopped = 0;
         for i in 0..dense.n_samples() {
             let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
-            let events = stream.push(&snaps).unwrap();
+            let events = stream.ingest(snaps).unwrap();
             for e in &events {
                 match e {
                     StreamEvent::MovementStarted { .. } => started += 1,
@@ -1304,7 +1409,7 @@ mod tests {
         let mut max_ring = 0usize;
         for i in 0..dense.n_samples() {
             let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
-            agg.absorb(&stream.push(&snaps).unwrap());
+            agg.absorb(&stream.ingest(snaps).unwrap());
             max_ring = max_ring.max(stream.ring_len());
         }
         agg.absorb(&stream.finish());
@@ -1339,7 +1444,7 @@ mod tests {
         let mut events = Vec::new();
         for i in 0..dense.n_samples() {
             let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
-            events.extend(stream.push(&snaps).unwrap());
+            events.extend(stream.ingest(snaps).unwrap());
         }
         events.extend(stream.finish());
         assert!(events.is_empty(), "{events:?}");
@@ -1381,7 +1486,7 @@ mod tests {
                 continue;
             }
             let snaps: Vec<_> = dense.antennas.iter().map(|a| Some(a[i].clone())).collect();
-            let events = stream.offer(i as u64, &snaps).unwrap();
+            let events = stream.ingest((i as u64, snaps)).unwrap();
             for e in &events {
                 if let StreamEvent::Degraded {
                     reason: DegradeReason::InputGap { lost: n },
@@ -1439,7 +1544,7 @@ mod tests {
                 continue;
             }
             let snaps: Vec<_> = dense.antennas.iter().map(|a| Some(a[i].clone())).collect();
-            agg.absorb(&stream.offer(i as u64, &snaps).unwrap());
+            agg.absorb(&stream.ingest((i as u64, snaps)).unwrap());
         }
         agg.absorb(&stream.finish());
         assert_eq!(agg.degraded, 0, "sparse loss must not degrade");
@@ -1460,10 +1565,27 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_delegate_to_ingest() {
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut stream = RimStream::new(geo, config(100.0)).unwrap();
+        let snaps = vec![probe_snap(0.0), probe_snap(1.0), probe_snap(2.0)];
+        assert!(stream.push(&snaps).unwrap().is_empty());
+        let holes: Vec<_> = snaps.iter().cloned().map(Some).collect();
+        assert!(stream.offer(1, &holes).unwrap().is_empty());
+        let sample = SyncedSample {
+            seq: 2,
+            antennas: holes,
+        };
+        assert!(stream.offer_synced(&sample).unwrap().is_empty());
+        assert_eq!(stream.samples_pushed(), 3);
+    }
+
+    #[test]
     fn wrong_antenna_count_is_rejected() {
         let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
         let mut stream = RimStream::new(geo, config(100.0)).unwrap();
-        let err = stream.push(&[]).unwrap_err();
+        let err = stream.ingest(StreamInput::Dense(Vec::new())).unwrap_err();
         assert_eq!(
             err,
             Error::AntennaMismatch {

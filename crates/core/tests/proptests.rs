@@ -374,7 +374,7 @@ proptest! {
                     continue;
                 }
                 let antennas: Vec<_> = snaps.iter().cloned().map(Some).collect();
-                absorb(stream.offer(i as u64, &antennas).expect("offer"));
+                absorb(stream.ingest((i as u64, antennas)).expect("ingest"));
             }
             absorb(stream.finish());
             (segments, degraded)

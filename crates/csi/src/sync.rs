@@ -8,8 +8,9 @@
 //! timeline indexed by sequence number, inserting nulls where a NIC lost a
 //! packet.
 
-use crate::frame::{CsiFrame, CsiSnapshot};
+use crate::frame::{CsiFrame, CsiSnapshot, DecodeError};
 use crate::recorder::CsiRecording;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A synchronised device sample: one entry per antenna across all NICs
 /// (NIC 0's antennas first); `None` where that NIC lost the packet.
@@ -19,6 +20,83 @@ pub struct SyncedSample {
     pub seq: u64,
     /// Per-antenna snapshot or `None` on loss.
     pub antennas: Vec<Option<CsiSnapshot>>,
+}
+
+/// Upper bound on a declared antenna count, to reject corrupt buffers
+/// before allocating (matches the storage loader's plausibility guard).
+const MAX_ANTENNAS: u32 = 4096;
+
+impl SyncedSample {
+    /// Serialises the sample to the same per-sample block layout as the
+    /// capture storage format: a one-byte-per-antenna presence bitmap
+    /// followed by one length-prefixed [`CsiFrame`] holding the present
+    /// snapshots, so loss patterns survive the round trip exactly. This
+    /// is the payload the serving wire protocol ships per ingest.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(self.antennas.len() as u32);
+        let mut present: Vec<CsiSnapshot> = Vec::new();
+        for snap in &self.antennas {
+            match snap {
+                Some(s) => {
+                    buf.put_u8(1);
+                    present.push(s.clone());
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        let frame = CsiFrame {
+            seq: self.seq,
+            timestamp_s: 0.0,
+            rx: present,
+        };
+        let encoded = frame.encode();
+        buf.put_u32(encoded.len() as u32);
+        buf.put_slice(&encoded);
+        buf.freeze()
+    }
+
+    /// Decodes a sample serialised by [`SyncedSample::encode`].
+    ///
+    /// # Errors
+    /// [`DecodeError::Truncated`] when the buffer is shorter than its
+    /// declared layout, [`DecodeError::BadDimension`] for implausible
+    /// antenna counts or a presence bitmap that disagrees with the
+    /// embedded frame, and any error of [`CsiFrame::decode`] for the
+    /// frame block itself.
+    pub fn decode(mut buf: &[u8]) -> Result<SyncedSample, DecodeError> {
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let n_ant = buf.get_u32();
+        if n_ant > MAX_ANTENNAS {
+            return Err(DecodeError::BadDimension);
+        }
+        if buf.remaining() < n_ant as usize + 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut present = Vec::with_capacity(n_ant as usize);
+        for _ in 0..n_ant {
+            present.push(buf.get_u8() == 1);
+        }
+        let len = buf.get_u32() as usize;
+        if buf.remaining() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let frame = CsiFrame::decode(&buf[..len])?;
+        if frame.rx.len() != present.iter().filter(|&&p| p).count() {
+            return Err(DecodeError::BadDimension);
+        }
+        let mut it = frame.rx.into_iter();
+        let antennas = present
+            .into_iter()
+            .map(|p| if p { it.next() } else { None })
+            .collect();
+        Ok(SyncedSample {
+            seq: frame.seq,
+            antennas,
+        })
+    }
 }
 
 /// Merges per-NIC frame streams by sequence number.
@@ -167,6 +245,63 @@ mod tests {
     fn rejects_out_of_order_stream() {
         let a = vec![frame(5, 1, 1.0), frame(5, 1, 1.0)];
         let _ = synchronize(&[a], &[1]);
+    }
+
+    #[test]
+    fn synced_sample_encode_round_trips_with_holes() {
+        let snap = |tag: f64| CsiSnapshot {
+            per_tx: vec![vec![Complex64::new(tag, -tag); 4]; 2],
+        };
+        let sample = SyncedSample {
+            seq: 917,
+            antennas: vec![Some(snap(1.0)), None, Some(snap(3.0)), None],
+        };
+        let bytes = sample.encode();
+        let back = SyncedSample::decode(&bytes).unwrap();
+        assert_eq!(back, sample);
+        // All-lost and empty samples survive too.
+        for sample in [
+            SyncedSample {
+                seq: 1,
+                antennas: vec![None, None],
+            },
+            SyncedSample {
+                seq: 2,
+                antennas: vec![],
+            },
+        ] {
+            let back = SyncedSample::decode(&sample.encode()).unwrap();
+            assert_eq!(back, sample);
+        }
+    }
+
+    #[test]
+    fn synced_sample_decode_rejects_corrupt_buffers() {
+        let sample = SyncedSample {
+            seq: 5,
+            antennas: vec![Some(CsiSnapshot {
+                per_tx: vec![vec![Complex64::new(1.0, 2.0)]],
+            })],
+        };
+        let bytes = sample.encode();
+        for cut in [0, 3, bytes.len() - 1] {
+            assert_eq!(
+                SyncedSample::decode(&bytes[..cut]),
+                Err(DecodeError::Truncated),
+                "cut {cut}"
+            );
+        }
+        let mut huge = bytes.to_vec();
+        huge[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(SyncedSample::decode(&huge), Err(DecodeError::BadDimension));
+        // Presence bitmap claiming a lost antenna while the frame still
+        // carries its snapshot is a structural mismatch.
+        let mut mismatch = bytes.to_vec();
+        mismatch[4] = 0;
+        assert_eq!(
+            SyncedSample::decode(&mismatch),
+            Err(DecodeError::BadDimension)
+        );
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub mod stage {
     /// CSI acquisition (snapshots ingested/dropped, sanitize rejections).
     /// Upstream of the pipeline, so not part of [`PIPELINE`].
     pub const CSI_INGEST: &str = "csi_ingest";
+    /// Multi-session serving front-end (admission, queueing, batch
+    /// scheduling, eviction). Wraps the per-session streams, so not part
+    /// of [`PIPELINE`]. Its counters and gauges use the canonical names
+    /// in [`super::serve_metric`].
+    pub const SERVE: &str = "serve";
 
     /// All six pipeline stages in execution order.
     pub const PIPELINE: [&str; 6] = [
@@ -102,6 +107,31 @@ pub mod stream_metric {
     pub const INTERPOLATED_FRACTION: &str = "interpolated_fraction";
 }
 
+/// Canonical counter / gauge / distribution names emitted by the
+/// multi-session serving front-end under [`stage::SERVE`]. Kept here for
+/// the same reason as [`stream_metric`]: the CLI, tests, and report
+/// tooling reference them without depending on `rim-serve`.
+pub mod serve_metric {
+    /// Counter: samples admitted into a per-session ingress queue.
+    pub const ADMITTED: &str = "samples_admitted";
+    /// Counter: samples throttled because the session's queue was full.
+    pub const THROTTLED: &str = "samples_throttled";
+    /// Counter: samples rejected outright (session table full or
+    /// manager shut down).
+    pub const REJECTED: &str = "samples_rejected";
+    /// Counter: sessions evicted by the idle policy.
+    pub const SESSIONS_EVICTED: &str = "sessions_evicted";
+    /// Counter: batch scheduler ticks that moved at least one sample.
+    pub const BATCHES: &str = "batches_scheduled";
+    /// Gauge: sessions currently resident.
+    pub const SESSIONS_ACTIVE: &str = "sessions_active";
+    /// Gauge: total queued samples across sessions at the last tick.
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+    /// Distribution: milliseconds from a sample's admission to the batch
+    /// tick that analysed it (end-to-end ingest→estimate latency).
+    pub const INGEST_TO_ESTIMATE_MS: &str = "ingest_to_estimate_ms";
+}
+
 #[cfg(test)]
 mod stage_tests {
     /// The canonical metric names are part of the report format; keep
@@ -119,6 +149,25 @@ mod stage_tests {
             super::stream_metric::RECOVERED_EVENTS,
             super::stream_metric::DEGRADED_TIME_S,
             super::stream_metric::INTERPOLATED_FRACTION,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn serve_metric_names_are_unique() {
+        let names = [
+            super::serve_metric::ADMITTED,
+            super::serve_metric::THROTTLED,
+            super::serve_metric::REJECTED,
+            super::serve_metric::SESSIONS_EVICTED,
+            super::serve_metric::BATCHES,
+            super::serve_metric::SESSIONS_ACTIVE,
+            super::serve_metric::QUEUE_DEPTH,
+            super::serve_metric::INGEST_TO_ESTIMATE_MS,
         ];
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {

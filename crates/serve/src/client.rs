@@ -1,0 +1,117 @@
+//! A minimal blocking client for the wire protocol.
+//!
+//! This is the loopback half used by the CLI's self-drive mode, the
+//! integration tests, and the serve bench. It is strictly
+//! request/response: one frame out, one frame back, so a single client
+//! needs no demultiplexing. Run one client per concurrent session.
+
+use crate::manager::Admit;
+use crate::wire::{self, Request, Response};
+use rim_core::StreamEvent;
+use rim_csi::sync::SyncedSample;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    /// Propagates connect/configuration I/O errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Offers one sample to a session and returns the admission decision
+    /// plus any events the session emitted since the last response.
+    ///
+    /// # Errors
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a protocol
+    /// violation (garbled frame, wrong response type).
+    pub fn ingest(
+        &mut self,
+        session_id: u64,
+        sample: SyncedSample,
+    ) -> io::Result<(Admit, Vec<StreamEvent>)> {
+        match self.round_trip(&Request::Ingest { session_id, sample })? {
+            Response::Admit { admit, events } => Ok((admit, events)),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Like [`Client::ingest`], but honours the backpressure contract:
+    /// on [`Admit::Throttled`] it sleeps for the server's retry hint and
+    /// offers the sample again until it is accepted or rejected. Events
+    /// drained across retries are concatenated in order.
+    ///
+    /// # Errors
+    /// Same as [`Client::ingest`].
+    pub fn ingest_blocking(
+        &mut self,
+        session_id: u64,
+        sample: SyncedSample,
+    ) -> io::Result<(Admit, Vec<StreamEvent>)> {
+        let mut collected = Vec::new();
+        loop {
+            let (admit, events) = self.ingest(session_id, sample.clone())?;
+            collected.extend(events);
+            match admit {
+                Admit::Throttled { retry_after } => {
+                    std::thread::sleep(Duration::from_millis(retry_after.max(1)));
+                }
+                decided => return Ok((decided, collected)),
+            }
+        }
+    }
+
+    /// Finishes a session, returning every event not yet drained. The
+    /// concatenation of all events returned for a session (ingest
+    /// responses plus this) is bit-identical to a standalone
+    /// [`rim_core::RimStream`] fed the same accepted samples.
+    ///
+    /// # Errors
+    /// Same as [`Client::ingest`].
+    pub fn finish(&mut self, session_id: u64) -> io::Result<Vec<StreamEvent>> {
+        match self.round_trip(&Request::Finish { session_id })? {
+            Response::Finished { events } => Ok(events),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Asks the server to shut down and waits for its acknowledgement.
+    ///
+    /// # Errors
+    /// Same as [`Client::ingest`].
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    fn round_trip(&mut self, request: &Request) -> io::Result<Response> {
+        wire::write_frame(&mut self.stream, &request.encode())?;
+        let body = wire::read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server hung up before responding",
+            )
+        })?;
+        Response::decode(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+fn protocol_violation(got: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response type: {got:?}"),
+    )
+}

@@ -1,0 +1,34 @@
+//! Multi-session RIM serving.
+//!
+//! The paper pitches inertial sensing from commodity WiFi that fleets of
+//! devices could stream CSI into; this crate is the process-level serving
+//! layer that makes one engine instance do that. A [`SessionManager`]
+//! owns N independent [`rim_core::RimStream`] states sharded by session
+//! id, admits samples into bounded per-session ingress queues with
+//! explicit backpressure ([`Admit`]), and drains them with a
+//! cross-session batch scheduler that fans *different* sessions onto one
+//! shared [`rim_par::Pool`] as independent tiles. Each session is still
+//! analysed with its own state and a serial inner pool, so every
+//! session's output is bit-identical to a standalone stream fed the same
+//! samples — the repo's central determinism invariant survives
+//! multi-tenancy.
+//!
+//! On top of the manager sits a small length-prefixed binary wire
+//! protocol over TCP ([`wire`]), a blocking [`Server`] accept loop with a
+//! background scheduler thread, and a [`Client`] used by the CLI's
+//! `serve` subcommand, the integration tests, and the bench. Per-session
+//! [`rim_obs::Recorder`]s capture stream/pipeline stages for each tenant,
+//! and a manager-wide recorder captures the `serve` stage (admission
+//! counters, queue depth, active/evicted sessions, ingest→estimate
+//! latency).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod manager;
+mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use manager::{Admit, RejectReason, ServeConfig, SessionManager};
+pub use server::Server;

@@ -1,0 +1,607 @@
+//! The sharded session manager and cross-session batch scheduler.
+//!
+//! Admission (`ingest`) is cheap and lock-light: hash the session id to
+//! a shard, find or create the session, push onto its bounded ingress
+//! queue. Analysis happens on the scheduler's clock: each [`process`]
+//! tick collects every session with pending samples and fans them across
+//! the shared [`Pool`] as independent tiles — one worker advances one
+//! session at a time, so per-session state needs no finer locking and
+//! every session's arithmetic is exactly a standalone stream's.
+//!
+//! [`process`]: SessionManager::process
+
+use rim_array::ArrayGeometry;
+use rim_core::{Error, Rim, RimConfig, RimStream, StreamEvent};
+use rim_csi::sync::SyncedSample;
+use rim_obs::{serve_metric, stage, Probe, Recorder, RunReport};
+use rim_par::Pool;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Serving-layer knobs. All limits are per process; zero values are
+/// clamped to their minimum at construction where a zero would be
+/// meaningless ([`ServeConfig::shards`], [`ServeConfig::queue_capacity`],
+/// [`ServeConfig::max_sessions`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shards the session table is split across. Purely a
+    /// contention knob: shard choice never affects results.
+    pub shards: usize,
+    /// Bounded ingress-queue length per session; a full queue throttles.
+    pub queue_capacity: usize,
+    /// Maximum resident sessions; beyond this, new sessions are
+    /// rejected until one is finished or evicted.
+    pub max_sessions: usize,
+    /// Evict a session after this many scheduler ticks without activity
+    /// (no admit, no processed sample). `0` disables eviction.
+    pub idle_evict_ticks: u64,
+    /// Retry hint returned with [`Admit::Throttled`], milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 256,
+            max_sessions: 1024,
+            idle_evict_ticks: 0,
+            retry_after_ms: 5,
+        }
+    }
+}
+
+/// The admission decision for one offered sample — the backpressure
+/// contract a client must observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Queued for analysis.
+    Accepted,
+    /// The session's ingress queue is full; retry after the hint. The
+    /// sample was **not** queued.
+    Throttled {
+        /// Suggested client backoff, milliseconds.
+        retry_after: u64,
+    },
+    /// Not admitted and retrying soon will not help.
+    Rejected {
+        /// Why admission failed outright.
+        reason: RejectReason,
+    },
+}
+
+/// Why a sample was rejected outright (vs. throttled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The session table is at [`ServeConfig::max_sessions`] and the
+    /// sample would have created a new session.
+    SessionTableFull,
+    /// The manager is shutting down and no longer accepts samples.
+    ShuttingDown,
+}
+
+/// One admitted sample waiting for a scheduler tick.
+#[derive(Debug)]
+struct Pending {
+    sample: SyncedSample,
+    admitted: Instant,
+}
+
+/// The part of a session only the scheduler (or `finish`) touches.
+#[derive(Debug)]
+struct SessionWork {
+    stream: RimStream,
+    recorder: Recorder,
+    /// Events accumulated since the last drain, in emission order.
+    events: Vec<StreamEvent>,
+}
+
+/// One resident session: a lock-light ingress queue in front of the
+/// analysis state. The two mutexes are held by at most one ingress call
+/// and one scheduler worker respectively, and the queue lock is never
+/// held across analysis.
+#[derive(Debug)]
+struct SessionState {
+    queue: Mutex<VecDeque<Pending>>,
+    work: Mutex<SessionWork>,
+    /// Scheduler tick of the last admit or processed batch.
+    last_active: AtomicU64,
+}
+
+/// Owns every resident session, sharded by session id, and schedules
+/// cross-session batches onto one shared pool.
+///
+/// All methods take `&self`; the manager is designed to sit behind an
+/// `Arc` with ingress threads and a scheduler thread calling in
+/// concurrently.
+#[derive(Debug)]
+pub struct SessionManager {
+    shards: Vec<Mutex<HashMap<u64, Arc<SessionState>>>>,
+    /// Shared cross-session pool; per-session analysis stays serial.
+    pool: Pool,
+    /// Template engine cloned per session (serial inner pool, so the
+    /// only parallelism is across sessions — results stay bit-identical
+    /// to standalone streams at any worker count).
+    engine: Rim,
+    cfg: ServeConfig,
+    /// Manager-wide recorder for the [`stage::SERVE`] stage.
+    recorder: Recorder,
+    tick: AtomicU64,
+    resident: AtomicUsize,
+    accepting: AtomicBool,
+    /// Raw samples backing the ingest→estimate histogram; the report
+    /// keeps p50/p95, so tail percentiles come from these.
+    latencies: Mutex<Vec<f64>>,
+}
+
+impl SessionManager {
+    /// Creates a manager for the given array geometry and engine
+    /// configuration. `config.threads` sizes the shared cross-session
+    /// pool (0 = `RIM_THREADS` or available parallelism); each session's
+    /// own analysis is serial regardless, so thread count never changes
+    /// any session's output bits.
+    ///
+    /// # Errors
+    /// The same validation as [`Rim::new`].
+    pub fn new(
+        geometry: ArrayGeometry,
+        config: RimConfig,
+        serve: ServeConfig,
+    ) -> Result<Self, Error> {
+        let pool = Pool::new(config.threads, 0);
+        let engine = Rim::new(geometry, config.with_threads(1))?;
+        let mut cfg = serve;
+        cfg.shards = cfg.shards.max(1);
+        cfg.queue_capacity = cfg.queue_capacity.max(1);
+        cfg.max_sessions = cfg.max_sessions.max(1);
+        Ok(Self {
+            shards: (0..cfg.shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            pool,
+            engine,
+            cfg,
+            recorder: Recorder::new(),
+            tick: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            latencies: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Shard index for a session id (Fibonacci multiplicative hash, so
+    /// adjacent ids spread out). Deterministic, and irrelevant to
+    /// results either way.
+    fn shard_of(&self, session_id: u64) -> usize {
+        let h = session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h as usize) % self.shards.len()
+    }
+
+    /// Offers one synced sample to a session, creating the session on
+    /// first contact. Returns the admission decision immediately; the
+    /// sample is analysed on a later [`SessionManager::process`] tick.
+    pub fn ingest(&self, session_id: u64, sample: SyncedSample) -> Admit {
+        if !self.accepting.load(Ordering::Acquire) {
+            self.recorder.count(stage::SERVE, serve_metric::REJECTED, 1);
+            return Admit::Rejected {
+                reason: RejectReason::ShuttingDown,
+            };
+        }
+        let state = {
+            let mut shard = self.lock_shard(self.shard_of(session_id));
+            match shard.get(&session_id) {
+                Some(state) => Arc::clone(state),
+                None => {
+                    if self.resident.load(Ordering::Acquire) >= self.cfg.max_sessions {
+                        drop(shard);
+                        self.recorder.count(stage::SERVE, serve_metric::REJECTED, 1);
+                        return Admit::Rejected {
+                            reason: RejectReason::SessionTableFull,
+                        };
+                    }
+                    let state = Arc::new(SessionState {
+                        queue: Mutex::new(VecDeque::new()),
+                        work: Mutex::new(SessionWork {
+                            stream: RimStream::with_engine(self.engine.clone()),
+                            recorder: Recorder::new(),
+                            events: Vec::new(),
+                        }),
+                        last_active: AtomicU64::new(self.tick.load(Ordering::Acquire)),
+                    });
+                    shard.insert(session_id, Arc::clone(&state));
+                    let n = self.resident.fetch_add(1, Ordering::AcqRel) + 1;
+                    self.recorder
+                        .gauge(stage::SERVE, serve_metric::SESSIONS_ACTIVE, n as f64);
+                    state
+                }
+            }
+        };
+        state
+            .last_active
+            .store(self.tick.load(Ordering::Acquire), Ordering::Release);
+        let admitted = {
+            let mut queue = lock(&state.queue);
+            if queue.len() >= self.cfg.queue_capacity {
+                false
+            } else {
+                queue.push_back(Pending {
+                    sample,
+                    admitted: Instant::now(),
+                });
+                true
+            }
+        };
+        if admitted {
+            self.recorder.count(stage::SERVE, serve_metric::ADMITTED, 1);
+            Admit::Accepted
+        } else {
+            self.recorder
+                .count(stage::SERVE, serve_metric::THROTTLED, 1);
+            Admit::Throttled {
+                retry_after: self.cfg.retry_after_ms,
+            }
+        }
+    }
+
+    /// Runs one scheduler tick: drains every session with pending
+    /// samples, fanning the per-session batches across the shared pool
+    /// as independent tiles, then applies the idle-eviction policy.
+    /// Returns the number of samples analysed.
+    pub fn process(&self) -> usize {
+        let now = self.tick.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut busy: Vec<Arc<SessionState>> = Vec::new();
+        let mut depth = 0usize;
+        for shard in &self.shards {
+            for state in lock(shard).values() {
+                let queued = lock(&state.queue).len();
+                if queued > 0 {
+                    depth += queued;
+                    busy.push(Arc::clone(state));
+                }
+            }
+        }
+        self.recorder
+            .gauge(stage::SERVE, serve_metric::QUEUE_DEPTH, depth as f64);
+        let mut analysed = 0;
+        if !busy.is_empty() {
+            let _span = self.recorder.span(stage::SERVE);
+            let counts = self
+                .pool
+                .map(&busy, |state| self.process_session(state, now));
+            analysed = counts.iter().sum();
+            self.recorder.count(stage::SERVE, serve_metric::BATCHES, 1);
+        }
+        self.evict_idle(now);
+        analysed
+    }
+
+    /// Drains one session's queued samples through its stream, in FIFO
+    /// order, under the session's work lock. Runs on a pool worker.
+    fn process_session(&self, state: &SessionState, now: u64) -> usize {
+        let mut work = lock(&state.work);
+        // Take the queue snapshot under the work lock so concurrent
+        // drainers (scheduler tick vs. `finish`) cannot reorder a
+        // session's samples.
+        let pending: Vec<Pending> = lock(&state.queue).drain(..).collect();
+        if pending.is_empty() {
+            return 0;
+        }
+        state.last_active.store(now, Ordering::Release);
+        let work = &mut *work;
+        let mut n = 0;
+        for p in pending {
+            match work.stream.session().probe(&work.recorder).ingest(p.sample) {
+                Ok(events) => {
+                    if events.iter().any(|e| matches!(e, StreamEvent::Segment(_))) {
+                        let ms = p.admitted.elapsed().as_secs_f64() * 1e3;
+                        self.recorder.observe(
+                            stage::SERVE,
+                            serve_metric::INGEST_TO_ESTIMATE_MS,
+                            ms,
+                        );
+                        lock(&self.latencies).push(ms);
+                    }
+                    work.events.extend(events);
+                    n += 1;
+                }
+                Err(_) => {
+                    // A malformed sample poisons only itself; the
+                    // session keeps its state and its neighbours never
+                    // notice.
+                    self.recorder.count(stage::SERVE, "samples_errored", 1);
+                }
+            }
+        }
+        n
+    }
+
+    /// Removes sessions idle for longer than the configured tick budget.
+    /// Evicted sessions are dropped as-is: pending undrained events are
+    /// discarded (the tenant went away without finishing).
+    fn evict_idle(&self, now: u64) {
+        let budget = self.cfg.idle_evict_ticks;
+        if budget == 0 {
+            return;
+        }
+        let mut evicted = 0u64;
+        for shard in &self.shards {
+            let mut shard = lock(shard);
+            shard.retain(|_, state| {
+                let idle = now.saturating_sub(state.last_active.load(Ordering::Acquire));
+                let stale = idle > budget && lock(&state.queue).is_empty();
+                if stale {
+                    evicted += 1;
+                }
+                !stale
+            });
+        }
+        if evicted > 0 {
+            let n = self.resident.fetch_sub(evicted as usize, Ordering::AcqRel) - evicted as usize;
+            self.recorder
+                .count(stage::SERVE, serve_metric::SESSIONS_EVICTED, evicted);
+            self.recorder
+                .gauge(stage::SERVE, serve_metric::SESSIONS_ACTIVE, n as f64);
+        }
+    }
+
+    /// Takes the events a session has emitted since the last drain (or
+    /// an empty vec for an unknown session), preserving emission order.
+    pub fn drain_events(&self, session_id: u64) -> Vec<StreamEvent> {
+        let Some(state) = self.find(session_id) else {
+            return Vec::new();
+        };
+        let events = std::mem::take(&mut lock(&state.work).events);
+        events
+    }
+
+    /// Finishes a session: analyses anything still queued, flushes the
+    /// open segment, removes the session, and returns every undrained
+    /// event. The result is bit-identical to a standalone
+    /// [`RimStream`] fed the same admitted samples and finished.
+    pub fn finish(&self, session_id: u64) -> Vec<StreamEvent> {
+        let Some(state) = self.remove(session_id) else {
+            return Vec::new();
+        };
+        let now = self.tick.load(Ordering::Acquire);
+        self.process_session(&state, now);
+        let mut work = lock(&state.work);
+        let work = &mut *work;
+        let final_events = work.stream.session().probe(&work.recorder).finish();
+        work.events.extend(final_events);
+        std::mem::take(&mut work.events)
+    }
+
+    /// Stops admitting new samples (subsequent [`SessionManager::ingest`]
+    /// calls are rejected with [`RejectReason::ShuttingDown`]); already
+    /// queued samples can still be processed and finished.
+    pub fn shutdown(&self) {
+        self.accepting.store(false, Ordering::Release);
+    }
+
+    /// Whether the manager still admits samples.
+    pub fn accepting(&self) -> bool {
+        self.accepting.load(Ordering::Acquire)
+    }
+
+    /// Sessions currently resident.
+    pub fn sessions_active(&self) -> usize {
+        self.resident.load(Ordering::Acquire)
+    }
+
+    /// Total samples queued across all sessions right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock(s)
+                    .values()
+                    .map(|st| lock(&st.queue).len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// The manager-wide [`stage::SERVE`] report (admission counters,
+    /// queue depth, active/evicted sessions, ingest→estimate latency).
+    pub fn report(&self) -> RunReport {
+        self.recorder.report()
+    }
+
+    /// One session's own stream/pipeline-stage report, if resident.
+    pub fn session_report(&self, session_id: u64) -> Option<RunReport> {
+        let state = self.find(session_id)?;
+        let report = lock(&state.work).recorder.report();
+        Some(report)
+    }
+
+    /// The shared cross-session pool (for stats and sizing assertions).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Drains the raw ingest→estimate latency samples (milliseconds,
+    /// one per sample whose analysis emitted a segment). The run report
+    /// aggregates these to p50/p95; callers wanting deeper tails (p99)
+    /// compute them from this.
+    pub fn take_latencies(&self) -> Vec<f64> {
+        std::mem::take(&mut *lock(&self.latencies))
+    }
+
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<SessionState>>> {
+        lock(&self.shards[idx])
+    }
+
+    fn find(&self, session_id: u64) -> Option<Arc<SessionState>> {
+        self.lock_shard(self.shard_of(session_id))
+            .get(&session_id)
+            .map(Arc::clone)
+    }
+
+    fn remove(&self, session_id: u64) -> Option<Arc<SessionState>> {
+        let state = self
+            .lock_shard(self.shard_of(session_id))
+            .remove(&session_id)?;
+        let n = self.resident.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.recorder
+            .gauge(stage::SERVE, serve_metric::SESSIONS_ACTIVE, n as f64);
+        Some(state)
+    }
+}
+
+/// Locks a mutex, riding through poisoning: per-session state is only
+/// ever mutated by one worker at a time, so a panicked worker leaves the
+/// state exactly as consistent as a panicked standalone stream would.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_csi::frame::CsiSnapshot;
+    use rim_dsp::complex::Complex64;
+
+    fn geometry() -> ArrayGeometry {
+        ArrayGeometry::linear(3, 0.0258)
+    }
+
+    fn config() -> RimConfig {
+        RimConfig::for_sample_rate(100.0)
+    }
+
+    fn sample(seq: u64) -> SyncedSample {
+        let snap = |tag: f64| CsiSnapshot {
+            per_tx: vec![vec![Complex64::new(tag, -tag); 8]],
+        };
+        SyncedSample {
+            seq,
+            antennas: (0..3).map(|a| Some(snap(seq as f64 + a as f64))).collect(),
+        }
+    }
+
+    fn manager(serve: ServeConfig) -> SessionManager {
+        SessionManager::new(geometry(), config(), serve).unwrap()
+    }
+
+    #[test]
+    fn manager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SessionManager>();
+        assert_send_sync::<RimStream>();
+    }
+
+    #[test]
+    fn admits_until_queue_full_then_throttles() {
+        let m = manager(ServeConfig {
+            queue_capacity: 3,
+            ..ServeConfig::default()
+        });
+        for seq in 0..3 {
+            assert_eq!(m.ingest(9, sample(seq)), Admit::Accepted);
+        }
+        assert_eq!(m.ingest(9, sample(3)), Admit::Throttled { retry_after: 5 });
+        assert_eq!(m.queue_depth(), 3);
+        // Processing frees the queue.
+        assert_eq!(m.process(), 3);
+        assert_eq!(m.queue_depth(), 0);
+        assert_eq!(m.ingest(9, sample(3)), Admit::Accepted);
+    }
+
+    #[test]
+    fn rejects_when_session_table_full_and_after_shutdown() {
+        let m = manager(ServeConfig {
+            max_sessions: 2,
+            ..ServeConfig::default()
+        });
+        assert_eq!(m.ingest(1, sample(0)), Admit::Accepted);
+        assert_eq!(m.ingest(2, sample(0)), Admit::Accepted);
+        assert_eq!(
+            m.ingest(3, sample(0)),
+            Admit::Rejected {
+                reason: RejectReason::SessionTableFull
+            }
+        );
+        // An existing session is still served.
+        assert_eq!(m.ingest(1, sample(1)), Admit::Accepted);
+        // Finishing frees a slot.
+        let _ = m.finish(2);
+        assert_eq!(m.ingest(3, sample(0)), Admit::Accepted);
+        m.shutdown();
+        assert_eq!(
+            m.ingest(1, sample(2)),
+            Admit::Rejected {
+                reason: RejectReason::ShuttingDown
+            }
+        );
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_on_schedule() {
+        let m = manager(ServeConfig {
+            idle_evict_ticks: 2,
+            ..ServeConfig::default()
+        });
+        assert_eq!(m.ingest(5, sample(0)), Admit::Accepted);
+        assert_eq!(m.sessions_active(), 1);
+        m.process(); // tick 1: analyses, session active at tick 1
+        m.process(); // tick 2: idle 1
+        m.process(); // tick 3: idle 2
+        assert_eq!(m.sessions_active(), 1, "within budget");
+        m.process(); // tick 4: idle 3 > 2 → evicted
+        assert_eq!(m.sessions_active(), 0);
+        let report = m.report();
+        let stage = report.stage(stage::SERVE).unwrap();
+        assert!(stage
+            .counters
+            .iter()
+            .any(|(k, v)| k == serve_metric::SESSIONS_EVICTED && *v == 1));
+    }
+
+    #[test]
+    fn malformed_sample_poisons_only_itself() {
+        let m = manager(ServeConfig::default());
+        assert_eq!(m.ingest(1, sample(0)), Admit::Accepted);
+        // Wrong antenna count: analysis rejects it, session survives.
+        let bad = SyncedSample {
+            seq: 1,
+            antennas: vec![None],
+        };
+        assert_eq!(m.ingest(1, bad), Admit::Accepted);
+        assert_eq!(m.ingest(1, sample(1)), Admit::Accepted);
+        assert_eq!(m.process(), 2, "two good samples analysed");
+        assert_eq!(m.sessions_active(), 1);
+        let report = m.report();
+        let stage = report.stage(stage::SERVE).unwrap();
+        assert!(stage
+            .counters
+            .iter()
+            .any(|(k, v)| k == "samples_errored" && *v == 1));
+    }
+
+    #[test]
+    fn per_session_reports_are_isolated() {
+        let m = manager(ServeConfig::default());
+        for seq in 0..4 {
+            m.ingest(1, sample(seq));
+        }
+        m.ingest(2, sample(0));
+        m.process();
+        let r1 = m.session_report(1).unwrap();
+        let r2 = m.session_report(2).unwrap();
+        let pushed = |r: &RunReport| {
+            r.stage(stage::STREAM)
+                .and_then(|s| {
+                    s.counters
+                        .iter()
+                        .find(|(k, _)| k == "samples_pushed")
+                        .map(|(_, v)| *v)
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(pushed(&r1), 4);
+        assert_eq!(pushed(&r2), 1);
+        assert!(m.session_report(99).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! The blocking TCP server: accept loop, per-connection handlers, and
+//! the background scheduler thread that ticks the session manager.
+//!
+//! The server is deliberately std-only: a non-blocking accept loop
+//! polled on a short interval, one OS thread per connection (session
+//! counts here are tens, not tens of thousands), and one scheduler
+//! thread calling [`SessionManager::process`] in a loop. Connection
+//! reads block without timeouts — a mid-frame read timeout would
+//! desynchronise the length-prefixed stream — and shutdown unblocks
+//! them by shutting the sockets down instead.
+
+use crate::manager::SessionManager;
+use crate::wire::{self, Request, Response};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How often the accept loop polls for new connections or shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Scheduler back-off when a tick found nothing to analyse.
+const IDLE_BACKOFF: Duration = Duration::from_millis(1);
+
+/// State shared between the server handle and its threads.
+struct Shared {
+    manager: Arc<SessionManager>,
+    stop: AtomicBool,
+    /// Clones of accepted sockets, kept so shutdown can unblock
+    /// handlers parked in a blocking read.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn close_connections(&self) {
+        for conn in lock(&self.conns).drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running serve instance bound to a TCP address.
+///
+/// Dropping the handle shuts the server down and joins its threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds a listener (use port 0 for an ephemeral port) and starts
+    /// the accept loop and the scheduler thread.
+    ///
+    /// # Errors
+    /// Propagates bind/configuration I/O errors.
+    pub fn bind<A: ToSocketAddrs>(addr: A, manager: Arc<SessionManager>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            manager,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || scheduler_loop(&shared))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The bound address (with the resolved port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The session manager this server fronts.
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.shared.manager
+    }
+
+    /// Blocks until the server stops — i.e. until some client sends a
+    /// shutdown request (or [`Server::shutdown`] is called from another
+    /// handle's thread). Joins the worker threads.
+    pub fn wait(&mut self) {
+        self.join_threads();
+    }
+
+    /// Stops the server: refuses new samples, unblocks and joins every
+    /// connection handler, and joins the accept and scheduler threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.manager.shutdown();
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.close_connections();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Polls for connections until stop; then unblocks and joins handlers.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Handlers use plain blocking reads.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    lock(&shared.conns).push(clone);
+                }
+                let shared = Arc::clone(shared);
+                handlers.push(thread::spawn(move || handle_connection(stream, &shared)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+    shared.close_connections();
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Ticks the manager until stop, with one final drain tick after.
+fn scheduler_loop(shared: &Arc<Shared>) {
+    loop {
+        let analysed = shared.manager.process();
+        if shared.stop.load(Ordering::Acquire) {
+            shared.manager.process();
+            return;
+        }
+        if analysed == 0 {
+            thread::sleep(IDLE_BACKOFF);
+        }
+    }
+}
+
+/// Serves one connection: read a frame, act, respond, repeat.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let body = match wire::read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            // Clean hang-up, server shutdown, or a broken peer — either
+            // way this connection is done.
+            Ok(None) | Err(_) => return,
+        };
+        let request = match Request::decode(&body) {
+            Ok(request) => request,
+            // A garbled frame leaves the stream unframed; drop the
+            // connection rather than guess at a resync point.
+            Err(_) => return,
+        };
+        let (response, stop_after) = match request {
+            Request::Ingest { session_id, sample } => {
+                let admit = shared.manager.ingest(session_id, sample);
+                let events = shared.manager.drain_events(session_id);
+                (Response::Admit { admit, events }, false)
+            }
+            Request::Finish { session_id } => {
+                let events = shared.manager.finish(session_id);
+                (Response::Finished { events }, false)
+            }
+            Request::Shutdown => {
+                shared.manager.shutdown();
+                (Response::Bye, true)
+            }
+        };
+        if wire::write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if stop_after {
+            shared.stop.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

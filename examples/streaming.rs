@@ -56,7 +56,7 @@ fn main() {
     println!("pushing {} CSI samples one at a time…\n", dense.n_samples());
     for i in 0..dense.n_samples() {
         let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
-        let events = stream.push(&snaps).expect("matching antenna count");
+        let events = stream.ingest(snaps).expect("matching antenna count");
         for e in &events {
             let t = i as f64 / fs;
             match e {

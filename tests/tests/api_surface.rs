@@ -1,0 +1,107 @@
+//! Snapshot of the intended v1 public API surface.
+//!
+//! Every name below is imported explicitly (no globs), so removing or
+//! renaming a re-export breaks this file at compile time — an API change
+//! has to edit this snapshot, which makes it reviewable. Signature
+//! drift on the central entry points is pinned with typed function
+//! items; behavioural contracts live in the other integration tests.
+//!
+//! The deprecated 0.3 entry points (`RimStream::push` / `offer` /
+//! `offer_synced`, removed `Rim::analyze_probed`) are deliberately
+//! absent: new code goes through `ingest` and the session builder.
+
+#![allow(unused_imports)]
+
+// The engine and its session builder.
+use rim_core::{Confidence, MotionEstimate, Rim, RimConfig, Session};
+// Error taxonomy (one type, actionable messages).
+use rim_core::Error;
+// Segment output.
+use rim_core::{SegmentEstimate, SegmentKind};
+// Streaming front-end: one ingest entry point over three input shapes.
+use rim_core::{
+    DegradeReason, GapFilter, RimStream, StreamAggregate, StreamEvent, StreamInput, StreamSession,
+};
+// Algorithm stages exposed for diagnostics and research use.
+use rim_core::{alignment_matrix, AlignmentConfig, AlignmentMatrix};
+use rim_core::{auto_threshold, detect_movement, movement_indicator, MovementConfig};
+use rim_core::{track_peaks, DpConfig, TrackedPath};
+use rim_core::{trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, NormSnapshot};
+
+// The serving layer: manager, server, client, and the wire protocol.
+use rim_serve::wire::{read_frame, write_frame, MAX_FRAME_LEN};
+use rim_serve::wire::{Request, Response, WireError};
+use rim_serve::{Admit, Client, RejectReason, ServeConfig, Server, SessionManager};
+
+use rim_array::ArrayGeometry;
+use rim_csi::sync::SyncedSample;
+use rim_obs::{Probe, Recorder, RunReport};
+
+/// Central constructor/entry-point signatures, pinned as typed function
+/// items: a parameter or return-type change fails to compile here.
+#[test]
+fn entry_point_signatures_are_stable() {
+    let _rim_new: fn(ArrayGeometry, RimConfig) -> Result<Rim, Error> = Rim::new;
+    let _stream_new: fn(ArrayGeometry, RimConfig) -> Result<RimStream, Error> = RimStream::new;
+    let _stream_with_engine: fn(Rim) -> RimStream = RimStream::with_engine;
+    let _manager_new: fn(ArrayGeometry, RimConfig, ServeConfig) -> Result<SessionManager, Error> =
+        SessionManager::new;
+    let _manager_ingest: fn(&SessionManager, u64, SyncedSample) -> Admit = SessionManager::ingest;
+    let _manager_process: fn(&SessionManager) -> usize = SessionManager::process;
+    let _manager_finish: fn(&SessionManager, u64) -> Vec<StreamEvent> = SessionManager::finish;
+    let _manager_report: fn(&SessionManager) -> RunReport = SessionManager::report;
+    let _client_finish: fn(&mut Client, u64) -> std::io::Result<Vec<StreamEvent>> = Client::finish;
+}
+
+/// `ingest` accepts all three input shapes through one entry point, on
+/// both the bare stream and the probed session builder.
+#[test]
+fn ingest_accepts_all_stream_input_shapes() {
+    let geometry = ArrayGeometry::linear(3, rim_array::HALF_WAVELENGTH);
+    let config = RimConfig::for_sample_rate(100.0);
+    let mut stream = RimStream::new(geometry, config).expect("valid config");
+    let recorder = Recorder::new();
+
+    // One snapshot per antenna = one dense sample.
+    let dense: Vec<rim_csi::frame::CsiSnapshot> = (0..3)
+        .map(|a| rim_csi::frame::CsiSnapshot {
+            per_tx: vec![vec![
+                rim_dsp::complex::Complex64::new(1.0 + a as f64, 0.0);
+                8
+            ]],
+        })
+        .collect();
+    // Dense slices, sequenced holes, and synced samples all coerce.
+    assert!(stream.ingest(dense.clone()).is_ok());
+    assert!(stream.ingest((1u64, vec![None, None, None])).is_ok());
+    assert!(stream
+        .ingest(SyncedSample {
+            seq: 2,
+            antennas: vec![None, None, None],
+        })
+        .is_ok());
+    assert!(stream
+        .session()
+        .probe(&recorder)
+        .ingest(StreamInput::Dense(dense))
+        .is_ok());
+}
+
+/// The admission contract is a three-way decision with typed payloads.
+#[test]
+fn admit_variants_carry_backpressure_payloads() {
+    let decisions = [
+        Admit::Accepted,
+        Admit::Throttled { retry_after: 5 },
+        Admit::Rejected {
+            reason: RejectReason::SessionTableFull,
+        },
+        Admit::Rejected {
+            reason: RejectReason::ShuttingDown,
+        },
+    ];
+    assert_eq!(
+        decisions.iter().filter(|d| **d == Admit::Accepted).count(),
+        1
+    );
+}

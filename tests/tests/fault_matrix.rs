@@ -193,7 +193,7 @@ fn stream_recording(
     let mut stream = RimStream::new(geometry.clone(), cfg).expect("valid config");
     let mut agg = StreamAggregate::default();
     for sample in synced_from_recording(recording) {
-        let events = stream.offer_synced(&sample).expect("offer never errors");
+        let events = stream.ingest(sample).expect("ingest never errors");
         agg.absorb(&events);
     }
     agg.absorb(&stream.finish());

@@ -1,0 +1,200 @@
+//! Serving-layer contracts, end to end over the loopback wire protocol:
+//!
+//! * **Bit-equality under multi-tenancy** — K concurrent sessions
+//!   streamed through one server produce, per session, exactly the
+//!   events a standalone serial [`RimStream`] produces for the same
+//!   samples. Cross-session batching, sharding, wire encoding, and the
+//!   scheduler's arbitrary interleaving must all be invisible in the
+//!   output bits (the repo's determinism invariant extended to the
+//!   service). Run under `RIM_THREADS=1` and `=4` by CI.
+//! * **Backpressure isolation** — a flooded session is throttled, and
+//!   neither the throttling nor the flood changes a well-behaved
+//!   neighbour's results.
+
+use rim_array::ArrayGeometry;
+use rim_channel::trajectory::{line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::stream::{RimStream, StreamEvent};
+use rim_csi::{
+    synced_from_recording, CsiRecorder, CsiRecording, DeviceConfig, LossModel, RecorderConfig,
+};
+use rim_dsp::geom::Point2;
+use rim_integration_tests::{config, FS, SPACING};
+use rim_serve::{Admit, Client, ServeConfig, Server, SessionManager};
+use std::sync::Arc;
+
+fn geometry() -> ArrayGeometry {
+    ArrayGeometry::linear(3, SPACING)
+}
+
+/// A 2 m line at 1 m/s: ~200 samples at the test rate.
+fn clean_recording() -> CsiRecording {
+    let sim = ChannelSimulator::open_lab(7);
+    let geometry = geometry();
+    let traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        2.0,
+        1.0,
+        FS,
+        OrientationMode::FollowPath,
+    );
+    CsiRecorder::new(
+        &sim,
+        DeviceConfig::single_nic(geometry.offsets().to_vec()),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record(&traj)
+}
+
+/// The per-session input: each tenant sees its own loss realisation, so
+/// the sessions are genuinely different streams, not copies.
+fn session_recording(clean: &CsiRecording, k: u64) -> CsiRecording {
+    clean.degrade(LossModel::Iid { p: 0.1 }, 0x5EED + k)
+}
+
+/// Ground truth: a standalone serial stream fed the same samples.
+fn standalone_events(recording: &CsiRecording) -> Vec<StreamEvent> {
+    let mut stream = RimStream::new(geometry(), config(0.3).with_threads(1)).expect("valid config");
+    let mut events = Vec::new();
+    for sample in synced_from_recording(recording) {
+        events.extend(stream.ingest(sample).expect("ingest never errors"));
+    }
+    events.extend(stream.finish());
+    events
+}
+
+/// Events compare via `Debug`: f64 formats as its shortest
+/// round-trippable representation, so equal strings ⇔ equal bits.
+fn fingerprint(events: &[StreamEvent]) -> String {
+    format!("{events:#?}")
+}
+
+#[test]
+fn concurrent_sessions_are_bit_identical_to_standalone_streams() {
+    const K: u64 = 8;
+    let clean = clean_recording();
+    let manager = Arc::new(
+        SessionManager::new(
+            geometry(),
+            config(0.3),
+            // A queue much shorter than the capture, so sessions hit
+            // real backpressure mid-stream and retry — throttling must
+            // not perturb results either.
+            ServeConfig {
+                queue_capacity: 16,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("valid config"),
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&manager)).expect("bind");
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for k in 0..K {
+        let recording = session_recording(&clean, k);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut events = Vec::new();
+            for sample in synced_from_recording(&recording) {
+                let (admit, drained) = client.ingest_blocking(k, sample).expect("ingest");
+                assert_eq!(admit, Admit::Accepted, "session {k} rejected");
+                events.extend(drained);
+            }
+            events.extend(client.finish(k).expect("finish"));
+            (k, events)
+        }));
+    }
+    for h in handles {
+        let (k, served) = h.join().expect("session thread");
+        let expected = standalone_events(&session_recording(&clean, k));
+        assert!(
+            !expected.is_empty(),
+            "session {k}: reference produced no events"
+        );
+        assert_eq!(
+            fingerprint(&served),
+            fingerprint(&expected),
+            "session {k} diverged from its standalone stream"
+        );
+    }
+    assert_eq!(manager.sessions_active(), 0, "all sessions finished");
+    // Clean shutdown over the wire.
+    let mut closer = Client::connect(addr).expect("connect");
+    closer.shutdown().expect("shutdown handshake");
+    server.shutdown();
+    assert!(!manager.accepting());
+}
+
+#[test]
+fn flooded_session_is_throttled_without_perturbing_neighbours() {
+    let clean = clean_recording();
+    let manager = SessionManager::new(
+        geometry(),
+        config(0.3),
+        ServeConfig {
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid config");
+
+    // Flood session 1 without letting the scheduler drain it: the queue
+    // caps at 4 and everything past that is throttled, not queued.
+    let flood_input = session_recording(&clean, 1);
+    let flood_samples = synced_from_recording(&flood_input);
+    let mut throttled = 0;
+    let mut accepted_samples = Vec::new();
+    for sample in &flood_samples {
+        match manager.ingest(1, sample.clone()) {
+            Admit::Accepted => accepted_samples.push(sample.clone()),
+            Admit::Throttled { .. } => throttled += 1,
+            Admit::Rejected { reason } => panic!("unexpected reject: {reason:?}"),
+        }
+    }
+    assert_eq!(accepted_samples.len(), 4, "queue bound respected");
+    assert_eq!(throttled, flood_samples.len() - 4);
+
+    // A neighbour streams its full capture with the scheduler running
+    // normally, sharing the pool with the flooded session's backlog.
+    let neighbour_input = session_recording(&clean, 2);
+    let mut neighbour_events = Vec::new();
+    for sample in synced_from_recording(&neighbour_input) {
+        loop {
+            match manager.ingest(2, sample.clone()) {
+                Admit::Accepted => break,
+                Admit::Throttled { .. } => {
+                    manager.process();
+                }
+                Admit::Rejected { reason } => panic!("unexpected reject: {reason:?}"),
+            }
+        }
+        manager.process();
+        neighbour_events.extend(manager.drain_events(2));
+    }
+    neighbour_events.extend(manager.finish(2));
+    assert_eq!(
+        fingerprint(&neighbour_events),
+        fingerprint(&standalone_events(&neighbour_input)),
+        "flooded neighbour perturbed session 2"
+    );
+
+    // The flooded session still analyses exactly what was admitted.
+    let flood_events = manager.finish(1);
+    let mut reference =
+        RimStream::new(geometry(), config(0.3).with_threads(1)).expect("valid config");
+    let mut expected = Vec::new();
+    for sample in accepted_samples {
+        expected.extend(reference.ingest(sample).expect("ingest"));
+    }
+    expected.extend(reference.finish());
+    assert_eq!(
+        fingerprint(&flood_events),
+        fingerprint(&expected),
+        "flooded session lost or reordered admitted samples"
+    );
+}
