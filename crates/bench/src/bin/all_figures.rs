@@ -51,6 +51,7 @@ fn main() {
     write_pipeline_profile();
     write_parallel_sweep(fast);
     write_serve_sweep(fast);
+    rim_bench::latency::write_latency_bench(fast);
 }
 
 /// Profiles one representative pipeline run (2 m lab push at the standard

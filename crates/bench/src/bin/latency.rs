@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::latency` (writes `BENCH_latency.json`).
+fn main() {
+    rim_bench::latency::write_latency_bench(rim_bench::fast_mode());
+}

@@ -1,0 +1,163 @@
+//! The streaming-latency benchmark behind `BENCH_latency.json`: batch
+//! flushes vs. the incremental alignment engine on one long walk.
+
+use crate::env;
+use rim_channel::trajectory::{dwell, line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::stream::{RimStream, StreamEvent};
+use rim_core::RimConfig;
+use rim_csi::{CsiRecorder, RecorderConfig};
+use rim_dsp::geom::Point2;
+
+/// Streams one long walk sample-by-sample twice — batch flushes vs. the
+/// incremental alignment engine — timing every `ingest` call, and writes
+/// the per-sample latency tails plus the flush-spike comparison to
+/// `BENCH_latency.json`. The partial flushes every `max_open` seconds are
+/// the spike the incremental column cache is built to flatten: with the
+/// cache the flush reuses the online columns instead of recomputing the
+/// alignment matrix from scratch, while mid-motion `Provisional` events
+/// keep the caller updated between flushes.
+pub fn write_latency_bench(fast: bool) {
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = env::linear_array();
+    let fs = 100.0;
+    let length_m = if fast { 8.0 } else { 30.0 };
+    let mut traj = line(
+        Point2::new(-4.0, 2.0),
+        0.0,
+        length_m,
+        1.0,
+        fs,
+        OrientationMode::Fixed(0.0),
+    );
+    let end = traj.pose(traj.len() - 1);
+    traj.extend(&dwell(end.pos, end.orientation, 0.75, fs));
+    let dense = CsiRecorder::new(
+        &sim,
+        env::device_for(&geo),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record(&traj)
+    .interpolated()
+    .expect("recording interpolable");
+    let n = dense.n_samples();
+
+    let base_config = RimConfig::for_sample_rate(fs).with_min_speed(0.3, env::SPACING, fs);
+    let provisional_every = base_config.provisional_every;
+    // Per-sample latencies plus, separately, the latencies of the ingest
+    // calls that flushed a segment — the spike the cache flattens.
+    let run = |incremental: bool| -> (Vec<f64>, Vec<f64>, usize, usize) {
+        let mut config = base_config.clone();
+        config.incremental = incremental;
+        if !incremental {
+            config.provisional_every = 0;
+        }
+        let mut stream = RimStream::new(geo.clone(), config).expect("valid config");
+        let mut lat_us = Vec::with_capacity(n);
+        let mut flush_us = Vec::new();
+        let mut provisionals = 0usize;
+        let mut segments = 0usize;
+        for i in 0..n {
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+            let t0 = std::time::Instant::now();
+            let events = stream.ingest(snaps).expect("matching antenna count");
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            lat_us.push(us);
+            let mut flushed = false;
+            for e in &events {
+                match e {
+                    StreamEvent::Provisional { .. } => provisionals += 1,
+                    StreamEvent::Segment(_) => {
+                        segments += 1;
+                        flushed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if flushed {
+                flush_us.push(us);
+            }
+        }
+        segments += stream
+            .finish()
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Segment(_)))
+            .count();
+        (lat_us, flush_us, provisionals, segments)
+    };
+
+    let mut entries = Vec::new();
+    let mut spikes = [0.0f64; 2];
+    for (slot, incremental) in [(0usize, false), (1usize, true)] {
+        let (mut lat, mut flush, provisionals, segments) = run(incremental);
+        lat.sort_by(f64::total_cmp);
+        flush.sort_by(f64::total_cmp);
+        let pct = |v: &[f64], p: f64| -> f64 {
+            if v.is_empty() {
+                0.0
+            } else {
+                v[(((v.len() - 1) as f64) * p).round() as usize]
+            }
+        };
+        // The systematic flush cost is the *median* flush-sample latency:
+        // the max of a handful of multi-ms calls is dominated by scheduler
+        // preemption noise on a busy host, not by the pipeline.
+        let spike_us = pct(&flush, 0.50);
+        let max_us = lat.last().copied().unwrap_or(0.0);
+        spikes[slot] = spike_us;
+        let mode = if incremental { "incremental" } else { "batch" };
+        entries.push(format!(
+            concat!(
+                "    {{\"mode\": \"{}\", \"p50_us\": {:.1}, \"p99_us\": {:.1}, ",
+                "\"flush_spike_us\": {:.1}, \"max_us\": {:.1}, ",
+                "\"flushes\": {}, \"provisionals\": {}, \"segments\": {}}}"
+            ),
+            mode,
+            pct(&lat, 0.50),
+            pct(&lat, 0.99),
+            spike_us,
+            max_us,
+            flush.len(),
+            provisionals,
+            segments
+        ));
+        eprintln!(
+            "[lat] {mode}: p50 {:.0} µs, p99 {:.0} µs, flush spike {:.0} µs \
+             (median of {} flushes, max {:.0} µs), {provisionals} provisionals",
+            pct(&lat, 0.50),
+            pct(&lat, 0.99),
+            spike_us,
+            flush.len(),
+            max_us
+        );
+    }
+    let reduction = if spikes[1] > 0.0 {
+        spikes[0] / spikes[1]
+    } else {
+        0.0
+    };
+    eprintln!("[lat] flush-spike reduction: {reduction:.1}x");
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"latency\",\n",
+            "  \"trace\": \"open_lab line {length} m @ {fs} Hz\",\n",
+            "  \"samples\": {samples},\n",
+            "  \"provisional_every\": {pe},\n",
+            "  \"flush_spike_reduction\": {red:.2},\n",
+            "  \"runs\": [\n{runs}\n  ]\n}}\n"
+        ),
+        length = length_m,
+        fs = fs,
+        samples = n,
+        pe = provisional_every,
+        red = reduction,
+        runs = entries.join(",\n")
+    );
+    match std::fs::write("BENCH_latency.json", json) {
+        Ok(()) => eprintln!("[lat] wrote BENCH_latency.json"),
+        Err(e) => eprintln!("[lat] could not write BENCH_latency.json: {e}"),
+    }
+}

@@ -562,8 +562,18 @@ pub fn serve(args: &Args) -> Result<(), String> {
             })
             .collect();
         let distance: f64 = segments.iter().map(|s| s.distance_m).sum();
+        let provisionals = events
+            .iter()
+            .filter(|e| matches!(e, rim_core::StreamEvent::Provisional { .. }))
+            .count();
+        let early = events
+            .iter()
+            .take_while(|e| !matches!(e, rim_core::StreamEvent::Segment(_)))
+            .filter(|e| matches!(e, rim_core::StreamEvent::Provisional { .. }))
+            .count();
         println!(
-            "session {k}: {sent} samples, {} events, {} segments, {distance:.3} m",
+            "session {k}: {sent} samples, {} events, {} segments, {provisionals} provisionals \
+             ({early} before first close), {distance:.3} m",
             events.len(),
             segments.len(),
         );

@@ -130,6 +130,18 @@ impl AlignmentMatrix {
         rim_dsp::stats::median(&self.values[t])
     }
 
+    /// [`Self::column_floor`] for every column at once, sharing one sort
+    /// scratch buffer — the per-call allocation dominates when a caller
+    /// needs the floor of each sample in a segment. Each entry equals the
+    /// corresponding `column_floor(t)` bit for bit.
+    pub fn column_floors(&self) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        self.values
+            .iter()
+            .map(|row| rim_dsp::stats::quantile_with(row, 0.5, &mut scratch))
+            .collect()
+    }
+
     /// Parabolic sub-sample refinement of a ridge lag: fits a parabola to
     /// the TRRS at `lag − 1, lag, lag + 1` and returns the fractional lag
     /// of its vertex (clamped to ±0.5 around `lag`). Falls back to the
@@ -190,8 +202,16 @@ pub fn base_cross_trrs_range(
 }
 
 /// One time column of the cross-TRRS matrix. Shared by the serial and
-/// tiled paths so both perform the identical per-element arithmetic.
-fn cross_trrs_row(a: &[NormSnapshot], b: &[NormSnapshot], window: usize, t: usize) -> Vec<f64> {
+/// tiled paths so both perform the identical per-element arithmetic. The
+/// incremental column cache ([`crate::incremental::ColumnCache`]) builds
+/// its entries by the same `trrs_norm` calls with the same masking, so
+/// matrices materialised from the cache are bit-identical to this path.
+pub(crate) fn cross_trrs_row(
+    a: &[NormSnapshot],
+    b: &[NormSnapshot],
+    window: usize,
+    t: usize,
+) -> Vec<f64> {
     let t_len = a.len();
     let w = window as isize;
     let mut row = vec![0.0; 2 * window + 1];

@@ -15,6 +15,9 @@
 //!   from dense CSI to a [`pipeline::MotionEstimate`];
 //! * [`stream`] — the push-based, bounded-memory real-time variant
 //!   (the paper's C++ online system);
+//! * [`incremental`] — the online column cache + provisional tracker
+//!   that spreads segment analysis across ingest and emits mid-motion
+//!   [`StreamEvent::Provisional`] estimates;
 //! * [`wiball`] — the WiBall-style single-antenna speed estimator the
 //!   paper discusses as a complement (§7).
 //!
@@ -41,6 +44,7 @@
 pub mod alignment;
 pub mod diagnostics;
 pub mod error;
+pub mod incremental;
 pub mod movement;
 pub mod pipeline;
 pub mod reckoning;
@@ -51,6 +55,7 @@ pub mod wiball;
 
 pub use alignment::{alignment_matrix, AlignmentConfig, AlignmentMatrix};
 pub use error::Error;
+pub use incremental::ColumnCache;
 pub use movement::{auto_threshold, detect_movement, movement_indicator, MovementConfig};
 pub use pipeline::{
     Confidence, GapConfig, MotionEstimate, Rim, RimConfig, SegmentEstimate, SegmentKind, Session,

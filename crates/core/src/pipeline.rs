@@ -8,6 +8,7 @@ use crate::alignment::{
     AlignmentMatrix,
 };
 use crate::error::Error;
+use crate::incremental::ColumnCache;
 use crate::movement::{movement_indicator, moving_segments, MovementConfig};
 use crate::reckoning::{
     angular_rate_from_frac_lag, fraction_finite, heading_from_frac_lag, integrate_trajectory,
@@ -20,7 +21,7 @@ use rim_csi::recorder::DenseCsi;
 use rim_dsp::filter::{median_filter, savitzky_golay};
 use rim_dsp::geom::Point2;
 use rim_dsp::stats::{circular_mean, wrap_angle};
-use rim_obs::{stage, NullProbe, Probe};
+use rim_obs::{incremental_metric, stage, NullProbe, Probe};
 use rim_par::Pool;
 use std::sync::Arc;
 
@@ -68,6 +69,18 @@ pub struct RimConfig {
     /// group showing genuine alignment — deviated motion between two
     /// resolvable directions then interpolates between them.
     pub continuous_heading: bool,
+    /// Maintain the incremental alignment engine while streaming
+    /// ([`crate::RimStream`]): every ingested sample appends its
+    /// cross-TRRS columns to an online cache, so a segment flush reuses
+    /// them instead of recomputing the whole matrix at close. Final
+    /// estimates are bit-identical either way — this only moves the work
+    /// off the flush spike and onto a flat per-sample cost.
+    pub incremental: bool,
+    /// Cadence, in ingested samples, of
+    /// [`crate::StreamEvent::Provisional`] estimates while a movement
+    /// segment is still open. `0` disables provisional events; a nonzero
+    /// cadence requires [`RimConfig::incremental`].
+    pub provisional_every: usize,
     /// The sample rate the configuration was derived for, Hz. Used by the
     /// streaming front-end and by [`RimConfig::validate`]; offline
     /// analysis reads the actual rate from the recording.
@@ -143,6 +156,8 @@ impl RimConfig {
             compensate_initial_motion: true,
             subsample_refinement: true,
             continuous_heading: false,
+            incremental: true,
+            provisional_every: ((0.25 * sample_rate_hz).round() as usize).max(1),
             sample_rate_hz,
             gap: GapConfig::for_sample_rate(sample_rate_hz),
             threads: 0,
@@ -260,6 +275,14 @@ impl RimConfig {
                  threshold must sit at or below the entry threshold (hysteresis), \
                  or the watchdog would oscillate",
                 self.gap.degraded_exit, self.gap.degraded_enter
+            ));
+        }
+        if self.provisional_every > 0 && !self.incremental {
+            return bad(format!(
+                "provisional_every = {} with incremental = false; provisional \
+                 estimates are produced by the incremental engine — enable \
+                 incremental or set provisional_every = 0",
+                self.provisional_every
             ));
         }
         if self.threads > rim_par::MAX_THREADS {
@@ -687,8 +710,12 @@ impl Rim {
         let mut angular = vec![0.0f64; n];
         let mut segments = Vec::new();
 
+        let input = SegmentInput {
+            series: series.iter().map(Vec::as_slice).collect(),
+            columns: None,
+        };
         for (s, e) in segments_idx {
-            let seg = self.analyze_segment(&series, fs, s, e, pool, probe);
+            let seg = self.analyze_segment(&input, fs, s, e, pool, probe);
             for (i, v) in seg.speed.iter().enumerate() {
                 speed[s + i] = *v;
             }
@@ -715,7 +742,7 @@ impl Rim {
     /// Per-segment analysis: classify, track, reckon.
     pub(crate) fn analyze_segment<P: Probe + ?Sized>(
         &self,
-        series: &[Vec<NormSnapshot>],
+        input: &SegmentInput,
         fs: f64,
         s: usize,
         e: usize,
@@ -732,9 +759,11 @@ impl Rim {
         // Groups are independent; fan them across the pool (the strided
         // single-column probes inside stay serial).
         let block_len = ((0.6 * fs).round() as usize).max(8);
-        let per_block: Vec<Vec<f64>> = pool.map(&groups, |g| {
-            self.group_prominence_blocks(series, g, s, e, block_len)
+        let blocks_and_hits: Vec<(Vec<f64>, u64)> = pool.map(&groups, |g| {
+            self.group_prominence_blocks(input, g, s, e, block_len)
         });
+        let cache_hits: u64 = blocks_and_hits.iter().map(|(_, h)| h).sum();
+        let per_block: Vec<Vec<f64>> = blocks_and_hits.into_iter().map(|(b, _)| b).collect();
         let n_blocks = per_block.first().map_or(0, Vec::len);
         // Whole-segment prominence (block mean) drives the rotation check.
         let prominences: Vec<f64> = per_block
@@ -749,6 +778,13 @@ impl Rim {
             .collect();
         let best = prominences.iter().cloned().fold(0.0f64, f64::max);
         drop(pre_span);
+        if cache_hits > 0 {
+            probe.count(
+                stage::INCREMENTAL,
+                incremental_metric::CACHE_HITS,
+                cache_hits,
+            );
+        }
         probe.count(
             stage::PRE_DETECTION,
             "groups_considered",
@@ -767,7 +803,7 @@ impl Rim {
         // one or two groups parallel to the motion.
         let is_rotation = self.rotation_signature(&groups, &prominences, best);
         if is_rotation {
-            if let Some(result) = self.estimate_rotation(series, fs, s, e, pool, probe) {
+            if let Some(result) = self.estimate_rotation(input, fs, s, e, pool, probe) {
                 probe.count(stage::PRE_DETECTION, "rotation_segments", 1);
                 return result;
             }
@@ -810,38 +846,51 @@ impl Rim {
             "groups_survived",
             survivors.len() as u64,
         );
-        self.estimate_translation(series, fs, s, e, &groups, &survivors, pool, probe)
+        self.estimate_translation(input, fs, s, e, &groups, &survivors, pool, probe)
     }
 
     /// Per-block prominence of a parallel group: the segment is divided
     /// into blocks of `block_len` samples; each block's prominence is the
     /// median column-max of the (un-averaged) cross-TRRS over a strided
-    /// sub-sampling of that block.
+    /// sub-sampling of that block. Also returns how many of the strided
+    /// column probes were served from the incremental column cache.
     fn group_prominence_blocks(
         &self,
-        series: &[Vec<NormSnapshot>],
+        input: &SegmentInput,
         group: &[rim_array::PairGeometry],
         s: usize,
         e: usize,
         block_len: usize,
-    ) -> Vec<f64> {
+    ) -> (Vec<f64>, u64) {
         let w = self.config.alignment.window;
         let stride = self.config.pre_stride.max(1);
         let len = e - s;
         let n_blocks = len.div_ceil(block_len).max(1);
         let mut out = Vec::with_capacity(n_blocks);
         let mut maxima = Vec::new();
+        let mut hits = 0u64;
         for b in 0..n_blocks {
             let b0 = s + b * block_len;
             let b1 = (b0 + block_len).min(e);
             maxima.clear();
             for pg in group {
-                let a = &series[pg.pair.i];
-                let bb = &series[pg.pair.j];
+                let a = input.series[pg.pair.i];
+                let bb = input.series[pg.pair.j];
+                let cached = input
+                    .columns
+                    .and_then(|c| c.pair_index(pg.pair.i, pg.pair.j).map(|p| (c, p)));
                 let mut t = b0;
                 while t < b1 {
-                    let m = base_cross_trrs_range(a, bb, w, t, t + 1);
-                    let col_max = m.values[0].iter().cloned().fold(0.0f64, f64::max);
+                    let col_max = match cached {
+                        Some((cache, p)) => {
+                            hits += 1;
+                            cache.column_max(p, t, a.len())
+                        }
+                        None => {
+                            let m = base_cross_trrs_range(a, bb, w, t, t + 1);
+                            m.values[0].iter().cloned().fold(0.0f64, f64::max)
+                        }
+                    };
                     maxima.push(col_max);
                     t += stride;
                 }
@@ -852,7 +901,7 @@ impl Rim {
                 rim_dsp::stats::median(&maxima)
             });
         }
-        out
+        (out, hits)
     }
 
     /// True when the prominence pattern says "rotation": *every*
@@ -907,7 +956,7 @@ impl Rim {
     #[allow(clippy::too_many_arguments)]
     fn estimate_translation<P: Probe + ?Sized>(
         &self,
-        series: &[Vec<NormSnapshot>],
+        input: &SegmentInput,
         fs: f64,
         s: usize,
         e: usize,
@@ -934,13 +983,19 @@ impl Rim {
         let smooth_half = ((cfg.smooth_half_s * fs).round() as usize).max(1);
         for &k in survivors {
             let g = &groups[k];
+            let served: u64 = g
+                .iter()
+                .filter(|pg| input.cached(pg.pair.i, pg.pair.j))
+                .count() as u64
+                * (e - s) as u64;
+            if served > 0 {
+                probe.count(stage::INCREMENTAL, incremental_metric::CACHE_HITS, served);
+            }
             let (avg, gate) = {
                 let _span = probe.span(stage::ALIGNMENT_BUILD);
                 let pair_mats: Vec<(AlignmentMatrix, AlignmentMatrix)> = g
                     .iter()
-                    .map(|pg| {
-                        self.segment_matrices(&series[pg.pair.i], &series[pg.pair.j], s, e, pool)
-                    })
+                    .map(|pg| self.segment_matrices(input, pg.pair.i, pg.pair.j, s, e, pool))
                     .collect();
                 let full_refs: Vec<&AlignmentMatrix> = pair_mats.iter().map(|m| &m.0).collect();
                 let gate_refs: Vec<&AlignmentMatrix> = pair_mats.iter().map(|m| &m.1).collect();
@@ -960,8 +1015,9 @@ impl Rim {
             probe.observe(stage::DP_TRACKING, "path_jumpiness", path.jumpiness);
             // Ridge prominence above each column's noise floor, from the
             // lightly-averaged matrix so ridge endpoints stay sharp.
+            let floors = gate.column_floors();
             let raw_quality: Vec<f64> = (0..len)
-                .map(|i| gate.at(i, path.lags[i]) - gate.column_floor(i))
+                .map(|i| gate.at(i, path.lags[i]) - floors[i])
                 .collect();
             for &q in &raw_quality {
                 probe.observe(stage::POST_DETECTION, "ridge_prominence", q);
@@ -1239,7 +1295,7 @@ impl Rim {
     /// has no ring or no ring pair yields a usable path.
     fn estimate_rotation<P: Probe + ?Sized>(
         &self,
-        series: &[Vec<NormSnapshot>],
+        input: &SegmentInput,
         fs: f64,
         s: usize,
         e: usize,
@@ -1262,18 +1318,25 @@ impl Rim {
         let mut margin_sum = 0.0f64;
         let mut margin_n = 0u64;
         for k in 0..half.max(1) {
+            let mut served = 0u64;
+            if input.cached(ring[k].i, ring[k].j) {
+                served += 1;
+            }
             let (avg, gatem, n_mats) = {
                 let _span = probe.span(stage::ALIGNMENT_BUILD);
-                let mut mats =
-                    vec![self.segment_matrices(&series[ring[k].i], &series[ring[k].j], s, e, pool)];
+                let mut mats = vec![self.segment_matrices(input, ring[k].i, ring[k].j, s, e, pool)];
                 if half > 0 && k + half < n_ring {
                     mats.push(self.segment_matrices(
-                        &series[ring[k + half].i],
-                        &series[ring[k + half].j],
+                        input,
+                        ring[k + half].i,
+                        ring[k + half].j,
                         s,
                         e,
                         pool,
                     ));
+                    if input.cached(ring[k + half].i, ring[k + half].j) {
+                        served += 1;
+                    }
                 }
                 let full_refs: Vec<&AlignmentMatrix> = mats.iter().map(|m| &m.0).collect();
                 let gate_refs: Vec<&AlignmentMatrix> = mats.iter().map(|m| &m.1).collect();
@@ -1284,14 +1347,22 @@ impl Rim {
                 )
             };
             probe.count(stage::ALIGNMENT_BUILD, "pair_matrices", n_mats);
+            if served > 0 {
+                probe.count(
+                    stage::INCREMENTAL,
+                    incremental_metric::CACHE_HITS,
+                    served * (e - s) as u64,
+                );
+            }
             let path = {
                 let _span = probe.span(stage::DP_TRACKING);
                 track_peaks(&avg, cfg.dp)
             };
             probe.observe(stage::DP_TRACKING, "path_mean_trrs", path.mean_trrs);
             probe.observe(stage::DP_TRACKING, "path_jumpiness", path.jumpiness);
+            let floors = gatem.column_floors();
             let quality: Vec<f64> = (0..len)
-                .map(|i| gatem.at(i, path.lags[i]) - gatem.column_floor(i))
+                .map(|i| gatem.at(i, path.lags[i]) - floors[i])
                 .collect();
             // The ridge may only cover part of the segment (e.g. a short
             // rotation whose measurable window ends Δd-of-arc before the
@@ -1432,24 +1503,56 @@ impl Rim {
         })
     }
 
-    /// Alignment matrices for a pair over segment columns `s..e`: the
-    /// fully V-averaged matrix (for peak tracking and lag refinement) and
-    /// a lightly averaged one (for quality gating — the full box filter
-    /// smears the ridge endpoints by ±V/2, which would blank genuine
-    /// alignment at segment edges).
+    /// Alignment matrices for antenna pair `(i, j)` over segment columns
+    /// `s..e`: the fully V-averaged matrix (for peak tracking and lag
+    /// refinement) and a lightly averaged one (for quality gating — the
+    /// full box filter smears the ridge endpoints by ±V/2, which would
+    /// blank genuine alignment at segment edges). When the input carries
+    /// an incremental column cache covering the pair, the base matrix is
+    /// materialised from the cached columns (bit-identical to computing
+    /// it here); the V-averaging runs unchanged either way.
     fn segment_matrices(
         &self,
-        a: &[NormSnapshot],
-        b: &[NormSnapshot],
+        input: &SegmentInput,
+        i: usize,
+        j: usize,
         s: usize,
         e: usize,
         pool: &Pool,
     ) -> (AlignmentMatrix, AlignmentMatrix) {
         let cfg = self.config.alignment;
-        let base = base_cross_trrs_range_with(a, b, cfg.window, s, e, pool);
+        let cached = input
+            .columns
+            .and_then(|c| c.pair_index(i, j).map(|p| (c, p)));
+        let base = match cached {
+            Some((cache, p)) => cache.base_matrix_with(p, s, e, input.series[i].len(), pool),
+            None => {
+                base_cross_trrs_range_with(input.series[i], input.series[j], cfg.window, s, e, pool)
+            }
+        };
         let full = virtual_average_range_with(&base, cfg.virtual_antennas, pool);
         let gate = virtual_average_range_with(&base, cfg.virtual_antennas.min(5), pool);
         (full, gate)
+    }
+}
+
+/// Input to per-segment analysis: the materialised snapshot series plus,
+/// for streaming flushes, the incrementally built cross-TRRS column cache
+/// to reuse instead of recomputing (see [`crate::incremental`]).
+pub(crate) struct SegmentInput<'a> {
+    /// Per-antenna normalised snapshot series (full buffered length; the
+    /// segment addresses columns `s..e` within it). Borrowed slices so
+    /// the streaming flush can lend its ring without cloning snapshots.
+    pub(crate) series: Vec<&'a [NormSnapshot]>,
+    /// Online column cache whose base index coincides with `series[_][0]`,
+    /// when the stream maintains one.
+    pub(crate) columns: Option<&'a ColumnCache>,
+}
+
+impl SegmentInput<'_> {
+    /// Does the column cache cover ordered antenna pair `(i, j)`?
+    fn cached(&self, i: usize, j: usize) -> bool {
+        self.columns.and_then(|c| c.pair_index(i, j)).is_some()
     }
 }
 
@@ -1686,6 +1789,16 @@ mod tests {
                     c
                 },
                 "threads",
+            ),
+            (
+                {
+                    let mut c = config(100.0);
+                    // Keeps the default nonzero cadence, which only the
+                    // incremental engine can honour.
+                    c.incremental = false;
+                    c
+                },
+                "provisional_every",
             ),
         ];
         for (bad, needle) in cases {

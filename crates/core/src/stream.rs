@@ -29,14 +29,18 @@
 //! per physical movement).
 
 use crate::error::Error;
+use crate::incremental::{ColumnCache, ProvisionalTracker};
 use crate::movement::{movement_indicator, MovementConfig};
-use crate::pipeline::{GapConfig, MotionEstimate, Rim, RimConfig, SegmentEstimate};
+use crate::pipeline::{
+    Confidence, GapConfig, MotionEstimate, Rim, RimConfig, SegmentEstimate, SegmentInput,
+};
 use crate::trrs::NormSnapshot;
 use rim_array::ArrayGeometry;
 use rim_csi::frame::CsiSnapshot;
 use rim_csi::sync::SyncedSample;
-use rim_obs::{stage, stream_metric, NullProbe, Probe};
+use rim_obs::{incremental_metric, stage, stream_metric, NullProbe, Probe};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// An incremental update emitted by the stream.
 ///
@@ -53,6 +57,23 @@ pub enum StreamEvent {
     /// A resolved stretch of motion (one segment or a bounded chunk of an
     /// ongoing one).
     Segment(SegmentEstimate),
+    /// A provisional mid-motion estimate from the incremental engine,
+    /// emitted every [`RimConfig::provisional_every`] ingested samples
+    /// while a movement segment is open. Provisional values are
+    /// approximate by design (no gap bridging, translation-only); the
+    /// final [`StreamEvent::Segment`] for the motion supersedes every
+    /// provisional and stays bit-identical to the batch analysis.
+    Provisional {
+        /// Absolute sample index the estimate was computed at.
+        at: usize,
+        /// Distance travelled since the motion opened, metres. Monotone
+        /// non-decreasing across one motion's provisionals.
+        distance_so_far: f64,
+        /// Dominant device-frame heading so far, if resolvable.
+        heading: Option<f64>,
+        /// Confidence over the samples tracked so far.
+        confidence: Confidence,
+    },
     /// Movement stopped at the given absolute sample index.
     MovementStopped {
         /// Absolute sample index.
@@ -184,6 +205,48 @@ impl GapFilter {
     /// When `antennas.len()` differs from the count fixed at
     /// construction.
     pub fn offer(&mut self, seq: u64, antennas: &[Option<CsiSnapshot>]) -> GapOutcome {
+        self.offer_owned(seq, antennas.to_vec())
+    }
+
+    /// The zero-copy fast path for dense in-order capture: the sample is
+    /// implicitly the next expected sequence number with every antenna
+    /// measured, so the snapshots are moved straight into the delivered
+    /// [`GapSample`] and the interpolation anchor is refreshed in place —
+    /// no per-sample snapshot allocation once the shapes stabilise.
+    ///
+    /// # Panics
+    /// When `snapshots.len()` differs from the count fixed at
+    /// construction.
+    pub fn offer_dense(&mut self, snapshots: Vec<CsiSnapshot>) -> GapOutcome {
+        assert_eq!(
+            snapshots.len(),
+            self.n_antennas,
+            "antenna count is fixed at construction"
+        );
+        let seq = self.next_expected();
+        if self.last.len() == snapshots.len() {
+            for (anchor, snap) in self.last.iter_mut().zip(&snapshots) {
+                copy_snapshot_into(anchor, snap);
+            }
+        } else {
+            self.last.clone_from(&snapshots);
+        }
+        self.next_seq = Some(seq + 1);
+        GapOutcome::Deliver(vec![GapSample {
+            seq,
+            snapshots,
+            interpolated: false,
+        }])
+    }
+
+    /// [`GapFilter::offer`] taking ownership: measured snapshots are
+    /// moved into the outcome rather than cloned; only hole repairs
+    /// (which synthesise a value from history) still copy.
+    ///
+    /// # Panics
+    /// When `antennas.len()` differs from the count fixed at
+    /// construction.
+    pub fn offer_owned(&mut self, seq: u64, antennas: Vec<Option<CsiSnapshot>>) -> GapOutcome {
         assert_eq!(
             antennas.len(),
             self.n_antennas,
@@ -201,7 +264,7 @@ impl GapFilter {
                 if antennas.iter().any(Option::is_none) {
                     return GapOutcome::Dropped(DropReason::Incomplete);
                 }
-                let snapshots: Vec<CsiSnapshot> = antennas.iter().flatten().cloned().collect();
+                let snapshots: Vec<CsiSnapshot> = antennas.into_iter().flatten().collect();
                 self.last.clone_from(&snapshots);
                 self.next_seq = Some(seq + 1);
                 return GapOutcome::Deliver(vec![GapSample {
@@ -219,13 +282,14 @@ impl GapFilter {
                 DropReason::Stale
             });
         }
-        // Repair per-antenna holes by holding the last delivered value.
+        // Repair per-antenna holes by holding the last delivered value;
+        // measured snapshots move, they are not cloned.
         let mut interpolated = false;
         let snapshots: Vec<CsiSnapshot> = antennas
-            .iter()
+            .into_iter()
             .enumerate()
             .map(|(a, s)| match s {
-                Some(s) => s.clone(),
+                Some(s) => s,
                 None => {
                     interpolated = true;
                     self.last[a].clone()
@@ -233,13 +297,12 @@ impl GapFilter {
             })
             .collect();
         let gap = (seq - expected) as usize;
-        let cur = GapSample {
-            seq,
-            snapshots,
-            interpolated,
-        };
         let outcome = if gap == 0 {
-            GapOutcome::Deliver(vec![cur.clone()])
+            GapOutcome::Deliver(vec![GapSample {
+                seq,
+                snapshots: self.refresh_anchor(snapshots),
+                interpolated,
+            }])
         } else if gap <= self.max_gap {
             // Bridge: interpolate the missing samples between the last
             // delivered one (at `expected - 1`) and the offered one with
@@ -248,29 +311,60 @@ impl GapFilter {
             let mut out = Vec::with_capacity(gap + 1);
             for step in 0..gap {
                 let t = (step + 1) as f64 / span;
-                let snapshots = self
+                let bridged = self
                     .last
                     .iter()
-                    .zip(&cur.snapshots)
+                    .zip(&snapshots)
                     .map(|(l, r)| lerp_snapshot(l, r, t))
                     .collect();
                 out.push(GapSample {
                     seq: expected + step as u64,
-                    snapshots,
+                    snapshots: bridged,
                     interpolated: true,
                 });
             }
-            out.push(cur.clone());
+            out.push(GapSample {
+                seq,
+                snapshots: self.refresh_anchor(snapshots),
+                interpolated,
+            });
             GapOutcome::Deliver(out)
         } else {
             GapOutcome::Split {
                 lost: gap as u64,
-                resume: cur.clone(),
+                resume: GapSample {
+                    seq,
+                    snapshots: self.refresh_anchor(snapshots),
+                    interpolated,
+                },
             }
         };
-        self.last = cur.snapshots;
         self.next_seq = Some(seq + 1);
         outcome
+    }
+
+    /// Copies the delivered snapshots into the interpolation anchor
+    /// (reusing its allocations) and passes them back through.
+    fn refresh_anchor(&mut self, snapshots: Vec<CsiSnapshot>) -> Vec<CsiSnapshot> {
+        if self.last.len() == snapshots.len() {
+            for (anchor, snap) in self.last.iter_mut().zip(&snapshots) {
+                copy_snapshot_into(anchor, snap);
+            }
+        } else {
+            self.last.clone_from(&snapshots);
+        }
+        snapshots
+    }
+}
+
+/// Copies `src` into `dst` reusing `dst`'s buffers: per-TX subcarrier
+/// vectors are cleared and refilled rather than reallocated, so a steady
+/// stream of same-shape samples causes no heap churn here.
+fn copy_snapshot_into(dst: &mut CsiSnapshot, src: &CsiSnapshot) {
+    dst.per_tx.resize(src.per_tx.len(), Vec::new());
+    for (d, s) in dst.per_tx.iter_mut().zip(&src.per_tx) {
+        d.clear();
+        d.extend_from_slice(s);
     }
 }
 
@@ -517,6 +611,11 @@ pub struct RimStream {
     /// Whether the open segment has already been partially flushed (so
     /// later flushes must not re-apply the initial-motion compensation).
     segment_continued: bool,
+    /// Online cross-TRRS columns, kept in lockstep with the ring (only
+    /// when [`RimConfig::incremental`] is set).
+    cache: Option<ColumnCache>,
+    /// Provisional-estimate state for the open segment.
+    tracker: Option<ProvisionalTracker>,
     /// Ring capacity.
     capacity: usize,
     /// Maximum open-segment length before a partial flush.
@@ -573,7 +672,7 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
     /// As [`StreamSession::ingest`].
     #[deprecated(since = "0.4.0", note = "use `ingest(snapshots)` instead")]
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
-        self.stream.push_internal(snapshots, self.probe)
+        self.stream.push_internal(snapshots.to_vec(), self.probe)
     }
 
     /// Offers one sequence-numbered sample with per-antenna loss.
@@ -587,7 +686,8 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
         seq: u64,
         antennas: &[Option<CsiSnapshot>],
     ) -> Result<Vec<StreamEvent>, Error> {
-        self.stream.offer_internal(seq, antennas, self.probe)
+        self.stream
+            .offer_internal(seq, antennas.to_vec(), self.probe)
     }
 
     /// Offers a synchronizer output sample. Superseded by
@@ -598,7 +698,7 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
     #[deprecated(since = "0.4.0", note = "use `ingest(sample)` instead")]
     pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
         self.stream
-            .offer_internal(sample.seq, &sample.antennas, self.probe)
+            .offer_internal(sample.seq, sample.antennas.clone(), self.probe)
     }
 
     /// Flushes the open segment if any (e.g. at end of stream) and
@@ -636,6 +736,9 @@ impl RimStream {
         let max_open = (4.0 * fs) as usize; // flush at least every 4 s
         let capacity = max_open + 4 * (w + v) + 8;
         let n_ant = rim.geometry().n_antennas();
+        let cache = config
+            .incremental
+            .then(|| ColumnCache::new(rim.geometry(), w));
         Self {
             gap_filter: GapFilter::new(n_ant, gap.max_gap),
             watchdog: Watchdog::new(gap),
@@ -649,6 +752,8 @@ impl RimStream {
             interp: VecDeque::with_capacity(capacity),
             open_segment: None,
             segment_continued: false,
+            cache,
+            tracker: None,
             capacity,
             max_open,
             fs,
@@ -713,9 +818,9 @@ impl RimStream {
         probe: &P,
     ) -> Result<Vec<StreamEvent>, Error> {
         match input {
-            StreamInput::Dense(snapshots) => self.push_internal(&snapshots, probe),
-            StreamInput::Sequenced { seq, antennas } => self.offer_internal(seq, &antennas, probe),
-            StreamInput::Synced(sample) => self.offer_internal(sample.seq, &sample.antennas, probe),
+            StreamInput::Dense(snapshots) => self.push_internal(snapshots, probe),
+            StreamInput::Sequenced { seq, antennas } => self.offer_internal(seq, antennas, probe),
+            StreamInput::Synced(sample) => self.offer_internal(sample.seq, sample.antennas, probe),
         }
     }
 
@@ -725,7 +830,7 @@ impl RimStream {
     /// As [`RimStream::ingest`].
     #[deprecated(since = "0.4.0", note = "use `ingest(snapshots)` instead")]
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
-        self.push_internal(snapshots, &NullProbe)
+        self.push_internal(snapshots.to_vec(), &NullProbe)
     }
 
     /// Offers one sequence-numbered sample with per-antenna loss.
@@ -739,7 +844,7 @@ impl RimStream {
         seq: u64,
         antennas: &[Option<CsiSnapshot>],
     ) -> Result<Vec<StreamEvent>, Error> {
-        self.offer_internal(seq, antennas, &NullProbe)
+        self.offer_internal(seq, antennas.to_vec(), &NullProbe)
     }
 
     /// Offers a synchronizer output sample. Superseded by
@@ -749,26 +854,44 @@ impl RimStream {
     /// As [`RimStream::ingest`].
     #[deprecated(since = "0.4.0", note = "use `ingest(sample)` instead")]
     pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
-        self.offer_internal(sample.seq, &sample.antennas, &NullProbe)
+        self.offer_internal(sample.seq, sample.antennas.clone(), &NullProbe)
     }
 
     /// The push body: a clean push is an offer of the next expected
-    /// sequence number with every antenna present.
+    /// sequence number with every antenna present. The snapshots are
+    /// moved, not cloned — dense ingest is the zero-copy hot path.
     fn push_internal<P: Probe + ?Sized>(
         &mut self,
-        snapshots: &[CsiSnapshot],
+        snapshots: Vec<CsiSnapshot>,
         probe: &P,
     ) -> Result<Vec<StreamEvent>, Error> {
+        if snapshots.len() != self.ring.len() {
+            return Err(Error::AntennaMismatch {
+                expected: self.ring.len(),
+                got: snapshots.len(),
+            });
+        }
         let seq = self.gap_filter.next_expected();
-        let present: Vec<Option<CsiSnapshot>> = snapshots.iter().cloned().map(Some).collect();
-        self.offer_internal(seq, &present, probe)
+        for (a, snap) in snapshots.iter().enumerate() {
+            if !snap.is_finite() {
+                return Err(Error::NonFiniteCsi {
+                    antenna: a,
+                    sample: seq as usize,
+                });
+            }
+        }
+        let t0 = probe.enabled().then(Instant::now);
+        let outcome = self.gap_filter.offer_dense(snapshots);
+        let events = self.handle_outcome(outcome, probe);
+        self.note_ingest_latency(t0, probe);
+        Ok(events)
     }
 
-    /// The offer body shared by every entry point.
+    /// The offer body shared by every sequence-numbered entry point.
     fn offer_internal<P: Probe + ?Sized>(
         &mut self,
         seq: u64,
-        antennas: &[Option<CsiSnapshot>],
+        antennas: Vec<Option<CsiSnapshot>>,
         probe: &P,
     ) -> Result<Vec<StreamEvent>, Error> {
         if antennas.len() != self.ring.len() {
@@ -785,8 +908,33 @@ impl RimStream {
                 });
             }
         }
+        let t0 = probe.enabled().then(Instant::now);
+        let outcome = self.gap_filter.offer_owned(seq, antennas);
+        let events = self.handle_outcome(outcome, probe);
+        self.note_ingest_latency(t0, probe);
+        Ok(events)
+    }
+
+    /// Records one ingest's wall-clock latency on the incremental-stage
+    /// histogram (microseconds).
+    fn note_ingest_latency<P: Probe + ?Sized>(&self, t0: Option<Instant>, probe: &P) {
+        if let Some(t0) = t0 {
+            probe.observe(
+                stage::INCREMENTAL,
+                incremental_metric::INGEST_LATENCY_US,
+                t0.elapsed().as_secs_f64() * 1e6,
+            );
+        }
+    }
+
+    /// Applies one [`GapFilter`] outcome to the stream state.
+    fn handle_outcome<P: Probe + ?Sized>(
+        &mut self,
+        outcome: GapOutcome,
+        probe: &P,
+    ) -> Vec<StreamEvent> {
         let mut events = Vec::new();
-        match self.gap_filter.offer(seq, antennas) {
+        match outcome {
             GapOutcome::Dropped(reason) => {
                 let name = match reason {
                     DropReason::Duplicate => stream_metric::DUPLICATES,
@@ -818,22 +966,31 @@ impl RimStream {
                     self.flush_and_note(start, gap_at, probe, &mut events);
                     events.push(StreamEvent::MovementStopped { at: gap_at });
                 }
-                // Fast-forward past the lost stretch: absolute indices
-                // track sequence numbers, so the resumed sample keeps its
-                // place on the time axis.
-                let resume_idx = self.abs_index(resume.seq);
-                for ring in &mut self.ring {
-                    ring.clear();
-                }
-                self.moving.clear();
-                self.interp.clear();
-                self.ring_base = resume_idx;
-                self.pushed = resume_idx;
+                self.tracker = None;
                 if let Some(ev) = self.watchdog.on_split(gap_at, lost) {
                     Self::count_transition(&ev, probe);
                     events.push(ev);
                 }
-                self.ingest_sample(resume, probe, &mut events);
+                // Fast-forward past the lost stretch: absolute indices
+                // track sequence numbers, so the resumed sample keeps its
+                // place on the time axis. A resume seq from before the
+                // epoch cannot be placed on the axis — drop it as stale
+                // rather than rebasing onto an underflowed index.
+                if let Some(resume_idx) = self.abs_index(resume.seq) {
+                    for ring in &mut self.ring {
+                        ring.clear();
+                    }
+                    self.moving.clear();
+                    self.interp.clear();
+                    self.ring_base = resume_idx;
+                    self.pushed = resume_idx;
+                    if let Some(cache) = self.cache.as_mut() {
+                        cache.clear(resume_idx);
+                    }
+                    self.ingest_sample(resume, probe, &mut events);
+                } else {
+                    probe.count(stage::STREAM, stream_metric::REORDERED, 1);
+                }
             }
         }
         probe.gauge(
@@ -846,14 +1003,15 @@ impl RimStream {
             stream_metric::DEGRADED_TIME_S,
             self.degraded_time_s(),
         );
-        Ok(events)
+        events
     }
 
     /// Absolute sample index of a sequence number (index 0 = first
-    /// delivered sample).
-    fn abs_index(&mut self, seq: u64) -> usize {
+    /// delivered sample), or `None` for a sequence number from before the
+    /// epoch — a stale leftover that must not underflow the time axis.
+    fn abs_index(&mut self, seq: u64) -> Option<usize> {
         let first = *self.first_seq.get_or_insert(seq);
-        (seq - first) as usize
+        seq.checked_sub(first).map(|d| d as usize)
     }
 
     /// Counts a watchdog transition event on the probe.
@@ -877,10 +1035,27 @@ impl RimStream {
         probe: &P,
         events: &mut Vec<StreamEvent>,
     ) {
-        let newest = self.abs_index(sample.seq);
+        let Some(newest) = self.abs_index(sample.seq) else {
+            // Pre-epoch sequence number: placing it would underflow the
+            // absolute time axis. Drop it like any other stale reorder.
+            probe.count(stage::STREAM, stream_metric::REORDERED, 1);
+            return;
+        };
         debug_assert_eq!(newest, self.pushed, "delivered samples are contiguous");
+        let tx0 = sample.snapshots.first().map_or(0, |s| s.per_tx.len());
+        if sample.snapshots.iter().any(|s| s.per_tx.len() != tx0) {
+            // Antennas disagree on the TX count: `trrs_avg` will truncate
+            // to the common prefix (see its truncation contract).
+            probe.count(stage::STREAM, stream_metric::TX_MISMATCH, 1);
+        }
         for (ring, snap) in self.ring.iter_mut().zip(&sample.snapshots) {
             ring.push_back(NormSnapshot::from_snapshot(snap));
+        }
+        if let Some(cache) = self.cache.as_mut() {
+            let built = cache.on_sample(&self.ring, self.ring_base);
+            if built > 0 {
+                probe.count(stage::INCREMENTAL, incremental_metric::COLUMNS_BUILT, built);
+            }
         }
         self.interp.push_back(sample.interpolated);
         self.pushed = newest + 1;
@@ -907,6 +1082,16 @@ impl RimStream {
                     self.open_segment = Some(start);
                     self.segment_continued = false;
                     events.push(StreamEvent::MovementStarted { at: start });
+                    if self.rim.config().provisional_every > 0 {
+                        if let Some(cache) = self.cache.as_ref() {
+                            self.tracker = Some(ProvisionalTracker::new(
+                                self.rim.geometry(),
+                                self.rim.config(),
+                                cache,
+                                start,
+                            ));
+                        }
+                    }
                 }
             }
             (Some(start), false) => {
@@ -918,17 +1103,54 @@ impl RimStream {
                     self.flush_and_note(start, newest + 1 - quiet.min(newest), probe, events);
                     events.push(StreamEvent::MovementStopped { at: newest });
                     self.open_segment = None;
+                    self.tracker = None;
                 }
             }
             (Some(start), true) => {
                 // Partial flush of very long movements to bound memory.
                 if newest - start >= self.max_open {
-                    self.flush_and_note(start, newest + 1, probe, events);
+                    let flushed = self
+                        .flush_and_note(start, newest + 1, probe, events)
+                        .unwrap_or(0.0);
                     self.open_segment = Some(newest + 1);
                     self.segment_continued = true;
+                    if let Some(tracker) = self.tracker.as_mut() {
+                        tracker.on_partial_flush(flushed, newest + 1);
+                    }
                 }
             }
             (None, false) => {}
+        }
+
+        if self.open_segment.is_some() {
+            if let (Some(tracker), Some(cache)) = (self.tracker.as_mut(), self.cache.as_ref()) {
+                if let Some(p) = tracker.on_sample(cache, newest) {
+                    let mut confidence = p.confidence;
+                    // The tracker cannot see which samples were
+                    // synthesised; patch the fraction from the stream's
+                    // own bookkeeping, like the segment flush does.
+                    let start = self.open_segment.unwrap_or(newest);
+                    let s_rel = start.saturating_sub(self.ring_base);
+                    let span = (newest + 1).saturating_sub(self.ring_base + s_rel);
+                    if span > 0 {
+                        let synth = self
+                            .interp
+                            .iter()
+                            .skip(s_rel)
+                            .take(span)
+                            .filter(|&&b| b)
+                            .count();
+                        confidence.interpolated_fraction = synth as f64 / span as f64;
+                    }
+                    probe.count(stage::INCREMENTAL, incremental_metric::PROVISIONALS, 1);
+                    events.push(StreamEvent::Provisional {
+                        at: newest,
+                        distance_so_far: p.distance_so_far,
+                        heading: p.heading,
+                        confidence,
+                    });
+                }
+            }
         }
 
         if let Some(ev) = self.watchdog.on_sample(sample.interpolated, newest) {
@@ -955,23 +1177,26 @@ impl RimStream {
         if let Some(start) = self.open_segment.take() {
             self.flush_and_note(start, self.pushed, probe, &mut events);
             events.push(StreamEvent::MovementStopped { at: self.pushed });
+            self.tracker = None;
         }
         events
     }
 
     /// Movement flag for the newest ring sample.
-    fn instant_movement(&self, mcfg: &MovementConfig) -> bool {
+    fn instant_movement(&mut self, mcfg: &MovementConfig) -> bool {
         let len = self.ring_len();
         if len <= mcfg.lag {
             return false;
         }
         // Evaluate the indicator over a short suffix window and take the
-        // newest value (min across antennas).
+        // newest value (min across antennas). Borrow the ring in place —
+        // `make_contiguous` only rotates storage when the deque wrapped,
+        // so the steady-state sample ingests with zero snapshot clones.
         let tail = (mcfg.lag + mcfg.virtual_antennas + 1).min(len);
         let mut min_ind = f64::INFINITY;
-        for ring in &self.ring {
-            let slice: Vec<NormSnapshot> = ring.iter().skip(len - tail).cloned().collect();
-            let ind = movement_indicator(&slice, *mcfg);
+        for ring in &mut self.ring {
+            let slice = &ring.make_contiguous()[len - tail..];
+            let ind = movement_indicator(slice, *mcfg);
             if let Some(&v) = ind.last() {
                 min_ind = min_ind.min(v);
             }
@@ -980,22 +1205,27 @@ impl RimStream {
     }
 
     /// Flushes `[start, end)`, emits the segment event, and feeds the
-    /// segment's alignment coverage to the watchdog.
+    /// segment's alignment coverage to the watchdog. Returns the flushed
+    /// distance (metres) when a segment resolved.
     fn flush_and_note<P: Probe + ?Sized>(
         &mut self,
         start: usize,
         end: usize,
         probe: &P,
         events: &mut Vec<StreamEvent>,
-    ) {
+    ) -> Option<f64> {
         if let Some(seg) = self.flush_segment(start, end, probe) {
             let coverage = seg.confidence.alignment_coverage;
             let at = seg.end;
+            let distance = seg.distance_m;
             events.push(StreamEvent::Segment(seg));
             if let Some(ev) = self.watchdog.on_segment(coverage, at) {
                 Self::count_transition(&ev, probe);
                 events.push(ev);
             }
+            Some(distance)
+        } else {
+            None
         }
     }
 
@@ -1013,20 +1243,28 @@ impl RimStream {
         // Flush latency: everything from ring materialisation through the
         // per-segment pipeline run.
         let _span = probe.span(stage::STREAM);
-        // Materialise the ring as contiguous series (bounded size).
-        let series: Vec<Vec<NormSnapshot>> = self
-            .ring
-            .iter()
-            .map(|r| r.iter().cloned().collect())
-            .collect();
+        // Lend the ring as contiguous slices — no snapshot is cloned;
+        // `make_contiguous` only rotates the deque's backing storage.
+        for ring in &mut self.ring {
+            ring.make_contiguous();
+        }
+        let series: Vec<&[NormSnapshot]> = self.ring.iter().map(|r| r.as_slices().0).collect();
         let s_rel = start.checked_sub(self.ring_base)?;
         let e_rel = (end - self.ring_base).min(series[0].len());
         if e_rel <= s_rel {
             return None;
         }
+        // Reuse the incrementally built columns: the cache is indexed on
+        // the same ring-relative axis as the materialised series, and
+        // materialisation re-masks every entry against the series bounds,
+        // so the analysis is bit-identical to recomputing from scratch.
+        let input = SegmentInput {
+            series,
+            columns: self.cache.as_ref(),
+        };
         let mut result =
             self.rim
-                .analyze_segment(&series, self.fs, s_rel, e_rel, self.rim.pool(), probe);
+                .analyze_segment(&input, self.fs, s_rel, e_rel, self.rim.pool(), probe);
         if self.segment_continued {
             // A continuation chunk: remove the per-segment Δd compensation
             // that analyze_segment applied (the motion did not restart).
@@ -1091,6 +1329,9 @@ impl RimStream {
             self.moving.pop_front();
             self.interp.pop_front();
             self.ring_base += 1;
+        }
+        if let Some(cache) = self.cache.as_mut() {
+            cache.trim_to(self.ring_base);
         }
     }
 }
@@ -1579,6 +1820,131 @@ mod tests {
         };
         assert!(stream.offer_synced(&sample).unwrap().is_empty());
         assert_eq!(stream.samples_pushed(), 3);
+    }
+
+    #[test]
+    fn stale_seq_after_rebase_is_dropped_not_underflowed() {
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut stream = RimStream::new(geo, config(100.0)).unwrap();
+        // White-box: a rebased gap filter expecting a pre-epoch sequence
+        // number. Before the guard, `(seq - first) as usize` underflowed.
+        stream.first_seq = Some(1000);
+        stream.gap_filter.next_seq = Some(10);
+        stream.gap_filter.last = vec![probe_snap(0.0); 3];
+        let snaps: Vec<_> = (0..3).map(|a| Some(probe_snap(a as f64))).collect();
+        let recorder = rim_obs::Recorder::new();
+        let events = stream
+            .session()
+            .probe(&recorder)
+            .ingest((10u64, snaps))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+        assert_eq!(stream.samples_pushed(), 0, "stale sample left no trace");
+        let report = recorder.report();
+        let stream_stage = report.stage(stage::STREAM).expect("stream stage reported");
+        assert!(
+            stream_stage
+                .counters
+                .iter()
+                .any(|(n, v)| n == stream_metric::REORDERED && *v >= 1),
+            "stale drop counted: {:?}",
+            stream_stage.counters
+        );
+    }
+
+    #[test]
+    fn tx_mismatch_within_a_sample_is_counted() {
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut stream = RimStream::new(geo, config(100.0)).unwrap();
+        let mut two_tx = probe_snap(1.0);
+        two_tx.per_tx.push(two_tx.per_tx[0].clone());
+        let recorder = rim_obs::Recorder::new();
+        stream
+            .session()
+            .probe(&recorder)
+            .ingest(vec![probe_snap(0.0), two_tx, probe_snap(2.0)])
+            .unwrap();
+        stream
+            .session()
+            .probe(&recorder)
+            .ingest(vec![probe_snap(3.0), probe_snap(4.0), probe_snap(5.0)])
+            .unwrap();
+        let report = recorder.report();
+        let stream_stage = report.stage(stage::STREAM).expect("stream stage reported");
+        let count = stream_stage
+            .counters
+            .iter()
+            .find(|(n, _)| n == stream_metric::TX_MISMATCH)
+            .map(|(_, v)| *v);
+        assert_eq!(count, Some(1), "only the mismatched sample is counted");
+    }
+
+    #[test]
+    fn provisionals_are_emitted_during_motion_and_monotone() {
+        let fs = 100.0;
+        let sim = small_sim();
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut traj = dwell(Point2::new(0.0, 2.0), 0.0, 0.4, fs);
+        traj.extend(&line(
+            Point2::new(0.0, 2.0),
+            0.0,
+            1.0,
+            1.0,
+            fs,
+            OrientationMode::FollowPath,
+        ));
+        traj.extend(&dwell(Point2::new(1.0, 2.0), 0.0, 0.5, fs));
+        let dense = CsiRecorder::new(
+            &sim,
+            DeviceConfig::single_nic(geo.offsets().to_vec()),
+            RecorderConfig::default(),
+        )
+        .record(&traj)
+        .interpolated()
+        .unwrap();
+        let mut cfg = config(fs);
+        cfg.provisional_every = 10;
+        let mut stream = RimStream::new(geo, cfg).unwrap();
+        let mut provisional_distances = Vec::new();
+        let mut before_close = 0usize;
+        let mut segments = 0usize;
+        for i in 0..dense.n_samples() {
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+            for e in stream.ingest(snaps).unwrap() {
+                match e {
+                    StreamEvent::Provisional {
+                        distance_so_far,
+                        confidence,
+                        ..
+                    } => {
+                        assert!(distance_so_far.is_finite());
+                        assert!(confidence.peak_margin >= 0.0);
+                        provisional_distances.push(distance_so_far);
+                        if segments == 0 {
+                            before_close += 1;
+                        }
+                    }
+                    StreamEvent::Segment(_) => segments += 1,
+                    _ => {}
+                }
+            }
+        }
+        stream.finish();
+        assert!(
+            before_close >= 2,
+            "provisionals arrive while the motion is open (got {before_close})"
+        );
+        for pair in provisional_distances.windows(2) {
+            assert!(
+                pair[1] >= pair[0],
+                "provisional distance went backwards: {provisional_distances:?}"
+            );
+        }
+        let last = provisional_distances.last().copied().unwrap_or(0.0);
+        assert!(
+            last > 0.2,
+            "provisionals track real motion, got {last:.3} m: {provisional_distances:?}"
+        );
     }
 
     #[test]

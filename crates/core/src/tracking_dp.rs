@@ -54,6 +54,66 @@ pub fn track_peaks(m: &AlignmentMatrix, config: DpConfig) -> TrackedPath {
     track_peaks_range(m, 0, m.n_times(), config)
 }
 
+/// Per-step cost of one lag of jump. ω is halved relative to the paper's
+/// double-counting form (see module docs). Shared by the batch tracker
+/// and the incremental provisional tracker so both price jumps
+/// identically.
+///
+/// # Panics
+/// Panics if `omega` is positive (the weight must be a cost).
+pub(crate) fn dp_jump_cost(omega: f64, window: usize) -> f64 {
+    let c = (-omega) * 0.5 / (2.0 * window as f64).max(1.0);
+    assert!(c >= 0.0, "omega must be negative (a cost)");
+    c
+}
+
+/// One DP relaxation step: advances `score` from the previous column to
+/// the column whose TRRS values are `row`, under jump cost `c` per lag of
+/// movement, and returns the chosen parent lag index per lag. The
+/// distance transform is the exact two-sweep arithmetic of
+/// [`track_peaks_range`] (extracted so the incremental forward pass in
+/// [`crate::incremental`] is bit-identical to the batch pass);
+/// `best_prev` / `best_parent` are caller-provided scratch, fully
+/// overwritten here.
+pub(crate) fn dp_advance_column(
+    score: &mut [f64],
+    row: &[f64],
+    c: f64,
+    best_prev: &mut [f64],
+    best_parent: &mut [u32],
+) -> Vec<u32> {
+    let n_lags = score.len();
+    // Distance transform: best_prev[l] = max_n score[n] − c·|l − n|,
+    // with the achieving n recorded.
+    // Left-to-right sweep.
+    best_prev[0] = score[0];
+    best_parent[0] = 0;
+    for l in 1..n_lags {
+        let carried = best_prev[l - 1] - c;
+        if score[l] >= carried {
+            best_prev[l] = score[l];
+            best_parent[l] = l as u32;
+        } else {
+            best_prev[l] = carried;
+            best_parent[l] = best_parent[l - 1];
+        }
+    }
+    // Right-to-left sweep.
+    for l in (0..n_lags - 1).rev() {
+        let carried = best_prev[l + 1] - c;
+        if carried > best_prev[l] {
+            best_prev[l] = carried;
+            best_parent[l] = best_parent[l + 1];
+        }
+    }
+    let mut parent_row = vec![0u32; n_lags];
+    for l in 0..n_lags {
+        parent_row[l] = best_parent[l];
+        score[l] = row[l] + best_prev[l];
+    }
+    parent_row
+}
+
 /// Tracks the optimal lag path over columns `t0..t1`.
 ///
 /// # Panics
@@ -66,10 +126,7 @@ pub fn track_peaks_range(
 ) -> TrackedPath {
     assert!(t0 < t1 && t1 <= m.n_times(), "invalid column range");
     let n_lags = m.n_lags();
-    // Per-step cost of one lag of jump. ω is halved relative to the
-    // paper's double-counting form (see module docs).
-    let c = (-config.omega) * 0.5 / (2.0 * m.window as f64).max(1.0);
-    assert!(c >= 0.0, "omega must be negative (a cost)");
+    let c = dp_jump_cost(config.omega, m.window);
 
     let steps = t1 - t0;
     let mut score: Vec<f64> = m.values[t0].clone();
@@ -78,36 +135,13 @@ pub fn track_peaks_range(
     let mut best_parent = vec![0u32; n_lags];
 
     for t in t0 + 1..t1 {
-        // Distance transform: best_prev[l] = max_n score[n] − c·|l − n|,
-        // with the achieving n recorded.
-        // Left-to-right sweep.
-        best_prev[0] = score[0];
-        best_parent[0] = 0;
-        for l in 1..n_lags {
-            let carried = best_prev[l - 1] - c;
-            if score[l] >= carried {
-                best_prev[l] = score[l];
-                best_parent[l] = l as u32;
-            } else {
-                best_prev[l] = carried;
-                best_parent[l] = best_parent[l - 1];
-            }
-        }
-        // Right-to-left sweep.
-        for l in (0..n_lags - 1).rev() {
-            let carried = best_prev[l + 1] - c;
-            if carried > best_prev[l] {
-                best_prev[l] = carried;
-                best_parent[l] = best_parent[l + 1];
-            }
-        }
-        let row = &m.values[t];
-        let mut parent_row = vec![0u32; n_lags];
-        for l in 0..n_lags {
-            parent_row[l] = best_parent[l];
-            score[l] = row[l] + best_prev[l];
-        }
-        parents.push(parent_row);
+        parents.push(dp_advance_column(
+            &mut score,
+            &m.values[t],
+            c,
+            &mut best_prev,
+            &mut best_parent,
+        ));
     }
 
     // Best terminal lag (Eqn. 8) and backtrack.

@@ -71,8 +71,19 @@ pub fn trrs_cir(h1: &[Complex64], h2: &[Complex64]) -> f64 {
 /// per-TX TRRS values are computed independently and averaged, avoiding
 /// any need to synchronise the two measurements.
 ///
-/// Snapshots with mismatched TX counts are compared over the common
-/// prefix; returns 0 for empty snapshots.
+/// # Truncation contract
+///
+/// Snapshots with mismatched TX counts are **silently truncated** to the
+/// common prefix: only the first `min(a, b)` TX chains contribute, the
+/// divisor is that common count, and the surplus chains of the longer
+/// snapshot are ignored entirely. This keeps the metric total and in
+/// `[0, 1]` when an AP renegotiates its antenna configuration mid-stream,
+/// but it means a persistent mismatch quietly discards diversity (and
+/// resolution) instead of failing. Callers that can observe a whole
+/// sample — the streaming front-end in [`crate::stream`] — therefore
+/// count a `tx_mismatch` probe metric when the snapshots of one sample
+/// disagree on TX count, so the silent truncation is visible in run
+/// reports. Returns 0 for empty snapshots.
 pub fn trrs_avg(a: &CsiSnapshot, b: &CsiSnapshot) -> f64 {
     let n = a.per_tx.len().min(b.per_tx.len());
     if n == 0 {
@@ -115,6 +126,12 @@ impl NormSnapshot {
 }
 
 /// TRRS between two normalised snapshots (TX-averaged, Eqn. 3).
+///
+/// Follows the same truncation contract as [`trrs_avg`]: mismatched TX
+/// counts are silently compared over the common prefix (per-TX pairs with
+/// differing subcarrier counts contribute 0), so the value stays total
+/// rather than erroring — see [`trrs_avg`] for why and how the mismatch
+/// is surfaced.
 pub fn trrs_norm(a: &NormSnapshot, b: &NormSnapshot) -> f64 {
     let n = a.per_tx.len().min(b.per_tx.len());
     if n == 0 {

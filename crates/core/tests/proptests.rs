@@ -343,6 +343,43 @@ fn shared_walk() -> &'static Vec<Vec<CsiSnapshot>> {
     })
 }
 
+/// A bursty Gilbert–Elliott-style loss mask: a two-state chain with a
+/// sticky bad state, burst lengths still capped at `GAP_MAX` so every
+/// gap is bridgeable.
+fn ge_mask(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(0.0f64..1.0, n..=n).prop_map(move |draws| {
+        let mut mask = vec![false; n];
+        let mut bad = false;
+        let mut run = 0usize;
+        for (i, &x) in draws.iter().enumerate() {
+            bad = if bad { x < 0.7 } else { x < 0.05 };
+            let mut lost = bad && i > 0;
+            if lost {
+                run += 1;
+                if run > GAP_MAX {
+                    lost = false;
+                    run = 0;
+                    bad = false;
+                }
+            } else {
+                run = 0;
+            }
+            mask[i] = lost;
+        }
+        mask
+    })
+}
+
+/// One of the three loss models the incremental engine must be
+/// bit-identical under: lossless, iid 10%, and bursty (Gilbert–Elliott).
+fn loss_mask(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    (0usize..3, bridgeable_mask(n, 0.1), ge_mask(n)).prop_map(move |(model, iid, ge)| match model {
+        0 => vec![false; n],
+        1 => iid,
+        _ => ge,
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -400,5 +437,126 @@ proptest! {
                 b.confidence.alignment_coverage.to_bits()
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The tentpole invariant: reusing the incrementally built columns at
+    /// segment flush must leave the final estimates bit-identical to the
+    /// batch path, for every loss model and thread count.
+    #[test]
+    fn incremental_final_estimates_match_batch_bitwise(
+        mask in loss_mask(120),
+    ) {
+        let walk = shared_walk();
+        let fs = 100.0;
+        let run = |threads: usize, incremental: bool| {
+            let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+            let mut config = RimConfig::for_sample_rate(fs)
+                .with_min_speed(0.3, HALF_WAVELENGTH, fs)
+                .with_threads(threads);
+            config.incremental = incremental;
+            if !incremental {
+                config.provisional_every = 0;
+            }
+            let mut stream = RimStream::new(geometry, config).expect("valid config");
+            let mut segments = Vec::new();
+            let mut absorb = |events: Vec<StreamEvent>| {
+                for e in events {
+                    if let StreamEvent::Segment(s) = e {
+                        segments.push(s);
+                    }
+                }
+            };
+            for (i, snaps) in walk.iter().enumerate() {
+                if *mask.get(i).unwrap_or(&false) {
+                    continue;
+                }
+                let antennas: Vec<_> = snaps.iter().cloned().map(Some).collect();
+                absorb(stream.ingest((i as u64, antennas)).expect("ingest"));
+            }
+            absorb(stream.finish());
+            segments
+        };
+        let reference = run(1, false);
+        for threads in [1usize, 2, 4, 8] {
+            let inc = run(threads, true);
+            prop_assert_eq!(reference.len(), inc.len(), "threads={}", threads);
+            for (a, b) in reference.iter().zip(&inc) {
+                prop_assert_eq!(a.start, b.start);
+                prop_assert_eq!(a.end, b.end);
+                prop_assert_eq!(a.kind, b.kind);
+                prop_assert_eq!(
+                    a.distance_m.to_bits(), b.distance_m.to_bits(),
+                    "threads={} distance", threads
+                );
+                prop_assert_eq!(
+                    a.heading_device.map(f64::to_bits),
+                    b.heading_device.map(f64::to_bits)
+                );
+                prop_assert_eq!(a.rotation_rad.to_bits(), b.rotation_rad.to_bits());
+                prop_assert_eq!(
+                    a.confidence.peak_margin.to_bits(),
+                    b.confidence.peak_margin.to_bits()
+                );
+                prop_assert_eq!(
+                    a.confidence.interpolated_fraction.to_bits(),
+                    b.confidence.interpolated_fraction.to_bits()
+                );
+                prop_assert_eq!(
+                    a.confidence.alignment_coverage.to_bits(),
+                    b.confidence.alignment_coverage.to_bits()
+                );
+            }
+        }
+    }
+
+    /// Provisional estimates are a running prefix of the motion: within
+    /// one movement their reported distance never decreases, under every
+    /// loss model.
+    #[test]
+    fn provisional_distances_monotone_within_motion(
+        mask in loss_mask(120),
+    ) {
+        let walk = shared_walk();
+        let fs = 100.0;
+        let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut config = RimConfig::for_sample_rate(fs)
+            .with_min_speed(0.3, HALF_WAVELENGTH, fs);
+        config.provisional_every = 5;
+        let mut stream = RimStream::new(geometry, config).expect("valid config");
+        let mut all_events = Vec::new();
+        for (i, snaps) in walk.iter().enumerate() {
+            if *mask.get(i).unwrap_or(&false) {
+                continue;
+            }
+            let antennas: Vec<_> = snaps.iter().cloned().map(Some).collect();
+            all_events.extend(stream.ingest((i as u64, antennas)).expect("ingest"));
+        }
+        all_events.extend(stream.finish());
+        let mut last: Option<f64> = None;
+        let mut provisionals = 0usize;
+        for e in all_events {
+            match e {
+                StreamEvent::Provisional { distance_so_far, .. } => {
+                    prop_assert!(distance_so_far.is_finite());
+                    if let Some(prev) = last {
+                        prop_assert!(
+                            distance_so_far >= prev,
+                            "provisional went backwards: {} after {}",
+                            distance_so_far,
+                            prev
+                        );
+                    }
+                    last = Some(distance_so_far);
+                    provisionals += 1;
+                }
+                StreamEvent::MovementStopped { .. } => last = None,
+                _ => {}
+            }
+        }
+        prop_assert!(provisionals > 0, "the walk's motion emits provisionals");
     }
 }

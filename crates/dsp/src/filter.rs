@@ -26,6 +26,37 @@ pub fn moving_average(x: &[f64], half: usize) -> Vec<f64> {
 pub fn median_filter(x: &[f64], half: usize) -> Vec<f64> {
     let n = x.len();
     let mut out = Vec::with_capacity(n);
+    // A sorted window updated by one insertion/removal per step costs
+    // O(W) memmove instead of an O(W log W) comparison sort per sample.
+    // Binary search needs totally ordered contents, so inputs containing
+    // NaN take the direct per-window sort below instead.
+    if !x.iter().any(|v| v.is_nan()) {
+        let mut win: Vec<f64> = Vec::with_capacity(2 * half + 1);
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for i in 0..n {
+            let new_lo = i.saturating_sub(half);
+            let new_hi = (i + half + 1).min(n);
+            while hi < new_hi {
+                let v = x[hi];
+                let p = win.partition_point(|&w| w < v);
+                win.insert(p, v);
+                hi += 1;
+            }
+            while lo < new_lo {
+                let v = x[lo];
+                let p = win.partition_point(|&w| w < v);
+                win.remove(p);
+                lo += 1;
+            }
+            let m = win.len();
+            out.push(if m % 2 == 1 {
+                win[m / 2]
+            } else {
+                0.5 * (win[m / 2 - 1] + win[m / 2])
+            });
+        }
+        return out;
+    }
     let mut buf = Vec::with_capacity(2 * half + 1);
     for i in 0..n {
         let lo = i.saturating_sub(half);
@@ -80,39 +111,61 @@ pub fn exponential_smooth(x: &[f64], alpha: f64) -> Vec<f64> {
 pub fn savitzky_golay(x: &[f64], half: usize, degree: usize) -> Vec<f64> {
     let n = x.len();
     let mut out = Vec::with_capacity(n);
+    // The window offsets — and therefore the offset powers and the normal
+    // matrix A[j][k] = Σ t^(j+k) — depend only on the window's *shape*
+    // (centre position within it, width, fitted degree). Every interior
+    // sample shares one shape, so the powers and A are rebuilt only at
+    // the edges; per sample only the rhs b[j] = Σ y·t^j re-accumulates.
+    // Accumulation order matches the per-sample rebuild exactly, so the
+    // output is bit-identical to recomputing everything each sample.
+    let mut shape = (usize::MAX, 0usize, 0usize); // (i − lo, width, deg)
+    let mut powers: Vec<Vec<f64>> = Vec::new();
+    let mut a0: Vec<Vec<f64>> = Vec::new();
+    let mut a: Vec<Vec<f64>> = Vec::new();
+    let mut b: Vec<f64> = Vec::new();
     for i in 0..n {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
         let window = &x[lo..hi];
         let deg = degree.min(window.len().saturating_sub(1));
-        // Fit p(t) = Σ c_k t^k over t = (index − i), evaluate at t = 0 → c₀.
-        let ts: Vec<f64> = (lo..hi).map(|j| j as f64 - i as f64).collect();
-        out.push(polyfit_eval_at_zero(&ts, window, deg));
+        let m = deg + 1;
+        if shape != (i - lo, hi - lo, deg) {
+            shape = (i - lo, hi - lo, deg);
+            // Fit p(t) = Σ c_k t^k over t = (index − i); powers t^0..t^(2m−2).
+            powers = (lo..hi)
+                .map(|j| {
+                    let t = j as f64 - i as f64;
+                    let mut tp = vec![1.0; 2 * m - 1];
+                    for p in 1..2 * m - 1 {
+                        tp[p] = tp[p - 1] * t;
+                    }
+                    tp
+                })
+                .collect();
+            a0 = vec![vec![0.0; m]; m];
+            for tp in &powers {
+                for j in 0..m {
+                    for k in 0..m {
+                        a0[j][k] += tp[j + k];
+                    }
+                }
+            }
+            a = vec![vec![0.0; m]; m];
+            b = vec![0.0; m];
+        }
+        for (dst, src) in a.iter_mut().zip(&a0) {
+            dst.copy_from_slice(src);
+        }
+        b.fill(0.0);
+        for (tp, &y) in powers.iter().zip(window) {
+            for j in 0..m {
+                b[j] += y * tp[j];
+            }
+        }
+        // Evaluate the fit at t = 0 → the constant coefficient.
+        out.push(solve_linear(&mut a, &mut b)[0]);
     }
     out
-}
-
-/// Fits a degree-`deg` polynomial to `(ts, ys)` by normal equations and
-/// returns its value at t = 0 (the constant coefficient).
-fn polyfit_eval_at_zero(ts: &[f64], ys: &[f64], deg: usize) -> f64 {
-    let m = deg + 1;
-    // Normal matrix A[j][k] = Σ t^(j+k), rhs b[j] = Σ y·t^j.
-    let mut a = vec![vec![0.0; m]; m];
-    let mut b = vec![0.0; m];
-    for (&t, &y) in ts.iter().zip(ys) {
-        let mut tp = vec![1.0; 2 * m - 1];
-        for p in 1..2 * m - 1 {
-            tp[p] = tp[p - 1] * t;
-        }
-        for j in 0..m {
-            for k in 0..m {
-                a[j][k] += tp[j + k];
-            }
-            b[j] += y * tp[j];
-        }
-    }
-    let coeffs = solve_linear(&mut a, &mut b);
-    coeffs[0]
 }
 
 /// Solves `A·x = b` by Gaussian elimination with partial pivoting.

@@ -41,12 +41,24 @@ pub fn rms(x: &[f64]) -> f64 {
 /// # Panics
 /// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(x: &[f64], q: f64) -> f64 {
+    quantile_with(x, q, &mut Vec::new())
+}
+
+/// [`quantile`] with a caller-provided scratch buffer, for hot loops that
+/// take many quantiles of same-sized slices (the per-call sort allocation
+/// otherwise dominates). Identical result to [`quantile`].
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile_with(x: &[f64], q: f64, scratch: &mut Vec<f64>) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
     if x.is_empty() {
         return f64::NAN;
     }
-    let mut s = x.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    scratch.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let s = &scratch[..];
     let pos = q * (s.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -63,6 +63,12 @@ pub mod stage {
     /// of [`PIPELINE`]. Its counters and gauges use the canonical names
     /// in [`super::serve_metric`].
     pub const SERVE: &str = "serve";
+    /// Incremental alignment engine (online cross-TRRS columns, cached
+    /// column reuse at flush, provisional estimates). Runs inside the
+    /// streaming front-end rather than as an offline stage, so not part
+    /// of [`PIPELINE`]. Its counters and distributions use the canonical
+    /// names in [`super::incremental_metric`].
+    pub const INCREMENTAL: &str = "incremental";
 
     /// All six pipeline stages in execution order.
     pub const PIPELINE: [&str; 6] = [
@@ -105,6 +111,27 @@ pub mod stream_metric {
     pub const DEGRADED_TIME_S: &str = "degraded_time_s";
     /// Gauge: fraction of the watchdog window that is interpolated.
     pub const INTERPOLATED_FRACTION: &str = "interpolated_fraction";
+    /// Counter: ingested samples whose antennas disagreed on the TX
+    /// count, forcing `trrs_avg`'s truncation to the common prefix.
+    pub const TX_MISMATCH: &str = "tx_mismatch";
+}
+
+/// Canonical counter / distribution names emitted by the incremental
+/// alignment engine under [`stage::INCREMENTAL`]. Kept here for the same
+/// reason as [`stream_metric`]: the CLI, tests, and report tooling
+/// reference them without depending on the engine crate.
+pub mod incremental_metric {
+    /// Counter: cross-TRRS column entries computed online (one per
+    /// `trrs_norm` evaluation, appends and backfills alike).
+    pub const COLUMNS_BUILT: &str = "columns_built";
+    /// Counter: base-matrix columns and pre-detection probes served from
+    /// the incremental cache at segment flush instead of being recomputed.
+    pub const CACHE_HITS: &str = "cache_hits";
+    /// Distribution: wall-clock microseconds spent ingesting one sample
+    /// (gap repair, column build, provisional tracking included).
+    pub const INGEST_LATENCY_US: &str = "ingest_latency_us";
+    /// Counter: provisional estimates emitted while motion was open.
+    pub const PROVISIONALS: &str = "provisionals";
 }
 
 /// Canonical counter / gauge / distribution names emitted by the
@@ -149,6 +176,7 @@ mod stage_tests {
             super::stream_metric::RECOVERED_EVENTS,
             super::stream_metric::DEGRADED_TIME_S,
             super::stream_metric::INTERPOLATED_FRACTION,
+            super::stream_metric::TX_MISMATCH,
         ];
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {
@@ -168,6 +196,21 @@ mod stage_tests {
             super::serve_metric::SESSIONS_ACTIVE,
             super::serve_metric::QUEUE_DEPTH,
             super::serve_metric::INGEST_TO_ESTIMATE_MS,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_metric_names_are_unique() {
+        let names = [
+            super::incremental_metric::COLUMNS_BUILT,
+            super::incremental_metric::CACHE_HITS,
+            super::incremental_metric::INGEST_LATENCY_US,
+            super::incremental_metric::PROVISIONALS,
         ];
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {

@@ -277,6 +277,7 @@ mod event_tag {
     pub const STOPPED: u8 = 2;
     pub const DEGRADED: u8 = 3;
     pub const RECOVERED: u8 = 4;
+    pub const PROVISIONAL: u8 = 5;
 }
 
 fn put_events(body: &mut BytesMut, events: &[StreamEvent]) {
@@ -341,6 +342,29 @@ fn put_event(body: &mut BytesMut, event: &StreamEvent) {
         StreamEvent::Recovered { at } => {
             body.put_u8(event_tag::RECOVERED);
             body.put_u64(*at as u64);
+        }
+        StreamEvent::Provisional {
+            at,
+            distance_so_far,
+            heading,
+            confidence,
+        } => {
+            body.put_u8(event_tag::PROVISIONAL);
+            body.put_u64(*at as u64);
+            body.put_f64(*distance_so_far);
+            match heading {
+                Some(h) => {
+                    body.put_u8(1);
+                    body.put_f64(*h);
+                }
+                None => {
+                    body.put_u8(0);
+                    body.put_f64(0.0);
+                }
+            }
+            body.put_f64(confidence.peak_margin);
+            body.put_f64(confidence.interpolated_fraction);
+            body.put_f64(confidence.alignment_coverage);
         }
     }
 }
@@ -436,6 +460,31 @@ fn get_event(body: &mut &[u8]) -> Result<StreamEvent, WireError> {
                 at: body.get_u64() as usize,
             })
         }
+        event_tag::PROVISIONAL => {
+            if body.remaining() < 8 + 8 + 9 + 24 {
+                return Err(WireError::Truncated);
+            }
+            let at = body.get_u64() as usize;
+            let distance_so_far = body.get_f64();
+            let has_heading = body.get_u8();
+            let heading_value = body.get_f64();
+            let heading = match has_heading {
+                0 => None,
+                1 => Some(heading_value),
+                t => return Err(WireError::BadTag(t)),
+            };
+            let confidence = Confidence {
+                peak_margin: body.get_f64(),
+                interpolated_fraction: body.get_f64(),
+                alignment_coverage: body.get_f64(),
+            };
+            Ok(StreamEvent::Provisional {
+                at,
+                distance_so_far,
+                heading,
+                confidence,
+            })
+        }
         t => Err(WireError::BadTag(t)),
     }
 }
@@ -474,6 +523,26 @@ mod tests {
                     alignment_coverage: 0.875,
                 },
             }),
+            StreamEvent::Provisional {
+                at: 120,
+                distance_so_far: 0.9375,
+                heading: Some(0.25),
+                confidence: Confidence {
+                    peak_margin: 0.1875,
+                    interpolated_fraction: 0.03125,
+                    alignment_coverage: 0.75,
+                },
+            },
+            StreamEvent::Provisional {
+                at: 180,
+                distance_so_far: 1.5,
+                heading: None,
+                confidence: Confidence {
+                    peak_margin: 0.5,
+                    interpolated_fraction: 0.0,
+                    alignment_coverage: 0.8125,
+                },
+            },
             StreamEvent::Degraded {
                 at: 250,
                 reason: DegradeReason::InputGap { lost: 40 },

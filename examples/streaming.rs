@@ -74,6 +74,9 @@ fn main() {
                         .map(|h| format!("{:.0}°", h.to_degrees()))
                         .unwrap_or_else(|| "n/a".into())
                 ),
+                StreamEvent::Provisional {
+                    distance_so_far, ..
+                } => println!("[{t:6.2}s] provisional: {distance_so_far:.2} m so far"),
                 StreamEvent::MovementStopped { .. } => println!("[{t:6.2}s] movement stopped"),
                 StreamEvent::Degraded { reason, .. } => {
                     println!("[{t:6.2}s] DEGRADED: {reason:?}")
