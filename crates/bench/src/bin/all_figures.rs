@@ -52,6 +52,7 @@ fn main() {
     write_parallel_sweep(fast);
     write_serve_sweep(fast);
     rim_bench::latency::write_latency_bench(fast);
+    rim_bench::obs::write_obs_bench(fast);
 }
 
 /// Profiles one representative pipeline run (2 m lab push at the standard
@@ -287,7 +288,8 @@ fn write_serve_sweep(fast: bool) {
                 "    {{\"sessions\": {}, \"samples_total\": {}, \"events\": {}, ",
                 "\"wall_ms\": {:.3}, \"throughput_sps\": {:.1}, ",
                 "\"p50_ingest_to_estimate_ms\": {:.3}, ",
-                "\"p99_ingest_to_estimate_ms\": {:.3}}}"
+                "\"p99_ingest_to_estimate_ms\": {:.3}, ",
+                "\"p999_ingest_to_estimate_ms\": {:.3}}}"
             ),
             sessions,
             total,
@@ -295,7 +297,8 @@ fn write_serve_sweep(fast: bool) {
             wall_ms,
             throughput,
             pct(0.50),
-            pct(0.99)
+            pct(0.99),
+            pct(0.999)
         ));
         eprintln!(
             "[serve] sessions={sessions}: {throughput:.0} samples/s aggregate, \

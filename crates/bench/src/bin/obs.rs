@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::obs` (writes `BENCH_obs.json`).
+fn main() {
+    rim_bench::obs::write_obs_bench(rim_bench::fast_mode());
+}

@@ -20,6 +20,7 @@
 pub mod env;
 pub mod figs;
 pub mod latency;
+pub mod obs;
 pub mod report;
 
 /// True when the `RIM_FAST` environment variable asks for reduced

@@ -1,0 +1,184 @@
+//! The observability-overhead benchmark behind `BENCH_obs.json`: the
+//! per-sample cost of end-to-end tracing, and the latency-attribution
+//! breakdown of an 8-session loopback serve run.
+
+use crate::env;
+use rim_channel::trajectory::{dwell, line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::stream::RimStream;
+use rim_csi::{CsiRecorder, RecorderConfig};
+use rim_dsp::geom::Point2;
+use rim_obs::{ActiveTrace, TraceId};
+use rim_serve::{Admit, Client, ServeConfig, Server, SessionManager};
+use std::sync::Arc;
+
+/// Spans reported in the attribution breakdown, in pipeline order.
+const ATTRIBUTION_SPANS: [&str; 7] = [
+    rim_obs::attribution_metric::ADMISSION_US,
+    rim_obs::attribution_metric::QUEUE_WAIT_US,
+    rim_obs::attribution_metric::BATCH_SCHEDULE_US,
+    rim_obs::attribution_metric::COMPUTE_US,
+    rim_obs::attribution_metric::FLUSH_US,
+    rim_obs::attribution_metric::WIRE_US,
+    rim_obs::attribution_metric::TOTAL_US,
+];
+
+/// Measures the tracing overhead on per-sample ingest latency (every
+/// sample traced vs. no tracing, same capture, p50 of the per-call wall
+/// time) and decomposes ingest→estimate latency for an 8-session
+/// loopback serve run with `trace_sample_every = 1`. Writes both to
+/// `BENCH_obs.json`. Tracing is purely observational, so the overhead
+/// column is the full cost of the feature; the acceptance bar is ≤5 %
+/// on p50.
+pub fn write_obs_bench(fast: bool) {
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = env::linear_array();
+    let fs = env::SAMPLE_RATE;
+    let length_m = if fast { 2.0 } else { 6.0 };
+    let mut traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        length_m,
+        1.0,
+        fs,
+        OrientationMode::FollowPath,
+    );
+    let end = traj.pose(traj.len() - 1);
+    traj.extend(&dwell(end.pos, end.orientation, 0.75, fs));
+    let recording = CsiRecorder::new(
+        &sim,
+        env::device_for(&geo),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record(&traj);
+    let dense = recording.interpolated().expect("recording interpolable");
+    let n = dense.n_samples();
+
+    // Per-sample overhead: stream the capture with a fresh ActiveTrace
+    // attached to every ingest vs. untraced, timing each call. The p50
+    // is the steady-state cost; reps guard against a noisy run.
+    let run = |traced: bool| -> f64 {
+        let mut stream =
+            RimStream::new(geo.clone(), env::rim_config(fs, 0.3)).expect("valid config");
+        let mut lat_us = Vec::with_capacity(n);
+        for i in 0..n {
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+            let t0 = std::time::Instant::now();
+            if traced {
+                let mut trace = ActiveTrace::new(TraceId(i as u64), 0, i as u64);
+                stream
+                    .session()
+                    .trace(&mut trace)
+                    .ingest(snaps)
+                    .expect("matching antenna count");
+                let _ = trace.finish();
+            } else {
+                stream
+                    .session()
+                    .ingest(snaps)
+                    .expect("matching antenna count");
+            }
+            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        stream.finish();
+        lat_us.sort_by(f64::total_cmp);
+        lat_us[(lat_us.len() - 1) / 2]
+    };
+    let reps = if fast { 2 } else { 3 };
+    let mut p50_off = f64::INFINITY;
+    let mut p50_on = f64::INFINITY;
+    for _ in 0..reps {
+        p50_off = p50_off.min(run(false));
+        p50_on = p50_on.min(run(true));
+    }
+    let overhead_pct = if p50_off > 0.0 {
+        (p50_on - p50_off) / p50_off * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[obs] tracing overhead: p50 {p50_off:.1} µs untraced vs {p50_on:.1} µs traced \
+         ({overhead_pct:+.2} %)"
+    );
+
+    // Attribution: an 8-session loopback run with every admitted sample
+    // traced; the manager report's latency_attribution stage decomposes
+    // ingest→estimate into the span taxonomy.
+    let sessions = 8usize;
+    let samples = rim_csi::synced_from_recording(&recording);
+    let per_session = samples.len();
+    let config = env::rim_config(fs, 0.3).with_trace_sampling(1);
+    let manager = Arc::new(
+        SessionManager::new(geo.clone(), config, ServeConfig::default()).expect("valid config"),
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&manager)).expect("bind loopback");
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..sessions as u64)
+        .map(|k| {
+            let samples = samples.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for sample in samples {
+                    let (admit, _) = client.ingest_blocking(k, sample).expect("ingest");
+                    assert_eq!(admit, Admit::Accepted, "session {k} rejected");
+                }
+                client.finish(k).expect("finish");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+    let report = manager.report();
+    server.shutdown();
+
+    let mut span_entries = Vec::new();
+    if let Some(attr) = report.stage(rim_obs::stage::LATENCY_ATTRIBUTION) {
+        for name in ATTRIBUTION_SPANS {
+            if let Some(d) = attr.distributions.iter().find(|d| d.name == name) {
+                span_entries.push(format!(
+                    concat!(
+                        "      {{\"name\": \"{}\", \"count\": {}, ",
+                        "\"p50_us\": {:.1}, \"p99_us\": {:.1}}}"
+                    ),
+                    d.name, d.count, d.p50, d.p99
+                ));
+                eprintln!(
+                    "[obs] {}: n={} p50 {:.1} µs, p99 {:.1} µs",
+                    d.name, d.count, d.p50, d.p99
+                );
+            }
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"obs\",\n",
+            "  \"trace\": \"open_lab line {length} m @ {fs} Hz\",\n",
+            "  \"samples\": {samples},\n",
+            "  \"overhead\": {{\"p50_untraced_us\": {off:.2}, \"p50_traced_us\": {on:.2}, ",
+            "\"overhead_pct\": {pct:.2}}},\n",
+            "  \"attribution\": {{\n",
+            "    \"sessions\": {sessions},\n",
+            "    \"samples_per_session\": {per_session},\n",
+            "    \"trace_sample_every\": 1,\n",
+            "    \"spans\": [\n{spans}\n    ]\n  }}\n}}\n"
+        ),
+        length = length_m,
+        fs = fs,
+        samples = n,
+        off = p50_off,
+        on = p50_on,
+        pct = overhead_pct,
+        sessions = sessions,
+        per_session = per_session,
+        spans = span_entries.join(",\n")
+    );
+    match std::fs::write("BENCH_obs.json", json) {
+        Ok(()) => eprintln!("[obs] wrote BENCH_obs.json"),
+        Err(e) => eprintln!("[obs] could not write BENCH_obs.json: {e}"),
+    }
+}

@@ -24,8 +24,10 @@ USAGE:
   rim serve    <in.rimc> [--sessions K] [--array linear3|hexagonal|l]
                [--min-speed M/S] [--threads N] [--queue N]
                [--loss SPEC] [--loss-seed N] [--obs json|report]
+               [--trace-every N] [--metrics-every MS]
   rim serve    --listen ADDR [--rate HZ] [--array linear3|hexagonal|l]
-               [--min-speed M/S] [--threads N] [--queue N]
+               [--min-speed M/S] [--threads N] [--queue N] [--trace-every N]
+  rim top      ADDR [--interval-ms MS] [--iterations N]
   rim floorplan
   rim demo     [--seed N] [--obs json|report]
   rim help
@@ -49,6 +51,15 @@ USAGE:
   the per-session estimates are printed; with --listen ADDR it serves
   external clients until one sends a shutdown request. --queue N bounds
   each session's ingress queue (full queues throttle the client).
+
+  --trace-every N traces every Nth admitted sample end to end (admission,
+  queue wait, batch schedule, analysis, flush, wire-out; 0 = off). In
+  self-drive mode --metrics-every MS polls the server's live telemetry
+  snapshot mid-run and prints one `metrics:` digest line per poll.
+
+  top polls a running server's telemetry (the same snapshot `--metrics-every`
+  digests) and prints the full text exposition each interval; --iterations N
+  stops after N polls (0 = until interrupted).
 ";
 
 /// Rejects `--options` the subcommand does not know. The parser accepts
@@ -444,6 +455,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
             "loss",
             "loss-seed",
             "obs",
+            "trace-every",
+            "metrics-every",
         ],
     )?;
     let obs = obs_mode(args)?;
@@ -451,6 +464,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let geometry = array_by_name(&array_name)?;
     let min_speed = args.get_f64("min-speed", 0.3)?;
     let threads = args.get_u64("threads", 0)? as usize;
+    let trace_every = args.get_u64("trace-every", 0)? as usize;
+    let metrics_every = args.get_u64("metrics-every", 0)?;
     let serve_cfg = rim_serve::ServeConfig {
         queue_capacity: args.get_u64("queue", 256)? as usize,
         ..rim_serve::ServeConfig::default()
@@ -462,7 +477,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
         let rate = args.get_f64("rate", 200.0)?;
         let config = RimConfig::for_sample_rate(rate)
             .with_min_speed(min_speed, HALF_WAVELENGTH, rate)
-            .with_threads(threads);
+            .with_threads(threads)
+            .with_trace_sampling(trace_every);
         let manager = std::sync::Arc::new(
             rim_serve::SessionManager::new(geometry, config, serve_cfg)
                 .map_err(|e| e.to_string())?,
@@ -501,13 +517,33 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let fs = recording.sample_rate_hz;
     let config = RimConfig::for_sample_rate(fs)
         .with_min_speed(min_speed, HALF_WAVELENGTH, fs)
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_trace_sampling(trace_every);
     let manager = std::sync::Arc::new(
         rim_serve::SessionManager::new(geometry, config, serve_cfg).map_err(|e| e.to_string())?,
     );
     let mut server = rim_serve::Server::bind("127.0.0.1:0", std::sync::Arc::clone(&manager))
         .map_err(|e| e.to_string())?;
     let addr = server.local_addr();
+
+    // Mid-run telemetry polling over its own connection, so the digest
+    // reflects what an external `rim top` would see.
+    let stop_metrics = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let metrics_handle = (metrics_every > 0).then(|| {
+        let stop = std::sync::Arc::clone(&stop_metrics);
+        std::thread::spawn(move || {
+            let Ok(mut client) = rim_serve::Client::connect(addr) else {
+                return;
+            };
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::sleep(std::time::Duration::from_millis(metrics_every.max(1)));
+                match client.metrics() {
+                    Ok(text) => println!("{}", metrics_digest(&text)),
+                    Err(_) => return,
+                }
+            }
+        })
+    });
 
     let mut handles = Vec::new();
     for k in 0..sessions {
@@ -538,6 +574,18 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let mut results = Vec::new();
     for h in handles {
         results.push(h.join().map_err(|_| "session thread panicked")??);
+    }
+    if metrics_every > 0 {
+        stop_metrics.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(h) = metrics_handle {
+            let _ = h.join();
+        }
+        // A final snapshot after every session finished, so even a run
+        // shorter than one poll interval emits at least one digest.
+        let text = rim_serve::Client::connect(addr)
+            .and_then(|mut c| c.metrics())
+            .map_err(|e| e.to_string())?;
+        println!("{}", metrics_digest(&text));
     }
     // Shut the server down over the wire, then join its threads.
     rim_serve::Client::connect(addr)
@@ -582,6 +630,49 @@ pub fn serve(args: &Args) -> Result<(), String> {
         print!("{}", manager.report().render());
     }
     Ok(())
+}
+
+/// One-line summary of a telemetry snapshot for `--metrics-every`,
+/// checking well-formedness so a garbled exposition is visible in the
+/// output rather than silently digested.
+fn metrics_digest(text: &str) -> String {
+    if !text.starts_with("# rim-serve metrics v1") {
+        return String::from("metrics: malformed snapshot");
+    }
+    let lines = text.lines().count();
+    let traces = text.lines().filter(|l| l.starts_with("trace ")).count();
+    let with_queue_wait = text
+        .lines()
+        .filter(|l| l.starts_with("trace ") && l.contains("queue_wait="))
+        .count();
+    format!(
+        "metrics: snapshot {lines} lines, {traces} traces, {with_queue_wait} with queue_wait spans"
+    )
+}
+
+/// `rim top` — poll a running server's live telemetry and print the
+/// full text exposition each interval.
+pub fn top(args: &Args) -> Result<(), String> {
+    check_options(args, &["interval-ms", "iterations"])?;
+    let addr = args
+        .positional
+        .first()
+        .ok_or("top needs a server address (HOST:PORT)")?;
+    let interval = args.get_u64("interval-ms", 1000)?;
+    let iterations = args.get_u64("iterations", 0)?;
+    let mut client = rim_serve::Client::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut polled = 0u64;
+    loop {
+        let text = client.metrics().map_err(|e| e.to_string())?;
+        println!("--- {addr} ---");
+        print!("{text}");
+        polled += 1;
+        if iterations > 0 && polled >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(1)));
+    }
 }
 
 /// `rim floorplan`.
@@ -840,6 +931,42 @@ mod tests {
     }
 
     #[test]
+    fn metrics_digest_summarises_and_flags_garbage() {
+        let text = "# rim-serve metrics v1\n\
+                    serve.samples_admitted 5\n\
+                    trace 1 session=3 seq=0 total_us=120 admission=2 queue_wait=80\n\
+                    trace 2 session=3 seq=1 total_us=90 admission=1\n";
+        assert_eq!(
+            metrics_digest(text),
+            "metrics: snapshot 4 lines, 2 traces, 1 with queue_wait spans"
+        );
+        assert_eq!(metrics_digest("nonsense"), "metrics: malformed snapshot");
+    }
+
+    #[test]
+    fn top_polls_a_live_server() {
+        let geometry = ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let config = RimConfig::for_sample_rate(100.0);
+        let manager = std::sync::Arc::new(
+            rim_serve::SessionManager::new(geometry, config, rim_serve::ServeConfig::default())
+                .unwrap(),
+        );
+        let mut server = rim_serve::Server::bind("127.0.0.1:0", manager).unwrap();
+        let addr = server.local_addr().to_string();
+        top(&args(&[
+            "top",
+            &addr,
+            "--iterations",
+            "2",
+            "--interval-ms",
+            "1",
+        ]))
+        .expect("top polls");
+        assert!(top(&args(&["top"])).is_err(), "address is required");
+        server.shutdown();
+    }
+
+    #[test]
     fn floorplan_prints() {
         floorplan(&args(&["floorplan"])).unwrap();
     }
@@ -868,6 +995,10 @@ mod tests {
             "3",
             "--loss",
             "iid:0.05",
+            "--trace-every",
+            "1",
+            "--metrics-every",
+            "10",
         ]))
         .expect("self-drive serves cleanly");
         // Missing capture and bad loss specs surface as errors.

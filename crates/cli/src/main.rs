@@ -7,6 +7,7 @@
 //! rim analyze  in.rimc [in2.rimc…] [--array linear3|hexagonal|l]
 //!              [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
 //! rim serve    in.rimc [--sessions K] [--loss SPEC] | --listen ADDR
+//! rim top      ADDR [--interval-ms MS] [--iterations N]
 //! rim floorplan
 //! rim demo     [--seed N]
 //! ```
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         Some("simulate") => commands::simulate(&parsed),
         Some("analyze") => commands::analyze(&parsed),
         Some("serve") => commands::serve(&parsed),
+        Some("top") => commands::top(&parsed),
         Some("floorplan") => commands::floorplan(&parsed),
         Some("demo") => commands::demo(&parsed),
         Some("help") | None => {

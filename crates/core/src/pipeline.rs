@@ -96,6 +96,13 @@ pub struct RimConfig {
     /// default) lets the pool pick ~8 tiles per worker. Tiling never
     /// changes results — parallel output is bit-identical to serial.
     pub tile_columns: usize,
+    /// Serve-path trace sampling cadence: trace every Nth admitted
+    /// sample end to end (admission → queue → batch → ingest → flush →
+    /// wire) into a bounded [`rim_obs::TraceRecord`] ring. `0` (the
+    /// default) disables tracing entirely — the streaming hot path then
+    /// carries no trace state at all. Tracing is observational: results
+    /// are bit-identical with it on or off.
+    pub trace_sample_every: usize,
 }
 
 /// Gap tolerance and degraded-mode watchdog configuration for the
@@ -162,6 +169,7 @@ impl RimConfig {
             gap: GapConfig::for_sample_rate(sample_rate_hz),
             threads: 0,
             tile_columns: 0,
+            trace_sample_every: 0,
         }
     }
 
@@ -178,6 +186,13 @@ impl RimConfig {
     /// [`RimConfig::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the serve-path trace sampling cadence (`0` = off, see
+    /// [`RimConfig::trace_sample_every`]).
+    pub fn with_trace_sampling(mut self, every: usize) -> Self {
+        self.trace_sample_every = every;
         self
     }
 

@@ -38,7 +38,7 @@ use crate::trrs::NormSnapshot;
 use rim_array::ArrayGeometry;
 use rim_csi::frame::CsiSnapshot;
 use rim_csi::sync::SyncedSample;
-use rim_obs::{incremental_metric, stage, stream_metric, NullProbe, Probe};
+use rim_obs::{incremental_metric, stage, stream_metric, ActiveTrace, NullProbe, Probe, SpanKind};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -640,6 +640,7 @@ pub struct RimStream {
 pub struct StreamSession<'s, P: Probe + ?Sized = NullProbe> {
     stream: &'s mut RimStream,
     probe: &'s P,
+    trace: Option<&'s mut ActiveTrace>,
 }
 
 impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
@@ -651,6 +652,20 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
         StreamSession {
             stream: self.stream,
             probe,
+            trace: self.trace,
+        }
+    }
+
+    /// Attaches a per-request trace: the next [`StreamSession::ingest`]
+    /// records an [`SpanKind::IncrementalIngest`] span covering the whole
+    /// call, with a child [`SpanKind::Flush`] span for any segment flush
+    /// it triggers. Tracing is purely observational — events are
+    /// bit-identical with or without it.
+    pub fn trace(self, trace: &'s mut ActiveTrace) -> StreamSession<'s, P> {
+        StreamSession {
+            stream: self.stream,
+            probe: self.probe,
+            trace: Some(trace),
         }
     }
 
@@ -663,7 +678,8 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
     /// the geometry's antennas; [`Error::NonFiniteCsi`] when a present
     /// snapshot contains NaN or infinite values.
     pub fn ingest(&mut self, input: impl Into<StreamInput>) -> Result<Vec<StreamEvent>, Error> {
-        self.stream.ingest_input(input.into(), self.probe)
+        self.stream
+            .ingest_input(input.into(), self.probe, self.trace.as_deref_mut())
     }
 
     /// Pushes one dense sample. Superseded by [`StreamSession::ingest`].
@@ -672,7 +688,8 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
     /// As [`StreamSession::ingest`].
     #[deprecated(since = "0.4.0", note = "use `ingest(snapshots)` instead")]
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
-        self.stream.push_internal(snapshots.to_vec(), self.probe)
+        self.stream
+            .push_internal(snapshots.to_vec(), self.probe, self.trace.as_deref_mut())
     }
 
     /// Offers one sequence-numbered sample with per-antenna loss.
@@ -686,8 +703,12 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
         seq: u64,
         antennas: &[Option<CsiSnapshot>],
     ) -> Result<Vec<StreamEvent>, Error> {
-        self.stream
-            .offer_internal(seq, antennas.to_vec(), self.probe)
+        self.stream.offer_internal(
+            seq,
+            antennas.to_vec(),
+            self.probe,
+            self.trace.as_deref_mut(),
+        )
     }
 
     /// Offers a synchronizer output sample. Superseded by
@@ -697,8 +718,12 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
     /// As [`StreamSession::ingest`].
     #[deprecated(since = "0.4.0", note = "use `ingest(sample)` instead")]
     pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
-        self.stream
-            .offer_internal(sample.seq, sample.antennas.clone(), self.probe)
+        self.stream.offer_internal(
+            sample.seq,
+            sample.antennas.clone(),
+            self.probe,
+            self.trace.as_deref_mut(),
+        )
     }
 
     /// Flushes the open segment if any (e.g. at end of stream) and
@@ -767,6 +792,7 @@ impl RimStream {
         StreamSession {
             stream: self,
             probe: &NullProbe,
+            trace: None,
         }
     }
 
@@ -807,7 +833,7 @@ impl RimStream {
     /// the geometry's antennas; [`Error::NonFiniteCsi`] when a present
     /// snapshot contains NaN or infinite values.
     pub fn ingest(&mut self, input: impl Into<StreamInput>) -> Result<Vec<StreamEvent>, Error> {
-        self.ingest_input(input.into(), &NullProbe)
+        self.ingest_input(input.into(), &NullProbe, None)
     }
 
     /// The ingest body: dispatches one [`StreamInput`] to the shared
@@ -816,11 +842,16 @@ impl RimStream {
         &mut self,
         input: StreamInput,
         probe: &P,
+        trace: Option<&mut ActiveTrace>,
     ) -> Result<Vec<StreamEvent>, Error> {
         match input {
-            StreamInput::Dense(snapshots) => self.push_internal(snapshots, probe),
-            StreamInput::Sequenced { seq, antennas } => self.offer_internal(seq, antennas, probe),
-            StreamInput::Synced(sample) => self.offer_internal(sample.seq, sample.antennas, probe),
+            StreamInput::Dense(snapshots) => self.push_internal(snapshots, probe, trace),
+            StreamInput::Sequenced { seq, antennas } => {
+                self.offer_internal(seq, antennas, probe, trace)
+            }
+            StreamInput::Synced(sample) => {
+                self.offer_internal(sample.seq, sample.antennas, probe, trace)
+            }
         }
     }
 
@@ -830,7 +861,7 @@ impl RimStream {
     /// As [`RimStream::ingest`].
     #[deprecated(since = "0.4.0", note = "use `ingest(snapshots)` instead")]
     pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
-        self.push_internal(snapshots.to_vec(), &NullProbe)
+        self.push_internal(snapshots.to_vec(), &NullProbe, None)
     }
 
     /// Offers one sequence-numbered sample with per-antenna loss.
@@ -844,7 +875,7 @@ impl RimStream {
         seq: u64,
         antennas: &[Option<CsiSnapshot>],
     ) -> Result<Vec<StreamEvent>, Error> {
-        self.offer_internal(seq, antennas.to_vec(), &NullProbe)
+        self.offer_internal(seq, antennas.to_vec(), &NullProbe, None)
     }
 
     /// Offers a synchronizer output sample. Superseded by
@@ -854,7 +885,7 @@ impl RimStream {
     /// As [`RimStream::ingest`].
     #[deprecated(since = "0.4.0", note = "use `ingest(sample)` instead")]
     pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
-        self.offer_internal(sample.seq, sample.antennas.clone(), &NullProbe)
+        self.offer_internal(sample.seq, sample.antennas.clone(), &NullProbe, None)
     }
 
     /// The push body: a clean push is an offer of the next expected
@@ -864,6 +895,7 @@ impl RimStream {
         &mut self,
         snapshots: Vec<CsiSnapshot>,
         probe: &P,
+        mut trace: Option<&mut ActiveTrace>,
     ) -> Result<Vec<StreamEvent>, Error> {
         if snapshots.len() != self.ring.len() {
             return Err(Error::AntennaMismatch {
@@ -881,8 +913,14 @@ impl RimStream {
             }
         }
         let t0 = probe.enabled().then(Instant::now);
+        let ingest_span = trace
+            .as_deref_mut()
+            .map(|t| t.open(SpanKind::IncrementalIngest));
         let outcome = self.gap_filter.offer_dense(snapshots);
-        let events = self.handle_outcome(outcome, probe);
+        let events = self.handle_outcome(outcome, probe, trace.as_deref_mut());
+        if let (Some(t), Some(id)) = (trace, ingest_span) {
+            t.close(id);
+        }
         self.note_ingest_latency(t0, probe);
         Ok(events)
     }
@@ -893,6 +931,7 @@ impl RimStream {
         seq: u64,
         antennas: Vec<Option<CsiSnapshot>>,
         probe: &P,
+        mut trace: Option<&mut ActiveTrace>,
     ) -> Result<Vec<StreamEvent>, Error> {
         if antennas.len() != self.ring.len() {
             return Err(Error::AntennaMismatch {
@@ -909,8 +948,14 @@ impl RimStream {
             }
         }
         let t0 = probe.enabled().then(Instant::now);
+        let ingest_span = trace
+            .as_deref_mut()
+            .map(|t| t.open(SpanKind::IncrementalIngest));
         let outcome = self.gap_filter.offer_owned(seq, antennas);
-        let events = self.handle_outcome(outcome, probe);
+        let events = self.handle_outcome(outcome, probe, trace.as_deref_mut());
+        if let (Some(t), Some(id)) = (trace, ingest_span) {
+            t.close(id);
+        }
         self.note_ingest_latency(t0, probe);
         Ok(events)
     }
@@ -932,6 +977,7 @@ impl RimStream {
         &mut self,
         outcome: GapOutcome,
         probe: &P,
+        mut trace: Option<&mut ActiveTrace>,
     ) -> Vec<StreamEvent> {
         let mut events = Vec::new();
         match outcome {
@@ -953,7 +999,7 @@ impl RimStream {
                     );
                 }
                 for sample in samples {
-                    self.ingest_sample(sample, probe, &mut events);
+                    self.ingest_sample(sample, probe, &mut events, trace.as_deref_mut());
                 }
             }
             GapOutcome::Split { lost, resume } => {
@@ -963,7 +1009,7 @@ impl RimStream {
                 // Close the open segment at the edge of the gap rather
                 // than integrating across unseen motion.
                 if let Some(start) = self.open_segment.take() {
-                    self.flush_and_note(start, gap_at, probe, &mut events);
+                    self.flush_and_note(start, gap_at, probe, &mut events, trace.as_deref_mut());
                     events.push(StreamEvent::MovementStopped { at: gap_at });
                 }
                 self.tracker = None;
@@ -987,7 +1033,7 @@ impl RimStream {
                     if let Some(cache) = self.cache.as_mut() {
                         cache.clear(resume_idx);
                     }
-                    self.ingest_sample(resume, probe, &mut events);
+                    self.ingest_sample(resume, probe, &mut events, trace);
                 } else {
                     probe.count(stage::STREAM, stream_metric::REORDERED, 1);
                 }
@@ -1034,6 +1080,7 @@ impl RimStream {
         sample: GapSample,
         probe: &P,
         events: &mut Vec<StreamEvent>,
+        mut trace: Option<&mut ActiveTrace>,
     ) {
         let Some(newest) = self.abs_index(sample.seq) else {
             // Pre-epoch sequence number: placing it would underflow the
@@ -1100,7 +1147,13 @@ impl RimStream {
                 let quiet = (0.2 * self.fs) as usize;
                 let tail_static = self.moving.iter().rev().take(quiet).all(|&m| !m);
                 if tail_static && self.moving.len() >= quiet {
-                    self.flush_and_note(start, newest + 1 - quiet.min(newest), probe, events);
+                    self.flush_and_note(
+                        start,
+                        newest + 1 - quiet.min(newest),
+                        probe,
+                        events,
+                        trace.as_deref_mut(),
+                    );
                     events.push(StreamEvent::MovementStopped { at: newest });
                     self.open_segment = None;
                     self.tracker = None;
@@ -1110,7 +1163,7 @@ impl RimStream {
                 // Partial flush of very long movements to bound memory.
                 if newest - start >= self.max_open {
                     let flushed = self
-                        .flush_and_note(start, newest + 1, probe, events)
+                        .flush_and_note(start, newest + 1, probe, events, trace)
                         .unwrap_or(0.0);
                     self.open_segment = Some(newest + 1);
                     self.segment_continued = true;
@@ -1175,7 +1228,7 @@ impl RimStream {
     fn finish_internal<P: Probe + ?Sized>(&mut self, probe: &P) -> Vec<StreamEvent> {
         let mut events = Vec::new();
         if let Some(start) = self.open_segment.take() {
-            self.flush_and_note(start, self.pushed, probe, &mut events);
+            self.flush_and_note(start, self.pushed, probe, &mut events, None);
             events.push(StreamEvent::MovementStopped { at: self.pushed });
             self.tracker = None;
         }
@@ -1213,8 +1266,9 @@ impl RimStream {
         end: usize,
         probe: &P,
         events: &mut Vec<StreamEvent>,
+        trace: Option<&mut ActiveTrace>,
     ) -> Option<f64> {
-        if let Some(seg) = self.flush_segment(start, end, probe) {
+        if let Some(seg) = self.flush_segment(start, end, probe, trace) {
             let coverage = seg.confidence.alignment_coverage;
             let at = seg.end;
             let distance = seg.distance_m;
@@ -1236,13 +1290,17 @@ impl RimStream {
         start: usize,
         end: usize,
         probe: &P,
+        mut trace: Option<&mut ActiveTrace>,
     ) -> Option<SegmentEstimate> {
         if end <= start {
             return None;
         }
         // Flush latency: everything from ring materialisation through the
-        // per-segment pipeline run.
+        // per-segment pipeline run. The trace span nests under the
+        // enclosing ingest span; if the flush bails out early, the parent
+        // span's close sweeps it up.
         let _span = probe.span(stage::STREAM);
+        let flush_span = trace.as_deref_mut().map(|t| t.open(SpanKind::Flush));
         // Lend the ring as contiguous slices — no snapshot is cloned;
         // `make_contiguous` only rotates the deque's backing storage.
         for ring in &mut self.ring {
@@ -1297,6 +1355,9 @@ impl RimStream {
         result.summary.start = start;
         result.summary.end = end;
         probe.count(stage::STREAM, "segments_flushed", 1);
+        if let (Some(t), Some(id)) = (trace, flush_span) {
+            t.close(id);
+        }
         Some(result.summary)
     }
 

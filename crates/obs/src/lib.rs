@@ -21,15 +21,28 @@
 //! `Recorder` can be shared across threads), and JSON is a small
 //! self-contained writer/parser in [`json`].
 
+//! Since v2 the crate also carries the serve path's live-telemetry
+//! layer: per-request traces ([`Tracer`], [`TraceRecord`], span taxonomy
+//! in [`SpanKind`]) whose span durations feed the
+//! [`stage::LATENCY_ATTRIBUTION`] distributions, and sliding-window
+//! snapshots ([`Recorder::window_snapshot`] → [`WindowSnapshot`]) for
+//! reading metrics mid-run without stopping it.
+
 mod json;
 mod probe;
 mod recorder;
 mod report;
+mod trace;
+mod window;
 
 pub use json::JsonValue;
 pub use probe::{NullProbe, Probe, Span};
 pub use recorder::Recorder;
 pub use report::{DistributionReport, RunReport, StageReport};
+pub use trace::{
+    ActiveTrace, SpanId, SpanKind, TraceId, TraceRecord, TraceSpan, Tracer, TRACE_RING_CAP,
+};
+pub use window::{WindowSnapshot, WindowStageSnapshot, DEFAULT_WINDOWS, WINDOW_SCHEMA};
 
 /// Canonical stage names, in pipeline order. Instrumentation sites use
 /// these constants so reports, tests, and docs agree on spelling.
@@ -69,6 +82,13 @@ pub mod stage {
     /// of [`PIPELINE`]. Its counters and distributions use the canonical
     /// names in [`super::incremental_metric`].
     pub const INCREMENTAL: &str = "incremental";
+    /// Per-request latency attribution: trace-span durations (µs)
+    /// aggregated by span kind, so the serve tail decomposes into queue
+    /// wait vs. batch scheduling vs. compute vs. wire. Fed by
+    /// [`crate::Tracer::commit`]; distribution names come from
+    /// [`super::attribution_metric`]. Synthetic (no code runs "inside"
+    /// it), so not part of [`PIPELINE`].
+    pub const LATENCY_ATTRIBUTION: &str = "latency_attribution";
 
     /// All six pipeline stages in execution order.
     pub const PIPELINE: [&str; 6] = [
@@ -154,9 +174,36 @@ pub mod serve_metric {
     pub const SESSIONS_ACTIVE: &str = "sessions_active";
     /// Gauge: total queued samples across sessions at the last tick.
     pub const QUEUE_DEPTH: &str = "queue_depth";
-    /// Distribution: milliseconds from a sample's admission to the batch
+    /// Distribution: microseconds from a sample's admission to the batch
     /// tick that analysed it (end-to-end ingest→estimate latency).
+    pub const INGEST_TO_ESTIMATE_US: &str = "ingest_to_estimate_us";
+    /// Distribution: the same latency in milliseconds. **Deprecated
+    /// alias** — milliseconds truncate the fast path; use
+    /// [`INGEST_TO_ESTIMATE_US`]. Still recorded for one release so
+    /// existing report consumers keep working; removal is scheduled for
+    /// the next breaking report-schema bump.
     pub const INGEST_TO_ESTIMATE_MS: &str = "ingest_to_estimate_ms";
+}
+
+/// Canonical distribution names under [`stage::LATENCY_ATTRIBUTION`]:
+/// per-request trace-span durations in microseconds, one distribution
+/// per [`SpanKind`] (see [`SpanKind::attribution_metric`]) plus the
+/// end-to-end total.
+pub mod attribution_metric {
+    /// Admission control ([`crate::SpanKind::Admission`]).
+    pub const ADMISSION_US: &str = "admission_us";
+    /// Ingress-queue wait ([`crate::SpanKind::QueueWait`]).
+    pub const QUEUE_WAIT_US: &str = "queue_wait_us";
+    /// Scheduler fan-out ([`crate::SpanKind::BatchSchedule`]).
+    pub const BATCH_SCHEDULE_US: &str = "batch_schedule_us";
+    /// Stream ingest compute ([`crate::SpanKind::IncrementalIngest`]).
+    pub const COMPUTE_US: &str = "compute_us";
+    /// Segment flush within an ingest ([`crate::SpanKind::Flush`]).
+    pub const FLUSH_US: &str = "flush_us";
+    /// Response encode + socket write ([`crate::SpanKind::EventWireOut`]).
+    pub const WIRE_US: &str = "wire_us";
+    /// Whole-trace extent (admission through the last span).
+    pub const TOTAL_US: &str = "total_us";
 }
 
 #[cfg(test)]
@@ -195,12 +242,35 @@ mod stage_tests {
             super::serve_metric::BATCHES,
             super::serve_metric::SESSIONS_ACTIVE,
             super::serve_metric::QUEUE_DEPTH,
+            super::serve_metric::INGEST_TO_ESTIMATE_US,
             super::serve_metric::INGEST_TO_ESTIMATE_MS,
         ];
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {
                 assert_ne!(a, b);
             }
+        }
+    }
+
+    #[test]
+    fn attribution_metric_names_are_unique_and_cover_every_span_kind() {
+        let names = [
+            super::attribution_metric::ADMISSION_US,
+            super::attribution_metric::QUEUE_WAIT_US,
+            super::attribution_metric::BATCH_SCHEDULE_US,
+            super::attribution_metric::COMPUTE_US,
+            super::attribution_metric::FLUSH_US,
+            super::attribution_metric::WIRE_US,
+            super::attribution_metric::TOTAL_US,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Every span kind maps into the list above.
+        for kind in super::SpanKind::ALL {
+            assert!(names.contains(&kind.attribution_metric()));
         }
     }
 

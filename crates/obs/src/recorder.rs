@@ -1,13 +1,15 @@
 //! Aggregation backend for live instrumentation.
 
 use crate::report::{DistributionReport, RunReport, StageReport};
+use crate::window::{Frame, FrameStage, WindowSnapshot, WindowState, DEFAULT_WINDOWS};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Number of log₂ latency buckets: bucket `i` holds durations whose
 /// nanosecond count has `i` significant bits, so the histogram spans
 /// 1 ns ..= u64::MAX ns with ~2× resolution.
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
 
 /// Cap on retained samples per value distribution. Keeping the first N
 /// samples (rather than a random reservoir) is deterministic, which the
@@ -23,14 +25,21 @@ const DIST_SAMPLE_CAP: usize = 4096;
 /// single-threaded, so the lock is uncontended (`parking_lot` is not
 /// available in this build environment; `std::sync::Mutex` is equivalent
 /// here).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Recorder {
     inner: Mutex<Inner>,
 }
 
-#[derive(Debug, Default)]
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::with_windows(DEFAULT_WINDOWS)
+    }
+}
+
+#[derive(Debug)]
 struct Inner {
     stages: BTreeMap<&'static str, StageStats>,
+    windows: WindowState,
 }
 
 #[derive(Debug)]
@@ -94,9 +103,23 @@ fn bucket_value(bucket: usize) -> f64 {
 }
 
 impl Recorder {
-    /// New empty recorder.
+    /// New empty recorder with the default sliding window
+    /// ([`DEFAULT_WINDOWS`]×1 s).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New empty recorder whose live window spans the last `n`×1 s
+    /// frames (`n` is clamped to at least 1). Windowing costs nothing on
+    /// the recording path — frames only roll when
+    /// [`Recorder::window_snapshot`] is called.
+    pub fn with_windows(n: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                stages: BTreeMap::new(),
+                windows: WindowState::new(n, Instant::now()),
+            }),
+        }
     }
 
     /// Records one completed invocation of `stage` (called by
@@ -167,13 +190,41 @@ impl Recorder {
                 .collect(),
         }
     }
+
+    /// Live sliding-window view: per-stage counter deltas, merged
+    /// latency percentiles, and gauge last-values over the last ~N
+    /// seconds (see [`Recorder::with_windows`]). Rolls the window ring
+    /// lazily on read; recording may continue concurrently.
+    pub fn window_snapshot(&self) -> WindowSnapshot {
+        let mut inner = self.inner.lock().unwrap();
+        let current = Frame {
+            at: Instant::now(),
+            stages: inner
+                .stages
+                .iter()
+                .map(|(name, stats)| {
+                    (
+                        *name,
+                        FrameStage {
+                            calls: stats.calls,
+                            total_ns: stats.total_ns,
+                            hist: stats.latency_hist,
+                            counters: stats.counters.clone(),
+                            gauges: stats.gauges.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        };
+        inner.windows.snapshot(current)
+    }
 }
 
 /// Percentile (in ms) from a log₂ latency histogram: walk cumulative
 /// counts to the target rank's bucket and return that bucket's geometric
 /// midpoint. Resolution is therefore ~2×, which is plenty for a stage
 /// profile.
-fn latency_percentile_ms(hist: &[u64; BUCKETS], calls: u64, q: f64) -> f64 {
+pub(crate) fn latency_percentile_ms(hist: &[u64; BUCKETS], calls: u64, q: f64) -> f64 {
     if calls == 0 {
         return 0.0;
     }
@@ -212,6 +263,8 @@ fn distribution_report(name: &str, d: &Distribution) -> DistributionReport {
         max: d.max,
         p50: sample_percentile(0.50),
         p95: sample_percentile(0.95),
+        p99: sample_percentile(0.99),
+        p999: sample_percentile(0.999),
     }
 }
 
@@ -293,6 +346,30 @@ mod tests {
         assert!((dist.mean - 50.5).abs() < 1e-9);
         assert_eq!(dist.p50, 50.0);
         assert_eq!(dist.p95, 95.0);
+        assert_eq!(dist.p99, 99.0);
+        assert_eq!(dist.p999, 100.0);
+    }
+
+    #[test]
+    fn window_snapshot_reports_recent_activity() {
+        let recorder = Recorder::with_windows(4);
+        recorder.record_duration("s", 1_000);
+        recorder.count("s", "items", 5);
+        recorder.gauge("s", "level", 2.5);
+        let snap = recorder.window_snapshot();
+        // First read: baseline is the empty creation frame.
+        let stage = snap.stage("s").expect("stage windowed");
+        assert_eq!(stage.calls, 1);
+        assert_eq!(stage.counters, vec![("items".to_string(), 5)]);
+        assert_eq!(stage.gauges, vec![("level".to_string(), 2.5)]);
+        // Reads within the same 1 s frame keep accumulating against the
+        // same baseline.
+        recorder.count("s", "items", 2);
+        let snap = recorder.window_snapshot();
+        assert_eq!(
+            snap.stage("s").unwrap().counters,
+            vec![("items".to_string(), 7)]
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::json::{self, JsonValue};
 use std::fmt::Write as _;
 
 /// Schema tag stamped into the JSON form, bumped on breaking layout
-/// changes.
-pub const SCHEMA: &str = "rim-obs/1";
+/// changes. v2 added tail percentiles (`p99`, `p999`) to distributions.
+pub const SCHEMA: &str = "rim-obs/2";
 
 /// Snapshot of every instrumented stage of one run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -52,6 +52,10 @@ pub struct DistributionReport {
     pub p50: f64,
     /// 95th percentile of the retained sample prefix.
     pub p95: f64,
+    /// 99th percentile of the retained sample prefix.
+    pub p99: f64,
+    /// 99.9th percentile of the retained sample prefix.
+    pub p999: f64,
 }
 
 impl RunReport {
@@ -134,8 +138,16 @@ impl RunReport {
             for dist in &stage.distributions {
                 let _ = writeln!(
                     out,
-                    "    dist {}: n={} mean={:.4} min={:.4} p50={:.4} p95={:.4} max={:.4}",
-                    dist.name, dist.count, dist.mean, dist.min, dist.p50, dist.p95, dist.max
+                    "    dist {}: n={} mean={:.4} min={:.4} p50={:.4} p95={:.4} p99={:.4} p999={:.4} max={:.4}",
+                    dist.name,
+                    dist.count,
+                    dist.mean,
+                    dist.min,
+                    dist.p50,
+                    dist.p95,
+                    dist.p99,
+                    dist.p999,
+                    dist.max
                 );
             }
         }
@@ -186,6 +198,8 @@ impl StageReport {
                 ("max", dist.max),
                 ("p50", dist.p50),
                 ("p95", dist.p95),
+                ("p99", dist.p99),
+                ("p999", dist.p999),
             ] {
                 let _ = write!(out, ",\"{key}\":");
                 json::write_f64(out, value);
@@ -247,6 +261,8 @@ impl StageReport {
                     max: dnum("max")?,
                     p50: dnum("p50")?,
                     p95: dnum("p95")?,
+                    p99: dnum("p99")?,
+                    p999: dnum("p999")?,
                     name: dname,
                 });
             }
@@ -290,6 +306,8 @@ mod tests {
                         max: 0.99,
                         p50: 0.40,
                         p95: 0.88,
+                        p99: 0.95,
+                        p999: 0.985,
                     }],
                 },
                 StageReport {

@@ -1,0 +1,380 @@
+//! Sliding-window metric snapshots for live reads.
+//!
+//! A [`crate::Recorder`] only aggregates cumulatively; a dashboard needs
+//! *recent* behaviour. The window layer keeps a bounded ring of frames —
+//! cumulative per-stage snapshots stamped at ≥1 s intervals — and a live
+//! read subtracts the oldest retained frame from the current totals:
+//! counter deltas, histogram merges (bucket-wise subtraction of the
+//! monotone log₂ histograms), and gauge last-values over the last ~N
+//! seconds. Frames only roll when a snapshot is taken, so the recording
+//! hot path pays nothing for windowing.
+
+use crate::json::{self, JsonValue};
+use crate::recorder::{latency_percentile_ms, BUCKETS};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag stamped into windowed-snapshot JSON.
+pub const WINDOW_SCHEMA: &str = "rim-window/1";
+
+/// Default ring length: snapshots cover the last ~8 seconds.
+pub const DEFAULT_WINDOWS: usize = 8;
+
+/// One cumulative per-stage capture, stamped when it was taken.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    pub(crate) at: Instant,
+    pub(crate) stages: BTreeMap<&'static str, FrameStage>,
+}
+
+impl Frame {
+    pub(crate) fn empty(at: Instant) -> Self {
+        Self {
+            at,
+            stages: BTreeMap::new(),
+        }
+    }
+}
+
+/// Cumulative stats of one stage inside a [`Frame`] (distributions are
+/// deliberately excluded: the latency histograms already cover timing,
+/// and retained-sample vectors would make frames unbounded).
+#[derive(Debug, Clone)]
+pub(crate) struct FrameStage {
+    pub(crate) calls: u64,
+    pub(crate) total_ns: u64,
+    pub(crate) hist: [u64; BUCKETS],
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) gauges: BTreeMap<&'static str, f64>,
+}
+
+impl Default for FrameStage {
+    fn default() -> Self {
+        Self {
+            calls: 0,
+            total_ns: 0,
+            hist: [0; BUCKETS],
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        }
+    }
+}
+
+/// The ring of frames behind a recorder's live window. Rolls lazily: a
+/// new frame is retained only when a snapshot is taken ≥`period_s` after
+/// the newest retained frame.
+#[derive(Debug)]
+pub(crate) struct WindowState {
+    n: usize,
+    period_s: f64,
+    frames: VecDeque<Frame>,
+}
+
+impl WindowState {
+    pub(crate) fn new(n: usize, at: Instant) -> Self {
+        Self::with_period(n, 1.0, at)
+    }
+
+    pub(crate) fn with_period(n: usize, period_s: f64, at: Instant) -> Self {
+        let n = n.max(1);
+        let mut frames = VecDeque::with_capacity(n + 1);
+        // The creation-time baseline: the first window spans the run so
+        // far until enough frames have rolled.
+        frames.push_back(Frame::empty(at));
+        Self {
+            n,
+            period_s,
+            frames,
+        }
+    }
+
+    /// Rolls the ring if due, then reports `current` minus the oldest
+    /// retained frame.
+    pub(crate) fn snapshot(&mut self, current: Frame) -> WindowSnapshot {
+        let newest_at = self.frames.back().expect("ring never empty").at;
+        if current
+            .at
+            .saturating_duration_since(newest_at)
+            .as_secs_f64()
+            >= self.period_s
+        {
+            self.frames.push_back(current.clone());
+            while self.frames.len() > self.n + 1 {
+                self.frames.pop_front();
+            }
+        }
+        let base = self.frames.front().expect("ring never empty");
+        delta_snapshot(base, &current)
+    }
+}
+
+fn delta_snapshot(base: &Frame, current: &Frame) -> WindowSnapshot {
+    let empty = FrameStage::default();
+    let stages = current
+        .stages
+        .iter()
+        .map(|(name, cur)| {
+            let old = base.stages.get(name).unwrap_or(&empty);
+            let calls = cur.calls.saturating_sub(old.calls);
+            let mut hist = [0u64; BUCKETS];
+            for (h, (c, o)) in hist.iter_mut().zip(cur.hist.iter().zip(old.hist.iter())) {
+                *h = c.saturating_sub(*o);
+            }
+            WindowStageSnapshot {
+                name: (*name).to_string(),
+                calls,
+                total_ms: cur.total_ns.saturating_sub(old.total_ns) as f64 / 1e6,
+                p50_ms: latency_percentile_ms(&hist, calls, 0.50),
+                p95_ms: latency_percentile_ms(&hist, calls, 0.95),
+                counters: cur
+                    .counters
+                    .iter()
+                    .map(|(k, v)| {
+                        let prev = old.counters.get(k).copied().unwrap_or(0);
+                        ((*k).to_string(), v.saturating_sub(prev))
+                    })
+                    .collect(),
+                gauges: cur
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), *v))
+                    .collect(),
+            }
+        })
+        .collect();
+    WindowSnapshot {
+        span_s: current.at.saturating_duration_since(base.at).as_secs_f64(),
+        stages,
+    }
+}
+
+/// Live view over the recorder's recent past: per-stage call/counter
+/// deltas, merged latency percentiles, and gauge last-values covering
+/// the last [`WindowSnapshot::span_s`] seconds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowSnapshot {
+    /// Wall-clock seconds the window covers (oldest retained frame to
+    /// the read instant).
+    pub span_s: f64,
+    /// Per-stage deltas, sorted by stage name.
+    pub stages: Vec<WindowStageSnapshot>,
+}
+
+/// One stage's activity inside a [`WindowSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStageSnapshot {
+    /// Stage name (see [`crate::stage`]).
+    pub name: String,
+    /// Spans completed inside the window.
+    pub calls: u64,
+    /// Wall time accumulated inside the window, milliseconds.
+    pub total_ms: f64,
+    /// Median per-call latency inside the window, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-call latency inside the window, milliseconds.
+    pub p95_ms: f64,
+    /// Counter increments inside the window, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge last-values (gauges are instantaneous; no delta), sorted by
+    /// name.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl WindowSnapshot {
+    /// The stage named `name`, if active in the window.
+    pub fn stage(&self, name: &str) -> Option<&WindowStageSnapshot> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Serialises to a compact single-document JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        json::write_string(&mut out, WINDOW_SCHEMA);
+        out.push_str(",\"span_s\":");
+        json::write_f64(&mut out, self.span_s);
+        out.push_str(",\"stages\":[");
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_string(&mut out, &stage.name);
+            let _ = write!(out, ",\"calls\":{}", stage.calls);
+            for (key, value) in [
+                ("total_ms", stage.total_ms),
+                ("p50_ms", stage.p50_ms),
+                ("p95_ms", stage.p95_ms),
+            ] {
+                let _ = write!(out, ",\"{key}\":");
+                json::write_f64(&mut out, value);
+            }
+            out.push_str(",\"counters\":{");
+            for (i, (k, v)) in stage.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_string(&mut out, k);
+                let _ = write!(out, ":{v}");
+            }
+            out.push_str("},\"gauges\":{");
+            for (i, (k, v)) in stage.gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_string(&mut out, k);
+                out.push(':');
+                json::write_f64(&mut out, *v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a snapshot serialised by [`WindowSnapshot::to_json`].
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = json::parse(input)?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(WINDOW_SCHEMA) => {}
+            other => return Err(format!("unsupported window schema {other:?}")),
+        }
+        let span_s = doc
+            .get("span_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing span_s")?;
+        let mut stages = Vec::new();
+        for v in doc
+            .get("stages")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing stages array")?
+        {
+            let name = v
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("stage missing name")?
+                .to_string();
+            let num = |key: &str| -> Result<f64, String> {
+                v.get(key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("stage {name} missing {key}"))
+            };
+            let mut counters = Vec::new();
+            if let Some(JsonValue::Object(map)) = v.get("counters") {
+                for (k, c) in map {
+                    counters.push((
+                        k.clone(),
+                        c.as_u64().ok_or_else(|| format!("bad counter {k}"))?,
+                    ));
+                }
+            }
+            let mut gauges = Vec::new();
+            if let Some(JsonValue::Object(map)) = v.get("gauges") {
+                for (k, g) in map {
+                    gauges.push((
+                        k.clone(),
+                        g.as_f64().ok_or_else(|| format!("bad gauge {k}"))?,
+                    ));
+                }
+            }
+            stages.push(WindowStageSnapshot {
+                calls: v
+                    .get("calls")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("stage {name} missing calls"))?,
+                total_ms: num("total_ms")?,
+                p50_ms: num("p50_ms")?,
+                p95_ms: num("p95_ms")?,
+                counters,
+                gauges,
+                name,
+            });
+        }
+        Ok(WindowSnapshot { span_s, stages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(at: Instant, calls: u64, admitted: u64, depth: f64) -> Frame {
+        let mut stages = BTreeMap::new();
+        let mut hist = [0u64; BUCKETS];
+        hist[10] = calls; // everything ~1 µs
+        let mut counters = BTreeMap::new();
+        counters.insert("samples_admitted", admitted);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("queue_depth", depth);
+        stages.insert(
+            "serve",
+            FrameStage {
+                calls,
+                total_ns: calls * 1024,
+                hist,
+                counters,
+                gauges,
+            },
+        );
+        Frame { at, stages }
+    }
+
+    #[test]
+    fn deltas_subtract_the_oldest_retained_frame() {
+        let t0 = Instant::now();
+        // period 0 → every snapshot rolls; ring of 2 windows.
+        let mut ws = WindowState::with_period(2, 0.0, t0);
+        let snap = ws.snapshot(frame(t0, 10, 100, 3.0));
+        // Against the empty creation baseline: full totals.
+        let s = snap.stage("serve").unwrap();
+        assert_eq!(s.calls, 10);
+        assert_eq!(s.counters, vec![("samples_admitted".to_string(), 100)]);
+        assert_eq!(s.gauges, vec![("queue_depth".to_string(), 3.0)]);
+
+        let snap = ws.snapshot(frame(t0, 25, 260, 7.0));
+        let s = snap.stage("serve").unwrap();
+        // Baseline is still the empty creation frame (ring holds it +
+        // the two rolled frames).
+        assert_eq!(s.calls, 25);
+
+        let snap = ws.snapshot(frame(t0, 40, 400, 1.0));
+        let s = snap.stage("serve").unwrap();
+        // Ring evicted the creation baseline: delta vs the 10-call frame.
+        assert_eq!(s.calls, 30);
+        assert_eq!(s.counters, vec![("samples_admitted".to_string(), 300)]);
+        // Gauges stay last-value, not delta.
+        assert_eq!(s.gauges, vec![("queue_depth".to_string(), 1.0)]);
+        assert!(s.p50_ms > 0.0, "merged histogram has mass");
+    }
+
+    #[test]
+    fn long_period_keeps_the_baseline_fixed() {
+        let t0 = Instant::now();
+        let mut ws = WindowState::with_period(4, 3600.0, t0);
+        ws.snapshot(frame(t0, 5, 50, 1.0));
+        let snap = ws.snapshot(frame(t0, 8, 80, 2.0));
+        // Nothing rolled (period far away): still the creation baseline.
+        assert_eq!(snap.stage("serve").unwrap().calls, 8);
+    }
+
+    #[test]
+    fn window_json_round_trips_exactly() {
+        let snapshot = WindowSnapshot {
+            span_s: 7.25,
+            stages: vec![WindowStageSnapshot {
+                name: "serve".into(),
+                calls: 41,
+                total_ms: 3.5,
+                p50_ms: 0.0015,
+                p95_ms: 0.012,
+                counters: vec![("samples_admitted".into(), 410)],
+                gauges: vec![("queue_depth".into(), 6.0)],
+            }],
+        };
+        let json = snapshot.to_json();
+        let back = WindowSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snapshot);
+        assert!(WindowSnapshot::from_json("{\"schema\":\"other/1\"}").is_err());
+    }
+}

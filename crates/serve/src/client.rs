@@ -85,6 +85,20 @@ impl Client {
         }
     }
 
+    /// Fetches the server's live telemetry snapshot: the flat
+    /// `stage.metric value` text exposition plus recent trace
+    /// summaries. Read-only; safe to call mid-run from a separate
+    /// connection.
+    ///
+    /// # Errors
+    /// Same as [`Client::ingest`].
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.round_trip(&Request::Metrics)? {
+            Response::MetricsSnapshot { text } => Ok(text),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
     /// Asks the server to shut down and waits for its acknowledgement.
     ///
     /// # Errors

@@ -13,7 +13,9 @@
 use rim_array::ArrayGeometry;
 use rim_core::{Error, Rim, RimConfig, RimStream, StreamEvent};
 use rim_csi::sync::SyncedSample;
-use rim_obs::{serve_metric, stage, Probe, Recorder, RunReport};
+use rim_obs::{
+    serve_metric, stage, Probe, Recorder, RunReport, SpanKind, TraceRecord, Tracer, WindowSnapshot,
+};
 use rim_par::Pool;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -87,6 +89,10 @@ pub enum RejectReason {
 struct Pending {
     sample: SyncedSample,
     admitted: Instant,
+    /// Per-request trace, when this admission fell on the sampling
+    /// cadence ([`rim_core::RimConfig::trace_sample_every`]). Carries the
+    /// open `queue_wait` span across the queue.
+    trace: Option<rim_obs::ActiveTrace>,
 }
 
 /// The part of a session only the scheduler (or `finish`) touches.
@@ -134,6 +140,9 @@ pub struct SessionManager {
     /// Raw samples backing the ingest→estimate histogram; the report
     /// keeps p50/p95, so tail percentiles come from these.
     latencies: Mutex<Vec<f64>>,
+    /// Per-request trace allocation, sampling, and retention (cadence
+    /// from [`RimConfig::trace_sample_every`]; `0` = tracing off).
+    tracer: Tracer,
 }
 
 impl SessionManager {
@@ -151,6 +160,7 @@ impl SessionManager {
         serve: ServeConfig,
     ) -> Result<Self, Error> {
         let pool = Pool::new(config.threads, 0);
+        let tracer = Tracer::new(config.trace_sample_every);
         let engine = Rim::new(geometry, config.with_threads(1))?;
         let mut cfg = serve;
         cfg.shards = cfg.shards.max(1);
@@ -168,6 +178,7 @@ impl SessionManager {
             resident: AtomicUsize::new(0),
             accepting: AtomicBool::new(true),
             latencies: Mutex::new(Vec::new()),
+            tracer,
         })
     }
 
@@ -189,6 +200,12 @@ impl SessionManager {
                 reason: RejectReason::ShuttingDown,
             };
         }
+        // Start the per-request trace (if this admission falls on the
+        // sampling cadence): the admission span covers shard lookup,
+        // session creation, and the queue push. Rejected or throttled
+        // samples drop their trace — only admitted work is attributed.
+        let mut trace = self.tracer.try_start(session_id, sample.seq);
+        let admission_span = trace.as_mut().map(|t| t.open(SpanKind::Admission));
         let state = {
             let mut shard = self.lock_shard(self.shard_of(session_id));
             match shard.get(&session_id) {
@@ -226,9 +243,17 @@ impl SessionManager {
             if queue.len() >= self.cfg.queue_capacity {
                 false
             } else {
+                if let Some(t) = trace.as_mut() {
+                    if let Some(id) = admission_span {
+                        t.close(id);
+                    }
+                    // Left open across the queue; closed at pickup.
+                    t.open(SpanKind::QueueWait);
+                }
                 queue.push_back(Pending {
                     sample,
                     admitted: Instant::now(),
+                    trace: trace.take(),
                 });
                 true
             }
@@ -251,6 +276,10 @@ impl SessionManager {
     /// Returns the number of samples analysed.
     pub fn process(&self) -> usize {
         let now = self.tick.fetch_add(1, Ordering::AcqRel) + 1;
+        // Batch-schedule spans measure from the tick's start to each
+        // sample's worker pickup: fan-out cost plus cross-session
+        // contention.
+        let tick_start = Instant::now();
         let mut busy: Vec<Arc<SessionState>> = Vec::new();
         let mut depth = 0usize;
         for shard in &self.shards {
@@ -269,7 +298,7 @@ impl SessionManager {
             let _span = self.recorder.span(stage::SERVE);
             let counts = self
                 .pool
-                .map(&busy, |state| self.process_session(state, now));
+                .map(&busy, |state| self.process_session(state, now, tick_start));
             analysed = counts.iter().sum();
             self.recorder.count(stage::SERVE, serve_metric::BATCHES, 1);
         }
@@ -279,7 +308,7 @@ impl SessionManager {
 
     /// Drains one session's queued samples through its stream, in FIFO
     /// order, under the session's work lock. Runs on a pool worker.
-    fn process_session(&self, state: &SessionState, now: u64) -> usize {
+    fn process_session(&self, state: &SessionState, now: u64, tick_start: Instant) -> usize {
         let mut work = lock(&state.work);
         // Take the queue snapshot under the work lock so concurrent
         // drainers (scheduler tick vs. `finish`) cannot reorder a
@@ -291,17 +320,35 @@ impl SessionManager {
         state.last_active.store(now, Ordering::Release);
         let work = &mut *work;
         let mut n = 0;
-        for p in pending {
-            match work.stream.session().probe(&work.recorder).ingest(p.sample) {
+        for mut p in pending {
+            if let Some(t) = p.trace.as_mut() {
+                t.close_open(SpanKind::QueueWait);
+                t.record_since(SpanKind::BatchSchedule, tick_start);
+            }
+            let result = {
+                let mut session = work.stream.session().probe(&work.recorder);
+                if let Some(t) = p.trace.as_mut() {
+                    session = session.trace(t);
+                }
+                session.ingest(p.sample)
+            };
+            match result {
                 Ok(events) => {
                     if events.iter().any(|e| matches!(e, StreamEvent::Segment(_))) {
-                        let ms = p.admitted.elapsed().as_secs_f64() * 1e3;
+                        let us = p.admitted.elapsed().as_secs_f64() * 1e6;
+                        self.recorder.observe(
+                            stage::SERVE,
+                            serve_metric::INGEST_TO_ESTIMATE_US,
+                            us,
+                        );
+                        // Deprecated millisecond alias, kept one release
+                        // for report consumers pinned to the old key.
                         self.recorder.observe(
                             stage::SERVE,
                             serve_metric::INGEST_TO_ESTIMATE_MS,
-                            ms,
+                            us / 1e3,
                         );
-                        lock(&self.latencies).push(ms);
+                        lock(&self.latencies).push(us / 1e3);
                     }
                     work.events.extend(events);
                     n += 1;
@@ -312,6 +359,9 @@ impl SessionManager {
                     // notice.
                     self.recorder.count(stage::SERVE, "samples_errored", 1);
                 }
+            }
+            if let Some(t) = p.trace.take() {
+                self.tracer.commit(t, &self.recorder);
             }
         }
         n
@@ -365,7 +415,7 @@ impl SessionManager {
             return Vec::new();
         };
         let now = self.tick.load(Ordering::Acquire);
-        self.process_session(&state, now);
+        self.process_session(&state, now, Instant::now());
         let mut work = lock(&state.work);
         let work = &mut *work;
         let final_events = work.stream.session().probe(&work.recorder).finish();
@@ -427,6 +477,74 @@ impl SessionManager {
     /// compute them from this.
     pub fn take_latencies(&self) -> Vec<f64> {
         std::mem::take(&mut *lock(&self.latencies))
+    }
+
+    /// Records the wall-clock cost of encoding + writing one
+    /// event-bearing response frame: feeds the `wire_us` attribution
+    /// distribution and attaches an `event_wire_out` span to the newest
+    /// trace still lacking one (events leave on the response after their
+    /// trace committed). Called by the server; no-op when tracing is off.
+    pub fn note_wire_out(&self, dur_us: u64) {
+        self.tracer.attach_wire_out(dur_us, &self.recorder);
+    }
+
+    /// The most recent committed per-request traces, oldest first (empty
+    /// unless [`RimConfig::trace_sample_every`] is nonzero).
+    pub fn traces(&self, n: usize) -> Vec<TraceRecord> {
+        self.tracer.recent(n)
+    }
+
+    /// Live sliding-window view of the manager-wide recorder (see
+    /// [`Recorder::window_snapshot`]).
+    pub fn window_snapshot(&self) -> WindowSnapshot {
+        self.recorder.window_snapshot()
+    }
+
+    /// Renders the read-only text exposition served over the wire's
+    /// `Metrics` frame: flat `stage.metric value` lines (cumulative,
+    /// then the sliding window under a `window.` prefix), live session
+    /// gauges, and one `trace …` summary line per recent trace.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("# rim-serve metrics v1\n");
+        let _ = writeln!(out, "sessions_active {}", self.sessions_active());
+        let _ = writeln!(out, "queue_depth {}", self.queue_depth());
+        let report = self.recorder.report();
+        for s in &report.stages {
+            let _ = writeln!(out, "{}.calls {}", s.name, s.calls);
+            let _ = writeln!(out, "{}.total_ms {}", s.name, s.total_ms);
+            let _ = writeln!(out, "{}.p50_ms {}", s.name, s.p50_ms);
+            let _ = writeln!(out, "{}.p95_ms {}", s.name, s.p95_ms);
+            for (k, v) in &s.counters {
+                let _ = writeln!(out, "{}.{k} {v}", s.name);
+            }
+            for (k, v) in &s.gauges {
+                let _ = writeln!(out, "{}.{k} {v}", s.name);
+            }
+            for d in &s.distributions {
+                let _ = writeln!(out, "{}.{}.count {}", s.name, d.name, d.count);
+                let _ = writeln!(out, "{}.{}.p50 {}", s.name, d.name, d.p50);
+                let _ = writeln!(out, "{}.{}.p99 {}", s.name, d.name, d.p99);
+                let _ = writeln!(out, "{}.{}.p999 {}", s.name, d.name, d.p999);
+            }
+        }
+        let window = self.recorder.window_snapshot();
+        let _ = writeln!(out, "window.span_s {}", window.span_s);
+        for s in &window.stages {
+            let _ = writeln!(out, "window.{}.calls {}", s.name, s.calls);
+            let _ = writeln!(out, "window.{}.p50_ms {}", s.name, s.p50_ms);
+            let _ = writeln!(out, "window.{}.p95_ms {}", s.name, s.p95_ms);
+            for (k, v) in &s.counters {
+                let _ = writeln!(out, "window.{}.{k} {v}", s.name);
+            }
+            for (k, v) in &s.gauges {
+                let _ = writeln!(out, "window.{}.{k} {v}", s.name);
+            }
+        }
+        for trace in self.tracer.recent(16) {
+            let _ = writeln!(out, "{}", trace.summary());
+        }
+        out
     }
 
     fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<SessionState>>> {
@@ -578,6 +696,76 @@ mod tests {
             .counters
             .iter()
             .any(|(k, v)| k == "samples_errored" && *v == 1));
+    }
+
+    #[test]
+    fn traced_samples_decompose_into_spans_and_feed_attribution() {
+        let m = SessionManager::new(
+            geometry(),
+            config().with_trace_sampling(1),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        for seq in 0..5 {
+            assert_eq!(m.ingest(3, sample(seq)), Admit::Accepted);
+        }
+        m.process();
+        let traces = m.traces(16);
+        assert_eq!(traces.len(), 5, "every admission traced at cadence 1");
+        for t in &traces {
+            assert_eq!(t.session_id, 3);
+            assert!(t.span_us(SpanKind::Admission).is_some(), "admission span");
+            assert!(t.span_us(SpanKind::QueueWait).is_some(), "queue_wait span");
+            assert!(
+                t.span_us(SpanKind::BatchSchedule).is_some(),
+                "batch_schedule span"
+            );
+            assert!(
+                t.span_us(SpanKind::IncrementalIngest).is_some(),
+                "ingest span"
+            );
+        }
+        m.note_wire_out(37);
+        assert_eq!(
+            m.traces(16).last().unwrap().span_us(SpanKind::EventWireOut),
+            Some(37)
+        );
+        let report = m.report();
+        let attr = report
+            .stage(stage::LATENCY_ATTRIBUTION)
+            .expect("attribution stage");
+        for name in [
+            rim_obs::attribution_metric::ADMISSION_US,
+            rim_obs::attribution_metric::QUEUE_WAIT_US,
+            rim_obs::attribution_metric::BATCH_SCHEDULE_US,
+            rim_obs::attribution_metric::COMPUTE_US,
+            rim_obs::attribution_metric::TOTAL_US,
+        ] {
+            assert!(
+                attr.distributions
+                    .iter()
+                    .any(|d| d.name == name && d.count == 5),
+                "{name} fed once per traced sample"
+            );
+        }
+        // The exposition text carries the flat metric lines and traces.
+        let text = m.metrics_text();
+        assert!(text.starts_with("# rim-serve metrics v1\n"), "{text}");
+        assert!(text.contains("serve.samples_admitted 5"), "{text}");
+        assert!(text.contains("window.span_s "), "{text}");
+        assert!(text.contains("queue_wait="), "{text}");
+    }
+
+    #[test]
+    fn tracing_off_keeps_the_serve_path_traceless() {
+        let m = manager(ServeConfig::default());
+        for seq in 0..3 {
+            m.ingest(1, sample(seq));
+        }
+        m.process();
+        m.note_wire_out(10);
+        assert!(m.traces(16).is_empty());
+        assert!(m.report().stage(stage::LATENCY_ATTRIBUTION).is_none());
     }
 
     #[test]

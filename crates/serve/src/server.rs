@@ -194,9 +194,26 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 shared.manager.shutdown();
                 (Response::Bye, true)
             }
+            Request::Metrics => {
+                let text = shared.manager.metrics_text();
+                (Response::MetricsSnapshot { text }, false)
+            }
         };
+        // Event-bearing responses carry estimates back to the client:
+        // time their encode+write so the tracer can close the
+        // `event_wire_out` span of the trace that produced them.
+        let carries_events = match &response {
+            Response::Admit { events, .. } | Response::Finished { events } => !events.is_empty(),
+            Response::Bye | Response::MetricsSnapshot { .. } => false,
+        };
+        let wire_start = std::time::Instant::now();
         if wire::write_frame(&mut stream, &response.encode()).is_err() {
             return;
+        }
+        if carries_events {
+            shared
+                .manager
+                .note_wire_out(wire_start.elapsed().as_micros() as u64);
         }
         if stop_after {
             shared.stop.store(true, Ordering::Release);

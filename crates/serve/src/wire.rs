@@ -27,9 +27,11 @@ mod tag {
     pub const INGEST: u8 = 0x01;
     pub const FINISH: u8 = 0x02;
     pub const SHUTDOWN: u8 = 0x03;
+    pub const METRICS: u8 = 0x04;
     pub const ADMIT: u8 = 0x81;
     pub const FINISHED: u8 = 0x82;
     pub const BYE: u8 = 0x83;
+    pub const METRICS_SNAPSHOT: u8 = 0x84;
 }
 
 /// A client→server message.
@@ -49,6 +51,8 @@ pub enum Request {
     },
     /// Stop the server: drain, refuse new samples, close connections.
     Shutdown,
+    /// Ask for a read-only telemetry snapshot (text exposition).
+    Metrics,
 }
 
 /// A server→client message.
@@ -69,6 +73,12 @@ pub enum Response {
     },
     /// Acknowledges a [`Request::Shutdown`].
     Bye,
+    /// Answers a [`Request::Metrics`] with the flat text exposition
+    /// (`stage.metric value` lines plus recent trace summaries).
+    MetricsSnapshot {
+        /// The exposition text, newline-delimited UTF-8.
+        text: String,
+    },
 }
 
 /// Errors decoding a wire message.
@@ -118,6 +128,7 @@ impl Request {
                 body.put_u64(*session_id);
             }
             Request::Shutdown => body.put_u8(tag::SHUTDOWN),
+            Request::Metrics => body.put_u8(tag::METRICS),
         }
         prefix(body)
     }
@@ -148,6 +159,7 @@ impl Request {
                 })
             }
             tag::SHUTDOWN => Ok(Request::Shutdown),
+            tag::METRICS => Ok(Request::Metrics),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -184,6 +196,11 @@ impl Response {
                 put_events(&mut body, events);
             }
             Response::Bye => body.put_u8(tag::BYE),
+            Response::MetricsSnapshot { text } => {
+                body.put_u8(tag::METRICS_SNAPSHOT);
+                body.put_u32(text.len() as u32);
+                body.put_slice(text.as_bytes());
+            }
         }
         prefix(body)
     }
@@ -223,6 +240,18 @@ impl Response {
                 Ok(Response::Finished { events })
             }
             tag::BYE => Ok(Response::Bye),
+            tag::METRICS_SNAPSHOT => {
+                if body.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                let len = body.get_u32() as usize;
+                if body.remaining() < len {
+                    return Err(WireError::Truncated);
+                }
+                let text = String::from_utf8(body[..len].to_vec())
+                    .map_err(|_| WireError::BadTag(tag::METRICS_SNAPSHOT))?;
+                Ok(Response::MetricsSnapshot { text })
+            }
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -575,6 +604,7 @@ mod tests {
             },
             Request::Finish { session_id: 7 },
             Request::Shutdown,
+            Request::Metrics,
         ] {
             assert_eq!(round_trip_request(&req), req);
         }
@@ -599,6 +629,9 @@ mod tests {
             },
             Response::Finished { events: events() },
             Response::Bye,
+            Response::MetricsSnapshot {
+                text: "# rim-serve metrics v1\nserve.samples_admitted 5\n".into(),
+            },
         ] {
             let back = round_trip_response(&resp);
             // StreamEvent has no PartialEq; Debug of f64 prints the
@@ -624,6 +657,13 @@ mod tests {
         let mut cursor = &framed[..];
         let err = read_frame(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_metrics_snapshot_is_rejected() {
+        // Declared text length longer than the remaining body.
+        let body = [tag::METRICS_SNAPSHOT, 0, 0, 0, 9, b'h', b'i'];
+        assert!(matches!(Response::decode(&body), Err(WireError::Truncated)));
     }
 
     #[test]

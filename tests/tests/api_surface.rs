@@ -36,6 +36,11 @@ use rim_serve::{Admit, Client, RejectReason, ServeConfig, Server, SessionManager
 use rim_array::ArrayGeometry;
 use rim_csi::sync::SyncedSample;
 use rim_obs::{Probe, Recorder, RunReport};
+// Observability v2: request tracing and windowed live telemetry.
+use rim_obs::{
+    ActiveTrace, SpanId, SpanKind, TraceId, TraceRecord, TraceSpan, Tracer, WindowSnapshot,
+    WindowStageSnapshot, TRACE_RING_CAP, WINDOW_SCHEMA,
+};
 
 /// Central constructor/entry-point signatures, pinned as typed function
 /// items: a parameter or return-type change fails to compile here.
@@ -51,6 +56,13 @@ fn entry_point_signatures_are_stable() {
     let _manager_finish: fn(&SessionManager, u64) -> Vec<StreamEvent> = SessionManager::finish;
     let _manager_report: fn(&SessionManager) -> RunReport = SessionManager::report;
     let _client_finish: fn(&mut Client, u64) -> std::io::Result<Vec<StreamEvent>> = Client::finish;
+    // Observability v2 surface: live telemetry and trace access.
+    let _manager_metrics: fn(&SessionManager) -> String = SessionManager::metrics_text;
+    let _manager_window: fn(&SessionManager) -> WindowSnapshot = SessionManager::window_snapshot;
+    let _manager_traces: fn(&SessionManager, usize) -> Vec<TraceRecord> = SessionManager::traces;
+    let _client_metrics: fn(&mut Client) -> std::io::Result<String> = Client::metrics;
+    let _recorder_window: fn(&Recorder) -> WindowSnapshot = Recorder::window_snapshot;
+    let _config_tracing: fn(RimConfig, usize) -> RimConfig = RimConfig::with_trace_sampling;
 }
 
 /// `ingest` accepts all three input shapes through one entry point, on

@@ -9,7 +9,7 @@ use rim_core::Rim;
 use rim_csi::{CsiRecorder, DeviceConfig, RecorderConfig};
 use rim_dsp::geom::Point2;
 use rim_integration_tests::{config, FS, SPACING};
-use rim_obs::{stage, NullProbe, Recorder, RunReport};
+use rim_obs::{serve_metric, stage, NullProbe, Recorder, RunReport, WindowSnapshot};
 
 fn small_run() -> (Rim, rim_csi::recorder::DenseCsi) {
     let sim = ChannelSimulator::open_lab(7);
@@ -74,6 +74,51 @@ fn run_report_covers_every_stage_and_round_trips() {
     let json = report.to_json();
     let parsed = RunReport::from_json(&json).expect("valid report JSON");
     assert_eq!(parsed, report);
+}
+
+/// Golden fixtures, committed under `tests/fixtures/`: a v2 `RunReport`
+/// covering the serve and incremental stages (with the µs latency
+/// distribution and its deprecated ms alias, and p99/p999 tails) and a
+/// v1 windowed snapshot. Parsing and re-serialising must be lossless,
+/// so schema drift has to regenerate the fixtures — a reviewable diff.
+#[test]
+fn golden_fixtures_cover_serve_and_incremental_stages() {
+    let fixture = include_str!("../fixtures/run_report_v2.json");
+    let report = RunReport::from_json(fixture).expect("report fixture parses");
+    for name in [
+        stage::SERVE,
+        stage::INCREMENTAL,
+        stage::STREAM,
+        stage::LATENCY_ATTRIBUTION,
+    ] {
+        assert!(report.stage(name).is_some(), "{name} missing from fixture");
+    }
+    let serve = report.stage(stage::SERVE).unwrap();
+    let us = serve
+        .distributions
+        .iter()
+        .find(|d| d.name == serve_metric::INGEST_TO_ESTIMATE_US)
+        .expect("µs latency distribution present");
+    assert!(
+        serve
+            .distributions
+            .iter()
+            .any(|d| d.name == serve_metric::INGEST_TO_ESTIMATE_MS),
+        "deprecated ms alias still recorded this release"
+    );
+    assert!(us.p50 <= us.p99 && us.p99 <= us.p999 && us.p999 <= us.max);
+    let reparsed = RunReport::from_json(&report.to_json()).expect("round-trip");
+    assert_eq!(reparsed, report);
+
+    let fixture = include_str!("../fixtures/window_snapshot_v1.json");
+    let snap = WindowSnapshot::from_json(fixture).expect("window fixture parses");
+    assert!(snap.span_s > 0.0);
+    assert!(
+        snap.stage(stage::SERVE).is_some() && snap.stage(stage::INCREMENTAL).is_some(),
+        "window fixture covers serve and incremental"
+    );
+    let reparsed = WindowSnapshot::from_json(&snap.to_json()).expect("round-trip");
+    assert_eq!(reparsed, snap);
 }
 
 #[test]

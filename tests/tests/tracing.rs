@@ -1,0 +1,196 @@
+//! Trace-hook contracts, end to end:
+//!
+//! * **Observational purity** — every trace hook (admission, queue
+//!   wait, batch schedule, incremental ingest, flush, wire out) must be
+//!   invisible in the output bits: the same samples produce bit-identical
+//!   events with tracing off, sampled, and exhaustive, on both the bare
+//!   stream and the serve path. Run under `RIM_THREADS=1` and `=4` by CI.
+//! * **Telemetry round-trip** — a `Metrics` request on a live loopback
+//!   server returns a well-formed snapshot whose recent traces carry
+//!   `queue_wait` spans.
+
+use rim_array::ArrayGeometry;
+use rim_channel::trajectory::{dwell, line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::stream::{RimStream, StreamEvent};
+use rim_csi::{synced_from_recording, CsiRecorder, CsiRecording, DeviceConfig, RecorderConfig};
+use rim_dsp::geom::Point2;
+use rim_integration_tests::{config, FS, SPACING};
+use rim_obs::{ActiveTrace, SpanKind, TraceId};
+use rim_serve::{Admit, Client, ServeConfig, Server, SessionManager};
+use std::sync::Arc;
+
+fn geometry() -> ArrayGeometry {
+    ArrayGeometry::linear(3, SPACING)
+}
+
+/// A 2 m line with a stationary tail, so segments close mid-stream and
+/// the flush hook fires during a traced ingest rather than only at
+/// finish.
+fn recording() -> CsiRecording {
+    let sim = ChannelSimulator::open_lab(7);
+    let geometry = geometry();
+    let mut traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        2.0,
+        1.0,
+        FS,
+        OrientationMode::FollowPath,
+    );
+    let end = traj.pose(traj.len() - 1);
+    traj.extend(&dwell(end.pos, end.orientation, 0.75, FS));
+    CsiRecorder::new(
+        &sim,
+        DeviceConfig::single_nic(geometry.offsets().to_vec()),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record(&traj)
+}
+
+/// Events compare via `Debug`: f64 formats as its shortest
+/// round-trippable representation, so equal strings ⇔ equal bits.
+fn fingerprint(events: &[StreamEvent]) -> String {
+    format!("{events:#?}")
+}
+
+/// Streams the capture through a bare `RimStream`, attaching a fresh
+/// `ActiveTrace` to every ingest when asked.
+fn stream_events(recording: &CsiRecording, traced: bool) -> Vec<StreamEvent> {
+    let mut stream = RimStream::new(geometry(), config(0.3)).expect("valid config");
+    let mut events = Vec::new();
+    for (i, sample) in synced_from_recording(recording).into_iter().enumerate() {
+        if traced {
+            let mut trace = ActiveTrace::new(TraceId(i as u64), 0, i as u64);
+            events.extend(
+                stream
+                    .session()
+                    .trace(&mut trace)
+                    .ingest(sample)
+                    .expect("ingest"),
+            );
+            let record = trace.finish();
+            assert!(
+                record.span_us(SpanKind::IncrementalIngest).is_some(),
+                "every traced ingest records an incremental_ingest span"
+            );
+        } else {
+            events.extend(stream.session().ingest(sample).expect("ingest"));
+        }
+    }
+    events.extend(stream.finish());
+    events
+}
+
+/// Streams the capture through a `SessionManager` at the given trace
+/// cadence, returning the session's events and the committed trace
+/// count.
+fn serve_events(recording: &CsiRecording, trace_every: usize) -> (Vec<StreamEvent>, usize) {
+    let manager = SessionManager::new(
+        geometry(),
+        config(0.3).with_trace_sampling(trace_every),
+        ServeConfig::default(),
+    )
+    .expect("valid config");
+    let mut events = Vec::new();
+    for sample in synced_from_recording(recording) {
+        loop {
+            match manager.ingest(7, sample.clone()) {
+                Admit::Accepted => break,
+                Admit::Throttled { .. } => {
+                    manager.process();
+                }
+                Admit::Rejected { reason } => panic!("unexpected reject: {reason:?}"),
+            }
+        }
+        manager.process();
+        events.extend(manager.drain_events(7));
+    }
+    events.extend(manager.finish(7));
+    (events, manager.traces(usize::MAX).len())
+}
+
+#[test]
+fn stream_trace_hooks_are_bit_invisible() {
+    let recording = recording();
+    let plain = stream_events(&recording, false);
+    let traced = stream_events(&recording, true);
+    assert!(!plain.is_empty(), "reference produced no events");
+    assert_eq!(
+        fingerprint(&traced),
+        fingerprint(&plain),
+        "tracing perturbed the stream output"
+    );
+}
+
+#[test]
+fn serve_trace_sampling_is_bit_invisible_at_any_cadence() {
+    let recording = recording();
+    let (off, off_traces) = serve_events(&recording, 0);
+    assert!(!off.is_empty(), "reference produced no events");
+    assert_eq!(off_traces, 0, "cadence 0 means tracing is off");
+    for every in [1usize, 3] {
+        let (on, on_traces) = serve_events(&recording, every);
+        assert!(on_traces > 0, "cadence {every} committed no traces");
+        assert_eq!(
+            fingerprint(&on),
+            fingerprint(&off),
+            "trace cadence {every} perturbed the serve output"
+        );
+    }
+}
+
+#[test]
+fn metrics_snapshot_round_trips_over_loopback_with_queue_wait_spans() {
+    let manager = Arc::new(
+        SessionManager::new(
+            geometry(),
+            config(0.3).with_trace_sampling(1),
+            ServeConfig::default(),
+        )
+        .expect("valid config"),
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&manager)).expect("bind");
+    let addr = server.local_addr();
+
+    let mut driver = Client::connect(addr).expect("connect driver");
+    let mut monitor = Client::connect(addr).expect("connect monitor");
+    for sample in synced_from_recording(&recording()) {
+        let (admit, _) = driver.ingest_blocking(3, sample).expect("ingest");
+        assert_eq!(admit, Admit::Accepted);
+    }
+    // Let the scheduler drain the queue so the sampled traces commit,
+    // then snapshot while the session is still resident.
+    while manager.queue_depth() > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let text = monitor.metrics().expect("metrics round-trip");
+    assert!(
+        text.starts_with("# rim-serve metrics v1"),
+        "unexpected exposition header:\n{text}"
+    );
+    for needle in [
+        "serve.samples_admitted",
+        "serve.batches_scheduled",
+        "window.span_s",
+    ] {
+        assert!(text.contains(needle), "{needle} missing from:\n{text}");
+    }
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("trace ") && l.contains("queue_wait=")),
+        "no committed trace with a queue_wait span in:\n{text}"
+    );
+
+    driver.finish(3).expect("finish");
+    // The snapshot stays well-formed after the session retires.
+    let text = monitor.metrics().expect("metrics after finish");
+    assert!(text.starts_with("# rim-serve metrics v1"));
+
+    let mut closer = Client::connect(addr).expect("connect");
+    closer.shutdown().expect("shutdown handshake");
+    server.shutdown();
+}
