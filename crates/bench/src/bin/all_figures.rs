@@ -50,7 +50,7 @@ fn main() {
     }
     write_pipeline_profile();
     write_parallel_sweep(fast);
-    write_serve_sweep(fast);
+    rim_bench::serve::write_serve_bench(fast, if fast { 128 } else { 1000 });
     rim_bench::latency::write_latency_bench(fast);
     rim_bench::obs::write_obs_bench(fast);
 }
@@ -191,136 +191,5 @@ fn write_parallel_sweep(fast: bool) {
     match std::fs::write("BENCH_parallel.json", json) {
         Ok(()) => eprintln!("[par] wrote BENCH_parallel.json"),
         Err(e) => eprintln!("[par] could not write BENCH_parallel.json: {e}"),
-    }
-}
-
-/// Sweeps concurrent session counts through the full serving stack —
-/// loopback TCP clients, admission queues, the cross-session scheduler —
-/// and writes aggregate throughput plus ingest→estimate latency tails to
-/// `BENCH_serve.json`. Every session streams the same capture, so the
-/// sweep isolates multi-tenancy overhead from input variation.
-fn write_serve_sweep(fast: bool) {
-    use rim_serve::{Admit, Client, ServeConfig, Server, SessionManager};
-    use std::sync::Arc;
-
-    let sim = ChannelSimulator::open_lab(7);
-    let geo = env::linear_array();
-    let fs = env::SAMPLE_RATE;
-    let length_m = if fast { 1.0 } else { 2.0 };
-    let mut traj = line(
-        Point2::new(0.0, 2.0),
-        0.0,
-        length_m,
-        1.0,
-        fs,
-        OrientationMode::FollowPath,
-    );
-    // A stationary tail makes the watchdog close the moving segment
-    // mid-stream, so ingest→estimate latency is measured on live
-    // samples instead of only at finish.
-    let end = traj.pose(traj.len() - 1);
-    traj.extend(&rim_channel::trajectory::dwell(
-        end.pos,
-        end.orientation,
-        0.75,
-        fs,
-    ));
-    let recording = CsiRecorder::new(
-        &sim,
-        env::device_for(&geo),
-        RecorderConfig {
-            sanitize: true,
-            seed: 7,
-        },
-    )
-    .record(&traj);
-    let samples = rim_csi::synced_from_recording(&recording);
-    let per_session = samples.len();
-
-    let mut entries = Vec::new();
-    for sessions in [1usize, 2, 4, 8] {
-        let manager = Arc::new(
-            SessionManager::new(
-                geo.clone(),
-                env::rim_config(fs, 0.3),
-                ServeConfig::default(),
-            )
-            .expect("valid config"),
-        );
-        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&manager)).expect("bind loopback");
-        let addr = server.local_addr();
-        let t0 = std::time::Instant::now();
-        let handles: Vec<_> = (0..sessions as u64)
-            .map(|k| {
-                let samples = samples.clone();
-                std::thread::spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    let mut events = 0usize;
-                    for sample in samples {
-                        let (admit, drained) = client.ingest_blocking(k, sample).expect("ingest");
-                        assert_eq!(admit, Admit::Accepted, "session {k} rejected");
-                        events += drained.len();
-                    }
-                    events + client.finish(k).expect("finish").len()
-                })
-            })
-            .collect();
-        let events: usize = handles
-            .into_iter()
-            .map(|h| h.join().expect("session thread"))
-            .sum();
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        server.shutdown();
-
-        let mut lat = manager.take_latencies();
-        lat.sort_by(f64::total_cmp);
-        let pct = |p: f64| -> f64 {
-            if lat.is_empty() {
-                0.0
-            } else {
-                lat[(((lat.len() - 1) as f64) * p).round() as usize]
-            }
-        };
-        let total = sessions * per_session;
-        let throughput = total as f64 / (wall_ms / 1e3);
-        entries.push(format!(
-            concat!(
-                "    {{\"sessions\": {}, \"samples_total\": {}, \"events\": {}, ",
-                "\"wall_ms\": {:.3}, \"throughput_sps\": {:.1}, ",
-                "\"p50_ingest_to_estimate_ms\": {:.3}, ",
-                "\"p99_ingest_to_estimate_ms\": {:.3}, ",
-                "\"p999_ingest_to_estimate_ms\": {:.3}}}"
-            ),
-            sessions,
-            total,
-            events,
-            wall_ms,
-            throughput,
-            pct(0.50),
-            pct(0.99),
-            pct(0.999)
-        ));
-        eprintln!(
-            "[serve] sessions={sessions}: {throughput:.0} samples/s aggregate, \
-             p99 ingest→estimate {:.1} ms",
-            pct(0.99)
-        );
-    }
-    let json = format!(
-        concat!(
-            "{{\n  \"bench\": \"serve_sweep\",\n",
-            "  \"trace\": \"open_lab line {length} m @ {fs} Hz\",\n",
-            "  \"samples_per_session\": {per_session},\n",
-            "  \"transport\": \"loopback tcp, one client thread per session\",\n",
-            "  \"runs\": [\n{runs}\n  ]\n}}\n"
-        ),
-        length = length_m,
-        fs = fs,
-        per_session = per_session,
-        runs = entries.join(",\n")
-    );
-    match std::fs::write("BENCH_serve.json", json) {
-        Ok(()) => eprintln!("[serve] wrote BENCH_serve.json"),
-        Err(e) => eprintln!("[serve] could not write BENCH_serve.json: {e}"),
     }
 }

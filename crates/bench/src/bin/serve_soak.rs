@@ -1,0 +1,29 @@
+//! Standalone serve bench: the latency-vs-sessions sweep plus the
+//! high-concurrency soak, without running every paper figure first.
+//!
+//! ```sh
+//! cargo run --release -p rim-bench --bin serve_soak -- --sessions 128
+//! ```
+//!
+//! `--sessions N` sizes the soak point (default 1000, or 128 with
+//! `RIM_FAST=1` — the scaled-down configuration CI's soak-smoke lane
+//! runs). Writes `BENCH_serve.json` in the `rim-serve-bench/2` schema.
+
+fn main() {
+    let fast = rim_bench::fast_mode();
+    let mut soak_sessions = if fast { 128 } else { 1000 };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                let value = args.next().unwrap_or_default();
+                soak_sessions = value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--sessions wants a count, got {value:?}"));
+            }
+            other => panic!("unknown argument {other:?} (valid: --sessions N)"),
+        }
+    }
+    assert!(soak_sessions > 0, "--sessions must be positive");
+    rim_bench::serve::write_serve_bench(fast, soak_sessions);
+}

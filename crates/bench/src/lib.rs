@@ -22,6 +22,7 @@ pub mod figs;
 pub mod latency;
 pub mod obs;
 pub mod report;
+pub mod serve;
 
 /// True when the `RIM_FAST` environment variable asks for reduced
 /// workloads.

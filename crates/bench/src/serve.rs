@@ -1,0 +1,248 @@
+//! The serving benchmark behind `BENCH_serve.json`: a latency-vs-sessions
+//! sweep through the full serving stack plus a high-concurrency soak.
+//!
+//! Every point drives loopback TCP clients through the readiness-driven
+//! reactor, admission control, and the deadline-ordered cross-session
+//! scheduler. Sessions are multiplexed over a small fixed set of client
+//! connections (the wire protocol carries the session id per request), so
+//! the soak point scales to a thousand concurrent sessions without a
+//! thousand sockets or driver threads — mirroring how the server itself
+//! holds its I/O thread count constant.
+//!
+//! Latencies are the server-side ingest→estimate measurements
+//! ([`SessionManager::take_latencies`]): admission to analysed, in
+//! microseconds. Client-side throttle backoff is *not* included, so the
+//! percentiles describe what the admitted stream experiences — the same
+//! quantity earlier revisions of this file reported in milliseconds.
+
+use crate::env;
+use rim_channel::trajectory::{dwell, line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_csi::sync::SyncedSample;
+use rim_csi::{CsiRecorder, RecorderConfig};
+use rim_dsp::geom::Point2;
+use rim_serve::{Admit, Client, ServeConfig, Server, SessionManager};
+use std::sync::Arc;
+
+/// Ceiling on driver threads (and therefore client connections); sessions
+/// beyond this share connections round-robin.
+const MAX_DRIVERS: usize = 16;
+
+/// Latency budget handed to admission control for every point, µs. The
+/// predictor throttles ingest once the deadline scheduler would blow
+/// this, which is what keeps the tails flat as sessions scale.
+const LATENCY_BUDGET_US: u64 = 50_000;
+
+/// Walk length for the soak point's trace — the shortest open-lab walk
+/// whose segments close mid-stream (shorter walks only close at
+/// `finish()`, which records no latency), so a thousand sessions stress
+/// concurrency without inflating total sample volume.
+const SOAK_WALK_M: f64 = 1.0;
+
+/// Stationary tail appended to every trace. The movement watchdog
+/// closes the open segment 2 s after motion stops, so a 2.25 s dwell
+/// guarantees each session one mid-stream segment close — the
+/// ingest→estimate latency measurement — with margin before the
+/// stream ends (a dwell shorter than 2 s would defer the close to
+/// `finish()` and leave the percentiles empty).
+const DWELL_S: f64 = 2.25;
+
+struct Point {
+    sessions: usize,
+    samples_per_session: usize,
+    events: usize,
+    wall_ms: f64,
+    throughput_sps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+impl Point {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"sessions\": {}, \"samples_per_session\": {}, ",
+                "\"samples_total\": {}, \"events\": {}, \"wall_ms\": {:.3}, ",
+                "\"throughput_sps\": {:.1}, \"p50_us\": {:.1}, ",
+                "\"p99_us\": {:.1}, \"p999_us\": {:.1}}}"
+            ),
+            self.sessions,
+            self.samples_per_session,
+            self.sessions * self.samples_per_session,
+            self.events,
+            self.wall_ms,
+            self.throughput_sps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+        )
+    }
+}
+
+/// Runs the sweep points (1–8 sessions on the full trace) plus one soak
+/// point at `soak_sessions`, and writes `BENCH_serve.json`
+/// (schema `rim-serve-bench/2`).
+pub fn write_serve_bench(fast: bool, soak_sessions: usize) {
+    let fs = env::SAMPLE_RATE;
+    let length_m = if fast { 1.0 } else { 2.0 };
+    let samples = workload(length_m, fs);
+
+    let mut runs = Vec::new();
+    for sessions in [1usize, 2, 4, 8] {
+        let point = run_point(&samples, sessions);
+        eprintln!(
+            "[serve] sessions={sessions}: {:.0} samples/s aggregate, \
+             ingest→estimate p50 {:.0} µs, p99 {:.0} µs, p999 {:.0} µs",
+            point.throughput_sps, point.p50_us, point.p99_us, point.p999_us
+        );
+        runs.push(point);
+    }
+
+    let soak_input: Vec<SyncedSample> = workload(SOAK_WALK_M, fs);
+    eprintln!("[serve] soaking {soak_sessions} concurrent sessions…");
+    let soak = run_point(&soak_input, soak_sessions);
+    eprintln!(
+        "[serve] soak sessions={soak_sessions}: {:.0} samples/s aggregate, \
+         ingest→estimate p50 {:.0} µs, p99 {:.0} µs, p999 {:.0} µs",
+        soak.throughput_sps, soak.p50_us, soak.p99_us, soak.p999_us
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"serve_sweep\",\n",
+            "  \"schema\": \"rim-serve-bench/2\",\n",
+            "  \"trace\": \"open_lab line {length} m @ {fs} Hz\",\n",
+            "  \"transport\": \"loopback tcp, sessions multiplexed over ",
+            "at most {drivers} connections\",\n",
+            "  \"latency_budget_us\": {budget},\n",
+            "  \"runs\": [\n{runs}\n  ],\n",
+            "  \"soak\": {soak}\n}}\n"
+        ),
+        length = length_m,
+        fs = fs,
+        drivers = MAX_DRIVERS,
+        budget = LATENCY_BUDGET_US,
+        runs = runs
+            .iter()
+            .map(|p| format!("    {}", p.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        soak = soak.to_json(),
+    );
+    match std::fs::write("BENCH_serve.json", json) {
+        Ok(()) => eprintln!("[serve] wrote BENCH_serve.json"),
+        Err(e) => eprintln!("[serve] could not write BENCH_serve.json: {e}"),
+    }
+}
+
+/// One lab walk with a stationary tail long enough ([`DWELL_S`]) that the
+/// movement watchdog closes the moving segment mid-stream, so
+/// ingest→estimate latency is measured on live samples instead of only
+/// at finish.
+fn workload(length_m: f64, fs: f64) -> Vec<SyncedSample> {
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = env::linear_array();
+    let mut traj = line(
+        Point2::new(0.0, 2.0),
+        0.0,
+        length_m,
+        1.0,
+        fs,
+        OrientationMode::FollowPath,
+    );
+    let end = traj.pose(traj.len() - 1);
+    traj.extend(&dwell(end.pos, end.orientation, DWELL_S, fs));
+    let recording = CsiRecorder::new(
+        &sim,
+        env::device_for(&geo),
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record(&traj);
+    rim_csi::synced_from_recording(&recording)
+}
+
+/// Streams `samples` into `sessions` concurrent sessions and returns the
+/// aggregate throughput plus the server-side latency percentiles.
+fn run_point(samples: &[SyncedSample], sessions: usize) -> Point {
+    let geo = env::linear_array();
+    let fs = env::SAMPLE_RATE;
+    let serve_cfg = ServeConfig::builder()
+        .shards(16)
+        .max_sessions(sessions.max(1024))
+        .latency_budget_us(LATENCY_BUDGET_US)
+        .build()
+        .expect("valid bench serve config");
+    let manager = Arc::new(
+        SessionManager::new(geo, env::rim_config(fs, 0.3), serve_cfg).expect("valid config"),
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&manager)).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let drivers = sessions.clamp(1, MAX_DRIVERS);
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..drivers)
+        .map(|d| {
+            let samples = samples.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let owned: Vec<u64> = (d..sessions).step_by(drivers).map(|k| k as u64).collect();
+                let mut events = 0usize;
+                // Round-robin across owned sessions per sample round, so
+                // every session advances together and the scheduler always
+                // sees a cross-session mix.
+                for sample in &samples {
+                    for &k in &owned {
+                        let (admit, drained) =
+                            client.ingest_blocking(k, sample.clone()).expect("ingest");
+                        assert!(
+                            matches!(admit, Admit::Accepted),
+                            "session {k} not accepted: {admit:?}"
+                        );
+                        events += drained.len();
+                    }
+                }
+                for &k in &owned {
+                    events += client.finish(k).expect("finish").len();
+                }
+                events
+            })
+        })
+        .collect();
+    let events: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("driver thread"))
+        .sum();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+
+    let mut lat = manager.take_latencies();
+    if lat.is_empty() {
+        eprintln!(
+            "[serve] WARNING: sessions={sessions} recorded no mid-stream segment \
+             closes — latency percentiles are degenerate zeros"
+        );
+    }
+    lat.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            0.0
+        } else {
+            lat[(((lat.len() - 1) as f64) * p).round() as usize]
+        }
+    };
+    let total = sessions * samples.len();
+    Point {
+        sessions,
+        samples_per_session: samples.len(),
+        events,
+        wall_ms,
+        throughput_sps: total as f64 / (wall_ms / 1e3),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+    }
+}

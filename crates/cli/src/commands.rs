@@ -23,10 +23,12 @@ USAGE:
                [--loss SPEC] [--loss-seed N] [--obs json|report]
   rim serve    <in.rimc> [--sessions K] [--array linear3|hexagonal|l]
                [--min-speed M/S] [--threads N] [--queue N]
+               [--latency-budget-us US] [--io-threads N]
                [--loss SPEC] [--loss-seed N] [--obs json|report]
                [--trace-every N] [--metrics-every MS]
   rim serve    --listen ADDR [--rate HZ] [--array linear3|hexagonal|l]
-               [--min-speed M/S] [--threads N] [--queue N] [--trace-every N]
+               [--min-speed M/S] [--threads N] [--queue N]
+               [--latency-budget-us US] [--io-threads N] [--trace-every N]
   rim top      ADDR [--interval-ms MS] [--iterations N]
   rim floorplan
   rim demo     [--seed N] [--obs json|report]
@@ -51,6 +53,9 @@ USAGE:
   the per-session estimates are printed; with --listen ADDR it serves
   external clients until one sends a shutdown request. --queue N bounds
   each session's ingress queue (full queues throttle the client).
+  --latency-budget-us US throttles admission when the deadline scheduler
+  predicts ingest→estimate latency would exceed the budget (0 = depth
+  only); --io-threads N sizes the readiness-driven reactor worker set.
 
   --trace-every N traces every Nth admitted sample end to end (admission,
   queue wait, batch schedule, analysis, flush, wire-out; 0 = off). In
@@ -452,6 +457,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
             "min-speed",
             "threads",
             "queue",
+            "latency-budget-us",
+            "io-threads",
             "loss",
             "loss-seed",
             "obs",
@@ -466,10 +473,18 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let threads = args.get_u64("threads", 0)? as usize;
     let trace_every = args.get_u64("trace-every", 0)? as usize;
     let metrics_every = args.get_u64("metrics-every", 0)?;
-    let serve_cfg = rim_serve::ServeConfig {
-        queue_capacity: args.get_u64("queue", 256)? as usize,
-        ..rim_serve::ServeConfig::default()
-    };
+    let defaults = rim_serve::ServeConfig::default();
+    // One validated constructor path for every mode (listen, self-drive):
+    // invalid combinations die here with the builder's diagnostic instead
+    // of surfacing as runtime misbehaviour.
+    let serve_cfg = rim_serve::ServeConfig::builder()
+        .queue_depth(args.get_u64("queue", 256)? as usize)
+        .latency_budget_us(args.get_u64("latency-budget-us", defaults.latency_budget_us())?)
+        .io_threads(args.get_u64("io-threads", defaults.io_threads() as u64)? as usize)
+        .trace_every(trace_every)
+        .metrics_every_ms(metrics_every)
+        .build()
+        .map_err(|e| format!("invalid serve configuration: {e}"))?;
 
     // Listen mode: front external clients until one sends shutdown.
     if args.flag("listen") {

@@ -682,50 +682,6 @@ impl<'s, P: Probe + ?Sized> StreamSession<'s, P> {
             .ingest_input(input.into(), self.probe, self.trace.as_deref_mut())
     }
 
-    /// Pushes one dense sample. Superseded by [`StreamSession::ingest`].
-    ///
-    /// # Errors
-    /// As [`StreamSession::ingest`].
-    #[deprecated(since = "0.4.0", note = "use `ingest(snapshots)` instead")]
-    pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
-        self.stream
-            .push_internal(snapshots.to_vec(), self.probe, self.trace.as_deref_mut())
-    }
-
-    /// Offers one sequence-numbered sample with per-antenna loss.
-    /// Superseded by [`StreamSession::ingest`].
-    ///
-    /// # Errors
-    /// As [`StreamSession::ingest`].
-    #[deprecated(since = "0.4.0", note = "use `ingest((seq, antennas))` instead")]
-    pub fn offer(
-        &mut self,
-        seq: u64,
-        antennas: &[Option<CsiSnapshot>],
-    ) -> Result<Vec<StreamEvent>, Error> {
-        self.stream.offer_internal(
-            seq,
-            antennas.to_vec(),
-            self.probe,
-            self.trace.as_deref_mut(),
-        )
-    }
-
-    /// Offers a synchronizer output sample. Superseded by
-    /// [`StreamSession::ingest`].
-    ///
-    /// # Errors
-    /// As [`StreamSession::ingest`].
-    #[deprecated(since = "0.4.0", note = "use `ingest(sample)` instead")]
-    pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
-        self.stream.offer_internal(
-            sample.seq,
-            sample.antennas.clone(),
-            self.probe,
-            self.trace.as_deref_mut(),
-        )
-    }
-
     /// Flushes the open segment if any (e.g. at end of stream) and
     /// returns its estimate.
     pub fn finish(&mut self) -> Vec<StreamEvent> {
@@ -853,39 +809,6 @@ impl RimStream {
                 self.offer_internal(sample.seq, sample.antennas, probe, trace)
             }
         }
-    }
-
-    /// Pushes one dense sample. Superseded by [`RimStream::ingest`].
-    ///
-    /// # Errors
-    /// As [`RimStream::ingest`].
-    #[deprecated(since = "0.4.0", note = "use `ingest(snapshots)` instead")]
-    pub fn push(&mut self, snapshots: &[CsiSnapshot]) -> Result<Vec<StreamEvent>, Error> {
-        self.push_internal(snapshots.to_vec(), &NullProbe, None)
-    }
-
-    /// Offers one sequence-numbered sample with per-antenna loss.
-    /// Superseded by [`RimStream::ingest`].
-    ///
-    /// # Errors
-    /// As [`RimStream::ingest`].
-    #[deprecated(since = "0.4.0", note = "use `ingest((seq, antennas))` instead")]
-    pub fn offer(
-        &mut self,
-        seq: u64,
-        antennas: &[Option<CsiSnapshot>],
-    ) -> Result<Vec<StreamEvent>, Error> {
-        self.offer_internal(seq, antennas.to_vec(), &NullProbe, None)
-    }
-
-    /// Offers a synchronizer output sample. Superseded by
-    /// [`RimStream::ingest`].
-    ///
-    /// # Errors
-    /// As [`RimStream::ingest`].
-    #[deprecated(since = "0.4.0", note = "use `ingest(sample)` instead")]
-    pub fn offer_synced(&mut self, sample: &SyncedSample) -> Result<Vec<StreamEvent>, Error> {
-        self.offer_internal(sample.seq, sample.antennas.clone(), &NullProbe, None)
     }
 
     /// The push body: a clean push is an offer of the next expected
@@ -1867,19 +1790,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_delegate_to_ingest() {
+    fn ingest_accepts_every_input_shape() {
         let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
         let mut stream = RimStream::new(geo, config(100.0)).unwrap();
         let snaps = vec![probe_snap(0.0), probe_snap(1.0), probe_snap(2.0)];
-        assert!(stream.push(&snaps).unwrap().is_empty());
-        let holes: Vec<_> = snaps.iter().cloned().map(Some).collect();
-        assert!(stream.offer(1, &holes).unwrap().is_empty());
+        assert!(stream.ingest(snaps.clone()).unwrap().is_empty());
+        let holes: Vec<_> = snaps.into_iter().map(Some).collect();
+        assert!(stream.ingest((1u64, holes.clone())).unwrap().is_empty());
         let sample = SyncedSample {
             seq: 2,
             antennas: holes,
         };
-        assert!(stream.offer_synced(&sample).unwrap().is_empty());
+        assert!(stream.ingest(sample).unwrap().is_empty());
         assert_eq!(stream.samples_pushed(), 3);
     }
 

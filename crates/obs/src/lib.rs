@@ -89,6 +89,11 @@ pub mod stage {
     /// [`super::attribution_metric`]. Synthetic (no code runs "inside"
     /// it), so not part of [`PIPELINE`].
     pub const LATENCY_ATTRIBUTION: &str = "latency_attribution";
+    /// The readiness-driven serve I/O loop (poll wakeups, ready events,
+    /// frame assembly, write backpressure). Sits between the sockets and
+    /// [`SERVE`] admission, so not part of [`PIPELINE`]. Its counters use
+    /// the canonical names in [`super::reactor_metric`].
+    pub const REACTOR: &str = "reactor";
 
     /// All six pipeline stages in execution order.
     pub const PIPELINE: [&str; 6] = [
@@ -176,13 +181,43 @@ pub mod serve_metric {
     pub const QUEUE_DEPTH: &str = "queue_depth";
     /// Distribution: microseconds from a sample's admission to the batch
     /// tick that analysed it (end-to-end ingest→estimate latency).
+    /// The millisecond alias (`ingest_to_estimate_ms`) was removed in the
+    /// v2 report schema; this is the only spelling.
     pub const INGEST_TO_ESTIMATE_US: &str = "ingest_to_estimate_us";
-    /// Distribution: the same latency in milliseconds. **Deprecated
-    /// alias** — milliseconds truncate the fast path; use
-    /// [`INGEST_TO_ESTIMATE_US`]. Still recorded for one release so
-    /// existing report consumers keep working; removal is scheduled for
-    /// the next breaking report-schema bump.
-    pub const INGEST_TO_ESTIMATE_MS: &str = "ingest_to_estimate_ms";
+    /// Counter: samples throttled because the admission predictor
+    /// expected the queue wait to blow the session's latency budget
+    /// (`ServeConfig::latency_budget_us`). A subset of [`THROTTLED`]
+    /// causes; tracked separately so capacity tuning can distinguish
+    /// "queue physically full" from "deadline would be missed".
+    pub const THROTTLED_PREDICTED: &str = "samples_throttled_predicted";
+}
+
+/// Canonical counter names emitted by the readiness-driven serve I/O
+/// loop under [`stage::REACTOR`]. Kept here for the same reason as
+/// [`stream_metric`]: the CLI, tests, and report tooling reference them
+/// without depending on `rim-serve`.
+pub mod reactor_metric {
+    /// Counter: `poll(2)` wakeups (one per loop iteration that returned
+    /// at least one ready descriptor or picked up new connections).
+    pub const WAKEUPS: &str = "reactor_wakeups";
+    /// Counter: readiness events delivered across all wakeups (a single
+    /// wakeup may report many ready sockets).
+    pub const READY_EVENTS: &str = "ready_events";
+    /// Counter: complete request frames assembled from nonblocking reads.
+    pub const FRAMES_IN: &str = "frames_in";
+    /// Counter: response frames fully written to a socket.
+    pub const FRAMES_OUT: &str = "frames_out";
+    /// Counter: writes that hit `WouldBlock` and parked the remainder in
+    /// the per-connection backpressure queue.
+    pub const WRITE_STALLS: &str = "write_stalls";
+    /// Counter: requests answered `Rejected` (or suppressed) because the
+    /// connection's write queue exceeded its high watermark.
+    pub const BACKPRESSURE_REJECTED: &str = "backpressure_rejected";
+    /// Counter: connections accepted.
+    pub const CONNS_OPENED: &str = "conns_opened";
+    /// Counter: connections closed (clean EOF, protocol error, or
+    /// shutdown).
+    pub const CONNS_CLOSED: &str = "conns_closed";
 }
 
 /// Canonical distribution names under [`stage::LATENCY_ATTRIBUTION`]:
@@ -243,7 +278,26 @@ mod stage_tests {
             super::serve_metric::SESSIONS_ACTIVE,
             super::serve_metric::QUEUE_DEPTH,
             super::serve_metric::INGEST_TO_ESTIMATE_US,
-            super::serve_metric::INGEST_TO_ESTIMATE_MS,
+            super::serve_metric::THROTTLED_PREDICTED,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn reactor_metric_names_are_unique() {
+        let names = [
+            super::reactor_metric::WAKEUPS,
+            super::reactor_metric::READY_EVENTS,
+            super::reactor_metric::FRAMES_IN,
+            super::reactor_metric::FRAMES_OUT,
+            super::reactor_metric::WRITE_STALLS,
+            super::reactor_metric::BACKPRESSURE_REJECTED,
+            super::reactor_metric::CONNS_OPENED,
+            super::reactor_metric::CONNS_CLOSED,
         ];
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {

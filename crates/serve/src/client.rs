@@ -13,9 +13,17 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Ceiling on one throttle-retry sleep, milliseconds. The exponential
+/// schedule saturates here however far behind the server is.
+pub const MAX_BACKOFF_MS: u64 = 250;
+
 /// A blocking connection to a [`crate::Server`].
 pub struct Client {
     stream: TcpStream,
+    /// xorshift64* state for retry jitter; seeded per connection from
+    /// the ephemeral local port so concurrent clients de-correlate
+    /// without any clock or OS entropy dependency.
+    rng: u64,
 }
 
 impl Client {
@@ -26,7 +34,14 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let seed = stream
+            .local_addr()
+            .map(|a| u64::from(a.port()))
+            .unwrap_or(1);
+        Ok(Client {
+            stream,
+            rng: seed | 0x9E37_79B9_7F4A_7C15,
+        })
     }
 
     /// Offers one sample to a session and returns the admission decision
@@ -47,9 +62,13 @@ impl Client {
     }
 
     /// Like [`Client::ingest`], but honours the backpressure contract:
-    /// on [`Admit::Throttled`] it sleeps for the server's retry hint and
-    /// offers the sample again until it is accepted or rejected. Events
-    /// drained across retries are concatenated in order.
+    /// on [`Admit::Throttled`] it backs off and offers the sample again
+    /// until it is accepted or rejected. The sleep starts at the
+    /// server's `retry_after` hint, doubles per consecutive retry up to
+    /// [`MAX_BACKOFF_MS`], and carries jitter (a deterministic xorshift
+    /// stream per client) so a fleet of throttled clients does not
+    /// retry in lockstep. Events drained across retries are
+    /// concatenated in order.
     ///
     /// # Errors
     /// Same as [`Client::ingest`].
@@ -59,12 +78,15 @@ impl Client {
         sample: SyncedSample,
     ) -> io::Result<(Admit, Vec<StreamEvent>)> {
         let mut collected = Vec::new();
+        let mut attempt = 0u32;
         loop {
             let (admit, events) = self.ingest(session_id, sample.clone())?;
             collected.extend(events);
             match admit {
                 Admit::Throttled { retry_after } => {
-                    std::thread::sleep(Duration::from_millis(retry_after.max(1)));
+                    let delay = backoff_delay_ms(retry_after, attempt, &mut self.rng);
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(delay));
                 }
                 decided => return Ok((decided, collected)),
             }
@@ -128,4 +150,72 @@ fn protocol_violation(got: &Response) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("unexpected response type: {got:?}"),
     )
+}
+
+/// One step of a xorshift64* pseudo-random stream. Statistical quality
+/// is ample for retry jitter, and the determinism keeps tests exact.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The throttle-retry schedule: the server's `retry_after` hint doubled
+/// per consecutive retry, capped at [`MAX_BACKOFF_MS`], with jitter
+/// drawn uniformly from the upper half of the capped delay — i.e. a
+/// sleep in `[cap/2, cap]`. The hint stays the floor of the schedule
+/// (attempt 0 jitters around the hint itself), so a lightly loaded
+/// server's small hints stay small.
+fn backoff_delay_ms(retry_after_hint: u64, attempt: u32, rng: &mut u64) -> u64 {
+    let base = retry_after_hint.max(1);
+    let doubled = base.saturating_mul(1u64 << attempt.min(16));
+    let capped = doubled.clamp(1, MAX_BACKOFF_MS);
+    let low = capped.div_ceil(2);
+    low + xorshift(rng) % (capped - low + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_from_the_hint_until_the_cap() {
+        let mut rng = 7u64;
+        // With hint 5 the schedule's ceilings are 5, 10, 20, 40, ...
+        // capped at MAX_BACKOFF_MS; every draw falls in [ceil/2, ceil].
+        for attempt in 0..12u32 {
+            let ceil = (5u64 << attempt.min(16)).min(MAX_BACKOFF_MS);
+            for _ in 0..64 {
+                let d = backoff_delay_ms(5, attempt, &mut rng);
+                assert!(
+                    d >= ceil.div_ceil(2) && d <= ceil,
+                    "attempt {attempt}: delay {d} outside [{}, {ceil}]",
+                    ceil.div_ceil(2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap_for_huge_attempts() {
+        let mut rng = 3u64;
+        for attempt in [32u32, 63, u32::MAX] {
+            let d = backoff_delay_ms(1000, attempt, &mut rng);
+            assert!((MAX_BACKOFF_MS / 2..=MAX_BACKOFF_MS).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn backoff_floors_a_zero_hint_and_jitters_deterministically() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        assert!(backoff_delay_ms(0, 0, &mut a) >= 1);
+        a = 42;
+        let first: Vec<u64> = (0..8).map(|i| backoff_delay_ms(7, i, &mut a)).collect();
+        let second: Vec<u64> = (0..8).map(|i| backoff_delay_ms(7, i, &mut b)).collect();
+        assert_eq!(first, second, "same seed, same schedule");
+    }
 }

@@ -1,12 +1,15 @@
-//! The sharded session manager and cross-session batch scheduler.
+//! The sharded session manager and deadline-aware batch scheduler.
 //!
-//! Admission (`ingest`) is cheap and lock-light: hash the session id to
-//! a shard, find or create the session, push onto its bounded ingress
-//! queue. Analysis happens on the scheduler's clock: each [`process`]
-//! tick collects every session with pending samples and fans them across
-//! the shared [`Pool`] as independent tiles — one worker advances one
-//! session at a time, so per-session state needs no finer locking and
-//! every session's arithmetic is exactly a standalone stream's.
+//! Admission (`ingest`) is cheap and O(1) beyond the shard lookup: hash
+//! the session id to a shard, find or create the session, check the
+//! latency-budget predictor (two atomic loads and a multiply), push onto
+//! the session's bounded ingress queue. Analysis happens on the
+//! scheduler's clock: each [`process`] tick collects every session with
+//! pending samples, orders them by the earliest front-of-queue deadline
+//! (EDF), and fans them across the shared [`Pool`] as independent tiles —
+//! one worker advances one session at a time, so per-session state needs
+//! no finer locking and every session's arithmetic is exactly a
+//! standalone stream's.
 //!
 //! [`process`]: SessionManager::process
 
@@ -20,38 +23,230 @@ use rim_par::Pool;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Serving-layer knobs. All limits are per process; zero values are
-/// clamped to their minimum at construction where a zero would be
-/// meaningless ([`ServeConfig::shards`], [`ServeConfig::queue_capacity`],
-/// [`ServeConfig::max_sessions`]).
+/// Validated serving-layer configuration. All limits are per process.
+///
+/// Constructed through [`ServeConfig::builder`] — the one constructor
+/// path shared by [`crate::Server::bind`], the CLI's `rim serve`, and
+/// self-drive — or [`ServeConfig::default`] for the stock limits.
+/// Invalid combinations fail [`ServeConfigBuilder::build`] with
+/// [`Error::Config`] instead of being silently clamped.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Number of shards the session table is split across. Purely a
-    /// contention knob: shard choice never affects results.
-    pub shards: usize,
-    /// Bounded ingress-queue length per session; a full queue throttles.
-    pub queue_capacity: usize,
-    /// Maximum resident sessions; beyond this, new sessions are
-    /// rejected until one is finished or evicted.
-    pub max_sessions: usize,
-    /// Evict a session after this many scheduler ticks without activity
-    /// (no admit, no processed sample). `0` disables eviction.
-    pub idle_evict_ticks: u64,
-    /// Retry hint returned with [`Admit::Throttled`], milliseconds.
-    pub retry_after_ms: u64,
+    shards: usize,
+    queue_depth: usize,
+    max_sessions: usize,
+    idle_evict_ticks: u64,
+    retry_after_ms: u64,
+    latency_budget_us: u64,
+    trace_every: usize,
+    metrics_every_ms: u64,
+    io_threads: usize,
+    write_buf_cap: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             shards: 4,
-            queue_capacity: 256,
+            queue_depth: 256,
             max_sessions: 1024,
             idle_evict_ticks: 0,
             retry_after_ms: 5,
+            latency_budget_us: 250_000,
+            trace_every: 0,
+            metrics_every_ms: 0,
+            io_threads: 1,
+            write_buf_cap: 1 << 20,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a builder seeded with the default limits.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+
+    /// Number of shards the session table is split across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Bounded ingress-queue length per session; a full queue throttles.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Maximum resident sessions before new sessions are rejected.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Scheduler ticks of inactivity before eviction (`0` = never).
+    pub fn idle_evict_ticks(&self) -> u64 {
+        self.idle_evict_ticks
+    }
+
+    /// Retry hint returned with [`Admit::Throttled`], milliseconds.
+    pub fn retry_after_ms(&self) -> u64 {
+        self.retry_after_ms
+    }
+
+    /// Per-sample latency budget, microseconds (`0` = unbounded). Sets
+    /// each admitted sample's deadline and arms the admission predictor.
+    pub fn latency_budget_us(&self) -> u64 {
+        self.latency_budget_us
+    }
+
+    /// Per-request trace cadence (`0` = fall back to
+    /// [`RimConfig::trace_sample_every`]).
+    pub fn trace_every(&self) -> usize {
+        self.trace_every
+    }
+
+    /// Telemetry digest cadence for self-drive, milliseconds (`0` = off).
+    pub fn metrics_every_ms(&self) -> u64 {
+        self.metrics_every_ms
+    }
+
+    /// Reactor (I/O event loop) threads the server runs.
+    pub fn io_threads(&self) -> usize {
+        self.io_threads
+    }
+
+    /// Per-connection write-queue high watermark, bytes. A connection
+    /// whose pending responses exceed this is answered with
+    /// [`RejectReason::Backpressure`] until it drains.
+    pub fn write_buf_cap(&self) -> usize {
+        self.write_buf_cap
+    }
+}
+
+/// Builder for [`ServeConfig`]. Setters take the builder by value so
+/// configuration reads as one chained expression; [`build`] validates
+/// the combination.
+///
+/// [`build`]: ServeConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl Default for ServeConfigBuilder {
+    fn default() -> Self {
+        ServeConfig::builder()
+    }
+}
+
+impl ServeConfigBuilder {
+    /// Session-table shard count (contention knob; never affects bits).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Bounded ingress-queue length per session.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Maximum resident sessions.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.cfg.max_sessions = n;
+        self
+    }
+
+    /// Scheduler ticks of inactivity before eviction (`0` = never).
+    pub fn idle_evict_ticks(mut self, ticks: u64) -> Self {
+        self.cfg.idle_evict_ticks = ticks;
+        self
+    }
+
+    /// Retry hint returned with [`Admit::Throttled`], milliseconds.
+    pub fn retry_after_ms(mut self, ms: u64) -> Self {
+        self.cfg.retry_after_ms = ms;
+        self
+    }
+
+    /// Per-sample latency budget, microseconds (`0` = unbounded).
+    pub fn latency_budget_us(mut self, us: u64) -> Self {
+        self.cfg.latency_budget_us = us;
+        self
+    }
+
+    /// Per-request trace cadence (`0` = fall back to the engine's
+    /// [`RimConfig::trace_sample_every`]).
+    pub fn trace_every(mut self, every: usize) -> Self {
+        self.cfg.trace_every = every;
+        self
+    }
+
+    /// Telemetry digest cadence for self-drive, milliseconds (`0` = off).
+    pub fn metrics_every_ms(mut self, ms: u64) -> Self {
+        self.cfg.metrics_every_ms = ms;
+        self
+    }
+
+    /// Reactor (I/O event loop) threads the server runs.
+    pub fn io_threads(mut self, n: usize) -> Self {
+        self.cfg.io_threads = n;
+        self
+    }
+
+    /// Per-connection write-queue high watermark, bytes.
+    pub fn write_buf_cap(mut self, bytes: usize) -> Self {
+        self.cfg.write_buf_cap = bytes;
+        self
+    }
+
+    /// Validates the combination and returns the config.
+    ///
+    /// # Errors
+    /// [`Error::Config`] when a limit is out of range (zero where zero is
+    /// meaningless, `io_threads` > 64, `write_buf_cap` < 1024,
+    /// `latency_budget_us` in `1..1000`) or the combination is
+    /// inconsistent (a retry hint longer than the latency budget would
+    /// make every throttled retry blow its deadline).
+    pub fn build(self) -> Result<ServeConfig, Error> {
+        let c = &self.cfg;
+        if c.shards == 0 {
+            return Err(Error::Config("serve: shards must be >= 1".into()));
+        }
+        if c.queue_depth == 0 {
+            return Err(Error::Config("serve: queue_depth must be >= 1".into()));
+        }
+        if c.max_sessions == 0 {
+            return Err(Error::Config("serve: max_sessions must be >= 1".into()));
+        }
+        if c.retry_after_ms == 0 {
+            return Err(Error::Config("serve: retry_after_ms must be >= 1".into()));
+        }
+        if c.latency_budget_us > 0 && c.latency_budget_us < 1000 {
+            return Err(Error::Config(
+                "serve: latency_budget_us must be 0 (unbounded) or >= 1000".into(),
+            ));
+        }
+        if c.io_threads == 0 || c.io_threads > 64 {
+            return Err(Error::Config("serve: io_threads must be in 1..=64".into()));
+        }
+        if c.write_buf_cap < 1024 {
+            return Err(Error::Config(
+                "serve: write_buf_cap must be >= 1024 bytes".into(),
+            ));
+        }
+        if c.latency_budget_us > 0 && c.retry_after_ms.saturating_mul(1000) > c.latency_budget_us {
+            return Err(Error::Config(format!(
+                "serve: retry_after_ms ({} ms) exceeds latency_budget_us ({} us); \
+                 a throttled retry could never meet its deadline",
+                c.retry_after_ms, c.latency_budget_us
+            )));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -61,7 +256,8 @@ impl Default for ServeConfig {
 pub enum Admit {
     /// Queued for analysis.
     Accepted,
-    /// The session's ingress queue is full; retry after the hint. The
+    /// The session's ingress queue is full, or the latency predictor
+    /// expects the sample to blow its budget; retry after the hint. The
     /// sample was **not** queued.
     Throttled {
         /// Suggested client backoff, milliseconds.
@@ -82,6 +278,10 @@ pub enum RejectReason {
     SessionTableFull,
     /// The manager is shutting down and no longer accepts samples.
     ShuttingDown,
+    /// The connection's write queue is over its high watermark
+    /// ([`ServeConfig::write_buf_cap`]): the peer is not reading its
+    /// responses fast enough for more work to be useful.
+    Backpressure,
 }
 
 /// One admitted sample waiting for a scheduler tick.
@@ -89,9 +289,12 @@ pub enum RejectReason {
 struct Pending {
     sample: SyncedSample,
     admitted: Instant,
+    /// EDF key: admission time plus the latency budget (admission time
+    /// itself when the budget is unbounded, so EDF degrades to
+    /// earliest-arrival order).
+    deadline: Instant,
     /// Per-request trace, when this admission fell on the sampling
-    /// cadence ([`rim_core::RimConfig::trace_sample_every`]). Carries the
-    /// open `queue_wait` span across the queue.
+    /// cadence. Carries the open `queue_wait` span across the queue.
     trace: Option<rim_obs::ActiveTrace>,
 }
 
@@ -117,10 +320,11 @@ struct SessionState {
 }
 
 /// Owns every resident session, sharded by session id, and schedules
-/// cross-session batches onto one shared pool.
+/// cross-session batches onto one shared pool in earliest-deadline
+/// order.
 ///
 /// All methods take `&self`; the manager is designed to sit behind an
-/// `Arc` with ingress threads and a scheduler thread calling in
+/// `Arc` with reactor threads and a scheduler thread calling in
 /// concurrently.
 #[derive(Debug)]
 pub struct SessionManager {
@@ -132,16 +336,25 @@ pub struct SessionManager {
     /// to standalone streams at any worker count).
     engine: Rim,
     cfg: ServeConfig,
-    /// Manager-wide recorder for the [`stage::SERVE`] stage.
+    /// Manager-wide recorder for the [`stage::SERVE`] and
+    /// [`stage::REACTOR`] stages.
     recorder: Recorder,
     tick: AtomicU64,
     resident: AtomicUsize,
     accepting: AtomicBool,
-    /// Raw samples backing the ingest→estimate histogram; the report
-    /// keeps p50/p95, so tail percentiles come from these.
+    /// Samples admitted but not yet drained by a scheduler worker,
+    /// across all sessions. One of the predictor's two inputs.
+    queued_total: AtomicUsize,
+    /// EMA of per-sample analysis cost, nanoseconds (`0` until the first
+    /// batch completes). The predictor's other input: predicted queue
+    /// wait = queued_total x ema / pool workers.
+    compute_ema_ns: AtomicU64,
+    /// Raw samples backing the ingest→estimate histogram (microseconds);
+    /// the report keeps p50/p95, so tail percentiles come from these.
     latencies: Mutex<Vec<f64>>,
     /// Per-request trace allocation, sampling, and retention (cadence
-    /// from [`RimConfig::trace_sample_every`]; `0` = tracing off).
+    /// from [`ServeConfig::trace_every`], falling back to
+    /// [`RimConfig::trace_sample_every`]; `0` = tracing off).
     tracer: Tracer,
 }
 
@@ -160,23 +373,26 @@ impl SessionManager {
         serve: ServeConfig,
     ) -> Result<Self, Error> {
         let pool = Pool::new(config.threads, 0);
-        let tracer = Tracer::new(config.trace_sample_every);
+        let cadence = if serve.trace_every > 0 {
+            serve.trace_every
+        } else {
+            config.trace_sample_every
+        };
+        let tracer = Tracer::new(cadence);
         let engine = Rim::new(geometry, config.with_threads(1))?;
-        let mut cfg = serve;
-        cfg.shards = cfg.shards.max(1);
-        cfg.queue_capacity = cfg.queue_capacity.max(1);
-        cfg.max_sessions = cfg.max_sessions.max(1);
         Ok(Self {
-            shards: (0..cfg.shards)
+            shards: (0..serve.shards)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             pool,
             engine,
-            cfg,
+            cfg: serve,
             recorder: Recorder::new(),
             tick: AtomicU64::new(0),
             resident: AtomicUsize::new(0),
             accepting: AtomicBool::new(true),
+            queued_total: AtomicUsize::new(0),
+            compute_ema_ns: AtomicU64::new(0),
             latencies: Mutex::new(Vec::new()),
             tracer,
         })
@@ -190,14 +406,44 @@ impl SessionManager {
         (h as usize) % self.shards.len()
     }
 
+    /// Predicted ingress-queue wait for a sample admitted now,
+    /// microseconds: everything already queued, at the observed
+    /// per-sample cost, spread over the pool's workers. Two relaxed
+    /// atomic loads and a multiply — O(1) however many sessions exist.
+    /// `0` until the first batch calibrates the cost EMA.
+    fn predicted_wait_us(&self) -> u64 {
+        let ema_ns = self.compute_ema_ns.load(Ordering::Relaxed);
+        if ema_ns == 0 {
+            return 0;
+        }
+        let queued = self.queued_total.load(Ordering::Relaxed) as u64;
+        let workers = (self.pool.threads().max(1)) as u64;
+        queued.saturating_mul((ema_ns / 1000).max(1)) / workers
+    }
+
     /// Offers one synced sample to a session, creating the session on
     /// first contact. Returns the admission decision immediately; the
     /// sample is analysed on a later [`SessionManager::process`] tick.
+    ///
+    /// Beyond the per-session queue bound, admission throttles when the
+    /// latency-budget predictor says the sample would wait longer than
+    /// [`ServeConfig::latency_budget_us`] before a worker picks it up —
+    /// backpressure keyed to the deadline contract, not just to memory.
     pub fn ingest(&self, session_id: u64, sample: SyncedSample) -> Admit {
         if !self.accepting.load(Ordering::Acquire) {
             self.recorder.count(stage::SERVE, serve_metric::REJECTED, 1);
             return Admit::Rejected {
                 reason: RejectReason::ShuttingDown,
+            };
+        }
+        let budget_us = self.cfg.latency_budget_us;
+        if budget_us > 0 && self.predicted_wait_us() > budget_us {
+            self.recorder
+                .count(stage::SERVE, serve_metric::THROTTLED, 1);
+            self.recorder
+                .count(stage::SERVE, serve_metric::THROTTLED_PREDICTED, 1);
+            return Admit::Throttled {
+                retry_after: self.cfg.retry_after_ms,
             };
         }
         // Start the per-request trace (if this admission falls on the
@@ -240,7 +486,7 @@ impl SessionManager {
             .store(self.tick.load(Ordering::Acquire), Ordering::Release);
         let admitted = {
             let mut queue = lock(&state.queue);
-            if queue.len() >= self.cfg.queue_capacity {
+            if queue.len() >= self.cfg.queue_depth {
                 false
             } else {
                 if let Some(t) = trace.as_mut() {
@@ -250,15 +496,23 @@ impl SessionManager {
                     // Left open across the queue; closed at pickup.
                     t.open(SpanKind::QueueWait);
                 }
+                let now = Instant::now();
+                let deadline = if budget_us > 0 {
+                    now + Duration::from_micros(budget_us)
+                } else {
+                    now
+                };
                 queue.push_back(Pending {
                     sample,
-                    admitted: Instant::now(),
+                    admitted: now,
+                    deadline,
                     trace: trace.take(),
                 });
                 true
             }
         };
         if admitted {
+            self.queued_total.fetch_add(1, Ordering::Relaxed);
             self.recorder.count(stage::SERVE, serve_metric::ADMITTED, 1);
             Admit::Accepted
         } else {
@@ -270,27 +524,36 @@ impl SessionManager {
         }
     }
 
+    /// Sessions with pending samples, ordered by their front-of-queue
+    /// deadline (earliest first). [`Pool::map`] preserves index order in
+    /// its fan-out, so this ordering is the EDF schedule.
+    fn busy_sessions(&self) -> (Vec<Arc<SessionState>>, usize) {
+        let mut busy: Vec<(Instant, Arc<SessionState>)> = Vec::new();
+        let mut depth = 0usize;
+        for shard in &self.shards {
+            for state in lock(shard).values() {
+                let queue = lock(&state.queue);
+                if let Some(front) = queue.front() {
+                    depth += queue.len();
+                    busy.push((front.deadline, Arc::clone(state)));
+                }
+            }
+        }
+        busy.sort_by_key(|(deadline, _)| *deadline);
+        (busy.into_iter().map(|(_, s)| s).collect(), depth)
+    }
+
     /// Runs one scheduler tick: drains every session with pending
-    /// samples, fanning the per-session batches across the shared pool
-    /// as independent tiles, then applies the idle-eviction policy.
-    /// Returns the number of samples analysed.
+    /// samples in earliest-deadline order, fanning the per-session
+    /// batches across the shared pool as independent tiles, then applies
+    /// the idle-eviction policy. Returns the number of samples analysed.
     pub fn process(&self) -> usize {
         let now = self.tick.fetch_add(1, Ordering::AcqRel) + 1;
         // Batch-schedule spans measure from the tick's start to each
         // sample's worker pickup: fan-out cost plus cross-session
         // contention.
         let tick_start = Instant::now();
-        let mut busy: Vec<Arc<SessionState>> = Vec::new();
-        let mut depth = 0usize;
-        for shard in &self.shards {
-            for state in lock(shard).values() {
-                let queued = lock(&state.queue).len();
-                if queued > 0 {
-                    depth += queued;
-                    busy.push(Arc::clone(state));
-                }
-            }
-        }
+        let (busy, depth) = self.busy_sessions();
         self.recorder
             .gauge(stage::SERVE, serve_metric::QUEUE_DEPTH, depth as f64);
         let mut analysed = 0;
@@ -317,8 +580,12 @@ impl SessionManager {
         if pending.is_empty() {
             return 0;
         }
+        self.queued_total
+            .fetch_sub(pending.len(), Ordering::Relaxed);
         state.last_active.store(now, Ordering::Release);
         let work = &mut *work;
+        let batch = pending.len();
+        let batch_start = Instant::now();
         let mut n = 0;
         for mut p in pending {
             if let Some(t) = p.trace.as_mut() {
@@ -341,14 +608,7 @@ impl SessionManager {
                             serve_metric::INGEST_TO_ESTIMATE_US,
                             us,
                         );
-                        // Deprecated millisecond alias, kept one release
-                        // for report consumers pinned to the old key.
-                        self.recorder.observe(
-                            stage::SERVE,
-                            serve_metric::INGEST_TO_ESTIMATE_MS,
-                            us / 1e3,
-                        );
-                        lock(&self.latencies).push(us / 1e3);
+                        lock(&self.latencies).push(us);
                     }
                     work.events.extend(events);
                     n += 1;
@@ -364,6 +624,17 @@ impl SessionManager {
                 self.tracer.commit(t, &self.recorder);
             }
         }
+        // Recalibrate the admission predictor from this batch's
+        // per-sample cost. Last-write-wins across workers is fine: every
+        // batch on this box observes the same engine.
+        let per_sample_ns = (batch_start.elapsed().as_nanos() as u64 / batch as u64).max(1);
+        let old = self.compute_ema_ns.load(Ordering::Relaxed);
+        let ema = if old == 0 {
+            per_sample_ns
+        } else {
+            old - old / 8 + per_sample_ns / 8
+        };
+        self.compute_ema_ns.store(ema, Ordering::Relaxed);
         n
     }
 
@@ -442,19 +713,17 @@ impl SessionManager {
 
     /// Total samples queued across all sessions right now.
     pub fn queue_depth(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                lock(s)
-                    .values()
-                    .map(|st| lock(&st.queue).len())
-                    .sum::<usize>()
-            })
-            .sum()
+        self.queued_total.load(Ordering::Relaxed)
     }
 
-    /// The manager-wide [`stage::SERVE`] report (admission counters,
-    /// queue depth, active/evicted sessions, ingest→estimate latency).
+    /// The validated serving configuration this manager runs with.
+    pub fn serve_config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The manager-wide [`stage::SERVE`] / [`stage::REACTOR`] report
+    /// (admission counters, queue depth, active/evicted sessions,
+    /// ingest→estimate latency, reactor I/O counters).
     pub fn report(&self) -> RunReport {
         self.recorder.report()
     }
@@ -471,10 +740,15 @@ impl SessionManager {
         &self.pool
     }
 
-    /// Drains the raw ingest→estimate latency samples (milliseconds,
+    /// The manager-wide recorder, for the reactor's I/O counters.
+    pub(crate) fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Drains the raw ingest→estimate latency samples (microseconds,
     /// one per sample whose analysis emitted a segment). The run report
-    /// aggregates these to p50/p95; callers wanting deeper tails (p99)
-    /// compute them from this.
+    /// aggregates these to p50/p95; callers wanting deeper tails
+    /// (p99/p999) compute them from this.
     pub fn take_latencies(&self) -> Vec<f64> {
         std::mem::take(&mut *lock(&self.latencies))
     }
@@ -483,13 +757,13 @@ impl SessionManager {
     /// event-bearing response frame: feeds the `wire_us` attribution
     /// distribution and attaches an `event_wire_out` span to the newest
     /// trace still lacking one (events leave on the response after their
-    /// trace committed). Called by the server; no-op when tracing is off.
+    /// trace committed). Called by the reactor; no-op when tracing is off.
     pub fn note_wire_out(&self, dur_us: u64) {
         self.tracer.attach_wire_out(dur_us, &self.recorder);
     }
 
     /// The most recent committed per-request traces, oldest first (empty
-    /// unless [`RimConfig::trace_sample_every`] is nonzero).
+    /// unless tracing is enabled).
     pub fn traces(&self, n: usize) -> Vec<TraceRecord> {
         self.tracer.recent(n)
     }
@@ -611,11 +885,40 @@ mod tests {
     }
 
     #[test]
+    fn builder_validates_limits_and_combinations() {
+        assert!(ServeConfig::builder().build().is_ok(), "defaults are valid");
+        for bad in [
+            ServeConfig::builder().shards(0),
+            ServeConfig::builder().queue_depth(0),
+            ServeConfig::builder().max_sessions(0),
+            ServeConfig::builder().retry_after_ms(0),
+            ServeConfig::builder().latency_budget_us(500),
+            ServeConfig::builder().io_threads(0),
+            ServeConfig::builder().io_threads(65),
+            ServeConfig::builder().write_buf_cap(16),
+            // Retry hint (50 ms) longer than the budget (10 ms).
+            ServeConfig::builder()
+                .retry_after_ms(50)
+                .latency_budget_us(10_000),
+        ] {
+            assert!(
+                matches!(bad.clone().build(), Err(Error::Config(_))),
+                "expected Error::Config from {bad:?}"
+            );
+        }
+        // An unbounded budget lifts the retry/budget combination check.
+        let cfg = ServeConfig::builder()
+            .retry_after_ms(50)
+            .latency_budget_us(0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.retry_after_ms(), 50);
+        assert_eq!(cfg.latency_budget_us(), 0);
+    }
+
+    #[test]
     fn admits_until_queue_full_then_throttles() {
-        let m = manager(ServeConfig {
-            queue_capacity: 3,
-            ..ServeConfig::default()
-        });
+        let m = manager(ServeConfig::builder().queue_depth(3).build().unwrap());
         for seq in 0..3 {
             assert_eq!(m.ingest(9, sample(seq)), Admit::Accepted);
         }
@@ -628,11 +931,62 @@ mod tests {
     }
 
     #[test]
+    fn predictor_throttles_when_budget_would_be_blown() {
+        let m = manager(
+            ServeConfig::builder()
+                .retry_after_ms(1)
+                .latency_budget_us(2000)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(m.ingest(1, sample(0)), Admit::Accepted);
+        // White-box calibration: pretend a batch measured 10 ms/sample.
+        // One queued sample at 10 ms/sample predicts >= 2.5 ms of wait
+        // even on a 4-worker pool — over the 2 ms budget.
+        m.compute_ema_ns.store(10_000_000, Ordering::Relaxed);
+        assert_eq!(m.ingest(1, sample(1)), Admit::Throttled { retry_after: 1 });
+        assert_eq!(
+            m.queue_depth(),
+            1,
+            "the predicted-violation sample was not queued"
+        );
+        let report = m.report();
+        let stage = report.stage(stage::SERVE).unwrap();
+        assert!(stage
+            .counters
+            .iter()
+            .any(|(k, v)| k == serve_metric::THROTTLED_PREDICTED && *v == 1));
+        // Draining the queue clears the prediction.
+        m.process();
+        assert_eq!(m.ingest(1, sample(1)), Admit::Accepted);
+    }
+
+    #[test]
+    fn busy_sessions_are_ordered_by_earliest_deadline() {
+        let m = manager(
+            ServeConfig::builder()
+                .latency_budget_us(500_000)
+                .build()
+                .unwrap(),
+        );
+        // Session 20 admits first, so its front deadline is earliest no
+        // matter how the ids hash across shards.
+        assert_eq!(m.ingest(20, sample(0)), Admit::Accepted);
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(m.ingest(10, sample(0)), Admit::Accepted);
+        let (busy, depth) = m.busy_sessions();
+        assert_eq!(depth, 2);
+        assert_eq!(busy.len(), 2);
+        assert!(
+            Arc::ptr_eq(&busy[0], &m.find(20).unwrap()),
+            "earliest-admitted session schedules first"
+        );
+        assert!(Arc::ptr_eq(&busy[1], &m.find(10).unwrap()));
+    }
+
+    #[test]
     fn rejects_when_session_table_full_and_after_shutdown() {
-        let m = manager(ServeConfig {
-            max_sessions: 2,
-            ..ServeConfig::default()
-        });
+        let m = manager(ServeConfig::builder().max_sessions(2).build().unwrap());
         assert_eq!(m.ingest(1, sample(0)), Admit::Accepted);
         assert_eq!(m.ingest(2, sample(0)), Admit::Accepted);
         assert_eq!(
@@ -657,10 +1011,7 @@ mod tests {
 
     #[test]
     fn idle_sessions_are_evicted_on_schedule() {
-        let m = manager(ServeConfig {
-            idle_evict_ticks: 2,
-            ..ServeConfig::default()
-        });
+        let m = manager(ServeConfig::builder().idle_evict_ticks(2).build().unwrap());
         assert_eq!(m.ingest(5, sample(0)), Admit::Accepted);
         assert_eq!(m.sessions_active(), 1);
         m.process(); // tick 1: analyses, session active at tick 1
@@ -702,8 +1053,8 @@ mod tests {
     fn traced_samples_decompose_into_spans_and_feed_attribution() {
         let m = SessionManager::new(
             geometry(),
-            config().with_trace_sampling(1),
-            ServeConfig::default(),
+            config(),
+            ServeConfig::builder().trace_every(1).build().unwrap(),
         )
         .unwrap();
         for seq in 0..5 {

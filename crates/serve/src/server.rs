@@ -1,58 +1,41 @@
-//! The blocking TCP server: accept loop, per-connection handlers, and
-//! the background scheduler thread that ticks the session manager.
+//! The server handle: binds the listener, runs the reactor threads and
+//! the scheduler thread, and owns shutdown.
 //!
-//! The server is deliberately std-only: a non-blocking accept loop
-//! polled on a short interval, one OS thread per connection (session
-//! counts here are tens, not tens of thousands), and one scheduler
-//! thread calling [`SessionManager::process`] in a loop. Connection
-//! reads block without timeouts — a mid-frame read timeout would
-//! desynchronise the length-prefixed stream — and shutdown unblocks
-//! them by shutting the sockets down instead.
+//! I/O is readiness-driven (see [`crate::reactor`]): a fixed worker set
+//! of [`ServeConfig::io_threads`] reactor threads owns every client
+//! socket, so the thread count is constant whether ten or ten thousand
+//! sessions are connected. One scheduler thread ticks
+//! [`SessionManager::process`] — the deadline-ordered cross-session
+//! batch scheduler — in a loop.
+//!
+//! [`ServeConfig::io_threads`]: crate::ServeConfig::io_threads
 
 use crate::manager::SessionManager;
-use crate::wire::{self, Request, Response};
+use crate::reactor::{reactor_loop, ReactorShared};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// How often the accept loop polls for new connections or shutdown.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
 /// Scheduler back-off when a tick found nothing to analyse.
 const IDLE_BACKOFF: Duration = Duration::from_millis(1);
-
-/// State shared between the server handle and its threads.
-struct Shared {
-    manager: Arc<SessionManager>,
-    stop: AtomicBool,
-    /// Clones of accepted sockets, kept so shutdown can unblock
-    /// handlers parked in a blocking read.
-    conns: Mutex<Vec<TcpStream>>,
-}
-
-impl Shared {
-    fn close_connections(&self) {
-        for conn in lock(&self.conns).drain(..) {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-        }
-    }
-}
 
 /// A running serve instance bound to a TCP address.
 ///
 /// Dropping the handle shuts the server down and joins its threads.
 pub struct Server {
-    shared: Arc<Shared>,
+    shared: Arc<ReactorShared>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    io: Vec<JoinHandle<()>>,
     scheduler: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds a listener (use port 0 for an ephemeral port) and starts
-    /// the accept loop and the scheduler thread.
+    /// the reactor threads (sized by the manager's
+    /// [`crate::ServeConfig::io_threads`]) and the scheduler thread.
     ///
     /// # Errors
     /// Propagates bind/configuration I/O errors.
@@ -60,15 +43,19 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
+        let io_threads = manager.serve_config().io_threads();
+        let shared = Arc::new(ReactorShared {
             manager,
             stop: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            inboxes: (0..io_threads).map(|_| Mutex::new(Vec::new())).collect(),
         });
-        let accept = {
+        let mut listener = Some(listener);
+        let mut io = Vec::with_capacity(io_threads);
+        for idx in 0..io_threads {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || accept_loop(&listener, &shared))
-        };
+            let listener = listener.take();
+            io.push(thread::spawn(move || reactor_loop(&shared, idx, listener)));
+        }
         let scheduler = {
             let shared = Arc::clone(&shared);
             thread::spawn(move || scheduler_loop(&shared))
@@ -76,7 +63,7 @@ impl Server {
         Ok(Server {
             shared,
             addr,
-            accept: Some(accept),
+            io,
             scheduler: Some(scheduler),
         })
     }
@@ -98,18 +85,17 @@ impl Server {
         self.join_threads();
     }
 
-    /// Stops the server: refuses new samples, unblocks and joins every
-    /// connection handler, and joins the accept and scheduler threads.
-    /// Idempotent.
+    /// Stops the server: refuses new samples, lets the reactors flush
+    /// and close every connection, and joins the reactor and scheduler
+    /// threads. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.manager.shutdown();
         self.shared.stop.store(true, Ordering::Release);
-        self.shared.close_connections();
         self.join_threads();
     }
 
     fn join_threads(&mut self) {
-        if let Some(h) = self.accept.take() {
+        for h in self.io.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.scheduler.take() {
@@ -124,34 +110,8 @@ impl Drop for Server {
     }
 }
 
-/// Polls for connections until stop; then unblocks and joins handlers.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Handlers use plain blocking reads.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                if let Ok(clone) = stream.try_clone() {
-                    lock(&shared.conns).push(clone);
-                }
-                let shared = Arc::clone(shared);
-                handlers.push(thread::spawn(move || handle_connection(stream, &shared)));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
-            Err(_) => thread::sleep(ACCEPT_POLL),
-        }
-    }
-    shared.close_connections();
-    for h in handlers {
-        let _ = h.join();
-    }
-}
-
 /// Ticks the manager until stop, with one final drain tick after.
-fn scheduler_loop(shared: &Arc<Shared>) {
+fn scheduler_loop(shared: &Arc<ReactorShared>) {
     loop {
         let analysed = shared.manager.process();
         if shared.stop.load(Ordering::Acquire) {
@@ -162,66 +122,4 @@ fn scheduler_loop(shared: &Arc<Shared>) {
             thread::sleep(IDLE_BACKOFF);
         }
     }
-}
-
-/// Serves one connection: read a frame, act, respond, repeat.
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    loop {
-        let body = match wire::read_frame(&mut stream) {
-            Ok(Some(body)) => body,
-            // Clean hang-up, server shutdown, or a broken peer — either
-            // way this connection is done.
-            Ok(None) | Err(_) => return,
-        };
-        let request = match Request::decode(&body) {
-            Ok(request) => request,
-            // A garbled frame leaves the stream unframed; drop the
-            // connection rather than guess at a resync point.
-            Err(_) => return,
-        };
-        let (response, stop_after) = match request {
-            Request::Ingest { session_id, sample } => {
-                let admit = shared.manager.ingest(session_id, sample);
-                let events = shared.manager.drain_events(session_id);
-                (Response::Admit { admit, events }, false)
-            }
-            Request::Finish { session_id } => {
-                let events = shared.manager.finish(session_id);
-                (Response::Finished { events }, false)
-            }
-            Request::Shutdown => {
-                shared.manager.shutdown();
-                (Response::Bye, true)
-            }
-            Request::Metrics => {
-                let text = shared.manager.metrics_text();
-                (Response::MetricsSnapshot { text }, false)
-            }
-        };
-        // Event-bearing responses carry estimates back to the client:
-        // time their encode+write so the tracer can close the
-        // `event_wire_out` span of the trace that produced them.
-        let carries_events = match &response {
-            Response::Admit { events, .. } | Response::Finished { events } => !events.is_empty(),
-            Response::Bye | Response::MetricsSnapshot { .. } => false,
-        };
-        let wire_start = std::time::Instant::now();
-        if wire::write_frame(&mut stream, &response.encode()).is_err() {
-            return;
-        }
-        if carries_events {
-            shared
-                .manager
-                .note_wire_out(wire_start.elapsed().as_micros() as u64);
-        }
-        if stop_after {
-            shared.stop.store(true, Ordering::Release);
-            return;
-        }
-    }
-}
-
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
 }

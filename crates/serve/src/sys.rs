@@ -1,0 +1,105 @@
+//! Minimal `poll(2)` binding — the crate's single unsafe block.
+//!
+//! The house style is dependency-free std-only Rust, and std exposes no
+//! readiness API, so the reactor declares the one libc symbol it needs
+//! itself. The wrapper owns all the invariants: the slice pointer/length
+//! pair handed to the kernel comes straight from a live `&mut [PollFd]`,
+//! and `EINTR` is retried so callers never see a spurious error.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+
+/// Readable data is available (or a peer hung up with data pending).
+pub const POLLIN: i16 = 0x001;
+/// Writing would not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// `struct pollfd`, bit-compatible with the C layout.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch (from `AsRawFd::as_raw_fd`).
+    pub fd: i32,
+    /// Requested events (`POLLIN` / `POLLOUT`; `0` for errors only).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A pollfd watching `fd` for `events`.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until a descriptor is ready or the timeout (milliseconds;
+/// `-1` = forever) elapses. Returns the number of ready descriptors
+/// (`0` on timeout) with readiness reported in each entry's `revents`.
+/// Retries `EINTR` internally.
+///
+/// # Errors
+/// Any `poll(2)` failure other than `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a live, exclusively borrowed slice of
+        // `#[repr(C)]` pollfds; the kernel writes only within
+        // `fds.len()` entries and only to the `revents` fields.
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_times_out_on_a_quiet_socket_and_wakes_on_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 10).unwrap(), 0, "quiet socket times out");
+
+        tx.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0, "readable after a write");
+    }
+
+    #[test]
+    fn poll_reports_writable_immediately() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut fds = [PollFd::new(tx.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLOUT, 0);
+    }
+}

@@ -186,6 +186,7 @@ impl Response {
                         body.put_u64(match reason {
                             RejectReason::SessionTableFull => 0,
                             RejectReason::ShuttingDown => 1,
+                            RejectReason::Backpressure => 2,
                         });
                     }
                 }
@@ -227,6 +228,7 @@ impl Response {
                         reason: match aux {
                             0 => RejectReason::SessionTableFull,
                             1 => RejectReason::ShuttingDown,
+                            2 => RejectReason::Backpressure,
                             _ => return Err(WireError::BadTag(aux as u8)),
                         },
                     },
@@ -624,6 +626,12 @@ mod tests {
             Response::Admit {
                 admit: Admit::Rejected {
                     reason: RejectReason::ShuttingDown,
+                },
+                events: vec![],
+            },
+            Response::Admit {
+                admit: Admit::Rejected {
+                    reason: RejectReason::Backpressure,
                 },
                 events: vec![],
             },

@@ -1,4 +1,4 @@
-//! Snapshot of the intended v1 public API surface.
+//! Snapshot of the intended v2 public API surface.
 //!
 //! Every name below is imported explicitly (no globs), so removing or
 //! renaming a re-export breaks this file at compile time — an API change
@@ -6,9 +6,12 @@
 //! drift on the central entry points is pinned with typed function
 //! items; behavioural contracts live in the other integration tests.
 //!
-//! The deprecated 0.3 entry points (`RimStream::push` / `offer` /
-//! `offer_synced`, removed `Rim::analyze_probed`) are deliberately
-//! absent: new code goes through `ingest` and the session builder.
+//! The v1 entry points deleted in the 0.5 sweep (`RimStream::push` /
+//! `offer` / `offer_synced` and their `StreamSession` twins, the
+//! `ingest_to_estimate_ms` serve-metric alias) are deliberately absent:
+//! code goes through `ingest`, the session builder, and the µs metric.
+//! `ServeConfig` construction goes through the validated
+//! [`ServeConfig::builder`] — the struct's fields are private.
 
 #![allow(unused_imports)]
 
@@ -31,7 +34,9 @@ use rim_core::{trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, NormSnapsh
 // The serving layer: manager, server, client, and the wire protocol.
 use rim_serve::wire::{read_frame, write_frame, MAX_FRAME_LEN};
 use rim_serve::wire::{Request, Response, WireError};
-use rim_serve::{Admit, Client, RejectReason, ServeConfig, Server, SessionManager};
+use rim_serve::{
+    Admit, Client, RejectReason, ServeConfig, ServeConfigBuilder, Server, SessionManager,
+};
 
 use rim_array::ArrayGeometry;
 use rim_csi::sync::SyncedSample;
@@ -63,6 +68,12 @@ fn entry_point_signatures_are_stable() {
     let _client_metrics: fn(&mut Client) -> std::io::Result<String> = Client::metrics;
     let _recorder_window: fn(&Recorder) -> WindowSnapshot = Recorder::window_snapshot;
     let _config_tracing: fn(RimConfig, usize) -> RimConfig = RimConfig::with_trace_sampling;
+    // Serve configuration v2: one validated builder path.
+    let _serve_builder: fn() -> ServeConfigBuilder = ServeConfig::builder;
+    let _serve_build: fn(ServeConfigBuilder) -> Result<ServeConfig, Error> =
+        ServeConfigBuilder::build;
+    let _budget: fn(&ServeConfig) -> u64 = ServeConfig::latency_budget_us;
+    let _io_threads: fn(&ServeConfig) -> usize = ServeConfig::io_threads;
 }
 
 /// `ingest` accepts all three input shapes through one entry point, on
@@ -110,6 +121,9 @@ fn admit_variants_carry_backpressure_payloads() {
         },
         Admit::Rejected {
             reason: RejectReason::ShuttingDown,
+        },
+        Admit::Rejected {
+            reason: RejectReason::Backpressure,
         },
     ];
     assert_eq!(

@@ -78,7 +78,7 @@ fn run_report_covers_every_stage_and_round_trips() {
 
 /// Golden fixtures, committed under `tests/fixtures/`: a v2 `RunReport`
 /// covering the serve and incremental stages (with the µs latency
-/// distribution and its deprecated ms alias, and p99/p999 tails) and a
+/// distribution and p99/p999 tails — the v1 ms alias is gone) and a
 /// v1 windowed snapshot. Parsing and re-serialising must be lossless,
 /// so schema drift has to regenerate the fixtures — a reviewable diff.
 #[test]
@@ -100,11 +100,11 @@ fn golden_fixtures_cover_serve_and_incremental_stages() {
         .find(|d| d.name == serve_metric::INGEST_TO_ESTIMATE_US)
         .expect("µs latency distribution present");
     assert!(
-        serve
+        !serve
             .distributions
             .iter()
-            .any(|d| d.name == serve_metric::INGEST_TO_ESTIMATE_MS),
-        "deprecated ms alias still recorded this release"
+            .any(|d| d.name == "ingest_to_estimate_ms"),
+        "the v1 ms alias was removed in the 0.5 sweep and must stay gone"
     );
     assert!(us.p50 <= us.p99 && us.p99 <= us.p999 && us.p999 <= us.max);
     let reparsed = RunReport::from_json(&report.to_json()).expect("round-trip");

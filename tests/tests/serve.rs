@@ -84,10 +84,10 @@ fn concurrent_sessions_are_bit_identical_to_standalone_streams() {
             // A queue much shorter than the capture, so sessions hit
             // real backpressure mid-stream and retry — throttling must
             // not perturb results either.
-            ServeConfig {
-                queue_capacity: 16,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .queue_depth(16)
+                .build()
+                .expect("valid config"),
         )
         .expect("valid config"),
     );
@@ -130,16 +130,69 @@ fn concurrent_sessions_are_bit_identical_to_standalone_streams() {
     assert!(!manager.accepting());
 }
 
+/// The deadline path must be invisible too: with a tight latency budget
+/// the admission predictor throttles and the EDF scheduler reorders
+/// sessions by deadline, yet every admitted sample still lands in its
+/// session in order — per-tenant output stays bit-identical to a
+/// standalone stream. (Clients use `ingest_blocking`, so throttled
+/// samples are retried rather than lost.)
+#[test]
+fn deadline_scheduling_is_bit_invisible_per_tenant() {
+    const K: u64 = 4;
+    let clean = clean_recording();
+    let manager = Arc::new(
+        SessionManager::new(
+            geometry(),
+            config(0.3),
+            ServeConfig::builder()
+                .queue_depth(8)
+                .latency_budget_us(5_000)
+                .retry_after_ms(1)
+                .build()
+                .expect("valid config"),
+        )
+        .expect("valid config"),
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&manager)).expect("bind");
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for k in 0..K {
+        let recording = session_recording(&clean, k);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut events = Vec::new();
+            for sample in synced_from_recording(&recording) {
+                let (admit, drained) = client.ingest_blocking(k, sample).expect("ingest");
+                assert_eq!(admit, Admit::Accepted, "session {k} rejected");
+                events.extend(drained);
+            }
+            events.extend(client.finish(k).expect("finish"));
+            (k, events)
+        }));
+    }
+    for h in handles {
+        let (k, served) = h.join().expect("session thread");
+        let expected = standalone_events(&session_recording(&clean, k));
+        assert_eq!(
+            fingerprint(&served),
+            fingerprint(&expected),
+            "session {k} diverged under deadline scheduling"
+        );
+    }
+    server.shutdown();
+}
+
 #[test]
 fn flooded_session_is_throttled_without_perturbing_neighbours() {
     let clean = clean_recording();
     let manager = SessionManager::new(
         geometry(),
         config(0.3),
-        ServeConfig {
-            queue_capacity: 4,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .queue_depth(4)
+            .build()
+            .expect("valid config"),
     )
     .expect("valid config");
 
