@@ -52,6 +52,7 @@ fn main() {
     write_parallel_sweep(fast);
     rim_bench::serve::write_serve_bench(fast, if fast { 128 } else { 1000 });
     rim_bench::latency::write_latency_bench(fast);
+    rim_bench::kernel::write_kernel_bench(fast);
     rim_bench::obs::write_obs_bench(fast);
 }
 

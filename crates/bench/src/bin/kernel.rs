@@ -1,0 +1,4 @@
+//! Binary wrapper for `rim_bench::kernel` (writes `BENCH_kernel.json`).
+fn main() {
+    rim_bench::kernel::write_kernel_bench(rim_bench::fast_mode());
+}

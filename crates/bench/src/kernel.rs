@@ -1,0 +1,268 @@
+//! The TRRS kernel benchmark behind `BENCH_kernel.json`: raw row-kernel
+//! throughput for the scalar AoS reference, the SIMD f64 path, and the
+//! reduced-precision f32 fast path, plus per-sample streaming latency and
+//! end-to-end accuracy deltas per precision mode.
+
+use crate::env;
+use rim_channel::trajectory::{dwell, line, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::alignment::{base_cross_trrs_range_prec, AlignmentConfig};
+use rim_core::stream::{RimStream, StreamEvent};
+use rim_core::{trrs_norm, NormSnapshot};
+use rim_core::{Precision, Rim, RimConfig};
+use rim_csi::frame::CsiSnapshot;
+use rim_csi::LossModel;
+use rim_dsp::complex::Complex64;
+use rim_dsp::geom::Point2;
+use rim_par::Pool;
+use std::time::Instant;
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A unit-norm synthetic snapshot with deterministic pseudo-random phases.
+fn snapshot(tag: u64, n_sub: usize) -> NormSnapshot {
+    NormSnapshot::from_snapshot(&CsiSnapshot {
+        per_tx: vec![(0..n_sub)
+            .map(|k| {
+                let x = (mix(tag.wrapping_mul(0x9E3779B9).wrapping_add(k as u64)) >> 12) as f64
+                    / (1u64 << 52) as f64;
+                Complex64::from_polar(1.0, x * std::f64::consts::TAU)
+            })
+            .collect()],
+    })
+}
+
+/// The pre-SoA scalar reference: one `trrs_norm` call per masked matrix
+/// entry, exactly the per-entry loop `cross_trrs_row` runs. Returns the
+/// matrix values and the number of TRRS entries computed.
+fn aos_matrix(a: &[NormSnapshot], b: &[NormSnapshot], window: usize) -> (Vec<Vec<f64>>, u64) {
+    let w = window as isize;
+    let mut values = Vec::with_capacity(a.len());
+    let mut entries = 0u64;
+    for (t, snap) in a.iter().enumerate() {
+        let mut row = vec![0.0f64; 2 * window + 1];
+        for (k, slot) in row.iter_mut().enumerate() {
+            let src = t as isize - (k as isize - w);
+            if src < 0 || src as usize >= b.len() {
+                continue;
+            }
+            *slot = trrs_norm(snap, &b[src as usize]);
+            entries += 1;
+        }
+        values.push(row);
+    }
+    (values, entries)
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds, plus the last result.
+fn best_time<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+/// Per-sample stream latency (p50/p99, µs) with the incremental engine on,
+/// at the given precision; also returns the flushed segment count.
+fn stream_latency(precision: Precision, fast: bool) -> (f64, f64, usize) {
+    let sim = ChannelSimulator::open_lab(7);
+    let geo = env::linear_array();
+    let fs = 100.0;
+    let length_m = if fast { 6.0 } else { 20.0 };
+    let mut traj = line(
+        Point2::new(-3.0, 2.0),
+        0.0,
+        length_m,
+        1.0,
+        fs,
+        OrientationMode::Fixed(0.0),
+    );
+    let end = traj.pose(traj.len() - 1);
+    traj.extend(&dwell(end.pos, end.orientation, 0.75, fs));
+    let dense = env::record(&sim, &geo, &traj, 7, LossModel::None, None);
+    let n = dense.n_samples();
+    let config = RimConfig::for_sample_rate(fs)
+        .with_min_speed(0.3, env::SPACING, fs)
+        .precision(precision);
+    let mut stream = RimStream::new(geo, config).expect("valid config");
+    let mut lat_us = Vec::with_capacity(n);
+    let mut segments = 0usize;
+    for i in 0..n {
+        let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+        let t0 = Instant::now();
+        let events = stream.ingest(snaps).expect("matching antenna count");
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        segments += events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Segment(_)))
+            .count();
+    }
+    segments += stream
+        .finish()
+        .iter()
+        .filter(|e| matches!(e, StreamEvent::Segment(_)))
+        .count();
+    lat_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| lat_us[(((lat_us.len() - 1) as f64) * p).round() as usize];
+    (pct(0.50), pct(0.99), segments)
+}
+
+/// Runs the kernel benchmark and writes `BENCH_kernel.json`.
+pub fn write_kernel_bench(fast: bool) {
+    // ── Raw row-kernel throughput on one synthetic antenna pair. ──────
+    let t_len = if fast { 240 } else { 600 };
+    // The production default lag window at the paper's 200 Hz sample
+    // rate (W = 0.5 s × rate = 100), so the measured shape is the one
+    // `Rim::analyze` actually runs.
+    let window = AlignmentConfig::for_sample_rate(200.0).window;
+    let n_sub = 56usize;
+    let reps = if fast { 3 } else { 7 };
+    let a: Vec<NormSnapshot> = (0..t_len as u64)
+        .map(|t| snapshot(t * 2 + 1, n_sub))
+        .collect();
+    let b: Vec<NormSnapshot> = (0..t_len as u64)
+        .map(|t| snapshot(t * 3 + 7, n_sub))
+        .collect();
+    let pool = Pool::serial();
+
+    let (scalar_s, (aos, entries)) = best_time(reps, || aos_matrix(&a, &b, window));
+    let (simd64_s, m64) = best_time(reps, || {
+        base_cross_trrs_range_prec(&a, &b, window, (0, t_len), &pool, Precision::F64Reference)
+    });
+    let (simd32_s, m32) = best_time(reps, || {
+        base_cross_trrs_range_prec(&a, &b, window, (0, t_len), &pool, Precision::F32Fast)
+    });
+
+    // The CI-gated invariant: the SIMD f64 path reproduces the scalar
+    // reference bit for bit.
+    let bit_identical = aos
+        .iter()
+        .zip(&m64.values)
+        .all(|(ra, rs)| ra.iter().zip(rs).all(|(x, y)| x.to_bits() == y.to_bits()));
+    // The f32 fast path only has to stay inside its error budget.
+    let max_delta = aos
+        .iter()
+        .zip(&m32.values)
+        .flat_map(|(ra, rs)| ra.iter().zip(rs).map(|(x, y)| (x - y).abs()))
+        .fold(0.0f64, f64::max);
+
+    let tput = |secs: f64| entries as f64 / secs;
+    let speedup_f64 = tput(simd64_s) / tput(scalar_s);
+    let speedup_f32 = tput(simd32_s) / tput(scalar_s);
+    let tier = format!("{:?}", rim_simd::active_tier()).to_lowercase();
+    eprintln!(
+        "[kernel] tier {tier}: scalar-f64 {:.2} M/s, simd-f64 {:.2} M/s ({speedup_f64:.1}x), \
+         simd-f32 {:.2} M/s ({speedup_f32:.1}x), bit-identical {bit_identical}, \
+         max f32 delta {max_delta:.2e}",
+        tput(scalar_s) / 1e6,
+        tput(simd64_s) / 1e6,
+        tput(simd32_s) / 1e6,
+    );
+
+    // ── Per-sample streaming latency per precision mode. ──────────────
+    let (p50_64, p99_64, seg_64) = stream_latency(Precision::F64Reference, fast);
+    let (p50_32, p99_32, seg_32) = stream_latency(Precision::F32Fast, fast);
+    eprintln!(
+        "[kernel] stream f64: p50 {p50_64:.0} µs, p99 {p99_64:.0} µs ({seg_64} segments); \
+         f32: p50 {p50_32:.0} µs, p99 {p99_32:.0} µs ({seg_32} segments)"
+    );
+
+    // ── End-to-end accuracy deltas on one lab walk. ───────────────────
+    let sim = ChannelSimulator::open_lab(11);
+    let geo = env::linear_array();
+    let fs = env::SAMPLE_RATE;
+    let walk = line(
+        Point2::new(-2.0, 2.0),
+        0.0,
+        if fast { 3.0 } else { 6.0 },
+        1.0,
+        fs,
+        OrientationMode::Fixed(0.0),
+    );
+    let dense = env::record(&sim, &geo, &walk, 11, LossModel::None, None);
+    let cfg = env::rim_config(fs, 0.3);
+    let est64 = Rim::new(geo.clone(), cfg.clone().precision(Precision::F64Reference))
+        .unwrap()
+        .analyze(&dense)
+        .unwrap();
+    let est32 = Rim::new(geo, cfg.precision(Precision::F32Fast))
+        .unwrap()
+        .analyze(&dense)
+        .unwrap();
+    let dist_delta_mm = (est64.total_distance() - est32.total_distance()).abs() * 1000.0;
+    let mut heading_delta_deg = 0.0f64;
+    for (s64, s32) in est64.segments.iter().zip(&est32.segments) {
+        if let (Some(h1), Some(h2)) = (s64.heading_device, s32.heading_device) {
+            let mut d = (h1 - h2).abs() % std::f64::consts::TAU;
+            if d > std::f64::consts::PI {
+                d = std::f64::consts::TAU - d;
+            }
+            heading_delta_deg = heading_delta_deg.max(d.to_degrees());
+        }
+    }
+    eprintln!(
+        "[kernel] f32 vs f64 on the walk: distance delta {dist_delta_mm:.3} mm, \
+         heading delta {heading_delta_deg:.4}°, segments {} vs {}",
+        est64.segments.len(),
+        est32.segments.len()
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"schema\": \"rim-kernel-bench/1\",\n",
+            "  \"tier\": \"{tier}\",\n",
+            "  \"trrs\": {{\n",
+            "    \"series_len\": {t_len}, \"window\": {window}, \"n_sub\": {n_sub},\n",
+            "    \"entries\": {entries},\n",
+            "    \"modes\": [\n",
+            "      {{\"mode\": \"scalar-f64\", \"entries_per_s\": {sc:.0}}},\n",
+            "      {{\"mode\": \"simd-f64\", \"entries_per_s\": {s64:.0}, \"speedup\": {sp64:.2}}},\n",
+            "      {{\"mode\": \"simd-f32\", \"entries_per_s\": {s32:.0}, \"speedup\": {sp32:.2}}}\n",
+            "    ],\n",
+            "    \"max_f32_matrix_delta\": {delta:.3e}\n",
+            "  }},\n",
+            "  \"simd_f64_bit_identical\": {bits},\n",
+            "  \"stream\": [\n",
+            "    {{\"precision\": \"f64\", \"p50_us\": {p5064:.1}, \"p99_us\": {p9964:.1}, \"segments\": {g64}}},\n",
+            "    {{\"precision\": \"f32\", \"p50_us\": {p5032:.1}, \"p99_us\": {p9932:.1}, \"segments\": {g32}}}\n",
+            "  ],\n",
+            "  \"accuracy\": {{\"distance_delta_mm\": {dmm:.4}, \"heading_delta_deg\": {hdeg:.5}, ",
+            "\"segments_f64\": {n64}, \"segments_f32\": {n32}}}\n}}\n"
+        ),
+        tier = tier,
+        t_len = t_len,
+        window = window,
+        n_sub = n_sub,
+        entries = entries,
+        sc = tput(scalar_s),
+        s64 = tput(simd64_s),
+        sp64 = speedup_f64,
+        s32 = tput(simd32_s),
+        sp32 = speedup_f32,
+        delta = max_delta,
+        bits = bit_identical,
+        p5064 = p50_64,
+        p9964 = p99_64,
+        g64 = seg_64,
+        p5032 = p50_32,
+        p9932 = p99_32,
+        g32 = seg_32,
+        dmm = dist_delta_mm,
+        hdeg = heading_delta_deg,
+        n64 = est64.segments.len(),
+        n32 = est32.segments.len()
+    );
+    match std::fs::write("BENCH_kernel.json", json) {
+        Ok(()) => eprintln!("[kernel] wrote BENCH_kernel.json"),
+        Err(e) => eprintln!("[kernel] could not write BENCH_kernel.json: {e}"),
+    }
+}

@@ -4,7 +4,7 @@ use crate::args::Args;
 use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
 use rim_channel::trajectory::{line, polyline, rotate_in_place, OrientationMode, Trajectory};
 use rim_channel::ChannelSimulator;
-use rim_core::{Rim, RimConfig};
+use rim_core::{Precision, Rim, RimConfig};
 use rim_csi::{CsiRecorder, DeviceConfig, LossModel, RecorderConfig};
 use rim_dsp::geom::Point2;
 use std::fs::File;
@@ -20,15 +20,17 @@ USAGE:
                [--rate HZ] [--loss SPEC] [--seed N] [--obs json|report]
   rim analyze  <in.rimc> [<in2.rimc>…] [--array linear3|hexagonal|l]
                [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
-               [--loss SPEC] [--loss-seed N] [--obs json|report]
+               [--precision f64|f32] [--loss SPEC] [--loss-seed N]
+               [--obs json|report]
   rim serve    <in.rimc> [--sessions K] [--array linear3|hexagonal|l]
-               [--min-speed M/S] [--threads N] [--queue N]
-               [--latency-budget-us US] [--io-threads N]
+               [--min-speed M/S] [--threads N] [--precision f64|f32]
+               [--queue N] [--latency-budget-us US] [--io-threads N]
                [--loss SPEC] [--loss-seed N] [--obs json|report]
                [--trace-every N] [--metrics-every MS]
   rim serve    --listen ADDR [--rate HZ] [--array linear3|hexagonal|l]
-               [--min-speed M/S] [--threads N] [--queue N]
-               [--latency-budget-us US] [--io-threads N] [--trace-every N]
+               [--min-speed M/S] [--threads N] [--precision f64|f32]
+               [--queue N] [--latency-budget-us US] [--io-threads N]
+               [--trace-every N]
   rim top      ADDR [--interval-ms MS] [--iterations N]
   rim floorplan
   rim demo     [--seed N] [--obs json|report]
@@ -46,6 +48,9 @@ USAGE:
 
   analyze accepts several captures at once and fans them across the worker
   pool; --threads N sizes the pool (default: RIM_THREADS, then all cores).
+  --precision selects the TRRS kernel arithmetic: f64 (default, the
+  bit-exact reference) or f32 (the reduced-precision fast path, within
+  1 mm / 0.1° of the reference per segment).
 
   serve starts the multi-session TCP service. With a capture it
   self-drives: --sessions K loopback clients each stream the capture
@@ -117,6 +122,15 @@ fn array_by_name(name: &str) -> Result<ArrayGeometry, String> {
         other => Err(format!(
             "unknown array {other:?} (expected linear3 | hexagonal | l)"
         )),
+    }
+}
+
+/// Resolves a TRRS precision mode by name.
+fn precision_by_name(name: &str) -> Result<Precision, String> {
+    match name {
+        "f64" => Ok(Precision::F64Reference),
+        "f32" => Ok(Precision::F32Fast),
+        other => Err(format!("unknown precision {other:?} (expected f64 | f32)")),
     }
 }
 
@@ -257,6 +271,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
             "verbose",
             "obs",
             "threads",
+            "precision",
             "loss",
             "loss-seed",
         ],
@@ -268,6 +283,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let array_name = args.get_str("array", "linear3");
     let min_speed = args.get_f64("min-speed", 0.3)?;
     let threads = args.get_u64("threads", 0)? as usize;
+    let precision = precision_by_name(&args.get_str("precision", "f64"))?;
     let loss =
         LossModel::parse(&args.get_str("loss", "none")).map_err(|e| format!("--loss: {e}"))?;
     let loss_seed = args.get_u64("loss-seed", 1)?;
@@ -299,7 +315,8 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let fs = loaded[0].2.sample_rate_hz;
     let config = RimConfig::for_sample_rate(fs)
         .with_min_speed(min_speed, HALF_WAVELENGTH, fs)
-        .with_threads(threads);
+        .with_threads(threads)
+        .precision(precision);
     // Config/geometry errors surface as one-line messages, not backtraces.
     let rim = Rim::new(geometry, config).map_err(|e| e.to_string())?;
 
@@ -456,6 +473,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
             "array",
             "min-speed",
             "threads",
+            "precision",
             "queue",
             "latency-budget-us",
             "io-threads",
@@ -471,6 +489,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let geometry = array_by_name(&array_name)?;
     let min_speed = args.get_f64("min-speed", 0.3)?;
     let threads = args.get_u64("threads", 0)? as usize;
+    let precision = precision_by_name(&args.get_str("precision", "f64"))?;
     let trace_every = args.get_u64("trace-every", 0)? as usize;
     let metrics_every = args.get_u64("metrics-every", 0)?;
     let defaults = rim_serve::ServeConfig::default();
@@ -493,6 +512,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         let config = RimConfig::for_sample_rate(rate)
             .with_min_speed(min_speed, HALF_WAVELENGTH, rate)
             .with_threads(threads)
+            .precision(precision)
             .with_trace_sampling(trace_every);
         let manager = std::sync::Arc::new(
             rim_serve::SessionManager::new(geometry, config, serve_cfg)
@@ -533,6 +553,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
     let config = RimConfig::for_sample_rate(fs)
         .with_min_speed(min_speed, HALF_WAVELENGTH, fs)
         .with_threads(threads)
+        .precision(precision)
         .with_trace_sampling(trace_every);
     let manager = std::sync::Arc::new(
         rim_serve::SessionManager::new(geometry, config, serve_cfg).map_err(|e| e.to_string())?,

@@ -13,8 +13,11 @@
 //! (`O(T·W·S·N)` inner products) and every lag column is then averaged in
 //! `O(T·W)`, instead of the naive `O(T·W·V·S·N)`.
 
-use crate::trrs::{trrs_norm, NormSnapshot};
+use crate::pipeline::Precision;
+use crate::soa::{PairKernel, SoaScalar, SoaSeries};
+use crate::trrs::{trrs_norm, trrs_norm_f32, NormSnapshot};
 use rim_par::Pool;
+use rim_simd::lanes::f64x4;
 
 /// Parameters of alignment-matrix computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -187,10 +190,12 @@ pub fn base_cross_trrs(a: &[NormSnapshot], b: &[NormSnapshot], window: usize) ->
 
 /// Computes cross-TRRS columns for `t ∈ t0..t1` only; lags still reference
 /// the *full* series, so `b[t − l]` may reach outside the column range.
-/// Row 0 of the result corresponds to `t0`.
+/// Row 0 of the result corresponds to `t0`. The series may have different
+/// lengths: columns index `a`, and entries whose source `t − l` falls
+/// outside `b` are 0.
 ///
 /// # Panics
-/// Panics if the series lengths differ or the range is out of bounds.
+/// Panics if the column range exceeds `a`.
 pub fn base_cross_trrs_range(
     a: &[NormSnapshot],
     b: &[NormSnapshot],
@@ -201,24 +206,28 @@ pub fn base_cross_trrs_range(
     base_cross_trrs_range_with(a, b, window, t0, t1, &Pool::serial())
 }
 
-/// One time column of the cross-TRRS matrix. Shared by the serial and
-/// tiled paths so both perform the identical per-element arithmetic. The
-/// incremental column cache ([`crate::incremental::ColumnCache`]) builds
-/// its entries by the same `trrs_norm` calls with the same masking, so
-/// matrices materialised from the cache are bit-identical to this path.
+/// One time column of the cross-TRRS matrix, in the scalar
+/// array-of-structures layout — the bit-exact reference the SoA/SIMD path
+/// is tested against, and the fallback for shapes the SoA packing refuses
+/// (ragged series). The incremental column cache
+/// ([`crate::incremental::ColumnCache`]) builds its entries with the same
+/// masking, so matrices materialised from the cache are bit-identical to
+/// this path. Masks against `b` — the series the lag actually indexes —
+/// not `a` (for the historical equal-length callers the two are the
+/// same).
 pub(crate) fn cross_trrs_row(
     a: &[NormSnapshot],
     b: &[NormSnapshot],
     window: usize,
     t: usize,
 ) -> Vec<f64> {
-    let t_len = a.len();
+    let src_len = b.len();
     let w = window as isize;
     let mut row = vec![0.0; 2 * window + 1];
     for (k, slot) in row.iter_mut().enumerate() {
         let lag = k as isize - w;
         let src = t as isize - lag;
-        if src < 0 || src as usize >= t_len {
+        if src < 0 || src as usize >= src_len {
             continue;
         }
         *slot = trrs_norm(&a[t], &b[src as usize]);
@@ -226,13 +235,37 @@ pub(crate) fn cross_trrs_row(
     row
 }
 
+/// [`cross_trrs_row`] in reduced precision: the same masking with
+/// [`trrs_norm_f32`] per entry — the scalar reference (and ragged-shape
+/// fallback) of the f32 SIMD path.
+pub(crate) fn cross_trrs_row_f32(
+    a: &[NormSnapshot],
+    b: &[NormSnapshot],
+    window: usize,
+    t: usize,
+) -> Vec<f64> {
+    let src_len = b.len();
+    let w = window as isize;
+    let mut row = vec![0.0; 2 * window + 1];
+    for (k, slot) in row.iter_mut().enumerate() {
+        let lag = k as isize - w;
+        let src = t as isize - lag;
+        if src < 0 || src as usize >= src_len {
+            continue;
+        }
+        *slot = trrs_norm_f32(&a[t], &b[src as usize]);
+    }
+    row
+}
+
 /// [`base_cross_trrs_range`] with the time columns tiled across `pool`'s
 /// workers — the dominant `O(T·W·S·N)` cost of the pipeline. Every column
-/// is independent and computed by the same per-element code as the serial
-/// path, so the result is bit-identical regardless of thread count.
+/// is independent and computed by per-element arithmetic identical to the
+/// scalar path, so the result is bit-identical regardless of thread count
+/// or SIMD dispatch tier.
 ///
 /// # Panics
-/// Panics if the series lengths differ or the range is out of bounds.
+/// Panics if the column range exceeds `a`.
 pub fn base_cross_trrs_range_with(
     a: &[NormSnapshot],
     b: &[NormSnapshot],
@@ -241,16 +274,86 @@ pub fn base_cross_trrs_range_with(
     t1: usize,
     pool: &Pool,
 ) -> AlignmentMatrix {
-    assert_eq!(a.len(), b.len(), "series must have equal length");
+    base_cross_trrs_range_prec(a, b, window, (t0, t1), pool, Precision::F64Reference)
+}
+
+/// Column ranges at least this wide take the SoA/SIMD path; narrower
+/// ranges (the pre-detection single-column probes) go scalar, where the
+/// packing transpose would cost more than it saves. The threshold never
+/// affects results — both paths are bit-identical per precision.
+const SOA_MIN_COLUMNS: usize = 4;
+
+/// [`base_cross_trrs_range_with`] at an explicit [`Precision`] — the
+/// entry point the pipeline uses. `range` is `(t0, t1)` over `a`'s
+/// columns. For [`Precision::F64Reference`] the result is bit-identical
+/// to the historical scalar loop; for [`Precision::F32Fast`] it is
+/// bit-identical to [`trrs_norm_f32`] per entry.
+///
+/// # Panics
+/// Panics if the column range exceeds `a`.
+pub fn base_cross_trrs_range_prec(
+    a: &[NormSnapshot],
+    b: &[NormSnapshot],
+    window: usize,
+    range: (usize, usize),
+    pool: &Pool,
+    precision: Precision,
+) -> AlignmentMatrix {
+    let (t0, t1) = range;
     assert!(t0 <= t1 && t1 <= a.len(), "column range out of bounds");
+    if t1 - t0 >= SOA_MIN_COLUMNS {
+        let soa = match precision {
+            Precision::F64Reference => base_cross_soa::<f64>(a, b, window, t0, t1, pool),
+            Precision::F32Fast => base_cross_soa::<f32>(a, b, window, t0, t1, pool),
+        };
+        if let Some(m) = soa {
+            return m;
+        }
+    }
     let tiles = pool.run_tiles(t1 - t0, |_, rows| {
-        rows.map(|row_idx| cross_trrs_row(a, b, window, t0 + row_idx))
-            .collect::<Vec<Vec<f64>>>()
+        rows.map(|row_idx| match precision {
+            Precision::F64Reference => cross_trrs_row(a, b, window, t0 + row_idx),
+            Precision::F32Fast => cross_trrs_row_f32(a, b, window, t0 + row_idx),
+        })
+        .collect::<Vec<Vec<f64>>>()
     });
     AlignmentMatrix {
         window,
         values: tiles.into_iter().flatten().collect(),
     }
+}
+
+/// The SoA/SIMD path: packs the column range of `a` and the reachable lag
+/// span of `b` into subcarrier-major planes once, then runs the row
+/// kernel per column. `None` when the shapes refuse the packing (ragged
+/// series) — the caller falls back to the scalar rows.
+fn base_cross_soa<T: SoaScalar>(
+    a: &[NormSnapshot],
+    b: &[NormSnapshot],
+    window: usize,
+    t0: usize,
+    t1: usize,
+    pool: &Pool,
+) -> Option<AlignmentMatrix> {
+    let sa = SoaSeries::<T>::pack_range(a, t0, t1);
+    let b0 = t0.saturating_sub(window);
+    let b1 = (t1 + window).min(b.len()).max(b0);
+    let sb = SoaSeries::<T>::pack_range(b, b0, b1);
+    // Probe usability once before fanning out.
+    PairKernel::new(&sa, &sb, window, b.len())?;
+    let tiles = pool.run_tiles(t1 - t0, |_, rows| {
+        let mut kern = PairKernel::new(&sa, &sb, window, b.len()).expect("usability probed above");
+        rows.map(|r| {
+            let mut row = vec![0.0f64; 2 * window + 1];
+            kern.row_into(t0 + r, &a[t0 + r], &mut row);
+            row
+        })
+        .collect::<Vec<Vec<f64>>>()
+    });
+    Some(AlignmentMatrix {
+        window,
+        values: tiles.into_iter().flatten().collect(),
+    })
 }
 
 /// Applies the virtual-massive-antenna average (Eqn. 4): a centred box
@@ -272,10 +375,32 @@ pub fn virtual_average_with(base: &AlignmentMatrix, v: usize, pool: &Pool) -> Al
     let n_lags = base.n_lags();
     let half = (v / 2) as isize;
     // Prefix sums per lag for O(1) window averages; one column per lag,
-    // transposed to row-major afterwards.
+    // transposed to row-major afterwards. Lags run four at a time through
+    // f64 SIMD lanes — each lane performs the identical per-lag sequence
+    // of sums and one division, so the lanes (and the scalar tail) are
+    // bit-identical to the historical per-lag loop.
     let tiles = pool.run_tiles(n_lags, |_, lags| {
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(lags.len());
+        let mut k = lags.start;
+        let mut prefix4 = vec![f64x4::ZERO; t_len + 1];
+        while k + 4 <= lags.end {
+            for t in 0..t_len {
+                prefix4[t + 1] = prefix4[t] + f64x4::from_slice(&base.values[t][k..]);
+            }
+            let mut cols = [(); 4].map(|_| vec![0.0f64; t_len]);
+            for t in 0..t_len {
+                let lo = (t as isize - half).max(0) as usize;
+                let hi = ((t as isize + half) as usize).min(t_len - 1);
+                let avg = (prefix4[hi + 1] - prefix4[lo]) / f64x4::splat((hi - lo + 1) as f64);
+                for (col, x) in cols.iter_mut().zip(avg.to_array()) {
+                    col[t] = x;
+                }
+            }
+            out.extend(cols);
+            k += 4;
+        }
         let mut prefix = vec![0.0f64; t_len + 1];
-        lags.map(|k| {
+        for k in k..lags.end {
             prefix[0] = 0.0;
             for t in 0..t_len {
                 prefix[t + 1] = prefix[t] + base.values[t][k];
@@ -286,9 +411,9 @@ pub fn virtual_average_with(base: &AlignmentMatrix, v: usize, pool: &Pool) -> Al
                 let hi = ((t as isize + half) as usize).min(t_len - 1);
                 *slot = (prefix[hi + 1] - prefix[lo]) / (hi - lo + 1) as f64;
             }
-            col
-        })
-        .collect::<Vec<Vec<f64>>>()
+            out.push(col);
+        }
+        out
     });
     let mut values = vec![vec![0.0; n_lags]; t_len];
     for (k, col) in tiles.into_iter().flatten().enumerate() {
@@ -477,10 +602,69 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equal length")]
-    fn mismatched_series_rejected() {
-        let (a, b) = shifted_series(10, 0);
-        let _ = base_cross_trrs(&a[..5], &b, 3);
+    fn asymmetric_series_dims_and_masking() {
+        // Regression for the per-call `min(a, b)` masking: asymmetric
+        // series are legal; columns index `a`, masking indexes `b`.
+        let (a, b) = shifted_series(12, 0);
+        // Short `a`: 5 columns, but lags may reach the *longer* `b` —
+        // at t = 4, lag −3 reads b[7], which exists.
+        let m = base_cross_trrs(&a[..5], &b, 3);
+        assert_eq!(m.n_times(), 5);
+        assert_eq!(m.n_lags(), 7);
+        assert!(m.at(4, -3) > 0.0, "source b[7] is in range");
+        assert_eq!(m.at(0, 1), 0.0, "source b[-1] stays masked");
+        // Short `b`: the mirror case masks sources beyond b's end.
+        let m = base_cross_trrs(&a, &b[..5], 3);
+        assert_eq!(m.n_times(), 5);
+        assert_eq!(m.at(4, -3), 0.0, "source b[7] does not exist");
+        assert!(m.at(4, 2) > 0.0, "source b[2] does");
+        // The masked entries aside, values equal the symmetric case.
+        let full = base_cross_trrs(&a, &b, 3);
+        for t in 0..5 {
+            for lag in -3..=3isize {
+                let v = m.at(t, lag);
+                if v != 0.0 {
+                    assert_eq!(v.to_bits(), full.at(t, lag).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_and_scalar_paths_are_bit_identical() {
+        // The SIMD/SoA path must reproduce the scalar AoS rows bit for
+        // bit — compare a range wide enough for the SoA path against
+        // single-column ranges, which stay scalar by the size threshold.
+        let (a, b) = shifted_series(40, 2);
+        let w = 6;
+        let pool = Pool::serial();
+        let wide = base_cross_trrs_range_prec(&a, &b, w, (0, 40), &pool, Precision::F64Reference);
+        for t in 0..40 {
+            let narrow =
+                base_cross_trrs_range_prec(&a, &b, w, (t, t + 1), &pool, Precision::F64Reference);
+            for (x, y) in wide.values[t].iter().zip(&narrow.values[0]) {
+                assert_eq!(x.to_bits(), y.to_bits(), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_fast_path_matches_its_scalar_reference_and_tracks_f64() {
+        let (a, b) = shifted_series(32, 3);
+        let w = 5;
+        let pool = Pool::serial();
+        let fast = base_cross_trrs_range_prec(&a, &b, w, (0, 32), &pool, Precision::F32Fast);
+        let reference =
+            base_cross_trrs_range_prec(&a, &b, w, (0, 32), &pool, Precision::F64Reference);
+        for t in 0..32 {
+            let scalar = cross_trrs_row_f32(&a, &b, w, t);
+            for (k, (x, y)) in fast.values[t].iter().zip(&scalar).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "t={t} k={k}");
+            }
+            for (x, y) in fast.values[t].iter().zip(&reference.values[t]) {
+                assert!((x - y).abs() < 1e-4, "f32 drift at t={t}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -22,10 +22,11 @@
 //!   handling); only the final flush is bit-identical to batch.
 
 use crate::alignment::AlignmentMatrix;
-use crate::pipeline::{Confidence, RimConfig};
+use crate::pipeline::{Confidence, Precision, RimConfig};
 use crate::reckoning::{heading_from_frac_lag, speed_from_frac_lag};
+use crate::soa::{PairKernel, SoaScalar, SoaSeries};
 use crate::tracking_dp::{dp_advance_column, dp_jump_cost};
-use crate::trrs::{trrs_norm, NormSnapshot};
+use crate::trrs::{trrs_norm, trrs_norm_f32, NormSnapshot};
 use rim_array::ArrayGeometry;
 use rim_par::Pool;
 use std::collections::VecDeque;
@@ -51,13 +52,119 @@ pub struct ColumnCache {
     /// Ordered `(i, j)` antenna pairs, batch call order.
     pairs: Vec<(usize, usize)>,
     cols: Vec<VecDeque<Vec<f64>>>,
+    /// SoA mirror of the stream's snapshot ring, one series per antenna,
+    /// in the precision the kernels run at. Lazily sized on the first
+    /// `on_sample` (the ring's antenna count is unknown until then).
+    mirror: Mirror,
+}
+
+/// The precision-specific SoA ring mirror. Precision selects the scalar
+/// type once at construction; every column and backfill entry is then
+/// produced by the matching [`PairKernel`] (or its scalar reference on
+/// ragged input), so cached values stay bit-identical to the batch path
+/// of the same precision.
+#[derive(Debug, Clone)]
+enum Mirror {
+    F64(Vec<SoaSeries<f64>>),
+    F32(Vec<SoaSeries<f32>>),
+}
+
+/// Split-borrow bundle for the generic ingest body (the mirror and the
+/// columns come from different `ColumnCache` fields).
+struct SampleCtx<'a> {
+    window: usize,
+    base: usize,
+    ring: &'a [VecDeque<NormSnapshot>],
+    newest: usize,
+}
+
+/// Appends the newest ring sample to the mirror and computes the new
+/// column plus backfills for every pair, through the SoA kernel when the
+/// series are regular and through `scalar_norm` otherwise. Returns the
+/// number of TRRS entries computed.
+fn sample_into<T: SoaScalar>(
+    ctx: SampleCtx<'_>,
+    pairs: &[(usize, usize)],
+    cols: &mut [VecDeque<Vec<f64>>],
+    mirror: &mut Vec<SoaSeries<T>>,
+    scalar_norm: fn(&NormSnapshot, &NormSnapshot) -> f64,
+) -> u64 {
+    let SampleCtx {
+        window,
+        base,
+        ring,
+        newest,
+    } = ctx;
+    if mirror.is_empty() {
+        mirror.extend((0..ring.len()).map(|_| SoaSeries::empty(base)));
+    }
+    for (m, r) in mirror.iter_mut().zip(ring) {
+        m.push(r.back().expect("ring holds the newest sample"));
+    }
+    let w = window as isize;
+    let d_max = window.min(newest - base);
+    let mut lane_buf = vec![0.0f64; window.max(1)];
+    let mut built = 0u64;
+    for (p, &(i, j)) in pairs.iter().enumerate() {
+        let a = &ring[i];
+        let b = &ring[j];
+        let mut col = vec![0.0f64; 2 * window + 1];
+        match PairKernel::new(&mirror[i], &mirror[j], window, newest + 1) {
+            Some(mut kern) => {
+                // The new column for t = newest: the kernel mask
+                // [max(t−W, base), min(newest, src_len−1)] is exactly the
+                // cache's "source has arrived and is in the ring" rule.
+                built += kern.row_into(newest, &a[newest - base], &mut col) as u64;
+                // Backfill: column t = newest − d gains its src = newest
+                // entry at lag −d (index W − d), swapped-roles lanes over
+                // t (bitwise-symmetric to the forward orientation).
+                if d_max > 0 {
+                    let lo = newest - d_max;
+                    kern.lanes_fixed_b(&b[newest - base], lo, &mut lane_buf[..d_max]);
+                    for (idx, &v) in lane_buf[..d_max].iter().enumerate() {
+                        let t = lo + idx;
+                        let k = (w - (newest - t) as isize) as usize;
+                        if let Some(prev) = cols[p].get_mut(t - base) {
+                            prev[k] = v;
+                            built += 1;
+                        }
+                    }
+                }
+            }
+            None => {
+                // Ragged or shapeless series: the scalar reference path.
+                for (k, slot) in col.iter_mut().enumerate() {
+                    let lag = k as isize - w;
+                    let src = newest as isize - lag;
+                    if src < base as isize || src > newest as isize {
+                        continue;
+                    }
+                    *slot = scalar_norm(&a[newest - base], &b[src as usize - base]);
+                    built += 1;
+                }
+                for d in 1..=d_max {
+                    let t = newest - d;
+                    let k = (w - d as isize) as usize;
+                    if let Some(prev) = cols[p].get_mut(t - base) {
+                        prev[k] = scalar_norm(&a[t - base], &b[newest - base]);
+                        built += 1;
+                    }
+                }
+            }
+        }
+        cols[p].push_back(col);
+    }
+    built
 }
 
 impl ColumnCache {
     /// Builds an empty cache tracking every ordered pair the segment
     /// analysis can request for `geometry`: the parallel-group pairs in
     /// group order, then any adjacent ring pairs not already present.
-    pub fn new(geometry: &ArrayGeometry, window: usize) -> Self {
+    /// `precision` selects the scalar type every cached entry is computed
+    /// at — [`Precision::F64Reference`] values are bit-identical to the
+    /// batch f64 path, [`Precision::F32Fast`] to the batch f32 path.
+    pub fn new(geometry: &ArrayGeometry, window: usize, precision: Precision) -> Self {
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         for group in geometry.parallel_groups() {
             for pg in group {
@@ -76,11 +183,16 @@ impl ColumnCache {
             }
         }
         let cols = vec![VecDeque::new(); pairs.len()];
+        let mirror = match precision {
+            Precision::F64Reference => Mirror::F64(Vec::new()),
+            Precision::F32Fast => Mirror::F32(Vec::new()),
+        };
         Self {
             window,
             base: 0,
             pairs,
             cols,
+            mirror,
         }
     }
 
@@ -101,37 +213,16 @@ impl ColumnCache {
         if n == 0 {
             return 0;
         }
-        let newest = ring_base + n - 1;
-        let w = self.window as isize;
-        let mut built = 0u64;
-        for (p, &(i, j)) in self.pairs.iter().enumerate() {
-            let a = &ring[i];
-            let b = &ring[j];
-            // The new column for t = newest.
-            let mut col = vec![0.0f64; 2 * self.window + 1];
-            for (k, slot) in col.iter_mut().enumerate() {
-                let lag = k as isize - w;
-                let src = newest as isize - lag;
-                if src < ring_base as isize || src > newest as isize {
-                    continue;
-                }
-                *slot = trrs_norm(&a[newest - ring_base], &b[src as usize - ring_base]);
-                built += 1;
-            }
-            // Backfill: column t = newest − d gains its src = newest
-            // entry, at lag −d (index W − d).
-            let d_max = self.window.min(newest - self.base);
-            for d in 1..=d_max {
-                let t = newest - d;
-                let k = (w - d as isize) as usize;
-                if let Some(prev) = self.cols[p].get_mut(t - self.base) {
-                    prev[k] = trrs_norm(&a[t - ring_base], &b[newest - ring_base]);
-                    built += 1;
-                }
-            }
-            self.cols[p].push_back(col);
+        let ctx = SampleCtx {
+            window: self.window,
+            base: self.base,
+            ring,
+            newest: ring_base + n - 1,
+        };
+        match &mut self.mirror {
+            Mirror::F64(m) => sample_into(ctx, &self.pairs, &mut self.cols, m, trrs_norm),
+            Mirror::F32(m) => sample_into(ctx, &self.pairs, &mut self.cols, m, trrs_norm_f32),
         }
-        built
     }
 
     /// Materialises the base cross-TRRS matrix for tracked pair `p` over
@@ -209,6 +300,10 @@ impl ColumnCache {
             for c in &mut self.cols {
                 c.pop_front();
             }
+            match &mut self.mirror {
+                Mirror::F64(m) => m.iter_mut().for_each(SoaSeries::pop_front),
+                Mirror::F32(m) => m.iter_mut().for_each(SoaSeries::pop_front),
+            }
             self.base += 1;
         }
     }
@@ -218,6 +313,10 @@ impl ColumnCache {
     pub fn clear(&mut self, new_base: usize) {
         for c in &mut self.cols {
             c.clear();
+        }
+        match &mut self.mirror {
+            Mirror::F64(m) => m.iter_mut().for_each(|s| s.reset(new_base)),
+            Mirror::F32(m) => m.iter_mut().for_each(|s| s.reset(new_base)),
         }
         self.base = new_base;
     }
@@ -621,7 +720,7 @@ mod tests {
         let a: Vec<NormSnapshot> = (0..len as u64).map(|t| snapshot(t * 2 + 1)).collect();
         let b: Vec<NormSnapshot> = (0..len as u64).map(|t| snapshot(t * 3 + 7)).collect();
 
-        let mut cache = ColumnCache::new(&geometry, window);
+        let mut cache = ColumnCache::new(&geometry, window, Precision::F64Reference);
         let mut ring: Vec<VecDeque<NormSnapshot>> = vec![VecDeque::new(), VecDeque::new()];
         for t in 0..len {
             ring[0].push_back(a[t].clone());
@@ -664,7 +763,7 @@ mod tests {
         let a: Vec<NormSnapshot> = (0..len as u64).map(|t| snapshot(t * 5 + 11)).collect();
         let b: Vec<NormSnapshot> = (0..len as u64).map(|t| snapshot(t * 7 + 3)).collect();
 
-        let mut cache = ColumnCache::new(&geometry, window);
+        let mut cache = ColumnCache::new(&geometry, window, Precision::F64Reference);
         let mut ring: Vec<VecDeque<NormSnapshot>> = vec![VecDeque::new(), VecDeque::new()];
         let mut ring_base = 0usize;
         for t in 0..len {
@@ -705,7 +804,8 @@ mod tests {
         let a: Vec<NormSnapshot> = (0..len as u64)
             .map(|t| snapshot(t.saturating_sub(shift) + 100))
             .collect();
-        let mut cache = ColumnCache::new(&geometry, config.alignment.window);
+        let mut cache =
+            ColumnCache::new(&geometry, config.alignment.window, Precision::F64Reference);
         let mut tracker = ProvisionalTracker::new(&geometry, &config, &cache, 0);
         let mut ring: Vec<VecDeque<NormSnapshot>> = vec![VecDeque::new(), VecDeque::new()];
         let mut last = f64::NEG_INFINITY;

@@ -48,6 +48,7 @@ pub mod incremental;
 pub mod movement;
 pub mod pipeline;
 pub mod reckoning;
+mod soa;
 pub mod stream;
 pub mod tracking_dp;
 pub mod trrs;
@@ -58,11 +59,14 @@ pub use error::Error;
 pub use incremental::ColumnCache;
 pub use movement::{auto_threshold, detect_movement, movement_indicator, MovementConfig};
 pub use pipeline::{
-    Confidence, GapConfig, MotionEstimate, Rim, RimConfig, SegmentEstimate, SegmentKind, Session,
+    Confidence, GapConfig, MotionEstimate, Precision, Rim, RimConfig, SegmentEstimate, SegmentKind,
+    Session,
 };
 pub use stream::{
     DegradeReason, DropReason, GapFilter, GapOutcome, GapSample, RimStream, StreamAggregate,
     StreamEvent, StreamInput, StreamSession,
 };
 pub use tracking_dp::{track_peaks, DpConfig, TrackedPath};
-pub use trrs::{trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, NormSnapshot};
+pub use trrs::{
+    trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, trrs_norm_f32, NormSnapshot,
+};

@@ -4,8 +4,7 @@
 //! rotation reckoning, integrated into a motion estimate.
 
 use crate::alignment::{
-    base_cross_trrs_range, base_cross_trrs_range_with, virtual_average_range_with, AlignmentConfig,
-    AlignmentMatrix,
+    base_cross_trrs_range_prec, virtual_average_range_with, AlignmentConfig, AlignmentMatrix,
 };
 use crate::error::Error;
 use crate::incremental::ColumnCache;
@@ -24,6 +23,31 @@ use rim_dsp::stats::{circular_mean, wrap_angle};
 use rim_obs::{incremental_metric, stage, NullProbe, Probe};
 use rim_par::Pool;
 use std::sync::Arc;
+
+/// Numeric precision of the TRRS/alignment kernels (see `DESIGN.md`,
+/// "Precision modes").
+///
+/// Precision governs only the *values* of the cross-TRRS matrices: which
+/// samples count as moving, how segments are bounded, and which events a
+/// stream emits in which order are computed identically in both modes
+/// (movement detection always runs the f64 self-TRRS — it is
+/// threshold-sensitive and cheap, `O(T·S·N)` against the alignment
+/// stage's `O(T·W·S·N)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full `f64` kernels — bit-identical to the historical scalar
+    /// pipeline at any thread count and on every SIMD dispatch tier. The
+    /// default.
+    #[default]
+    F64Reference,
+    /// Reduced-precision `f32` kernels: CSI is narrowed subcarrier-wise
+    /// to `f32`, the TRRS dot products accumulate in `f32` at twice the
+    /// SIMD lane width, and the magnitude skips the `hypot` overflow
+    /// guard. Error budget (derived in `DESIGN.md`): segment distance
+    /// within 1 mm and heading within 0.1° of the reference on clean
+    /// trajectories.
+    F32Fast,
+}
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone)]
@@ -96,6 +120,12 @@ pub struct RimConfig {
     /// default) lets the pool pick ~8 tiles per worker. Tiling never
     /// changes results — parallel output is bit-identical to serial.
     pub tile_columns: usize,
+    /// Numeric precision of the TRRS/alignment kernels. The default
+    /// [`Precision::F64Reference`] reproduces the historical output bit
+    /// for bit; [`Precision::F32Fast`] trades a documented error budget
+    /// for per-sample throughput. Precision never changes movement
+    /// detection, segmentation, or event ordering.
+    pub precision: Precision,
     /// Serve-path trace sampling cadence: trace every Nth admitted
     /// sample end to end (admission → queue → batch → ingest → flush →
     /// wire) into a bounded [`rim_obs::TraceRecord`] ring. `0` (the
@@ -169,6 +199,7 @@ impl RimConfig {
             gap: GapConfig::for_sample_rate(sample_rate_hz),
             threads: 0,
             tile_columns: 0,
+            precision: Precision::default(),
             trace_sample_every: 0,
         }
     }
@@ -193,6 +224,13 @@ impl RimConfig {
     /// [`RimConfig::trace_sample_every`]).
     pub fn with_trace_sampling(mut self, every: usize) -> Self {
         self.trace_sample_every = every;
+        self
+    }
+
+    /// Selects the kernel precision (see [`Precision`]; the default is
+    /// the bit-exact [`Precision::F64Reference`]).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -902,7 +940,14 @@ impl Rim {
                             cache.column_max(p, t, a.len())
                         }
                         None => {
-                            let m = base_cross_trrs_range(a, bb, w, t, t + 1);
+                            let m = base_cross_trrs_range_prec(
+                                a,
+                                bb,
+                                w,
+                                (t, t + 1),
+                                &Pool::serial(),
+                                self.config.precision,
+                            );
                             m.values[0].iter().cloned().fold(0.0f64, f64::max)
                         }
                     };
@@ -1541,9 +1586,14 @@ impl Rim {
             .and_then(|c| c.pair_index(i, j).map(|p| (c, p)));
         let base = match cached {
             Some((cache, p)) => cache.base_matrix_with(p, s, e, input.series[i].len(), pool),
-            None => {
-                base_cross_trrs_range_with(input.series[i], input.series[j], cfg.window, s, e, pool)
-            }
+            None => base_cross_trrs_range_prec(
+                input.series[i],
+                input.series[j],
+                cfg.window,
+                (s, e),
+                pool,
+                self.config.precision,
+            ),
         };
         let full = virtual_average_range_with(&base, cfg.virtual_antennas, pool);
         let gate = virtual_average_range_with(&base, cfg.virtual_antennas.min(5), pool);

@@ -1,0 +1,600 @@
+//! Structure-of-arrays CSI storage for the TRRS kernels.
+//!
+//! [`crate::trrs::NormSnapshot`] is an array-of-structures: one heap
+//! vector of `Complex64` per TX chain per snapshot. The hot loops compare
+//! one snapshot against a *run* of consecutive snapshots (the lag window
+//! of a cross-TRRS row, the backfill span of the incremental cache), and
+//! in AoS form each comparison walks freshly scattered allocations.
+//!
+//! [`SoaSeries`] transposes a snapshot series into subcarrier-major real
+//! planes:
+//!
+//! ```text
+//! row (tx, k)   →   re[(tx·n_sub + k)·cap + t],  t ∈ start..start+len
+//! ```
+//!
+//! so the `v` operands of one SIMD row kernel — the same `(tx, k)`
+//! element of `v` *consecutive snapshots* — are `v` contiguous reals, one
+//! aligned vector load. The time-fixed side of a comparison is gathered
+//! once per row into a contiguous scratch (O(S·N), amortised over the
+//! O(W·S·N) row) and broadcast per element.
+//!
+//! The container doubles as the incremental engine's ring mirror:
+//! `push`/`pop_front` keep a sliding window in lockstep with the stream's
+//! snapshot ring, compacting or growing amortised-O(1).
+//!
+//! Series whose snapshots disagree on shape (TX count or subcarrier
+//! count) latch `ragged` and the callers fall back to the scalar AoS
+//! path; shape handling stays in one place instead of per element.
+
+use crate::trrs::NormSnapshot;
+use rim_simd::{Fixed, Lanes};
+
+/// Element type of an SoA series: `f64` (reference) or `f32` (fast).
+/// Bridges to the matching `rim_simd` row kernel, widening results to the
+/// `f64` the alignment matrices store.
+pub(crate) trait SoaScalar:
+    Copy + Default + Send + Sync + std::fmt::Debug + 'static
+{
+    /// Converts from the `f64` the snapshots store.
+    fn from_f64(v: f64) -> Self;
+    /// Runs the row kernel: `out[i]` is the TRRS of `a` against lane
+    /// position `b.off + i`, widened to `f64`.
+    fn trrs_lanes(a: Fixed<'_, Self>, b: Lanes<'_, Self>, dims: (usize, usize), out: &mut [f64]);
+}
+
+impl SoaScalar for f64 {
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn trrs_lanes(a: Fixed<'_, f64>, b: Lanes<'_, f64>, dims: (usize, usize), out: &mut [f64]) {
+        rim_simd::trrs_row_f64(a, b, dims, out);
+    }
+}
+
+impl SoaScalar for f32 {
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline(always)]
+    fn trrs_lanes(a: Fixed<'_, f32>, b: Lanes<'_, f32>, dims: (usize, usize), out: &mut [f64]) {
+        // Chunk through a stack buffer (multiple of the f32 lane width)
+        // so the hot path never allocates for the widening copy. 64 lanes
+        // covers a full ±W window row for W ≤ 31 in one kernel call.
+        let mut tmp = [0.0f32; 64];
+        let mut done = 0usize;
+        while done < out.len() {
+            let n = (out.len() - done).min(tmp.len());
+            let b_chunk = Lanes {
+                re: b.re,
+                im: b.im,
+                stride: b.stride,
+                off: b.off + done,
+            };
+            rim_simd::trrs_row_f32(a, b_chunk, dims, &mut tmp[..n]);
+            for (o, &v) in out[done..done + n].iter_mut().zip(&tmp[..n]) {
+                *o = v as f64;
+            }
+            done += n;
+        }
+    }
+}
+
+/// A snapshot series transposed to subcarrier-major real planes (see the
+/// module docs), with `push`/`pop_front` for ring mirroring.
+#[derive(Debug, Clone)]
+pub(crate) struct SoaSeries<T> {
+    /// `(n_tx, n_sub)` of every stored snapshot; `None` until the first
+    /// one arrives.
+    shape: Option<(usize, usize)>,
+    /// Some snapshot disagreed with `shape` (or the shape is degenerate):
+    /// the data planes are unusable, callers take the scalar AoS path.
+    ragged: bool,
+    /// Absolute index of element 0 — the ring base for mirrors, the pack
+    /// range start for batch packs.
+    offset: usize,
+    /// Row capacity in elements (the lane stride).
+    cap: usize,
+    /// First valid position within each row.
+    start: usize,
+    /// Valid positions per row.
+    len: usize,
+    re: Vec<T>,
+    im: Vec<T>,
+}
+
+impl<T: SoaScalar> SoaSeries<T> {
+    /// An empty series whose element 0 will be absolute index `offset`.
+    pub(crate) fn empty(offset: usize) -> Self {
+        Self {
+            shape: None,
+            ragged: false,
+            offset,
+            cap: 0,
+            start: 0,
+            len: 0,
+            re: Vec::new(),
+            im: Vec::new(),
+        }
+    }
+
+    /// Packs `series[r0..r1]` with exact capacity; element 0 is absolute
+    /// index `r0`.
+    ///
+    /// The fill is a blocked transpose: a naive per-snapshot scatter
+    /// touches a distinct cache line per subcarrier row (the write stride
+    /// is the full row capacity), which at typical shapes costs more than
+    /// the kernel work it feeds. Time-blocks small enough that the
+    /// block's snapshots stay L1-resident let every row sweep them with
+    /// sequential writes instead. Values are bit-identical to the
+    /// [`Self::push`] path — both store `T::from_f64` of the same field.
+    pub(crate) fn pack_range(series: &[NormSnapshot], r0: usize, r1: usize) -> Self {
+        let mut s = Self::empty(r0);
+        s.cap = r1 - r0;
+        let slice = &series[r0..r1];
+        let Some(first) = slice.first() else {
+            return s;
+        };
+        let n_tx = first.per_tx.len();
+        let n_sub = first.per_tx.first().map_or(0, Vec::len);
+        s.shape = Some((n_tx, n_sub));
+        if n_tx == 0
+            || n_sub == 0
+            || slice
+                .iter()
+                .any(|sn| sn.per_tx.len() != n_tx || sn.per_tx.iter().any(|v| v.len() != n_sub))
+        {
+            s.ragged = true;
+            s.len = slice.len();
+            return s;
+        }
+        let rows = n_tx * n_sub;
+        s.re = vec![T::default(); rows * s.cap];
+        s.im = vec![T::default(); rows * s.cap];
+        const BLOCK: usize = 16;
+        for t0 in (0..slice.len()).step_by(BLOCK) {
+            let t1 = (t0 + BLOCK).min(slice.len());
+            for (tx, k2) in (0..n_tx).flat_map(|tx| (0..n_sub).map(move |k| (tx, k))) {
+                let base = (tx * n_sub + k2) * s.cap;
+                for (t, snap) in slice.iter().enumerate().take(t1).skip(t0) {
+                    let z = snap.per_tx[tx][k2];
+                    s.re[base + t] = T::from_f64(z.re);
+                    s.im[base + t] = T::from_f64(z.im);
+                }
+            }
+        }
+        s.len = slice.len();
+        s
+    }
+
+    /// Number of stored snapshots.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Absolute index of element 0.
+    pub(crate) fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// True when the planes are unusable (shape disagreement or a
+    /// degenerate shape) and callers must fall back to the AoS path.
+    pub(crate) fn is_ragged(&self) -> bool {
+        self.ragged
+    }
+
+    /// `(n_tx, n_sub)`, once known.
+    pub(crate) fn shape(&self) -> Option<(usize, usize)> {
+        self.shape
+    }
+
+    fn rows(&self) -> usize {
+        self.shape.map_or(0, |(tx, sub)| tx * sub)
+    }
+
+    /// Appends one snapshot (the mirror call for every ring append).
+    pub(crate) fn push(&mut self, snap: &NormSnapshot) {
+        let (n_tx, n_sub) = *self.shape.get_or_insert_with(|| {
+            let n_tx = snap.per_tx.len();
+            let n_sub = snap.per_tx.first().map_or(0, Vec::len);
+            (n_tx, n_sub)
+        });
+        if !self.ragged
+            && (n_tx == 0
+                || n_sub == 0
+                || snap.per_tx.len() != n_tx
+                || snap.per_tx.iter().any(|v| v.len() != n_sub))
+        {
+            self.ragged = true;
+        }
+        if self.ragged {
+            // Keep the index bookkeeping in lockstep; the planes are dead.
+            self.len += 1;
+            return;
+        }
+        if self.start + self.len == self.cap {
+            self.make_room();
+        }
+        // A pre-sized pack (`pack_range`) sets `cap` before the first
+        // push; allocate the planes once the shape is known.
+        let plane = self.rows() * self.cap;
+        if self.re.len() < plane {
+            self.re.resize(plane, T::default());
+            self.im.resize(plane, T::default());
+        }
+        let pos = self.start + self.len;
+        for (tx, cfr) in snap.per_tx.iter().enumerate() {
+            for (k, z) in cfr.iter().enumerate() {
+                let row = tx * n_sub + k;
+                self.re[row * self.cap + pos] = T::from_f64(z.re);
+                self.im[row * self.cap + pos] = T::from_f64(z.im);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Makes space for one more position: compacts when at least half the
+    /// row is dead prefix, doubles the capacity otherwise — amortised
+    /// O(1) per push either way.
+    fn make_room(&mut self) {
+        let rows = self.rows();
+        if self.start >= (self.cap / 2).max(1) {
+            for r in 0..rows {
+                let base = r * self.cap;
+                self.re
+                    .copy_within(base + self.start..base + self.start + self.len, base);
+                self.im
+                    .copy_within(base + self.start..base + self.start + self.len, base);
+            }
+            self.start = 0;
+            return;
+        }
+        let new_cap = (self.cap * 2).max(16);
+        let mut re = vec![T::default(); rows * new_cap];
+        let mut im = vec![T::default(); rows * new_cap];
+        for r in 0..rows {
+            let src = r * self.cap + self.start;
+            re[r * new_cap..r * new_cap + self.len].copy_from_slice(&self.re[src..src + self.len]);
+            im[r * new_cap..r * new_cap + self.len].copy_from_slice(&self.im[src..src + self.len]);
+        }
+        self.re = re;
+        self.im = im;
+        self.cap = new_cap;
+        self.start = 0;
+    }
+
+    /// Drops the oldest snapshot (the mirror call for a ring trim). On an
+    /// empty series only the offset advances, staying in lockstep with a
+    /// ring whose trim overshoots its content.
+    pub(crate) fn pop_front(&mut self) {
+        self.offset += 1;
+        if self.len == 0 {
+            return;
+        }
+        self.start += 1;
+        self.len -= 1;
+        if self.len == 0 {
+            self.start = 0;
+        }
+    }
+
+    /// Discards everything including the shape — a new stream epoch after
+    /// a split; element 0 will be absolute index `offset`.
+    pub(crate) fn reset(&mut self, offset: usize) {
+        self.shape = None;
+        self.ragged = false;
+        self.offset = offset;
+        self.start = 0;
+        self.len = 0;
+    }
+
+    /// Lane view with lane 0 at absolute index `lo_abs`.
+    fn lanes_abs(&self, lo_abs: usize) -> Lanes<'_, T> {
+        Lanes {
+            re: &self.re,
+            im: &self.im,
+            stride: self.cap,
+            off: self.start + (lo_abs - self.offset),
+        }
+    }
+}
+
+/// The cross-TRRS row kernel for one series pair, with everything the
+/// historical per-entry loop recomputed hoisted to construction time: the
+/// common TX count, the shared subcarrier count, and — the fix this PR
+/// pins with a regression test — the `src_len` masking bound, which used
+/// to be re-derived per call (and silently wrong for asymmetric series,
+/// hence the equal-length assert it replaces).
+#[derive(Debug)]
+pub(crate) struct PairKernel<'s, T: SoaScalar> {
+    a: &'s SoaSeries<T>,
+    b: &'s SoaSeries<T>,
+    window: usize,
+    /// Absolute length of the source series `b` — lag entries whose
+    /// source index falls at or beyond it are masked to 0.
+    src_len: usize,
+    /// `(min(a.n_tx, b.n_tx), n_sub)`.
+    dims: (usize, usize),
+    scratch_re: Vec<T>,
+    scratch_im: Vec<T>,
+    tmp: Vec<f64>,
+}
+
+impl<'s, T: SoaScalar> PairKernel<'s, T> {
+    /// Builds the kernel, or `None` when the pair cannot take the SoA
+    /// path (ragged series, empty series, or disagreeing subcarrier
+    /// counts — the scalar AoS fallback handles those shapes).
+    pub(crate) fn new(
+        a: &'s SoaSeries<T>,
+        b: &'s SoaSeries<T>,
+        window: usize,
+        src_len: usize,
+    ) -> Option<Self> {
+        if a.is_ragged() || b.is_ragged() {
+            return None;
+        }
+        let (a_tx, a_sub) = a.shape()?;
+        let (b_tx, b_sub) = b.shape()?;
+        if a_sub != b_sub || a_sub == 0 {
+            return None;
+        }
+        let n_tx = a_tx.min(b_tx);
+        if n_tx == 0 {
+            return None;
+        }
+        Some(Self {
+            a,
+            b,
+            window,
+            src_len,
+            dims: (n_tx, a_sub),
+            scratch_re: Vec::new(),
+            scratch_im: Vec::new(),
+            tmp: vec![0.0; 2 * window + 1],
+        })
+    }
+
+    /// The masked source range of column `t_abs`: absolute source indices
+    /// within the lag window that exist both in the series bounds and in
+    /// the packed/mirrored span of `b`.
+    fn src_range(&self, t_abs: usize) -> Option<(usize, usize)> {
+        let lo = t_abs.saturating_sub(self.window).max(self.b.offset());
+        let hi = (t_abs + self.window).min(
+            self.src_len
+                .min(self.b.offset() + self.b.len())
+                .checked_sub(1)?,
+        );
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Copies the fixed-side snapshot into the contiguous scratch planes.
+    /// Reading the AoS snapshot (one sequential sweep) instead of a
+    /// time-column of the SoA planes (one strided read per subcarrier row)
+    /// is the difference between an L1-friendly gather and a cache-miss
+    /// per element; the values are bit-identical because the planes store
+    /// exactly `T::from_f64` of the same snapshot.
+    fn gather_snapshot(&mut self, snap: &NormSnapshot) {
+        self.scratch_re.clear();
+        self.scratch_im.clear();
+        for cfr in snap.per_tx.iter().take(self.dims.0) {
+            debug_assert_eq!(
+                cfr.len(),
+                self.dims.1,
+                "snapshot disagrees with the packed shape"
+            );
+            for z in cfr {
+                self.scratch_re.push(T::from_f64(z.re));
+                self.scratch_im.push(T::from_f64(z.im));
+            }
+        }
+    }
+
+    /// One cross-TRRS row: `row[k]` is the TRRS of `a[t_abs]` against
+    /// `b[t_abs − (k − W)]`, 0 where the source is masked. `snap` must be
+    /// the series-`a` snapshot at `t_abs` (the caller always has it in AoS
+    /// form, which gathers far faster than a strided SoA column). Returns
+    /// the number of entries computed.
+    pub(crate) fn row_into(&mut self, t_abs: usize, snap: &NormSnapshot, row: &mut [f64]) -> usize {
+        debug_assert_eq!(row.len(), 2 * self.window + 1);
+        row.fill(0.0);
+        let Some((lo, hi)) = self.src_range(t_abs) else {
+            return 0;
+        };
+        let n = hi - lo + 1;
+        self.gather_snapshot(snap);
+        let fixed = Fixed {
+            re: &self.scratch_re,
+            im: &self.scratch_im,
+        };
+        T::trrs_lanes(fixed, self.b.lanes_abs(lo), self.dims, &mut self.tmp[..n]);
+        // Lane i holds source lo + i; its lag index is t + W − src.
+        for (i, &v) in self.tmp[..n].iter().enumerate() {
+            row[t_abs + self.window - (lo + i)] = v;
+        }
+        n
+    }
+
+    /// The backfill lanes of the incremental cache: `out[i]` is the TRRS
+    /// of `a[lo_abs + i]` against the fixed `snap_b` (the series-`b`
+    /// snapshot the roles pivot on). The roles are swapped relative to
+    /// [`Self::row_into`] — the kernel conjugates the fixed side — which
+    /// is bit-identical to conjugating the varying side: the real part of
+    /// the inner product is unchanged term by term and the imaginary part
+    /// is exactly negated, so `hypot` (and the f32 path's `re² + im²`)
+    /// sees the same magnitude bits.
+    pub(crate) fn lanes_fixed_b(&mut self, snap_b: &NormSnapshot, lo_abs: usize, out: &mut [f64]) {
+        self.gather_snapshot(snap_b);
+        let fixed = Fixed {
+            re: &self.scratch_re,
+            im: &self.scratch_im,
+        };
+        T::trrs_lanes(fixed, self.a.lanes_abs(lo_abs), self.dims, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trrs::{trrs_norm, trrs_norm_f32};
+    use rim_csi::frame::CsiSnapshot;
+    use rim_dsp::complex::Complex64;
+
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn snapshot(tag: u64, n_tx: usize, n_sub: usize) -> NormSnapshot {
+        NormSnapshot::from_snapshot(&CsiSnapshot {
+            per_tx: (0..n_tx)
+                .map(|tx| {
+                    (0..n_sub)
+                        .map(|k| {
+                            let x = (mix(tag ^ ((tx as u64) << 32) ^ (k as u64 * 0x9E3779B9)) >> 11)
+                                as f64
+                                / (1u64 << 53) as f64;
+                            Complex64::from_polar(0.5 + x, x * 6.0)
+                        })
+                        .collect()
+                })
+                .collect(),
+        })
+    }
+
+    fn series(seed: u64, len: usize, n_tx: usize, n_sub: usize) -> Vec<NormSnapshot> {
+        (0..len as u64)
+            .map(|t| snapshot(seed.wrapping_mul(1000) + t, n_tx, n_sub))
+            .collect()
+    }
+
+    #[test]
+    fn f64_rows_match_trrs_norm_bitwise() {
+        let a = series(1, 30, 2, 13);
+        let b = series(2, 30, 2, 13);
+        let w = 6;
+        let sa = SoaSeries::<f64>::pack_range(&a, 0, a.len());
+        let sb = SoaSeries::<f64>::pack_range(&b, 0, b.len());
+        let mut kern = PairKernel::new(&sa, &sb, w, b.len()).unwrap();
+        let mut row = vec![0.0; 2 * w + 1];
+        for (t, snap) in a.iter().enumerate() {
+            kern.row_into(t, snap, &mut row);
+            for (k, &got) in row.iter().enumerate() {
+                let src = t as isize - (k as isize - w as isize);
+                let want = if src < 0 || src as usize >= b.len() {
+                    0.0
+                } else {
+                    trrs_norm(&a[t], &b[src as usize])
+                };
+                assert_eq!(got.to_bits(), want.to_bits(), "t={t} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_rows_match_aos_f32_fallback_bitwise() {
+        let a = series(3, 24, 1, 56);
+        let b = series(4, 24, 1, 56);
+        let w = 5;
+        let sa = SoaSeries::<f32>::pack_range(&a, 0, a.len());
+        let sb = SoaSeries::<f32>::pack_range(&b, 0, b.len());
+        let mut kern = PairKernel::new(&sa, &sb, w, b.len()).unwrap();
+        let mut row = vec![0.0; 2 * w + 1];
+        for (t, snap) in a.iter().enumerate() {
+            kern.row_into(t, snap, &mut row);
+            for (k, &got) in row.iter().enumerate() {
+                let src = t as isize - (k as isize - w as isize);
+                let want = if src < 0 || src as usize >= b.len() {
+                    0.0
+                } else {
+                    trrs_norm_f32(&a[t], &b[src as usize])
+                };
+                assert_eq!(got.to_bits(), want.to_bits(), "t={t} k={k}");
+                if want > 0.0 {
+                    let reference = trrs_norm(&a[t], &b[src as usize]);
+                    assert!((got - reference).abs() < 1e-4, "f32 drift at t={t} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_roles_are_bitwise_symmetric() {
+        // The backfill kernel conjugates the other operand; §docs argue
+        // the magnitude bits cannot change. Pin it.
+        let a = series(5, 20, 2, 17);
+        let b = series(6, 20, 2, 17);
+        let sa = SoaSeries::<f64>::pack_range(&a, 0, a.len());
+        let sb = SoaSeries::<f64>::pack_range(&b, 0, b.len());
+        let mut kern = PairKernel::new(&sa, &sb, 4, b.len()).unwrap();
+        let mut out = vec![0.0; 12];
+        kern.lanes_fixed_b(&b[9], 3, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let want = trrs_norm(&a[3 + i], &b[9]);
+            assert_eq!(got.to_bits(), want.to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn ring_mirror_tracks_push_pop_and_reset() {
+        let s = series(7, 40, 1, 9);
+        let mut ring = SoaSeries::<f64>::empty(0);
+        let mut popped = 0usize;
+        for (t, snap) in s.iter().enumerate() {
+            ring.push(snap);
+            if t % 3 == 2 {
+                ring.pop_front();
+                popped += 1;
+            }
+        }
+        assert_eq!(ring.len(), s.len() - popped);
+        assert_eq!(ring.offset(), popped);
+        // Every retained snapshot must read back exactly.
+        let full = SoaSeries::<f64>::pack_range(&s, 0, s.len());
+        let mut ka = PairKernel::new(&ring, &ring, 2, s.len()).unwrap();
+        let mut kb = PairKernel::new(&full, &full, 2, s.len()).unwrap();
+        let mut ra = vec![0.0; 5];
+        let mut rb = vec![0.0; 5];
+        for (t, snap) in s.iter().enumerate().skip(popped) {
+            ka.row_into(t, snap, &mut ra);
+            kb.row_into(t, snap, &mut rb);
+            for (x, y) in ra.iter().zip(&rb) {
+                // The mirror can only mask *more* (older sources dropped).
+                assert!(x.to_bits() == y.to_bits() || *x == 0.0, "t={t}");
+            }
+        }
+        ring.reset(100);
+        assert_eq!(ring.len(), 0);
+        assert!(ring.shape().is_none());
+        ring.push(&snapshot(999, 3, 4));
+        assert_eq!(ring.shape(), Some((3, 4)));
+        assert_eq!(ring.offset(), 100);
+    }
+
+    #[test]
+    fn ragged_series_refuse_the_kernel() {
+        let mut s = series(8, 6, 2, 8);
+        s.push(snapshot(9, 1, 8)); // TX count change → ragged
+        let soa = SoaSeries::<f64>::pack_range(&s, 0, s.len());
+        assert!(soa.is_ragged());
+        let other = SoaSeries::<f64>::pack_range(&s, 0, 6);
+        assert!(PairKernel::new(&soa, &other, 3, 6).is_none());
+        // Disagreeing subcarrier counts refuse too.
+        let narrow = series(10, 6, 2, 4);
+        let sn = SoaSeries::<f64>::pack_range(&narrow, 0, narrow.len());
+        assert!(PairKernel::new(&sn, &other, 3, 6).is_none());
+        // Mismatched TX counts truncate (min) rather than refuse.
+        let wide = series(11, 6, 3, 8);
+        let sw = SoaSeries::<f64>::pack_range(&wide, 0, wide.len());
+        let mut kern = PairKernel::new(&sw, &other, 3, 6).unwrap();
+        let mut row = vec![0.0; 7];
+        kern.row_into(2, &wide[2], &mut row);
+        let want = trrs_norm(&wide[2], &s[2]);
+        assert_eq!(row[3].to_bits(), want.to_bits());
+    }
+}

@@ -719,7 +719,7 @@ impl RimStream {
         let n_ant = rim.geometry().n_antennas();
         let cache = config
             .incremental
-            .then(|| ColumnCache::new(rim.geometry(), w));
+            .then(|| ColumnCache::new(rim.geometry(), w, config.precision));
         Self {
             gap_filter: GapFilter::new(n_ant, gap.max_gap),
             watchdog: Watchdog::new(gap),

@@ -150,6 +150,45 @@ pub fn trrs_norm(a: &NormSnapshot, b: &NormSnapshot) -> f64 {
     acc / n as f64
 }
 
+/// [`trrs_norm`] in reduced precision — the scalar reference for the
+/// `Precision::F32Fast` pipeline (see [`crate::Precision`]). Inputs are
+/// converted subcarrier-wise to `f32`, the inner product accumulates in
+/// `f32`, and the magnitude squared is computed directly as `re² + im²`
+/// (the operands are unit-norm, so `hypot`'s overflow guard buys
+/// nothing). The SIMD f32 kernels are bit-identical to this function on
+/// uniformly shaped snapshots; ragged shapes take this exact path.
+/// Follows the same TX-truncation contract as [`trrs_norm`].
+pub fn trrs_norm_f32(a: &NormSnapshot, b: &NormSnapshot) -> f64 {
+    let n = a.per_tx.len().min(b.per_tx.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0f32;
+    for k in 0..n {
+        let u = &a.per_tx[k];
+        let v = &b.per_tx[k];
+        if u.len() != v.len() || u.is_empty() {
+            continue;
+        }
+        // Plain subcarrier-order accumulation, mirroring the conjugated
+        // multiply of `inner_product` term for term — the f32 SIMD lanes
+        // replicate this exact order, so the SoA fast path stays
+        // bit-identical to this reference.
+        let mut acc_re = 0.0f32;
+        let mut acc_im = 0.0f32;
+        for (x, y) in u.iter().zip(v) {
+            let ar = x.re as f32;
+            let nai = -(x.im as f32);
+            let br = y.re as f32;
+            let bi = y.im as f32;
+            acc_re += ar * br - nai * bi;
+            acc_im += ar * bi + nai * br;
+        }
+        acc += (acc_re * acc_re + acc_im * acc_im).min(1.0);
+    }
+    (acc / n as f32) as f64
+}
+
 /// TRRS between virtual-massive-antenna profiles (paper Eqn. 4): the mean
 /// of per-offset TRRS values over a block of `v` consecutive snapshots
 /// centred at `ti` in `a` and `tj` in `b`. Block positions that fall
@@ -298,6 +337,86 @@ mod tests {
         assert!((edge - 1.0).abs() < 1e-12);
         // Completely out of range.
         assert_eq!(trrs_massive(&na[..0], &na, 0, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn norm_trrs_single_subcarrier() {
+        // One subcarrier: the unit-normalised values are pure phases, so
+        // |⟨u,v⟩|² is exactly 1 whatever the phases are.
+        let a = NormSnapshot::from_snapshot(&CsiSnapshot {
+            per_tx: vec![vec![Complex64::from_polar(2.0, 0.7)]],
+        });
+        let b = NormSnapshot::from_snapshot(&CsiSnapshot {
+            per_tx: vec![vec![Complex64::from_polar(0.3, -1.1)]],
+        });
+        assert!((trrs_norm(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((trrs_norm_f32(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn norm_trrs_mismatched_tx_and_subcarrier_shapes() {
+        let two_tx = NormSnapshot::from_snapshot(&CsiSnapshot {
+            per_tx: vec![cfr(1, 16), cfr(2, 16)],
+        });
+        let one_tx = NormSnapshot::from_snapshot(&CsiSnapshot {
+            per_tx: vec![cfr(1, 16)],
+        });
+        // TX mismatch truncates to the common prefix with the common
+        // divisor: identical first chains → exactly 1.
+        assert!((trrs_norm(&two_tx, &one_tx) - 1.0).abs() < 1e-12);
+        // Subcarrier mismatch on a chain contributes 0 but still divides.
+        let short = NormSnapshot::from_snapshot(&CsiSnapshot {
+            per_tx: vec![cfr(1, 16), cfr(2, 8)],
+        });
+        let k = trrs_norm(&two_tx, &short);
+        assert!((k - 0.5).abs() < 1e-12, "half the chains resonate: {k}");
+        assert!((trrs_norm_f32(&two_tx, &short) - 0.5).abs() < 1e-6);
+        // Empty against anything is 0.
+        let empty = NormSnapshot { per_tx: vec![] };
+        assert_eq!(trrs_norm(&two_tx, &empty), 0.0);
+        assert_eq!(trrs_norm_f32(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn norm_trrs_f32_tracks_reference() {
+        for seed in 0..8u64 {
+            let a = NormSnapshot::from_snapshot(&CsiSnapshot {
+                per_tx: vec![cfr(seed, 56), cfr(seed + 100, 56)],
+            });
+            let b = NormSnapshot::from_snapshot(&CsiSnapshot {
+                per_tx: vec![cfr(seed + 200, 56), cfr(seed + 300, 56)],
+            });
+            let k64 = trrs_norm(&a, &b);
+            let k32 = trrs_norm_f32(&a, &b);
+            assert!((k64 - k32).abs() < 1e-5, "seed {seed}: {k64} vs {k32}");
+        }
+    }
+
+    #[test]
+    fn massive_window_one_against_mismatched_series_lengths() {
+        // v = 1 degenerates to a single snapshot comparison even at the
+        // series edges, and mismatched series lengths skip only the
+        // offsets that fall outside the *shorter* series.
+        let series: Vec<CsiSnapshot> = (0..8)
+            .map(|k| CsiSnapshot {
+                per_tx: vec![cfr(k + 40, 12)],
+            })
+            .collect();
+        let ns = NormSnapshot::series(&series);
+        let short = &ns[..3];
+        // Window 1 at the very edge of both series.
+        let k = trrs_massive(short, &ns, 0, 0, 1);
+        assert!((k - trrs_norm(&ns[0], &ns[0])).abs() < 1e-12);
+        // Centred at the short series' last sample with a block of 5:
+        // offsets +1/+2 run off `short`, so the mean is over {-2,-1,0}
+        // only — pin it against the hand-built mean.
+        let k = trrs_massive(short, &ns, 2, 2, 5);
+        let want =
+            (trrs_norm(&ns[0], &ns[0]) + trrs_norm(&ns[1], &ns[1]) + trrs_norm(&ns[2], &ns[2]))
+                / 3.0;
+        assert!((k - want).abs() < 1e-12);
+        // A block position entirely outside the short series is 0.
+        assert_eq!(trrs_massive(short, &ns, 6, 6, 3), 0.0);
     }
 
     #[test]

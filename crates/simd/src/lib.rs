@@ -1,0 +1,716 @@
+//! # rim-simd
+//!
+//! Dependency-free portable SIMD for the TRRS hot loops: fixed-width lane
+//! types ([`lanes::f64x4`], [`lanes::f32x8`]) and the cross-TRRS *row*
+//! kernels that consume the structure-of-arrays CSI layout built by
+//! `rim-core`.
+//!
+//! ## Why lanes run across *positions*, not within a dot product
+//!
+//! The f64 reference pipeline must stay bit-identical to the historical
+//! scalar code at any thread count and on any machine. A conventional
+//! SIMD dot product splits one accumulation across several partial sums
+//! and re-associates the final reduction, which changes the rounding of
+//! every result. These kernels instead assign each SIMD lane one *whole*
+//! TRRS value — the dot products for `v` consecutive time positions run
+//! side by side, and every lane performs exactly the per-element sequence
+//! of `rim_dsp::complex::inner_product`:
+//!
+//! ```text
+//! re += (a.re·b.re) − ((−a.im)·b.im)      (one rounding per · and per ±,
+//! im += (a.re·b.im) + ((−a.im)·b.re)       in this order — never fused)
+//! ```
+//!
+//! followed by the scalar `hypot`/square/clamp tail. Multiplication and
+//! addition are lane-wise IEEE-754 operations, so the vectorised lane is
+//! bit-identical to the scalar loop; no fused multiply-add is ever
+//! emitted (Rust does not contract float expressions).
+//!
+//! ## Dispatch tiers
+//!
+//! [`trrs_row_f64`]/[`trrs_row_f32`] dispatch at runtime between
+//! [`Tier::Scalar`] (the generic body compiled at the crate's baseline
+//! target features) and [`Tier::Avx2`] (the same body monomorphised under
+//! `#[target_feature(enable = "avx2")]`). Both tiers execute the same
+//! per-lane operation sequence, so *tier choice never changes results* —
+//! it only changes speed. The tier can be pinned for benchmarks and tests
+//! via [`force_tier`] or the `RIM_SIMD` environment variable
+//! (`scalar`/`avx2`/`auto`).
+//!
+//! This crate is the workspace's second `unsafe` island (after
+//! rim-serve's `poll(2)` FFI): the only unsafe code is the pair of calls
+//! into the `#[target_feature]` clones, guarded by
+//! `is_x86_feature_detected!`.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+pub mod lanes {
+    //! Fixed-width lane types with element-wise IEEE-754 arithmetic.
+    //!
+    //! The types are plain aligned arrays; every operator applies the
+    //! scalar operation per lane, so LLVM vectorises them at whatever
+    //! target features the enclosing function was compiled with while the
+    //! numeric results stay exactly those of the scalar loop.
+    // Lowercase names follow the standard SIMD vocabulary (`f64x4` et al.,
+    // as in `std::simd`); scoped inner allow so the lint stays on for the
+    // rest of the crate.
+    #![allow(non_camel_case_types)]
+
+    macro_rules! lane_type {
+        ($(#[$doc:meta])* $name:ident, $elem:ty, $n:expr) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone, Copy, PartialEq)]
+            #[repr(C, align(32))]
+            pub struct $name(pub [$elem; $n]);
+
+            impl $name {
+                /// Number of lanes.
+                pub const LANES: usize = $n;
+                /// All lanes zero.
+                pub const ZERO: Self = Self([0.0; $n]);
+
+                /// Broadcasts one value to every lane.
+                #[inline(always)]
+                pub fn splat(v: $elem) -> Self {
+                    Self([v; $n])
+                }
+
+                /// Loads the first `LANES` elements of `s`.
+                ///
+                /// # Panics
+                /// Panics when `s` is shorter than `LANES`.
+                #[inline(always)]
+                pub fn from_slice(s: &[$elem]) -> Self {
+                    let mut o = [0.0; $n];
+                    o.copy_from_slice(&s[..$n]);
+                    Self(o)
+                }
+
+                /// The lanes as a plain array.
+                #[inline(always)]
+                pub fn to_array(self) -> [$elem; $n] {
+                    self.0
+                }
+            }
+
+            impl std::ops::Add for $name {
+                type Output = Self;
+                #[inline(always)]
+                fn add(self, rhs: Self) -> Self {
+                    let mut o = [0.0; $n];
+                    for ((o, a), b) in o.iter_mut().zip(self.0).zip(rhs.0) {
+                        *o = a + b;
+                    }
+                    Self(o)
+                }
+            }
+
+            impl std::ops::Sub for $name {
+                type Output = Self;
+                #[inline(always)]
+                fn sub(self, rhs: Self) -> Self {
+                    let mut o = [0.0; $n];
+                    for ((o, a), b) in o.iter_mut().zip(self.0).zip(rhs.0) {
+                        *o = a - b;
+                    }
+                    Self(o)
+                }
+            }
+
+            impl std::ops::Mul for $name {
+                type Output = Self;
+                #[inline(always)]
+                fn mul(self, rhs: Self) -> Self {
+                    let mut o = [0.0; $n];
+                    for ((o, a), b) in o.iter_mut().zip(self.0).zip(rhs.0) {
+                        *o = a * b;
+                    }
+                    Self(o)
+                }
+            }
+
+            impl std::ops::Div for $name {
+                type Output = Self;
+                #[inline(always)]
+                fn div(self, rhs: Self) -> Self {
+                    let mut o = [0.0; $n];
+                    for ((o, a), b) in o.iter_mut().zip(self.0).zip(rhs.0) {
+                        *o = a / b;
+                    }
+                    Self(o)
+                }
+            }
+        };
+    }
+
+    lane_type!(
+        /// Four `f64` lanes.
+        f64x4,
+        f64,
+        4
+    );
+    lane_type!(
+        /// Eight `f32` lanes.
+        f32x8,
+        f32,
+        8
+    );
+}
+
+use lanes::{f32x8, f64x4};
+
+/// The time-fixed operand of a cross-TRRS row: one gathered snapshot as
+/// two contiguous real arrays of `n_tx · n_sub` elements each, laid out
+/// `[tx0·sub0, tx0·sub1, …, tx1·sub0, …]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed<'a, T> {
+    /// Real parts, `n_tx · n_sub` long.
+    pub re: &'a [T],
+    /// Imaginary parts, `n_tx · n_sub` long.
+    pub im: &'a [T],
+}
+
+/// The lane operand: a structure-of-arrays series where row
+/// `i = tx · n_sub + k` occupies `re[i · stride ..]`, and lane `v` of the
+/// kernel reads time position `off + v` of each row.
+#[derive(Debug, Clone, Copy)]
+pub struct Lanes<'a, T> {
+    /// Real parts, `n_rows · stride` long.
+    pub re: &'a [T],
+    /// Imaginary parts, `n_rows · stride` long.
+    pub im: &'a [T],
+    /// Distance between consecutive rows, in elements (the series
+    /// capacity).
+    pub stride: usize,
+    /// Offset of lane 0 within each row.
+    pub off: usize,
+}
+
+/// A dispatch tier. Both tiers run the identical per-lane operation
+/// sequence; only throughput differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The generic lane body at the build's baseline target features.
+    Scalar,
+    /// The same body monomorphised under AVX2 (x86-64 only; selected at
+    /// runtime when the CPU supports it).
+    Avx2,
+}
+
+// 0 = no override, 1 = Scalar, 2 = Avx2.
+static TIER_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static TIER_DETECTED: OnceLock<Tier> = OnceLock::new();
+
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn detect() -> Tier {
+    // "avx2"/"auto"/unset all resolve to AVX2 only when the CPU has it —
+    // an environment variable must never cause an illegal instruction.
+    if std::env::var("RIM_SIMD").ok().as_deref() == Some("scalar") {
+        return Tier::Scalar;
+    }
+    if avx2_available() {
+        Tier::Avx2
+    } else {
+        Tier::Scalar
+    }
+}
+
+/// The tier the kernels will dispatch to right now: the [`force_tier`]
+/// override if set, else the `RIM_SIMD`-aware runtime detection (cached
+/// after the first call).
+pub fn active_tier() -> Tier {
+    match TIER_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Tier::Scalar,
+        2 if avx2_available() => Tier::Avx2,
+        2 => Tier::Scalar,
+        _ => *TIER_DETECTED.get_or_init(detect),
+    }
+}
+
+/// Pins the dispatch tier process-wide (`None` returns to automatic
+/// detection). For benchmarks and equivalence tests; requesting
+/// [`Tier::Avx2`] on a machine without AVX2 stays on the scalar tier
+/// rather than faulting. Tier choice never affects results.
+pub fn force_tier(tier: Option<Tier>) {
+    let v = match tier {
+        None => 0,
+        Some(Tier::Scalar) => 1,
+        Some(Tier::Avx2) => 2,
+    };
+    TIER_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// One whole TRRS value, scalar: lane `lane` of what [`trrs_row_f64`]
+/// computes. This *is* the reference semantics — the mean over TX chains
+/// of `min(|⟨a, b_lane⟩|², 1)` with the inner product accumulated in
+/// subcarrier order, exactly as `rim_core::trrs::trrs_norm` does on
+/// unit-normalised snapshots.
+#[inline(always)]
+pub fn trrs_lane_f64(
+    a: Fixed<'_, f64>,
+    b: Lanes<'_, f64>,
+    lane: usize,
+    dims: (usize, usize),
+) -> f64 {
+    let (n_tx, n_sub) = dims;
+    let mut sum = 0.0f64;
+    for tx in 0..n_tx {
+        let mut acc_re = 0.0f64;
+        let mut acc_im = 0.0f64;
+        for k in 0..n_sub {
+            let i = tx * n_sub + k;
+            let ar = a.re[i];
+            let nai = -a.im[i];
+            let p = i * b.stride + b.off + lane;
+            let br = b.re[p];
+            let bi = b.im[p];
+            acc_re += ar * br - nai * bi;
+            acc_im += ar * bi + nai * br;
+        }
+        sum += lane_mag_f64(acc_re, acc_im);
+    }
+    sum / n_tx as f64
+}
+
+/// Scalar f32 lane: the reduced-precision semantics. Differs from the f64
+/// lane in two documented ways — arithmetic in `f32`, and the magnitude
+/// squared computed directly as `re² + im²` (the operands are unit-norm,
+/// so the overflow guard `hypot` buys nothing). The accumulation order is
+/// plain subcarrier order, like the f64 lane — the vector bodies hide the
+/// accumulator latency by working several lane groups per splat, not by
+/// reordering any lane's sum.
+#[inline(always)]
+pub fn trrs_lane_f32(
+    a: Fixed<'_, f32>,
+    b: Lanes<'_, f32>,
+    lane: usize,
+    dims: (usize, usize),
+) -> f32 {
+    let (n_tx, n_sub) = dims;
+    let mut sum = 0.0f32;
+    for tx in 0..n_tx {
+        let mut acc_re = 0.0f32;
+        let mut acc_im = 0.0f32;
+        for k in 0..n_sub {
+            let i = tx * n_sub + k;
+            let ar = a.re[i];
+            let nai = -a.im[i];
+            let p = i * b.stride + b.off + lane;
+            let br = b.re[p];
+            let bi = b.im[p];
+            acc_re += ar * br - nai * bi;
+            acc_im += ar * bi + nai * br;
+        }
+        sum += lane_mag_f32(acc_re, acc_im);
+    }
+    sum / n_tx as f32
+}
+
+// The vector bodies below process lanes in wide blocks of four vector
+// groups. Inside a block the subcarrier loop is outermost-sequential and
+// every splat of the fixed operand feeds all four groups, which quarters
+// the scalar-load/broadcast traffic per lane, and the four independent
+// accumulator pairs keep the adds from serialising on one chain's
+// latency. Each lane still accumulates its own inner product in plain
+// subcarrier order with a single accumulator pair, so block width is
+// invisible in the results: wide block, single group, and the scalar
+// lane functions are bit-identical — which also licenses the tail
+// strategy of re-running an overlapping block aligned to the row's end
+// (overlapped lanes are recomputed to the same bits) instead of falling
+// off the vector path. Accumulators are named variables (not indexed
+// arrays) so they stay in registers.
+
+/// Per-lane magnitude finish, f64 semantics: `min(|z|², 1)` via `hypot`.
+#[inline(always)]
+fn lane_mag_f64(re: f64, im: f64) -> f64 {
+    let ip = re.hypot(im);
+    (ip * ip).min(1.0)
+}
+
+/// Per-lane magnitude finish, f32 semantics: `min(re² + im², 1)` — the
+/// operands are unit-norm, so `hypot`'s overflow guard buys nothing.
+#[inline(always)]
+fn lane_mag_f32(re: f32, im: f32) -> f32 {
+    (re * re + im * im).min(1.0)
+}
+
+macro_rules! row_kernel {
+    ($body:ident, $block4:ident, $block1:ident, $vec:ident, $elem:ty, $lane_fn:ident, $mag:ident) => {
+        /// One four-group block: fills `out[v0 .. v0 + 4·LANES]`.
+        #[inline(always)]
+        fn $block4(
+            a: Fixed<'_, $elem>,
+            b: Lanes<'_, $elem>,
+            dims: (usize, usize),
+            v0: usize,
+            out: &mut [$elem],
+        ) {
+            let (n_tx, n_sub) = dims;
+            let mut sum = [0.0 as $elem; 4 * $vec::LANES];
+            for tx in 0..n_tx {
+                let (mut re0, mut re1, mut re2, mut re3) =
+                    ($vec::ZERO, $vec::ZERO, $vec::ZERO, $vec::ZERO);
+                let (mut im0, mut im1, mut im2, mut im3) =
+                    ($vec::ZERO, $vec::ZERO, $vec::ZERO, $vec::ZERO);
+                for k in 0..n_sub {
+                    let i = tx * n_sub + k;
+                    let ar = $vec::splat(a.re[i]);
+                    let nai = $vec::splat(-a.im[i]);
+                    let p = i * b.stride + b.off + v0;
+                    let br = $vec::from_slice(&b.re[p..]);
+                    let bi = $vec::from_slice(&b.im[p..]);
+                    re0 = re0 + (ar * br - nai * bi);
+                    im0 = im0 + (ar * bi + nai * br);
+                    let br = $vec::from_slice(&b.re[p + $vec::LANES..]);
+                    let bi = $vec::from_slice(&b.im[p + $vec::LANES..]);
+                    re1 = re1 + (ar * br - nai * bi);
+                    im1 = im1 + (ar * bi + nai * br);
+                    let br = $vec::from_slice(&b.re[p + 2 * $vec::LANES..]);
+                    let bi = $vec::from_slice(&b.im[p + 2 * $vec::LANES..]);
+                    re2 = re2 + (ar * br - nai * bi);
+                    im2 = im2 + (ar * bi + nai * br);
+                    let br = $vec::from_slice(&b.re[p + 3 * $vec::LANES..]);
+                    let bi = $vec::from_slice(&b.im[p + 3 * $vec::LANES..]);
+                    re3 = re3 + (ar * br - nai * bi);
+                    im3 = im3 + (ar * bi + nai * br);
+                }
+                let groups = [(re0, im0), (re1, im1), (re2, im2), (re3, im3)];
+                for (g, (vre, vim)) in groups.into_iter().enumerate() {
+                    let re = vre.to_array();
+                    let im = vim.to_array();
+                    let s0 = g * $vec::LANES;
+                    for ((s, r), m) in sum[s0..s0 + $vec::LANES].iter_mut().zip(re).zip(im) {
+                        *s += $mag(r, m);
+                    }
+                }
+            }
+            for (o, s) in out[v0..v0 + 4 * $vec::LANES].iter_mut().zip(sum) {
+                *o = s / n_tx as $elem;
+            }
+        }
+
+        /// One single-group block: fills `out[v0 .. v0 + LANES]`.
+        #[inline(always)]
+        fn $block1(
+            a: Fixed<'_, $elem>,
+            b: Lanes<'_, $elem>,
+            dims: (usize, usize),
+            v0: usize,
+            out: &mut [$elem],
+        ) {
+            let (n_tx, n_sub) = dims;
+            let mut sum = [0.0 as $elem; $vec::LANES];
+            for tx in 0..n_tx {
+                let mut acc_re = $vec::ZERO;
+                let mut acc_im = $vec::ZERO;
+                for k in 0..n_sub {
+                    let i = tx * n_sub + k;
+                    let ar = $vec::splat(a.re[i]);
+                    let nai = $vec::splat(-a.im[i]);
+                    let p = i * b.stride + b.off + v0;
+                    let br = $vec::from_slice(&b.re[p..]);
+                    let bi = $vec::from_slice(&b.im[p..]);
+                    acc_re = acc_re + (ar * br - nai * bi);
+                    acc_im = acc_im + (ar * bi + nai * br);
+                }
+                let re = acc_re.to_array();
+                let im = acc_im.to_array();
+                for ((s, r), m) in sum.iter_mut().zip(re).zip(im) {
+                    *s += $mag(r, m);
+                }
+            }
+            for (o, s) in out[v0..v0 + $vec::LANES].iter_mut().zip(sum) {
+                *o = s / n_tx as $elem;
+            }
+        }
+
+        #[inline(always)]
+        fn $body(
+            a: Fixed<'_, $elem>,
+            b: Lanes<'_, $elem>,
+            dims: (usize, usize),
+            out: &mut [$elem],
+        ) {
+            let n = out.len();
+            if n < $vec::LANES {
+                for (lane, o) in out.iter_mut().enumerate() {
+                    *o = $lane_fn(a, b, lane, dims);
+                }
+                return;
+            }
+            let wide = 4 * $vec::LANES;
+            let mut v0 = 0usize;
+            while v0 + wide <= n {
+                $block4(a, b, dims, v0, out);
+                v0 += wide;
+            }
+            let tail = n - v0;
+            if tail == 0 {
+                // Row length was a multiple of the wide block.
+            } else if tail <= $vec::LANES {
+                // One end-aligned group; lanes shared with the previous
+                // block recompute to the same bits.
+                $block1(a, b, dims, n - $vec::LANES, out);
+            } else if n >= wide {
+                // End-aligned wide block: cheaper than walking the tail
+                // in latency-bound single groups.
+                $block4(a, b, dims, n - wide, out);
+            } else {
+                // Short row (LANES < n < 4·LANES): single groups, then an
+                // end-aligned group for the remainder.
+                while v0 + $vec::LANES <= n {
+                    $block1(a, b, dims, v0, out);
+                    v0 += $vec::LANES;
+                }
+                if v0 < n {
+                    $block1(a, b, dims, n - $vec::LANES, out);
+                }
+            }
+        }
+    };
+}
+
+row_kernel!(
+    row_f64_body,
+    block4_f64,
+    block1_f64,
+    f64x4,
+    f64,
+    trrs_lane_f64,
+    lane_mag_f64
+);
+row_kernel!(
+    row_f32_body,
+    block4_f32,
+    block1_f32,
+    f32x8,
+    f32,
+    trrs_lane_f32,
+    lane_mag_f32
+);
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn row_f64_avx2(
+    a: Fixed<'_, f64>,
+    b: Lanes<'_, f64>,
+    dims: (usize, usize),
+    out: &mut [f64],
+) {
+    row_f64_body(a, b, dims, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn row_f32_avx2(
+    a: Fixed<'_, f32>,
+    b: Lanes<'_, f32>,
+    dims: (usize, usize),
+    out: &mut [f32],
+) {
+    row_f32_body(a, b, dims, out);
+}
+
+/// Computes `out.len()` consecutive f64 TRRS values: `out[v]` compares
+/// the gathered snapshot `a` against lane position `off + v` of `b`, with
+/// `dims = (n_tx, n_sub)` chains × subcarriers. Every lane is
+/// bit-identical to [`trrs_lane_f64`] on the same operands, on every
+/// dispatch tier.
+///
+/// # Panics
+/// Panics when the operand slices are shorter than the layout implies
+/// (`a`: `n_tx·n_sub`; `b`: row `n_tx·n_sub − 1` must reach position
+/// `off + out.len() − 1`).
+pub fn trrs_row_f64(a: Fixed<'_, f64>, b: Lanes<'_, f64>, dims: (usize, usize), out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == Tier::Avx2 {
+        // SAFETY: Tier::Avx2 is only reported when AVX2 was detected on
+        // this CPU (see `active_tier`).
+        unsafe { row_f64_avx2(a, b, dims, out) };
+        return;
+    }
+    row_f64_body(a, b, dims, out);
+}
+
+/// The f32 counterpart of [`trrs_row_f64`]: every lane is bit-identical
+/// to [`trrs_lane_f32`] on the same operands, on every dispatch tier.
+///
+/// # Panics
+/// Same bounds contract as [`trrs_row_f64`].
+pub fn trrs_row_f32(a: Fixed<'_, f32>, b: Lanes<'_, f32>, dims: (usize, usize), out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if active_tier() == Tier::Avx2 {
+        // SAFETY: Tier::Avx2 is only reported when AVX2 was detected on
+        // this CPU (see `active_tier`).
+        unsafe { row_f32_avx2(a, b, dims, out) };
+        return;
+    }
+    row_f32_body(a, b, dims, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises the tests that touch the process-wide tier override.
+    static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(seed: u64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|k| {
+                let x = (mix(seed.wrapping_mul(0x9E3779B9).wrapping_add(k as u64)) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                x * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// A random SoA block: `rows` rows of `stride` positions.
+    fn block(seed: u64, rows: usize, stride: usize) -> (Vec<f64>, Vec<f64>) {
+        (
+            unit(seed, rows * stride),
+            unit(seed ^ 0xABCD, rows * stride),
+        )
+    }
+
+    fn check_row_matches_lanes(n_tx: usize, n_sub: usize, n_lanes: usize, off: usize) {
+        let rows = n_tx * n_sub;
+        let stride = off + n_lanes + 3;
+        let a_re = unit(1, rows);
+        let a_im = unit(2, rows);
+        let (b_re, b_im) = block(3, rows, stride);
+        let a = Fixed {
+            re: &a_re,
+            im: &a_im,
+        };
+        let b = Lanes {
+            re: &b_re,
+            im: &b_im,
+            stride,
+            off,
+        };
+        let dims = (n_tx, n_sub);
+        let mut out = vec![0.0f64; n_lanes];
+        trrs_row_f64(a, b, dims, &mut out);
+        for (lane, &got) in out.iter().enumerate() {
+            let want = trrs_lane_f64(a, b, lane, dims);
+            assert_eq!(got.to_bits(), want.to_bits(), "lane {lane}");
+        }
+
+        let a32_re: Vec<f32> = a_re.iter().map(|&v| v as f32).collect();
+        let a32_im: Vec<f32> = a_im.iter().map(|&v| v as f32).collect();
+        let b32_re: Vec<f32> = b_re.iter().map(|&v| v as f32).collect();
+        let b32_im: Vec<f32> = b_im.iter().map(|&v| v as f32).collect();
+        let a32 = Fixed {
+            re: &a32_re,
+            im: &a32_im,
+        };
+        let b32 = Lanes {
+            re: &b32_re,
+            im: &b32_im,
+            stride,
+            off,
+        };
+        let mut out32 = vec![0.0f32; n_lanes];
+        trrs_row_f32(a32, b32, dims, &mut out32);
+        for (lane, &got) in out32.iter().enumerate() {
+            let want = trrs_lane_f32(a32, b32, lane, dims);
+            assert_eq!(got.to_bits(), want.to_bits(), "f32 lane {lane}");
+            let want64 = trrs_lane_f64(a, b, lane, dims);
+            assert!(
+                (got as f64 - want64).abs() < 1e-4,
+                "f32 lane {lane} drifted: {got} vs {want64}"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_lanes_match_scalar_lane_bitwise() {
+        // Full blocks, tails, single lane, multi-TX, tiny subcarrier
+        // counts, nonzero offsets.
+        check_row_matches_lanes(1, 56, 101, 0);
+        check_row_matches_lanes(2, 17, 9, 5);
+        check_row_matches_lanes(3, 1, 4, 1);
+        check_row_matches_lanes(1, 2, 1, 0);
+        check_row_matches_lanes(2, 30, 23, 7);
+    }
+
+    #[test]
+    fn tiers_agree_bitwise() {
+        let _guard = TIER_LOCK.lock().unwrap();
+        let n_tx = 2;
+        let n_sub = 24;
+        let rows = n_tx * n_sub;
+        let stride = 40;
+        let a_re = unit(7, rows);
+        let a_im = unit(8, rows);
+        let (b_re, b_im) = block(9, rows, stride);
+        let a = Fixed {
+            re: &a_re,
+            im: &a_im,
+        };
+        let b = Lanes {
+            re: &b_re,
+            im: &b_im,
+            stride,
+            off: 2,
+        };
+        let dims = (n_tx, n_sub);
+        let mut scalar = vec![0.0f64; 33];
+        let mut auto = vec![0.0f64; 33];
+        force_tier(Some(Tier::Scalar));
+        trrs_row_f64(a, b, dims, &mut scalar);
+        force_tier(Some(Tier::Avx2));
+        trrs_row_f64(a, b, dims, &mut auto);
+        force_tier(None);
+        for (s, v) in scalar.iter().zip(&auto) {
+            assert_eq!(s.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn forced_tier_is_reported() {
+        let _guard = TIER_LOCK.lock().unwrap();
+        force_tier(Some(Tier::Scalar));
+        assert_eq!(active_tier(), Tier::Scalar);
+        force_tier(None);
+        let auto = active_tier();
+        force_tier(Some(Tier::Avx2));
+        // Honoured when the CPU has AVX2, degraded to Scalar otherwise.
+        let forced = active_tier();
+        force_tier(None);
+        assert!(forced == Tier::Avx2 || (forced == Tier::Scalar && auto == Tier::Scalar));
+    }
+
+    #[test]
+    fn lane_arithmetic_is_elementwise() {
+        let a = lanes::f64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = lanes::f64x4::splat(2.0);
+        assert_eq!((a + b).to_array(), [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a - b).to_array(), [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!((a * b).to_array(), [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a / b).to_array(), [0.5, 1.0, 1.5, 2.0]);
+        let c = lanes::f32x8::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 99.0]);
+        assert_eq!((c + lanes::f32x8::ZERO).to_array()[7], 8.0);
+    }
+}

@@ -30,6 +30,12 @@ use rim_core::{alignment_matrix, AlignmentConfig, AlignmentMatrix};
 use rim_core::{auto_threshold, detect_movement, movement_indicator, MovementConfig};
 use rim_core::{track_peaks, DpConfig, TrackedPath};
 use rim_core::{trrs_avg, trrs_cfr, trrs_cir, trrs_massive, trrs_norm, NormSnapshot};
+// Precision modes: the f64 reference and the reduced-precision fast path,
+// with its scalar reference and the precision-aware matrix entry point.
+use rim_core::alignment::base_cross_trrs_range_prec;
+use rim_core::{trrs_norm_f32, Precision};
+// The dependency-free SIMD kernel crate: dispatch-tier introspection.
+use rim_simd::{active_tier, force_tier, Tier};
 
 // The serving layer: manager, server, client, and the wire protocol.
 use rim_serve::wire::{read_frame, write_frame, MAX_FRAME_LEN};
@@ -68,6 +74,8 @@ fn entry_point_signatures_are_stable() {
     let _client_metrics: fn(&mut Client) -> std::io::Result<String> = Client::metrics;
     let _recorder_window: fn(&Recorder) -> WindowSnapshot = Recorder::window_snapshot;
     let _config_tracing: fn(RimConfig, usize) -> RimConfig = RimConfig::with_trace_sampling;
+    let _config_precision: fn(RimConfig, Precision) -> RimConfig = RimConfig::precision;
+    let _trrs_f32: fn(&NormSnapshot, &NormSnapshot) -> f64 = trrs_norm_f32;
     // Serve configuration v2: one validated builder path.
     let _serve_builder: fn() -> ServeConfigBuilder = ServeConfig::builder;
     let _serve_build: fn(ServeConfigBuilder) -> Result<ServeConfig, Error> =

@@ -1,0 +1,285 @@
+//! Property tests of the precision modes: tier bit-equality for the f64
+//! reference path, the f32 fast path's error budget, and the invariance
+//! of event ordering and confidence plumbing under `RimConfig::precision`.
+
+use proptest::prelude::*;
+use rim_array::ArrayGeometry;
+use rim_channel::trajectory::{line, stop_and_go, OrientationMode};
+use rim_channel::ChannelSimulator;
+use rim_core::alignment::base_cross_trrs_range_prec;
+use rim_core::{trrs_norm, NormSnapshot, Precision, RimStream, StreamEvent};
+use rim_csi::frame::CsiSnapshot;
+use rim_csi::{CsiRecorder, DeviceConfig, RecorderConfig};
+use rim_dsp::complex::Complex64;
+use rim_dsp::geom::Point2;
+use rim_dsp::stats::angle_diff;
+use rim_integration_tests::{config, run_pipeline, FS, SPACING};
+use rim_par::Pool;
+use rim_simd::{force_tier, Tier};
+use std::sync::Mutex;
+
+/// Serialises the tests that pin the process-wide SIMD dispatch tier.
+static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores automatic tier detection even when an assertion unwinds.
+struct TierGuard;
+impl Drop for TierGuard {
+    fn drop(&mut self) {
+        force_tier(None);
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic unit-norm snapshot series with pseudo-random phases.
+fn series(seed: u64, t_len: usize, n_tx: usize, n_sub: usize) -> Vec<NormSnapshot> {
+    (0..t_len)
+        .map(|t| {
+            NormSnapshot::from_snapshot(&CsiSnapshot {
+                per_tx: (0..n_tx)
+                    .map(|tx| {
+                        (0..n_sub)
+                            .map(|k| {
+                                let h = mix(seed
+                                    .wrapping_add((t as u64) << 40)
+                                    .wrapping_add((tx as u64) << 20)
+                                    .wrapping_add(k as u64));
+                                let x = (h >> 12) as f64 / (1u64 << 52) as f64;
+                                Complex64::from_polar(0.5 + x, x * std::f64::consts::TAU)
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            })
+        })
+        .collect()
+}
+
+/// The masked per-entry scalar reference: exactly the pre-SoA
+/// `cross_trrs_row` loop, one `trrs_norm` per in-range entry.
+fn aos_reference(a: &[NormSnapshot], b: &[NormSnapshot], window: usize) -> Vec<Vec<f64>> {
+    let w = window as isize;
+    a.iter()
+        .enumerate()
+        .map(|(t, snap)| {
+            (0..2 * window + 1)
+                .map(|k| {
+                    let src = t as isize - (k as isize - w);
+                    if src < 0 || src as usize >= b.len() {
+                        0.0
+                    } else {
+                        trrs_norm(snap, &b[src as usize])
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite (a): the SIMD f64 path is bit-identical to the scalar
+    /// tier — and to the pre-SoA AoS reference — at 1 and 4 threads, on
+    /// every generated series shape. The f32 path must likewise be
+    /// tier- and thread-invariant (its reference is the scalar f32 lane).
+    #[test]
+    fn f64_reference_is_bit_identical_across_tiers_and_threads(
+        seed in any::<u64>(),
+        t_len in 8usize..36,
+        window in 1usize..12,
+        n_tx in 1usize..3,
+        n_sub in 4usize..48,
+    ) {
+        let _serial = TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _restore = TierGuard;
+        let a = series(seed, t_len, n_tx, n_sub);
+        let b = series(seed ^ 0xA5A5_5A5A, t_len, n_tx, n_sub);
+        let reference = aos_reference(&a, &b, window);
+        let mut f32_baseline: Option<Vec<Vec<f64>>> = None;
+        for threads in [1usize, 4] {
+            let pool = Pool::new(threads, 0);
+            force_tier(Some(Tier::Scalar));
+            let scalar = base_cross_trrs_range_prec(
+                &a, &b, window, (0, t_len), &pool, Precision::F64Reference);
+            force_tier(Some(Tier::Avx2));
+            let simd = base_cross_trrs_range_prec(
+                &a, &b, window, (0, t_len), &pool, Precision::F64Reference);
+            for (t, (rs, rv)) in scalar.values.iter().zip(&simd.values).enumerate() {
+                for (k, (x, y)) in rs.iter().zip(rv).enumerate() {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(),
+                        "f64 tier mismatch at t={} k={} threads={}", t, k, threads);
+                }
+            }
+            for (t, (rr, rs)) in reference.iter().zip(&scalar.values).enumerate() {
+                for (k, (x, y)) in rr.iter().zip(rs).enumerate() {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(),
+                        "f64 AoS/SoA mismatch at t={} k={} threads={}", t, k, threads);
+                }
+            }
+            force_tier(Some(Tier::Scalar));
+            let scalar32 = base_cross_trrs_range_prec(
+                &a, &b, window, (0, t_len), &pool, Precision::F32Fast);
+            force_tier(Some(Tier::Avx2));
+            let simd32 = base_cross_trrs_range_prec(
+                &a, &b, window, (0, t_len), &pool, Precision::F32Fast);
+            for (t, (rs, rv)) in scalar32.values.iter().zip(&simd32.values).enumerate() {
+                for (k, (x, y)) in rs.iter().zip(rv).enumerate() {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(),
+                        "f32 tier mismatch at t={} k={} threads={}", t, k, threads);
+                }
+            }
+            // Thread count must not change f32 results either.
+            match &f32_baseline {
+                None => f32_baseline = Some(simd32.values.clone()),
+                Some(base) => {
+                    for (rs, rv) in base.iter().zip(&simd32.values) {
+                        for (x, y) in rs.iter().zip(rv) {
+                            prop_assert_eq!(x.to_bits(), y.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite (b): on every generated walk the f32 fast path lands
+    /// within the documented error budget of the f64 reference — segment
+    /// distance within 1 mm, heading within 0.1°.
+    #[test]
+    fn f32_fast_stays_inside_its_error_budget(
+        seed in 1u64..40,
+        length_dm in 15u32..40,
+        speed_cmps in 60u32..120,
+        start_x in -2.0f64..0.0,
+    ) {
+        let sim = ChannelSimulator::open_lab(seed);
+        let geo = ArrayGeometry::linear(3, SPACING);
+        let traj = line(
+            Point2::new(start_x, 2.0),
+            0.0,
+            length_dm as f64 / 10.0,
+            speed_cmps as f64 / 100.0,
+            FS,
+            OrientationMode::Fixed(0.0),
+        );
+        let est64 = run_pipeline(&sim, &geo, &traj,
+            config(0.3).precision(Precision::F64Reference), seed);
+        let est32 = run_pipeline(&sim, &geo, &traj,
+            config(0.3).precision(Precision::F32Fast), seed);
+        prop_assert_eq!(est64.segments.len(), est32.segments.len(),
+            "precision changed the segment count");
+        for (s64, s32) in est64.segments.iter().zip(&est32.segments) {
+            prop_assert_eq!(s64.start, s32.start);
+            prop_assert_eq!(s64.end, s32.end);
+            prop_assert_eq!(s64.kind, s32.kind);
+            let d_mm = (s64.distance_m - s32.distance_m).abs() * 1e3;
+            prop_assert!(d_mm <= 1.0, "distance delta {d_mm:.3} mm exceeds the 1 mm budget");
+            if let (Some(h64), Some(h32)) = (s64.heading_device, s32.heading_device) {
+                let dh_deg = angle_diff(h64, h32).abs().to_degrees();
+                prop_assert!(dh_deg <= 0.1, "heading delta {dh_deg:.4}° exceeds the 0.1° budget");
+            } else {
+                prop_assert_eq!(s64.heading_device.is_some(), s32.heading_device.is_some(),
+                    "precision changed heading availability");
+            }
+        }
+    }
+}
+
+/// Satellite (c): precision selects TRRS arithmetic only — movement
+/// detection stays f64, so segmentation, event ordering, and the
+/// confidence plumbing are identical between the two modes.
+#[test]
+fn precision_does_not_change_event_ordering_or_confidence_plumbing() {
+    let sim = ChannelSimulator::open_lab(23);
+    let geo = ArrayGeometry::linear(3, SPACING);
+    let traj = stop_and_go(Point2::new(-1.5, 2.0), 0.0, 1.0, 0.7, 2, 0.8, FS);
+    let device = DeviceConfig::single_nic(geo.offsets().to_vec());
+    let dense = CsiRecorder::new(
+        &sim,
+        device,
+        RecorderConfig {
+            sanitize: true,
+            seed: 23,
+        },
+    )
+    .record(&traj)
+    .interpolated()
+    .expect("dense recording");
+
+    // Batch path: the movement layer never sees f32, so the indicator and
+    // flags must be bit-identical, and the segment boundaries with them.
+    let est64 = run_pipeline(
+        &sim,
+        &geo,
+        &traj,
+        config(0.3).precision(Precision::F64Reference),
+        23,
+    );
+    let est32 = run_pipeline(
+        &sim,
+        &geo,
+        &traj,
+        config(0.3).precision(Precision::F32Fast),
+        23,
+    );
+    assert_eq!(
+        est64.movement_indicator.len(),
+        est32.movement_indicator.len()
+    );
+    for (x, y) in est64
+        .movement_indicator
+        .iter()
+        .zip(&est32.movement_indicator)
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "movement indicator diverged");
+    }
+    assert_eq!(est64.moving, est32.moving, "movement flags diverged");
+    assert_eq!(est64.segments.len(), est32.segments.len());
+    for (s64, s32) in est64.segments.iter().zip(&est32.segments) {
+        assert_eq!(
+            (s64.start, s64.end, s64.kind),
+            (s32.start, s32.end, s32.kind)
+        );
+        for c in [&s64.confidence, &s32.confidence] {
+            assert!(c.peak_margin.is_finite() && c.peak_margin >= 0.0);
+            assert!((0.0..=1.0).contains(&c.interpolated_fraction));
+            assert!((0.0..=1.0).contains(&c.alignment_coverage));
+        }
+    }
+
+    // Streaming path: the event kinds, their order, and their sample
+    // indices must match one for one across precisions.
+    let shape = |events: &[StreamEvent]| -> Vec<(String, usize)> {
+        events
+            .iter()
+            .map(|e| match e {
+                StreamEvent::MovementStarted { at } => ("start".into(), *at),
+                StreamEvent::Segment(s) => ("segment".into(), s.start),
+                StreamEvent::Provisional { at, .. } => ("provisional".into(), *at),
+                other => (format!("{other:?}"), 0),
+            })
+            .collect()
+    };
+    let mut shapes = Vec::new();
+    for precision in [Precision::F64Reference, Precision::F32Fast] {
+        let cfg = config(0.3).precision(precision);
+        let mut stream = RimStream::new(geo.clone(), cfg).expect("valid config");
+        let mut events = Vec::new();
+        for i in 0..dense.n_samples() {
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+            events.extend(stream.ingest(snaps).expect("matching antenna count"));
+        }
+        events.extend(stream.finish());
+        shapes.push(shape(&events));
+    }
+    assert_eq!(shapes[0], shapes[1], "precision changed the event sequence");
+}
