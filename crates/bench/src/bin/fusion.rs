@@ -1,0 +1,15 @@
+//! Standalone fusion bench: RIM-only vs IMU-only vs RIM×IMU fused
+//! tracking on a ~64 s stop-and-go walk with a mid-run 2 s CSI blackout.
+//!
+//! ```sh
+//! cargo run --release -p rim-bench --bin fusion
+//! ```
+//!
+//! Writes `BENCH_fusion.json` in the `rim-fusion-bench/1` schema. With
+//! `RIM_FAST=1` the CSI/IMU sample rate is halved (the trajectory, its
+//! ≥60 s duration, and the blackout are identical), which is the
+//! configuration CI's fusion lane runs.
+
+fn main() {
+    rim_bench::fusion::write_fusion_bench(rim_bench::fast_mode());
+}

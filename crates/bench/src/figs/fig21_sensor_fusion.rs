@@ -13,8 +13,8 @@ use rim_core::Rim;
 use rim_csi::LossModel;
 use rim_dsp::geom::Point2;
 use rim_sensors::{ImuConfig, SimulatedImu};
-use rim_tracking::fusion::{fuse_with_map, FusionConfig};
 use rim_tracking::metrics::mean_projection_error;
+use rim_tracking::{Fuser, MapFusionConfig};
 
 /// Runs the experiment.
 pub fn run(fast: bool) -> Report {
@@ -71,14 +71,11 @@ pub fn run(fast: bool) -> Report {
         *g += bias;
     }
     let (floorplan, _) = office_floorplan();
-    let fused = fuse_with_map(
-        &est,
-        &imu.gyro_z,
-        &floorplan,
-        wps[0],
-        0.0,
-        &FusionConfig::default(),
-    );
+    let fused = Fuser::builder()
+        .initial_position(wps[0])
+        .build()
+        .expect("default fusion knobs are valid")
+        .fuse_with_map(&est, &imu.gyro_z, &floorplan, &MapFusionConfig::default());
     let dr_err = mean_projection_error(&fused.dead_reckoned, &truth);
     let pf_err = mean_projection_error(&fused.filtered, &truth);
     report.row("w/o PF mean track error", format!("{:.2} m", dr_err));

@@ -19,6 +19,7 @@
 
 pub mod env;
 pub mod figs;
+pub mod fusion;
 pub mod kernel;
 pub mod latency;
 pub mod obs;

@@ -4,9 +4,11 @@ use crate::args::Args;
 use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
 use rim_channel::trajectory::{line, polyline, rotate_in_place, OrientationMode, Trajectory};
 use rim_channel::ChannelSimulator;
-use rim_core::{Precision, Rim, RimConfig};
+use rim_core::{ImuSample, Precision, Rim, RimConfig, RimStream};
 use rim_csi::{CsiRecorder, DeviceConfig, LossModel, RecorderConfig};
 use rim_dsp::geom::Point2;
+use rim_sensors::{ImuConfig, ImuRecording, SimulatedImu};
+use rim_tracking::Fuser;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
@@ -18,15 +20,17 @@ USAGE:
   rim simulate <out.rimc> [--scenario line|square|rotation] [--env lab|office]
                [--array linear3|hexagonal|l] [--distance M] [--speed M/S]
                [--rate HZ] [--loss SPEC] [--seed N] [--obs json|report]
+               [--imu consumer|uncalibrated|ideal]
   rim analyze  <in.rimc> [<in2.rimc>…] [--array linear3|hexagonal|l]
                [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
                [--precision f64|f32] [--loss SPEC] [--loss-seed N]
-               [--obs json|report]
+               [--obs json|report] [--imu consumer|uncalibrated|ideal]
   rim serve    <in.rimc> [--sessions K] [--array linear3|hexagonal|l]
                [--min-speed M/S] [--threads N] [--precision f64|f32]
                [--queue N] [--latency-budget-us US] [--io-threads N]
                [--loss SPEC] [--loss-seed N] [--obs json|report]
                [--trace-every N] [--metrics-every MS]
+               [--imu consumer|uncalibrated|ideal]
   rim serve    --listen ADDR [--rate HZ] [--array linear3|hexagonal|l]
                [--min-speed M/S] [--threads N] [--precision f64|f32]
                [--queue N] [--latency-budget-us US] [--io-threads N]
@@ -70,7 +74,23 @@ USAGE:
   top polls a running server's telemetry (the same snapshot `--metrics-every`
   digests) and prints the full text exposition each interval; --iterations N
   stops after N polls (0 = until interrupted).
+
+  --imu GRADE threads inertial data through the run. On simulate it samples
+  the same ground-truth trajectory with a simulated IMU of that grade
+  (consumer: phone-class noise; uncalibrated: strong gyro bias, distorted
+  magnetometer; ideal: noiseless) and writes a `<out.rimc>.imu` sidecar.
+  On analyze and self-drive serve it loads the capture's `.imu` sidecar and
+  runs the RIM×IMU fusion engine (error-state Kalman filter with
+  zero-velocity updates), emitting fused pose estimates alongside the
+  CSI-only output; the grade selects filter noise densities matched to the
+  sensor.
 ";
+
+/// Appends the `.imu` sidecar suffix to a capture path. Written by
+/// `simulate --imu`, read back by `analyze`/`serve --imu`.
+fn imu_sidecar_path(capture: &str) -> String {
+    format!("{capture}.imu")
+}
 
 /// Rejects `--options` the subcommand does not know. The parser accepts
 /// any `--key value`, so without this check a typo like `--sceanrio` was
@@ -134,6 +154,78 @@ fn precision_by_name(name: &str) -> Result<Precision, String> {
     }
 }
 
+/// Resolves a simulated-IMU grade by name.
+fn imu_by_name(name: &str) -> Result<ImuConfig, String> {
+    match name {
+        "consumer" => Ok(ImuConfig::consumer()),
+        "uncalibrated" => Ok(ImuConfig::uncalibrated()),
+        "ideal" => Ok(ImuConfig::ideal()),
+        other => Err(format!(
+            "unknown imu grade {other:?} (expected consumer | uncalibrated | ideal)"
+        )),
+    }
+}
+
+/// Builds a fusion engine with filter noise densities matched to the
+/// named sensor grade: the filter should trust an ideal IMU far more
+/// (and an uncalibrated one less) than the consumer defaults.
+fn fuser_for(name: &str) -> Result<Fuser, String> {
+    // Consumer parts carry a ~0.25 m/s² accelerometer turn-on bias the 2D
+    // error state does not model, so the velocity process noise is raised
+    // to absorb it (uncalibrated parts even more so).
+    let builder = match name {
+        "consumer" => Fuser::builder().accel_noise(0.3),
+        "uncalibrated" => Fuser::builder().accel_noise(0.5).gyro_bias_walk(3e-4),
+        "ideal" => Fuser::builder()
+            .accel_noise(1e-4)
+            .gyro_noise(1e-5)
+            .gyro_bias_walk(1e-9),
+        other => {
+            return Err(format!(
+                "unknown imu grade {other:?} (expected consumer | uncalibrated | ideal)"
+            ))
+        }
+    };
+    builder
+        .build()
+        .map_err(|e| format!("invalid fusion configuration: {e}"))
+}
+
+/// Loads a `.imu` sidecar and timestamps it into wire-ready samples.
+fn load_imu_sidecar(capture: &str) -> Result<Vec<ImuSample>, String> {
+    let sidecar = imu_sidecar_path(capture);
+    let bytes = std::fs::read(&sidecar).map_err(|e| {
+        format!("cannot open {sidecar}: {e} (generate one with `rim simulate --imu GRADE`)")
+    })?;
+    let rec = ImuRecording::from_bytes(&bytes).map_err(|e| format!("{sidecar}: {e}"))?;
+    let fs = rec.sample_rate_hz;
+    Ok((0..rec.len())
+        .map(|i| ImuSample {
+            t_us: (i as f64 / fs * 1e6) as u64,
+            accel_body: rec.accel_body[i],
+            gyro_z: rec.gyro_z[i],
+            mag_orientation: Some(rec.mag_orientation[i]),
+        })
+        .collect())
+}
+
+/// Counts the fused pose estimates in a drained event batch.
+fn count_fused(events: &[rim_core::StreamEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, rim_core::StreamEvent::Fused { .. }))
+        .count()
+}
+
+/// Splits the IMU samples due at or before `t_us` off the front of the
+/// remaining slice: the batch to send before the CSI sample at `t_us`.
+fn imu_due<'a>(remaining: &mut &'a [ImuSample], t_us: u64) -> &'a [ImuSample] {
+    let n = remaining.iter().take_while(|s| s.t_us <= t_us).count();
+    let (due, rest) = remaining.split_at(n);
+    *remaining = rest;
+    due
+}
+
 /// Resolves a simulation environment by name.
 fn env_by_name(name: &str, seed: u64) -> Result<ChannelSimulator, String> {
     match name {
@@ -194,7 +286,7 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     check_options(
         args,
         &[
-            "scenario", "env", "array", "distance", "speed", "rate", "loss", "seed", "obs",
+            "scenario", "env", "array", "distance", "speed", "rate", "loss", "seed", "obs", "imu",
         ],
     )?;
     let obs = obs_mode(args)?;
@@ -242,6 +334,21 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     let file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     rim_csi::storage::save_recording(&recording, BufWriter::new(file))
         .map_err(|e| format!("write failed: {e}"))?;
+    // The IMU sidecar samples the same ground-truth trajectory, so the
+    // capture and the inertial streams describe one physical run.
+    if let Some(grade) = args.options.get("imu") {
+        let imu = SimulatedImu::new(imu_by_name(grade)?, seed).sample(&traj);
+        let sidecar = imu_sidecar_path(out_path);
+        std::fs::write(&sidecar, imu.to_bytes())
+            .map_err(|e| format!("cannot write {sidecar}: {e}"))?;
+        if obs != Some(ObsMode::Json) {
+            println!(
+                "wrote {sidecar}: {} IMU samples at {} Hz ({grade} grade)",
+                imu.len(),
+                imu.sample_rate_hz
+            );
+        }
+    }
     if obs == Some(ObsMode::Json) {
         println!("{}", recorder.report().to_json());
         return Ok(());
@@ -274,6 +381,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
             "precision",
             "loss",
             "loss-seed",
+            "imu",
         ],
     )?;
     let obs = obs_mode(args)?;
@@ -312,11 +420,28 @@ pub fn analyze(args: &Args) -> Result<(), String> {
         })?;
         loaded.push((in_path.as_str(), recording, dense));
     }
+    let imu_grade = args.options.get("imu").cloned();
+    if imu_grade.is_some() && loaded.len() > 1 {
+        return Err("--imu fuses one capture with its sidecar; pass a single capture".into());
+    }
     let fs = loaded[0].2.sample_rate_hz;
     let config = RimConfig::for_sample_rate(fs)
         .with_min_speed(min_speed, HALF_WAVELENGTH, fs)
         .with_threads(threads)
         .precision(precision);
+    // The fused pass streams through its own engine instance, so it needs
+    // the geometry/config pair before `Rim::new` takes ownership.
+    let fusion_setup = imu_grade
+        .as_deref()
+        .map(|grade| -> Result<_, String> {
+            Ok((
+                fuser_for(grade)?,
+                load_imu_sidecar(args.positional[0].as_str())?,
+                geometry.clone(),
+                config.clone(),
+            ))
+        })
+        .transpose()?;
     // Config/geometry errors surface as one-line messages, not backtraces.
     let rim = Rim::new(geometry, config).map_err(|e| e.to_string())?;
 
@@ -401,6 +526,37 @@ pub fn analyze(args: &Args) -> Result<(), String> {
             },
         );
     }
+    if let Some((fuser, imu, geometry, config)) = fusion_setup {
+        let grade = imu_grade.as_deref().unwrap_or("consumer");
+        let mut stream = fuser.stream(RimStream::new(geometry, config).map_err(|e| e.to_string())?);
+        let mut remaining = imu.as_slice();
+        let mut fused_events = 0usize;
+        for i in 0..dense.n_samples() {
+            let t_us = (i as f64 / fs * 1e6) as u64;
+            let due = imu_due(&mut remaining, t_us);
+            if !due.is_empty() {
+                fused_events += count_fused(&stream.ingest(due).map_err(|e| e.to_string())?);
+            }
+            let snaps: Vec<_> = dense.antennas.iter().map(|a| a[i].clone()).collect();
+            stream.ingest(snaps).map_err(|e| e.to_string())?;
+        }
+        if !remaining.is_empty() {
+            fused_events += count_fused(&stream.ingest(remaining).map_err(|e| e.to_string())?);
+        }
+        stream.finish();
+        println!(
+            "fusion ({grade}): position ({:.3}, {:.3}), heading {:.1}°, \
+             total distance {:.3} m, {fused_events} fused estimates, \
+             {} RIM updates, {} ZUPT events, {:.2} s coasted",
+            stream.position().x,
+            stream.position().y,
+            stream.heading().to_degrees(),
+            stream.total_distance(),
+            stream.rim_updates(),
+            stream.zupt_count(),
+            stream.coast_time_us() as f64 / 1e6,
+        );
+    }
     if args.flag("verbose") {
         let start_opt = args.get_str("start", "0,0");
         let mut it = start_opt.split(',');
@@ -482,6 +638,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
             "obs",
             "trace-every",
             "metrics-every",
+            "imu",
         ],
     )?;
     let obs = obs_mode(args)?;
@@ -507,6 +664,12 @@ pub fn serve(args: &Args) -> Result<(), String> {
 
     // Listen mode: front external clients until one sends shutdown.
     if args.flag("listen") {
+        if args.options.contains_key("imu") {
+            return Err(
+                "--imu applies to self-drive serve (external clients send their own IMU batches)"
+                    .into(),
+            );
+        }
         let addr = args.get_str("listen", "127.0.0.1:0");
         let rate = args.get_f64("rate", 200.0)?;
         let config = RimConfig::for_sample_rate(rate)
@@ -549,14 +712,33 @@ pub fn serve(args: &Args) -> Result<(), String> {
             geometry.n_antennas()
         ));
     }
+    // With --imu every session interleaves the capture's sidecar batches
+    // with its CSI stream, and the server fuses with grade-matched noise.
+    let imu_grade = args.options.get("imu").cloned();
+    let imu_shared = imu_grade
+        .as_deref()
+        .map(|grade| -> Result<_, String> {
+            Ok((fuser_for(grade)?, load_imu_sidecar(in_path.as_str())?))
+        })
+        .transpose()?;
     let fs = recording.sample_rate_hz;
     let config = RimConfig::for_sample_rate(fs)
         .with_min_speed(min_speed, HALF_WAVELENGTH, fs)
         .with_threads(threads)
         .precision(precision)
         .with_trace_sampling(trace_every);
+    let (fuser, imu_samples) = match imu_shared {
+        Some((fuser, samples)) => (fuser, std::sync::Arc::new(samples)),
+        None => (
+            Fuser::builder()
+                .build()
+                .map_err(|e| format!("invalid fusion configuration: {e}"))?,
+            std::sync::Arc::new(Vec::new()),
+        ),
+    };
     let manager = std::sync::Arc::new(
-        rim_serve::SessionManager::new(geometry, config, serve_cfg).map_err(|e| e.to_string())?,
+        rim_serve::SessionManager::with_fuser(geometry, config, serve_cfg, fuser)
+            .map_err(|e| e.to_string())?,
     );
     let mut server = rim_serve::Server::bind("127.0.0.1:0", std::sync::Arc::clone(&manager))
         .map_err(|e| e.to_string())?;
@@ -588,18 +770,39 @@ pub fn serve(args: &Args) -> Result<(), String> {
         } else {
             recording.clone()
         };
+        let imu = std::sync::Arc::clone(&imu_samples);
         handles.push(std::thread::spawn(move || -> Result<_, String> {
             let samples = rim_csi::sync::synced_from_recording(&recording);
             let sent = samples.len();
             let mut client =
                 rim_serve::Client::connect(addr).map_err(|e| format!("session {k}: {e}"))?;
             let mut events = Vec::new();
-            for sample in samples {
+            let mut remaining = imu.as_slice();
+            for (i, sample) in samples.into_iter().enumerate() {
+                let due = imu_due(&mut remaining, (i as f64 / fs * 1e6) as u64);
+                if !due.is_empty() {
+                    let (admit, drained) = client
+                        .ingest_imu_blocking(k, due.to_vec())
+                        .map_err(|e| format!("session {k}: {e}"))?;
+                    if let rim_serve::Admit::Rejected { reason } = admit {
+                        return Err(format!("session {k} imu rejected: {reason:?}"));
+                    }
+                    events.extend(drained);
+                }
                 let (admit, drained) = client
                     .ingest_blocking(k, sample)
                     .map_err(|e| format!("session {k}: {e}"))?;
                 if let rim_serve::Admit::Rejected { reason } = admit {
                     return Err(format!("session {k} rejected: {reason:?}"));
+                }
+                events.extend(drained);
+            }
+            if !remaining.is_empty() {
+                let (admit, drained) = client
+                    .ingest_imu_blocking(k, remaining.to_vec())
+                    .map_err(|e| format!("session {k}: {e}"))?;
+                if let rim_serve::Admit::Rejected { reason } = admit {
+                    return Err(format!("session {k} imu rejected: {reason:?}"));
                 }
                 events.extend(drained);
             }
@@ -655,11 +858,17 @@ pub fn serve(args: &Args) -> Result<(), String> {
             .take_while(|e| !matches!(e, rim_core::StreamEvent::Segment(_)))
             .filter(|e| matches!(e, rim_core::StreamEvent::Provisional { .. }))
             .count();
+        let fused = count_fused(events);
         println!(
             "session {k}: {sent} samples, {} events, {} segments, {provisionals} provisionals \
-             ({early} before first close), {distance:.3} m",
+             ({early} before first close), {distance:.3} m{}",
             events.len(),
             segments.len(),
+            if imu_grade.is_some() {
+                format!(", {fused} fused estimates")
+            } else {
+                String::new()
+            },
         );
     }
     if obs == Some(ObsMode::Report) {
@@ -964,6 +1173,94 @@ mod tests {
             );
         }
         assert!(round_trip.stage(rim_obs::stage::CSI_INGEST).is_some());
+    }
+
+    #[test]
+    fn imu_grades_resolve_and_gate_fusion() {
+        assert!(imu_by_name("consumer").is_ok());
+        assert!(imu_by_name("uncalibrated").is_ok());
+        assert!(imu_by_name("ideal").is_ok());
+        let err = imu_by_name("military").expect_err("unknown grade");
+        assert!(err.contains("consumer | uncalibrated | ideal"), "{err}");
+        assert!(fuser_for("ideal").is_ok());
+        assert!(fuser_for("bogus").is_err());
+    }
+
+    #[test]
+    fn simulate_with_imu_writes_sidecar_and_analyze_fuses_it() {
+        let dir = std::env::temp_dir().join("rim_cli_test_imu");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rimc");
+        let path_str = path.to_str().unwrap();
+        simulate(&args(&[
+            "simulate",
+            path_str,
+            "--distance",
+            "0.6",
+            "--rate",
+            "100",
+            "--seed",
+            "3",
+            "--imu",
+            "consumer",
+        ]))
+        .expect("simulate with sidecar");
+        let sidecar = imu_sidecar_path(path_str);
+        let rec = ImuRecording::from_bytes(&std::fs::read(&sidecar).unwrap()).expect("sidecar");
+        assert!(!rec.is_empty());
+        assert_eq!(rec.sample_rate_hz, 100.0);
+        analyze(&args(&["analyze", path_str, "--imu", "consumer"])).expect("fused analyze");
+        // Unknown grades and a missing sidecar fail with actionable errors.
+        let err =
+            analyze(&args(&["analyze", path_str, "--imu", "tactical"])).expect_err("unknown grade");
+        assert!(err.contains("tactical"), "{err}");
+        std::fs::remove_file(&sidecar).unwrap();
+        let err =
+            analyze(&args(&["analyze", path_str, "--imu", "consumer"])).expect_err("no sidecar");
+        assert!(err.contains("simulate --imu"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_self_drives_with_imu_sidecar() {
+        let dir = std::env::temp_dir().join("rim_cli_test_serve_imu");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rimc");
+        let path_str = path.to_str().unwrap();
+        simulate(&args(&[
+            "simulate",
+            path_str,
+            "--distance",
+            "0.5",
+            "--rate",
+            "100",
+            "--seed",
+            "5",
+            "--imu",
+            "ideal",
+        ]))
+        .unwrap();
+        serve(&args(&[
+            "serve",
+            path_str,
+            "--sessions",
+            "2",
+            "--imu",
+            "ideal",
+        ]))
+        .expect("fused self-drive serves cleanly");
+        // Listen mode has no capture to pull a sidecar from.
+        let err = serve(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--imu",
+            "consumer",
+        ]))
+        .expect_err("imu rejected in listen mode");
+        assert!(err.contains("self-drive"), "{err}");
+        std::fs::remove_file(imu_sidecar_path(path_str)).ok();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub use pipeline::{
     Session,
 };
 pub use stream::{
-    DegradeReason, DropReason, GapFilter, GapOutcome, GapSample, RimStream, StreamAggregate,
-    StreamEvent, StreamInput, StreamSession,
+    DegradeReason, DropReason, FusedMode, GapFilter, GapOutcome, GapSample, ImuSample, RimStream,
+    StreamAggregate, StreamEvent, StreamEventKind, StreamInput, StreamSession,
 };
 pub use tracking_dp::{track_peaks, DpConfig, TrackedPath};
 pub use trrs::{

@@ -38,7 +38,11 @@ use crate::trrs::NormSnapshot;
 use rim_array::ArrayGeometry;
 use rim_csi::frame::CsiSnapshot;
 use rim_csi::sync::SyncedSample;
-use rim_obs::{incremental_metric, stage, stream_metric, ActiveTrace, NullProbe, Probe, SpanKind};
+use rim_dsp::geom::{Point2, Vec2};
+use rim_obs::{
+    fusion_metric, incremental_metric, stage, stream_metric, ActiveTrace, NullProbe, Probe,
+    SpanKind,
+};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -48,6 +52,7 @@ use std::time::Instant;
 /// is the first delivered sample, and lost stretches advance the axis by
 /// their sequence-number span so estimates never span a gap unknowingly.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum StreamEvent {
     /// Movement started at the given absolute sample index.
     MovementStarted {
@@ -93,6 +98,125 @@ pub enum StreamEvent {
         /// Absolute sample index of the transition.
         at: usize,
     },
+    /// A fused RIM×IMU state estimate from a fusion layer wrapping the
+    /// stream (see `rim-tracking`'s `FusedStream`). Emitted once per
+    /// ingested IMU batch, including during CSI gaps and blackouts —
+    /// the event that keeps position flowing when
+    /// [`StreamEvent::Degraded`] is active.
+    Fused {
+        /// IMU timestamp of the estimate, microseconds.
+        t_us: u64,
+        /// Fused position, metres.
+        position: Point2,
+        /// Fused device heading, radians.
+        heading: f64,
+        /// Fused forward speed, m/s.
+        velocity: f64,
+        /// Trace of the error-state covariance — a scalar uncertainty
+        /// summary that grows while coasting and shrinks on RIM/ZUPT
+        /// corrections.
+        covariance_trace: f64,
+        /// Which information source currently dominates the estimate.
+        mode: FusedMode,
+    },
+}
+
+/// Which information source dominates a [`StreamEvent::Fused`] estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusedMode {
+    /// RIM corrections are flowing: IMU drift is actively bounded.
+    RimAnchored,
+    /// Moving with no recent usable RIM correction (CSI gap, blackout,
+    /// or low confidence): the estimate is IMU dead reckoning and its
+    /// covariance grows.
+    ImuCoasting,
+    /// The ZUPT detector reports a stationary device: velocity is
+    /// clamped and the gyro bias is being re-estimated.
+    Zupt,
+}
+
+/// The discriminant of a [`StreamEvent`], decoupled from each variant's
+/// payload. `StreamEvent` is `#[non_exhaustive]` and grows variants over
+/// time (`Degraded`, `Provisional`, `Fused`, …); match on the kind — or
+/// on the event with a wildcard arm — instead of enumerating payloads,
+/// and use [`StreamEventKind::wire_tag`] as the one registry of wire
+/// discriminants (documented in DESIGN.md) so serialisers cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StreamEventKind {
+    /// [`StreamEvent::MovementStarted`].
+    MovementStarted,
+    /// [`StreamEvent::Segment`].
+    Segment,
+    /// [`StreamEvent::MovementStopped`].
+    MovementStopped,
+    /// [`StreamEvent::Degraded`].
+    Degraded,
+    /// [`StreamEvent::Recovered`].
+    Recovered,
+    /// [`StreamEvent::Provisional`].
+    Provisional,
+    /// [`StreamEvent::Fused`].
+    Fused,
+}
+
+impl StreamEventKind {
+    /// The stable wire discriminant for this kind. Tags are append-only:
+    /// a value, once assigned, is never reused or renumbered.
+    pub const fn wire_tag(self) -> u8 {
+        match self {
+            Self::MovementStarted => 0,
+            Self::Segment => 1,
+            Self::MovementStopped => 2,
+            Self::Degraded => 3,
+            Self::Recovered => 4,
+            Self::Provisional => 5,
+            Self::Fused => 6,
+        }
+    }
+
+    /// Inverse of [`StreamEventKind::wire_tag`]; `None` for unassigned
+    /// tags.
+    pub const fn from_wire_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Self::MovementStarted),
+            1 => Some(Self::Segment),
+            2 => Some(Self::MovementStopped),
+            3 => Some(Self::Degraded),
+            4 => Some(Self::Recovered),
+            5 => Some(Self::Provisional),
+            6 => Some(Self::Fused),
+            _ => None,
+        }
+    }
+
+    /// Human-readable kind name (for logs and reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::MovementStarted => "movement_started",
+            Self::Segment => "segment",
+            Self::MovementStopped => "movement_stopped",
+            Self::Degraded => "degraded",
+            Self::Recovered => "recovered",
+            Self::Provisional => "provisional",
+            Self::Fused => "fused",
+        }
+    }
+}
+
+impl StreamEvent {
+    /// This event's discriminant (see [`StreamEventKind`]).
+    pub fn kind(&self) -> StreamEventKind {
+        match self {
+            Self::MovementStarted { .. } => StreamEventKind::MovementStarted,
+            Self::Segment(_) => StreamEventKind::Segment,
+            Self::MovementStopped { .. } => StreamEventKind::MovementStopped,
+            Self::Degraded { .. } => StreamEventKind::Degraded,
+            Self::Recovered { .. } => StreamEventKind::Recovered,
+            Self::Provisional { .. } => StreamEventKind::Provisional,
+            Self::Fused { .. } => StreamEventKind::Fused,
+        }
+    }
 }
 
 /// Why the stream entered degraded mode.
@@ -543,6 +667,37 @@ pub enum StreamInput {
     },
     /// A synchronizer output sample (see [`rim_csi::sync::synchronize`]).
     Synced(SyncedSample),
+    /// A batch of inertial samples. A bare [`RimStream`] is CSI-only and
+    /// counts-then-drops these (see [`RimStream::ingest`]); wrap the
+    /// stream in `rim-tracking`'s `FusedStream` to fuse them into
+    /// [`StreamEvent::Fused`] estimates.
+    Imu(Vec<ImuSample>),
+}
+
+/// One inertial sample flowing through [`StreamInput::Imu`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuSample {
+    /// Timestamp, microseconds, on the IMU's own clock. Must be
+    /// monotone within and across batches of one stream.
+    pub t_us: u64,
+    /// Body-frame specific acceleration, m/s² (x = device forward axis).
+    pub accel_body: Vec2,
+    /// Angular rate about z, rad/s.
+    pub gyro_z: f64,
+    /// Magnetometer heading estimate, radians, when the device has one.
+    pub mag_orientation: Option<f64>,
+}
+
+impl From<Vec<ImuSample>> for StreamInput {
+    fn from(samples: Vec<ImuSample>) -> Self {
+        StreamInput::Imu(samples)
+    }
+}
+
+impl From<&[ImuSample]> for StreamInput {
+    fn from(samples: &[ImuSample]) -> Self {
+        StreamInput::Imu(samples.to_vec())
+    }
 }
 
 impl From<&[CsiSnapshot]> for StreamInput {
@@ -807,6 +962,18 @@ impl RimStream {
             }
             StreamInput::Synced(sample) => {
                 self.offer_internal(sample.seq, sample.antennas, probe, trace)
+            }
+            StreamInput::Imu(samples) => {
+                // A bare RimStream is CSI-only: IMU batches are counted
+                // and dropped so mixed feeds stay valid through one entry
+                // point. rim-tracking's FusedStream intercepts this
+                // variant before it reaches here.
+                probe.count(
+                    stage::FUSION,
+                    fusion_metric::IMU_SAMPLES_DROPPED,
+                    samples.len() as u64,
+                );
+                Ok(Vec::new())
             }
         }
     }

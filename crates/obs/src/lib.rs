@@ -94,6 +94,12 @@ pub mod stage {
     /// [`SERVE`] admission, so not part of [`PIPELINE`]. Its counters use
     /// the canonical names in [`super::reactor_metric`].
     pub const REACTOR: &str = "reactor";
+    /// RIM×IMU fusion engine (error-state Kalman filter, ZUPT detection,
+    /// IMU coasting through CSI blackouts). Wraps the streaming front-end
+    /// rather than running inside the offline pipeline, so not part of
+    /// [`PIPELINE`]. Its counters and distributions use the canonical
+    /// names in [`super::fusion_metric`].
+    pub const FUSION: &str = "fusion";
 
     /// All six pipeline stages in execution order.
     pub const PIPELINE: [&str; 6] = [
@@ -139,6 +145,33 @@ pub mod stream_metric {
     /// Counter: ingested samples whose antennas disagreed on the TX
     /// count, forcing `trrs_avg`'s truncation to the common prefix.
     pub const TX_MISMATCH: &str = "tx_mismatch";
+}
+
+/// Canonical counter / gauge / distribution names emitted by the RIM×IMU
+/// fusion engine under [`stage::FUSION`]. Kept here for the same reason
+/// as [`stream_metric`]: the CLI, tests, and report tooling reference
+/// them without depending on the fusion crate.
+pub mod fusion_metric {
+    /// Counter: IMU samples ingested by the fusion filter.
+    pub const IMU_SAMPLES: &str = "imu_samples";
+    /// Counter: IMU samples offered to a CSI-only stream and dropped
+    /// (no fusion layer attached to consume them).
+    pub const IMU_SAMPLES_DROPPED: &str = "imu_samples_dropped";
+    /// Counter: zero-velocity pseudo-measurements applied.
+    pub const ZUPT_COUNT: &str = "zupt_count";
+    /// Counter: RIM distance/heading corrections applied.
+    pub const RIM_UPDATES: &str = "rim_updates";
+    /// Counter: RIM corrections dropped below the confidence floor.
+    pub const LOW_CONFIDENCE_DROPPED: &str = "low_confidence_dropped";
+    /// Gauge: cumulative stream microseconds spent coasting on the IMU
+    /// (moving with no usable RIM anchor).
+    pub const COAST_TIME_US: &str = "coast_time_us";
+    /// Distribution: speed-innovation magnitude of accepted RIM distance
+    /// corrections, metres.
+    pub const SPEED_INNOVATION: &str = "speed_innovation_m";
+    /// Distribution: heading-innovation magnitude of accepted heading
+    /// corrections, radians.
+    pub const HEADING_INNOVATION: &str = "heading_innovation_rad";
 }
 
 /// Canonical counter / distribution names emitted by the incremental

@@ -14,6 +14,46 @@ use rand::{Rng, SeedableRng};
 use rim_channel::trajectory::Trajectory;
 use rim_dsp::geom::{Point2, Vec2};
 
+/// Errors from IMU recording validation and (de)serialisation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ImuError {
+    /// Accel/gyro/mag stream lengths disagree.
+    Ragged {
+        /// Accelerometer sample count.
+        accel: usize,
+        /// Gyroscope sample count.
+        gyro: usize,
+        /// Magnetometer sample count.
+        mag: usize,
+    },
+    /// The sample rate is not a positive finite number.
+    BadSampleRate(f64),
+    /// A serialised recording could not be decoded.
+    Format(String),
+}
+
+impl std::fmt::Display for ImuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Ragged { accel, gyro, mag } => write!(
+                f,
+                "ragged IMU recording: {accel} accel, {gyro} gyro, {mag} mag samples — \
+                 the three streams must be the same length"
+            ),
+            Self::BadSampleRate(fs) => {
+                write!(f, "IMU sample rate must be positive and finite, got {fs}")
+            }
+            Self::Format(msg) => write!(f, "malformed IMU recording: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImuError {}
+
+/// Magic prefix of the binary `.imu` sidecar format.
+const IMU_MAGIC: &[u8; 8] = b"RIMIMU01";
+
 /// A recorded IMU stream aligned with the trajectory samples.
 #[derive(Debug, Clone)]
 pub struct ImuRecording {
@@ -28,14 +68,131 @@ pub struct ImuRecording {
 }
 
 impl ImuRecording {
-    /// Number of samples.
+    /// Builds a recording after checking that the three sensor streams
+    /// agree in length and the sample rate is usable. This is the
+    /// constructor external data should come through; the public fields
+    /// remain for in-process producers that sample all streams in
+    /// lockstep.
+    pub fn validated(
+        sample_rate_hz: f64,
+        accel_body: Vec<Vec2>,
+        gyro_z: Vec<f64>,
+        mag_orientation: Vec<f64>,
+    ) -> Result<Self, ImuError> {
+        if !(sample_rate_hz.is_finite() && sample_rate_hz > 0.0) {
+            return Err(ImuError::BadSampleRate(sample_rate_hz));
+        }
+        if accel_body.len() != gyro_z.len() || gyro_z.len() != mag_orientation.len() {
+            return Err(ImuError::Ragged {
+                accel: accel_body.len(),
+                gyro: gyro_z.len(),
+                mag: mag_orientation.len(),
+            });
+        }
+        Ok(Self {
+            sample_rate_hz,
+            accel_body,
+            gyro_z,
+            mag_orientation,
+        })
+    }
+
+    /// Number of samples. For a ragged recording (streams of unequal
+    /// length) this is the shortest stream — the count every consumer can
+    /// actually index — rather than silently over-reporting from one
+    /// stream; build through [`ImuRecording::validated`] to reject ragged
+    /// input outright.
     pub fn len(&self) -> usize {
-        self.gyro_z.len()
+        self.accel_body
+            .len()
+            .min(self.gyro_z.len())
+            .min(self.mag_orientation.len())
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.gyro_z.is_empty()
+        self.len() == 0
+    }
+
+    /// Serialises to the little-endian binary `.imu` sidecar format:
+    /// magic, sample rate, count, then per-sample `ax ay gyro mag` f64s.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(8 + 8 + 8 + n * 32);
+        out.extend_from_slice(IMU_MAGIC);
+        out.extend_from_slice(&self.sample_rate_hz.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        for i in 0..n {
+            out.extend_from_slice(&self.accel_body[i].x.to_le_bytes());
+            out.extend_from_slice(&self.accel_body[i].y.to_le_bytes());
+            out.extend_from_slice(&self.gyro_z[i].to_le_bytes());
+            out.extend_from_slice(&self.mag_orientation[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes the binary sidecar format written by
+    /// [`ImuRecording::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ImuError> {
+        let mut r = ByteReader { bytes, at: 0 };
+        let magic = r.take(8)?;
+        if magic != IMU_MAGIC {
+            return Err(ImuError::Format(format!(
+                "bad magic {magic:?} (expected {IMU_MAGIC:?}) — not a .imu sidecar"
+            )));
+        }
+        let sample_rate_hz = r.f64()?;
+        let n = r.u64()? as usize;
+        let need = n
+            .checked_mul(32)
+            .ok_or_else(|| ImuError::Format(format!("sample count {n} overflows")))?;
+        if r.bytes.len() - r.at != need {
+            return Err(ImuError::Format(format!(
+                "expected {need} payload bytes for {n} samples, found {}",
+                r.bytes.len() - r.at
+            )));
+        }
+        let mut accel_body = Vec::with_capacity(n);
+        let mut gyro_z = Vec::with_capacity(n);
+        let mut mag_orientation = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ax = r.f64()?;
+            let ay = r.f64()?;
+            accel_body.push(Vec2::new(ax, ay));
+            gyro_z.push(r.f64()?);
+            mag_orientation.push(r.f64()?);
+        }
+        Self::validated(sample_rate_hz, accel_body, gyro_z, mag_orientation)
+    }
+}
+
+/// Minimal cursor over a byte slice for sidecar decoding.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl ByteReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], ImuError> {
+        if self.at + n > self.bytes.len() {
+            return Err(ImuError::Format(format!(
+                "truncated at byte {} (needed {n} more)",
+                self.at
+            )));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn f64(&mut self) -> Result<f64, ImuError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImuError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 }
 
@@ -329,6 +486,70 @@ mod tests {
             let p = Point2::new(k as f64 * 0.37, (k % 7) as f64);
             assert!(imu.distortion_at(p).abs() <= 20.0f64.to_radians() + 1e-9);
         }
+    }
+
+    #[test]
+    fn validated_rejects_ragged_and_len_never_overreports() {
+        let ragged = ImuRecording {
+            sample_rate_hz: 100.0,
+            accel_body: vec![Vec2::ZERO; 5],
+            gyro_z: vec![0.0; 7],
+            mag_orientation: vec![0.0; 5],
+        };
+        // len() reports the shortest stream, never the gyro length alone.
+        assert_eq!(ragged.len(), 5);
+        let err = ImuRecording::validated(
+            100.0,
+            ragged.accel_body.clone(),
+            ragged.gyro_z.clone(),
+            ragged.mag_orientation.clone(),
+        )
+        .expect_err("ragged streams rejected");
+        assert_eq!(
+            err,
+            ImuError::Ragged {
+                accel: 5,
+                gyro: 7,
+                mag: 5
+            }
+        );
+        assert!(err.to_string().contains("ragged"), "{err}");
+        assert!(matches!(
+            ImuRecording::validated(0.0, vec![], vec![], vec![]),
+            Err(ImuError::BadSampleRate(_))
+        ));
+        assert!(ImuRecording::validated(100.0, vec![], vec![], vec![]).is_ok());
+    }
+
+    #[test]
+    fn sidecar_round_trip_is_lossless() {
+        let traj = line(
+            Point2::ORIGIN,
+            0.3,
+            1.0,
+            1.0,
+            100.0,
+            OrientationMode::FollowPath,
+        );
+        let rec = SimulatedImu::new(ImuConfig::consumer(), 11).sample(&traj);
+        let bytes = rec.to_bytes();
+        let back = ImuRecording::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.sample_rate_hz, rec.sample_rate_hz);
+        assert_eq!(back.gyro_z, rec.gyro_z);
+        assert_eq!(back.mag_orientation, rec.mag_orientation);
+        assert_eq!(back.accel_body.len(), rec.accel_body.len());
+        for (a, b) in back.accel_body.iter().zip(&rec.accel_body) {
+            assert_eq!((a.x, a.y), (b.x, b.y));
+        }
+        // Corruption surfaces as a typed format error, not a panic.
+        assert!(matches!(
+            ImuRecording::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(ImuError::Format(_))
+        ));
+        assert!(matches!(
+            ImuRecording::from_bytes(b"not an imu file"),
+            Err(ImuError::Format(_))
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod imu;
 pub mod reckoning;
 pub mod spec;
 
-pub use imu::{ImuConfig, ImuRecording, SimulatedImu};
+pub use imu::{ImuConfig, ImuError, ImuRecording, SimulatedImu};
 pub use reckoning::{
     accel_movement_indicator, double_integrate_accel, gyro_movement_indicator, gyro_rotation_angle,
     integrate_gyro, track_length, StepCounter,

@@ -7,7 +7,7 @@
 
 use crate::manager::Admit;
 use crate::wire::{self, Request, Response};
-use rim_core::StreamEvent;
+use rim_core::{ImuSample, StreamEvent};
 use rim_csi::sync::SyncedSample;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -81,6 +81,55 @@ impl Client {
         let mut attempt = 0u32;
         loop {
             let (admit, events) = self.ingest(session_id, sample.clone())?;
+            collected.extend(events);
+            match admit {
+                Admit::Throttled { retry_after } => {
+                    let delay = backoff_delay_ms(retry_after, attempt, &mut self.rng);
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                decided => return Ok((decided, collected)),
+            }
+        }
+    }
+
+    /// Offers one batch of IMU samples to a session and returns the
+    /// admission decision plus any events the session emitted —
+    /// including the [`rim_core::StreamEvent::Fused`] estimate the
+    /// batch itself produces once processed.
+    ///
+    /// # Errors
+    /// Same as [`Client::ingest`].
+    pub fn ingest_imu(
+        &mut self,
+        session_id: u64,
+        samples: Vec<ImuSample>,
+    ) -> io::Result<(Admit, Vec<StreamEvent>)> {
+        match self.round_trip(&Request::IngestImu {
+            session_id,
+            samples,
+        })? {
+            Response::Admit { admit, events } => Ok((admit, events)),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Like [`Client::ingest_imu`], but honours the backpressure
+    /// contract the way [`Client::ingest_blocking`] does: backs off on
+    /// [`Admit::Throttled`] and re-offers the batch until decided,
+    /// concatenating events drained across retries.
+    ///
+    /// # Errors
+    /// Same as [`Client::ingest`].
+    pub fn ingest_imu_blocking(
+        &mut self,
+        session_id: u64,
+        samples: Vec<ImuSample>,
+    ) -> io::Result<(Admit, Vec<StreamEvent>)> {
+        let mut collected = Vec::new();
+        let mut attempt = 0u32;
+        loop {
+            let (admit, events) = self.ingest_imu(session_id, samples.clone())?;
             collected.extend(events);
             match admit {
                 Admit::Throttled { retry_after } => {

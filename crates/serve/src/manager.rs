@@ -14,12 +14,13 @@
 //! [`process`]: SessionManager::process
 
 use rim_array::ArrayGeometry;
-use rim_core::{Error, Rim, RimConfig, RimStream, StreamEvent};
+use rim_core::{Error, ImuSample, Rim, RimConfig, RimStream, StreamEvent, StreamInput};
 use rim_csi::sync::SyncedSample;
 use rim_obs::{
     serve_metric, stage, Probe, Recorder, RunReport, SpanKind, TraceRecord, Tracer, WindowSnapshot,
 };
 use rim_par::Pool;
+use rim_tracking::{FusedStream, Fuser};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -284,10 +285,11 @@ pub enum RejectReason {
     Backpressure,
 }
 
-/// One admitted sample waiting for a scheduler tick.
+/// One admitted unit of input (a synced CSI sample or an IMU batch)
+/// waiting for a scheduler tick.
 #[derive(Debug)]
 struct Pending {
-    sample: SyncedSample,
+    input: StreamInput,
     admitted: Instant,
     /// EDF key: admission time plus the latency budget (admission time
     /// itself when the budget is unbounded, so EDF degrades to
@@ -301,7 +303,7 @@ struct Pending {
 /// The part of a session only the scheduler (or `finish`) touches.
 #[derive(Debug)]
 struct SessionWork {
-    stream: RimStream,
+    stream: FusedStream,
     recorder: Recorder,
     /// Events accumulated since the last drain, in emission order.
     events: Vec<StreamEvent>,
@@ -335,6 +337,9 @@ pub struct SessionManager {
     /// only parallelism is across sessions — results stay bit-identical
     /// to standalone streams at any worker count).
     engine: Rim,
+    /// Template fusion engine; each session's stream wraps a clone of
+    /// the CSI engine in this fuser's error-state filter.
+    fuser: Fuser,
     cfg: ServeConfig,
     /// Manager-wide recorder for the [`stage::SERVE`] and
     /// [`stage::REACTOR`] stages.
@@ -372,6 +377,21 @@ impl SessionManager {
         config: RimConfig,
         serve: ServeConfig,
     ) -> Result<Self, Error> {
+        Self::with_fuser(geometry, config, serve, Fuser::builder().build()?)
+    }
+
+    /// [`SessionManager::new`] with an explicit fusion engine instead of
+    /// the default [`Fuser`] configuration; every session's stream runs
+    /// this fuser's error-state filter over its RIM and IMU input.
+    ///
+    /// # Errors
+    /// The same validation as [`Rim::new`].
+    pub fn with_fuser(
+        geometry: ArrayGeometry,
+        config: RimConfig,
+        serve: ServeConfig,
+        fuser: Fuser,
+    ) -> Result<Self, Error> {
         let pool = Pool::new(config.threads, 0);
         let cadence = if serve.trace_every > 0 {
             serve.trace_every
@@ -386,6 +406,7 @@ impl SessionManager {
                 .collect(),
             pool,
             engine,
+            fuser,
             cfg: serve,
             recorder: Recorder::new(),
             tick: AtomicU64::new(0),
@@ -430,6 +451,24 @@ impl SessionManager {
     /// [`ServeConfig::latency_budget_us`] before a worker picks it up —
     /// backpressure keyed to the deadline contract, not just to memory.
     pub fn ingest(&self, session_id: u64, sample: SyncedSample) -> Admit {
+        let seq = sample.seq;
+        self.admit(session_id, sample.into(), Some(seq))
+    }
+
+    /// Offers one batch of IMU samples to a session, creating the
+    /// session on first contact. The batch occupies one ingress-queue
+    /// slot and is run through the session's fusion filter on a later
+    /// scheduler tick, emitting one [`StreamEvent::Fused`] estimate —
+    /// the same admission contract (and backpressure) as
+    /// [`SessionManager::ingest`]. IMU batches are not traced: they
+    /// never touch the alignment pipeline.
+    pub fn ingest_imu(&self, session_id: u64, samples: Vec<ImuSample>) -> Admit {
+        self.admit(session_id, StreamInput::Imu(samples), None)
+    }
+
+    /// The admission body shared by the CSI and IMU entry points;
+    /// `trace_seq` arms per-request tracing (CSI only).
+    fn admit(&self, session_id: u64, input: StreamInput, trace_seq: Option<u64>) -> Admit {
         if !self.accepting.load(Ordering::Acquire) {
             self.recorder.count(stage::SERVE, serve_metric::REJECTED, 1);
             return Admit::Rejected {
@@ -450,7 +489,7 @@ impl SessionManager {
         // sampling cadence): the admission span covers shard lookup,
         // session creation, and the queue push. Rejected or throttled
         // samples drop their trace — only admitted work is attributed.
-        let mut trace = self.tracer.try_start(session_id, sample.seq);
+        let mut trace = trace_seq.and_then(|seq| self.tracer.try_start(session_id, seq));
         let admission_span = trace.as_mut().map(|t| t.open(SpanKind::Admission));
         let state = {
             let mut shard = self.lock_shard(self.shard_of(session_id));
@@ -467,7 +506,9 @@ impl SessionManager {
                     let state = Arc::new(SessionState {
                         queue: Mutex::new(VecDeque::new()),
                         work: Mutex::new(SessionWork {
-                            stream: RimStream::with_engine(self.engine.clone()),
+                            stream: self
+                                .fuser
+                                .stream(RimStream::with_engine(self.engine.clone())),
                             recorder: Recorder::new(),
                             events: Vec::new(),
                         }),
@@ -503,7 +544,7 @@ impl SessionManager {
                     now
                 };
                 queue.push_back(Pending {
-                    sample,
+                    input,
                     admitted: now,
                     deadline,
                     trace: trace.take(),
@@ -597,7 +638,7 @@ impl SessionManager {
                 if let Some(t) = p.trace.as_mut() {
                     session = session.trace(t);
                 }
-                session.ingest(p.sample)
+                session.ingest(p.input)
             };
             match result {
                 Ok(events) => {
@@ -882,6 +923,44 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SessionManager>();
         assert_send_sync::<RimStream>();
+        assert_send_sync::<FusedStream>();
+    }
+
+    #[test]
+    fn imu_batches_share_the_admission_contract_and_emit_fused_events() {
+        let m = manager(ServeConfig::builder().queue_depth(2).build().unwrap());
+        let batch: Vec<ImuSample> = (0..40)
+            .map(|i| ImuSample {
+                t_us: i * 10_000,
+                accel_body: rim_dsp::geom::Vec2::new(0.0, 0.0),
+                gyro_z: 0.0,
+                mag_orientation: None,
+            })
+            .collect();
+        assert_eq!(m.ingest_imu(7, batch.clone()), Admit::Accepted);
+        assert_eq!(m.ingest(7, sample(0)), Admit::Accepted);
+        // The queue bound covers both input shapes.
+        assert_eq!(
+            m.ingest_imu(7, batch.clone()),
+            Admit::Throttled { retry_after: 5 }
+        );
+        assert_eq!(m.process(), 2);
+        let events = m.drain_events(7);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind() == rim_core::StreamEventKind::Fused)
+                .count(),
+            1,
+            "one fused estimate per IMU batch: {events:?}"
+        );
+        m.shutdown();
+        assert_eq!(
+            m.ingest_imu(7, batch),
+            Admit::Rejected {
+                reason: RejectReason::ShuttingDown
+            }
+        );
     }
 
     #[test]

@@ -244,6 +244,29 @@ impl Conn {
                     (Response::Admit { admit, events }, has_events, false)
                 }
             }
+            Request::IngestImu {
+                session_id,
+                samples,
+            } => {
+                if over_cap {
+                    stats.backpressure_rejected += 1;
+                    (
+                        Response::Admit {
+                            admit: Admit::Rejected {
+                                reason: RejectReason::Backpressure,
+                            },
+                            events: Vec::new(),
+                        },
+                        false,
+                        false,
+                    )
+                } else {
+                    let admit = manager.ingest_imu(session_id, samples);
+                    let events = manager.drain_events(session_id);
+                    let has_events = !events.is_empty();
+                    (Response::Admit { admit, events }, has_events, false)
+                }
+            }
             Request::Finish { session_id } => {
                 let events = manager.finish(session_id);
                 let has_events = !events.is_empty();

@@ -11,9 +11,12 @@
 //! bit-identically.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rim_core::{Confidence, DegradeReason, SegmentEstimate, SegmentKind, StreamEvent};
+use rim_core::{
+    Confidence, DegradeReason, FusedMode, ImuSample, SegmentEstimate, SegmentKind, StreamEvent,
+};
 use rim_csi::frame::DecodeError;
 use rim_csi::sync::SyncedSample;
+use rim_dsp::geom::{Point2, Vec2};
 use std::io::{self, Read, Write};
 
 use crate::manager::{Admit, RejectReason};
@@ -28,6 +31,7 @@ mod tag {
     pub const FINISH: u8 = 0x02;
     pub const SHUTDOWN: u8 = 0x03;
     pub const METRICS: u8 = 0x04;
+    pub const INGEST_IMU: u8 = 0x05;
     pub const ADMIT: u8 = 0x81;
     pub const FINISHED: u8 = 0x82;
     pub const BYE: u8 = 0x83;
@@ -43,6 +47,13 @@ pub enum Request {
         session_id: u64,
         /// The sample (sequence number travels inside).
         sample: SyncedSample,
+    },
+    /// Offer a batch of IMU samples to a session's fusion layer.
+    IngestImu {
+        /// Tenant id; sessions are created on first contact.
+        session_id: u64,
+        /// The batch, oldest first (timestamps travel inside).
+        samples: Vec<ImuSample>,
     },
     /// Flush and close a session, returning its remaining events.
     Finish {
@@ -123,6 +134,23 @@ impl Request {
                 body.put_u64(*session_id);
                 body.put_slice(&sample.encode());
             }
+            Request::IngestImu {
+                session_id,
+                samples,
+            } => {
+                body.put_u8(tag::INGEST_IMU);
+                body.put_u64(*session_id);
+                body.put_u32(samples.len() as u32);
+                for s in samples {
+                    body.put_u64(s.t_us);
+                    body.put_f64(s.accel_body.x);
+                    body.put_f64(s.accel_body.y);
+                    body.put_f64(s.gyro_z);
+                    // A magnetometer heading is a wrapped angle and never
+                    // legitimately NaN, so NaN is the absence sentinel.
+                    body.put_f64(s.mag_orientation.unwrap_or(f64::NAN));
+                }
+            }
             Request::Finish { session_id } => {
                 body.put_u8(tag::FINISH);
                 body.put_u64(*session_id);
@@ -149,6 +177,33 @@ impl Request {
                 let session_id = body.get_u64();
                 let sample = SyncedSample::decode(body)?;
                 Ok(Request::Ingest { session_id, sample })
+            }
+            tag::INGEST_IMU => {
+                if body.remaining() < 8 + 4 {
+                    return Err(WireError::Truncated);
+                }
+                let session_id = body.get_u64();
+                let n = body.get_u32() as usize;
+                if body.remaining() < n * 40 {
+                    return Err(WireError::Truncated);
+                }
+                let mut samples = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let t_us = body.get_u64();
+                    let accel_body = Vec2::new(body.get_f64(), body.get_f64());
+                    let gyro_z = body.get_f64();
+                    let mag = body.get_f64();
+                    samples.push(ImuSample {
+                        t_us,
+                        accel_body,
+                        gyro_z,
+                        mag_orientation: (!mag.is_nan()).then_some(mag),
+                    });
+                }
+                Ok(Request::IngestImu {
+                    session_id,
+                    samples,
+                })
             }
             tag::FINISH => {
                 if body.remaining() < 8 {
@@ -301,21 +356,37 @@ pub fn write_frame<W: Write>(w: &mut W, framed: &[u8]) -> io::Result<()> {
     w.write_all(framed)
 }
 
-/// Event tags.
+/// Event tags, derived from the one registry in
+/// [`rim_core::StreamEventKind::wire_tag`] (documented in DESIGN.md) so
+/// this module cannot drift from core's numbering.
 mod event_tag {
-    pub const STARTED: u8 = 0;
-    pub const SEGMENT: u8 = 1;
-    pub const STOPPED: u8 = 2;
-    pub const DEGRADED: u8 = 3;
-    pub const RECOVERED: u8 = 4;
-    pub const PROVISIONAL: u8 = 5;
+    use rim_core::StreamEventKind;
+
+    pub const STARTED: u8 = StreamEventKind::MovementStarted.wire_tag();
+    pub const SEGMENT: u8 = StreamEventKind::Segment.wire_tag();
+    pub const STOPPED: u8 = StreamEventKind::MovementStopped.wire_tag();
+    pub const DEGRADED: u8 = StreamEventKind::Degraded.wire_tag();
+    pub const RECOVERED: u8 = StreamEventKind::Recovered.wire_tag();
+    pub const PROVISIONAL: u8 = StreamEventKind::Provisional.wire_tag();
+    pub const FUSED: u8 = StreamEventKind::Fused.wire_tag();
 }
 
 fn put_events(body: &mut BytesMut, events: &[StreamEvent]) {
-    body.put_u32(events.len() as u32);
+    // StreamEvent is #[non_exhaustive]: a variant added after this build
+    // has no encoding here, and put_event writes nothing for it. Patch
+    // the count afterwards so such events are skipped cleanly instead of
+    // corrupting the frame.
+    let count_at = body.len();
+    body.put_u32(0);
+    let mut n: u32 = 0;
     for e in events {
+        let before = body.len();
         put_event(body, e);
+        if body.len() > before {
+            n += 1;
+        }
     }
+    body[count_at..count_at + 4].copy_from_slice(&n.to_be_bytes());
 }
 
 fn put_event(body: &mut BytesMut, event: &StreamEvent) {
@@ -397,6 +468,30 @@ fn put_event(body: &mut BytesMut, event: &StreamEvent) {
             body.put_f64(confidence.interpolated_fraction);
             body.put_f64(confidence.alignment_coverage);
         }
+        StreamEvent::Fused {
+            t_us,
+            position,
+            heading,
+            velocity,
+            covariance_trace,
+            mode,
+        } => {
+            body.put_u8(event_tag::FUSED);
+            body.put_u64(*t_us);
+            body.put_f64(position.x);
+            body.put_f64(position.y);
+            body.put_f64(*heading);
+            body.put_f64(*velocity);
+            body.put_f64(*covariance_trace);
+            body.put_u8(match mode {
+                FusedMode::RimAnchored => 0,
+                FusedMode::ImuCoasting => 1,
+                FusedMode::Zupt => 2,
+            });
+        }
+        // Unknown (future) variants: encode nothing; put_events skips
+        // them via the patched count.
+        _ => {}
     }
 }
 
@@ -516,6 +611,30 @@ fn get_event(body: &mut &[u8]) -> Result<StreamEvent, WireError> {
                 confidence,
             })
         }
+        event_tag::FUSED => {
+            if body.remaining() < 8 + 40 + 1 {
+                return Err(WireError::Truncated);
+            }
+            let t_us = body.get_u64();
+            let position = Point2::new(body.get_f64(), body.get_f64());
+            let heading = body.get_f64();
+            let velocity = body.get_f64();
+            let covariance_trace = body.get_f64();
+            let mode = match body.get_u8() {
+                0 => FusedMode::RimAnchored,
+                1 => FusedMode::ImuCoasting,
+                2 => FusedMode::Zupt,
+                t => return Err(WireError::BadTag(t)),
+            };
+            Ok(StreamEvent::Fused {
+                t_us,
+                position,
+                heading,
+                velocity,
+                covariance_trace,
+                mode,
+            })
+        }
         t => Err(WireError::BadTag(t)),
     }
 }
@@ -523,6 +642,7 @@ fn get_event(body: &mut &[u8]) -> Result<StreamEvent, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rim_core::StreamEventKind;
     use rim_csi::frame::CsiSnapshot;
     use rim_dsp::complex::Complex64;
 
@@ -580,6 +700,22 @@ mod tests {
             },
             StreamEvent::Recovered { at: 300 },
             StreamEvent::MovementStopped { at: 301 },
+            StreamEvent::Fused {
+                t_us: 1_500_000,
+                position: Point2::new(1.5, -0.25),
+                heading: 0.75,
+                velocity: 1.125,
+                covariance_trace: 0.0625,
+                mode: FusedMode::ImuCoasting,
+            },
+            StreamEvent::Fused {
+                t_us: 2_000_000,
+                position: Point2::new(2.0, 0.5),
+                heading: -0.5,
+                velocity: 0.0,
+                covariance_trace: 0.03125,
+                mode: FusedMode::Zupt,
+            },
         ]
     }
 
@@ -604,12 +740,72 @@ mod tests {
                 session_id: 99,
                 sample: sample(),
             },
+            Request::IngestImu {
+                session_id: 99,
+                samples: vec![
+                    ImuSample {
+                        t_us: 10_000,
+                        accel_body: Vec2::new(0.125, -0.5),
+                        gyro_z: 0.25,
+                        mag_orientation: Some(1.5),
+                    },
+                    ImuSample {
+                        t_us: 20_000,
+                        accel_body: Vec2::new(0.0, 0.0),
+                        gyro_z: -0.125,
+                        mag_orientation: None,
+                    },
+                ],
+            },
+            Request::IngestImu {
+                session_id: 3,
+                samples: vec![],
+            },
             Request::Finish { session_id: 7 },
             Request::Shutdown,
             Request::Metrics,
         ] {
             assert_eq!(round_trip_request(&req), req);
         }
+    }
+
+    #[test]
+    fn event_tags_track_the_core_registry() {
+        // The serve tags are derived consts; this pins the registry
+        // values themselves so renumbering in core is caught loudly.
+        for (kind, tag) in [
+            (StreamEventKind::MovementStarted, 0u8),
+            (StreamEventKind::Segment, 1),
+            (StreamEventKind::MovementStopped, 2),
+            (StreamEventKind::Degraded, 3),
+            (StreamEventKind::Recovered, 4),
+            (StreamEventKind::Provisional, 5),
+            (StreamEventKind::Fused, 6),
+        ] {
+            assert_eq!(kind.wire_tag(), tag, "{kind:?}");
+            assert_eq!(StreamEventKind::from_wire_tag(tag), Some(kind));
+        }
+        assert_eq!(StreamEventKind::from_wire_tag(7), None);
+    }
+
+    #[test]
+    fn truncated_imu_batch_is_rejected() {
+        let framed = Request::IngestImu {
+            session_id: 1,
+            samples: vec![ImuSample {
+                t_us: 1,
+                accel_body: Vec2::new(0.0, 0.0),
+                gyro_z: 0.0,
+                mag_orientation: None,
+            }],
+        }
+        .encode();
+        let mut cursor = &framed[..];
+        let body = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&body[..body.len() - 5]),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Fusion configuration: the validated knob set behind
+//! [`Fuser::builder`](super::Fuser::builder).
+
+use rim_core::Error;
+use rim_dsp::geom::Point2;
+
+/// Configuration of the RIM×IMU fusion engine: ZUPT stance thresholds,
+/// error-state process noise, measurement noise, and the confidence
+/// floor below which RIM corrections are discarded.
+///
+/// Build through [`Fuser::builder`](super::Fuser::builder), which
+/// validates every field ([`rim_core::Error::Config`] on invalid
+/// combinations); the fields are public so an accepted configuration can
+/// be inspected.
+#[derive(Debug, Clone)]
+pub struct FusionConfig {
+    /// ZUPT stance window, samples. The detector declares the device
+    /// stationary when the accelerometer deviation and mean gyro rate
+    /// over this many consecutive IMU samples both sit under their
+    /// thresholds.
+    pub zupt_window: usize,
+    /// Stance threshold on the windowed accelerometer-magnitude standard
+    /// deviation, m/s².
+    pub zupt_accel_std: f64,
+    /// Stance threshold on the windowed mean absolute gyro rate, rad/s.
+    pub zupt_gyro_rate: f64,
+    /// Accelerometer white-noise density, (m/s²)/√Hz — process noise on
+    /// the velocity error state.
+    pub accel_noise: f64,
+    /// Gyroscope white-noise density, (rad/s)/√Hz — process noise on the
+    /// heading error state, and the ZUPT-time gyro-bias measurement
+    /// noise.
+    pub gyro_noise: f64,
+    /// Gyroscope bias random-walk density, (rad/s²)/√Hz — process noise
+    /// on the bias error state.
+    pub gyro_bias_walk: f64,
+    /// RIM distance measurement noise at full confidence, metres (1σ).
+    /// Scaled up by 1/score for lower-confidence segments; exactly zero
+    /// makes every accepted RIM distance an exact arc reset.
+    pub rim_distance_noise: f64,
+    /// RIM heading measurement noise at full confidence, radians (1σ).
+    /// `f64::INFINITY` disables heading corrections.
+    pub rim_heading_noise: f64,
+    /// Magnetometer heading measurement noise, radians (1σ).
+    /// `f64::INFINITY` disables magnetometer corrections.
+    pub mag_heading_noise: f64,
+    /// ZUPT pseudo-measurement noise on velocity, m/s (1σ).
+    pub zupt_velocity_noise: f64,
+    /// RIM corrections whose [`rim_core::Confidence::score`] falls below
+    /// this floor are dropped instead of applied. `0` accepts everything.
+    pub confidence_floor: f64,
+    /// Seconds without an accepted RIM correction before a moving
+    /// estimate is labelled [`rim_core::FusedMode::ImuCoasting`].
+    pub coast_timeout_s: f64,
+    /// Initial fused position, metres.
+    pub initial_position: Point2,
+    /// Initial fused heading, radians.
+    pub initial_heading: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self {
+            zupt_window: 16,
+            zupt_accel_std: 0.12,
+            zupt_gyro_rate: 0.06,
+            accel_noise: 0.02,
+            gyro_noise: 0.005,
+            gyro_bias_walk: 1e-4,
+            rim_distance_noise: 0.01,
+            rim_heading_noise: 0.15,
+            mag_heading_noise: f64::INFINITY,
+            zupt_velocity_noise: 0.01,
+            confidence_floor: 0.1,
+            coast_timeout_s: 0.5,
+            initial_position: Point2::ORIGIN,
+            initial_heading: 0.0,
+        }
+    }
+}
+
+impl FusionConfig {
+    /// Validates the configuration, naming the offending field and the
+    /// fix in the error message.
+    pub(crate) fn validate(&self) -> Result<(), Error> {
+        if self.zupt_window < 2 {
+            return Err(Error::Config(format!(
+                "zupt_window must be at least 2 samples to measure deviation, got {}",
+                self.zupt_window
+            )));
+        }
+        for (name, v) in [
+            ("zupt_accel_std", self.zupt_accel_std),
+            ("zupt_gyro_rate", self.zupt_gyro_rate),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(Error::Config(format!(
+                    "{name} must be a positive finite threshold, got {v}"
+                )));
+            }
+        }
+        for (name, v) in [
+            ("accel_noise", self.accel_noise),
+            ("gyro_noise", self.gyro_noise),
+            ("gyro_bias_walk", self.gyro_bias_walk),
+            ("rim_distance_noise", self.rim_distance_noise),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(Error::Config(format!(
+                    "{name} must be finite and non-negative (0 = noiseless), got {v}"
+                )));
+            }
+        }
+        for (name, v) in [
+            ("rim_heading_noise", self.rim_heading_noise),
+            ("mag_heading_noise", self.mag_heading_noise),
+        ] {
+            // Infinite is the documented "disabled" value; NaN and
+            // non-positive are configuration mistakes.
+            if v.is_nan() || v <= 0.0 {
+                return Err(Error::Config(format!(
+                    "{name} must be positive (f64::INFINITY disables the correction), got {v}"
+                )));
+            }
+        }
+        if !(self.zupt_velocity_noise.is_finite() && self.zupt_velocity_noise > 0.0) {
+            return Err(Error::Config(format!(
+                "zupt_velocity_noise must be a positive finite sigma, got {}",
+                self.zupt_velocity_noise
+            )));
+        }
+        if !(0.0..1.0).contains(&self.confidence_floor) {
+            return Err(Error::Config(format!(
+                "confidence_floor must be in [0, 1) — 1 would drop every correction, got {}",
+                self.confidence_floor
+            )));
+        }
+        if !(self.coast_timeout_s.is_finite() && self.coast_timeout_s > 0.0) {
+            return Err(Error::Config(format!(
+                "coast_timeout_s must be a positive finite duration, got {}",
+                self.coast_timeout_s
+            )));
+        }
+        if !(self.initial_position.x.is_finite()
+            && self.initial_position.y.is_finite()
+            && self.initial_heading.is_finite())
+        {
+            return Err(Error::Config(format!(
+                "initial pose must be finite, got position {:?} heading {}",
+                self.initial_position, self.initial_heading
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the map-constrained fusion pipeline (Fig. 21): the
+/// particle-filter settings layered on top of the dead-reckoned track.
+/// (This was named `FusionConfig` before the streaming fusion engine
+/// took that name for its filter configuration.)
+#[derive(Debug, Clone)]
+pub struct MapFusionConfig {
+    /// Particle-filter settings.
+    pub filter: crate::particle::ParticleFilterConfig,
+    /// How many samples to aggregate per filter step (the filter runs at
+    /// a coarser rate than the CSI stream).
+    pub samples_per_step: usize,
+    /// RNG seed for the particle filter.
+    pub seed: u64,
+}
+
+impl Default for MapFusionConfig {
+    fn default() -> Self {
+        Self {
+            filter: crate::particle::ParticleFilterConfig::default(),
+            samples_per_step: 20,
+            seed: 0,
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The 2D error-state Kalman filter under the fusion engine.
+//!
+//! Nominal state: position `p` (m), heading `θ` (rad), forward speed `v`
+//! (m/s), gyro bias `b_g` (rad/s), and arc length `a` (m) travelled
+//! since the current RIM anchor. The nominal state is propagated
+//! nonlinearly by each IMU sample; the *error* state
+//! `δx = [δpx, δpy, δθ, δv, δb_g, δa]` carries the 6×6 covariance `P`
+//! and is corrected by scalar measurements, then injected back into the
+//! nominal state and reset to zero (the standard ESKF cycle — see
+//! DESIGN.md for the derivation).
+//!
+//! The arc state is what makes RIM's segment estimates a linear
+//! measurement: RIM reports cumulative distance since motion start,
+//! which observes `a` directly (`H = [0 0 0 0 0 1]`), and a zero
+//! measurement noise turns the Kalman gain into an exact reset — the
+//! property the "ideal IMU matches RIM-only" test pins.
+//!
+//! Everything here is sequential scalar `f64` arithmetic: fused output
+//! is bit-identical at any worker-pool size by construction.
+
+use rim_dsp::geom::{Point2, Vec2};
+use rim_dsp::stats::wrap_angle;
+
+/// Error-state indices.
+pub(crate) const E_PX: usize = 0;
+pub(crate) const E_PY: usize = 1;
+pub(crate) const E_THETA: usize = 2;
+pub(crate) const E_V: usize = 3;
+pub(crate) const E_BG: usize = 4;
+pub(crate) const E_ARC: usize = 5;
+const N: usize = 6;
+
+/// The filter: nominal state plus error covariance.
+#[derive(Debug, Clone)]
+pub(crate) struct Eskf {
+    /// Fused position, metres.
+    pub position: Point2,
+    /// Fused heading, radians.
+    pub heading: f64,
+    /// Fused forward speed, m/s.
+    pub velocity: f64,
+    /// Estimated gyro bias, rad/s.
+    pub gyro_bias: f64,
+    /// Arc length since the current RIM anchor, metres.
+    pub arc: f64,
+    /// Error-state covariance.
+    cov: [[f64; N]; N],
+    /// Process noise variances per second (θ, v, b_g).
+    q_theta: f64,
+    q_v: f64,
+    q_bg: f64,
+}
+
+impl Eskf {
+    /// A filter at the given initial pose. Noise densities are per-√Hz;
+    /// squaring them gives the continuous-time variances integrated per
+    /// propagation step.
+    pub fn new(
+        position: Point2,
+        heading: f64,
+        gyro_noise: f64,
+        accel_noise: f64,
+        gyro_bias_walk: f64,
+    ) -> Self {
+        let mut cov = [[0.0; N]; N];
+        // Start confident in the provided pose and arc, agnostic about
+        // speed and bias at the scale a consumer IMU warrants.
+        cov[E_PX][E_PX] = 1e-6;
+        cov[E_PY][E_PY] = 1e-6;
+        cov[E_THETA][E_THETA] = 1e-4;
+        cov[E_V][E_V] = 1e-2;
+        cov[E_BG][E_BG] = 1e-4;
+        cov[E_ARC][E_ARC] = 0.0;
+        Self {
+            position,
+            heading,
+            velocity: 0.0,
+            gyro_bias: 0.0,
+            arc: 0.0,
+            cov,
+            q_theta: gyro_noise * gyro_noise,
+            q_v: accel_noise * accel_noise,
+            q_bg: gyro_bias_walk * gyro_bias_walk,
+        }
+    }
+
+    /// Propagates the nominal state through one IMU sample and the
+    /// covariance through the linearised dynamics.
+    pub fn propagate(&mut self, accel_forward: f64, gyro_z: f64, dt: f64) {
+        // `partial_cmp` so a NaN dt is refused along with zero/negative.
+        if dt.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return;
+        }
+        let omega = gyro_z - self.gyro_bias;
+        let (sin_t, cos_t) = self.heading.sin_cos();
+
+        // Covariance first, linearised at the pre-update nominal state:
+        // P ← F P Fᵀ + Q·dt with F = I + A·dt.
+        let v = self.velocity;
+        let mut f = [[0.0; N]; N];
+        for (i, row) in f.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        f[E_PX][E_THETA] = -v * sin_t * dt;
+        f[E_PX][E_V] = cos_t * dt;
+        f[E_PY][E_THETA] = v * cos_t * dt;
+        f[E_PY][E_V] = sin_t * dt;
+        f[E_THETA][E_BG] = -dt;
+        f[E_ARC][E_V] = dt;
+        let mut fp = [[0.0; N]; N];
+        for (fp_row, f_row) in fp.iter_mut().zip(&f) {
+            for (cov_row, &fik) in self.cov.iter().zip(f_row) {
+                if fik != 0.0 {
+                    for (out, &c) in fp_row.iter_mut().zip(cov_row) {
+                        *out += fik * c;
+                    }
+                }
+            }
+        }
+        let mut new_cov = [[0.0; N]; N];
+        for (nc_row, fp_row) in new_cov.iter_mut().zip(&fp) {
+            for (k, &fjk) in fp_row.iter().enumerate() {
+                if fjk != 0.0 {
+                    for (out, f_row) in nc_row.iter_mut().zip(&f) {
+                        *out += fjk * f_row[k];
+                    }
+                }
+            }
+        }
+        new_cov[E_THETA][E_THETA] += self.q_theta * dt;
+        new_cov[E_V][E_V] += self.q_v * dt;
+        new_cov[E_BG][E_BG] += self.q_bg * dt;
+        self.cov = new_cov;
+
+        // Nominal state (Euler integration on the IMU clock).
+        self.heading = wrap_angle(self.heading + omega * dt);
+        self.velocity += accel_forward * dt;
+        let step = self.velocity * dt;
+        self.position += Vec2::new(cos_t * step, sin_t * step);
+        self.arc += step;
+    }
+
+    /// Applies one scalar measurement observing error state `j` with
+    /// innovation `z` and measurement variance `r`, injecting the
+    /// correction into the nominal state. Returns `false` when the
+    /// update is uninformative (zero innovation variance).
+    pub fn update_scalar(&mut self, j: usize, z: f64, r: f64) -> bool {
+        let s = self.cov[j][j] + r;
+        // `partial_cmp` so a NaN innovation variance is refused too.
+        if s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !z.is_finite() {
+            return false;
+        }
+        let mut gain = [0.0; N];
+        for (i, g) in gain.iter_mut().enumerate() {
+            *g = self.cov[i][j] / s;
+        }
+        // Inject δx = K·z and reset the error state to zero.
+        self.position += Vec2::new(gain[E_PX] * z, gain[E_PY] * z);
+        self.heading = wrap_angle(self.heading + gain[E_THETA] * z);
+        self.velocity += gain[E_V] * z;
+        self.gyro_bias += gain[E_BG] * z;
+        self.arc += gain[E_ARC] * z;
+        // P ← (I − K H) P, symmetrised, diagonal clamped.
+        let row_j = self.cov[j];
+        for (cov_row, &g) in self.cov.iter_mut().zip(&gain) {
+            for (c, &rj) in cov_row.iter_mut().zip(&row_j) {
+                *c -= g * rj;
+            }
+        }
+        for i in 0..N {
+            for l in (i + 1)..N {
+                let m = 0.5 * (self.cov[i][l] + self.cov[l][i]);
+                self.cov[i][l] = m;
+                self.cov[l][i] = m;
+            }
+            self.cov[i][i] = self.cov[i][i].max(0.0);
+        }
+        true
+    }
+
+    /// Starts a new RIM anchor: the arc is exactly zero by definition,
+    /// so its error and cross-covariances vanish.
+    pub fn reset_arc(&mut self) {
+        self.arc = 0.0;
+        for i in 0..N {
+            self.cov[E_ARC][i] = 0.0;
+            self.cov[i][E_ARC] = 0.0;
+        }
+    }
+
+    /// Trace of the error covariance — the scalar uncertainty summary
+    /// carried on [`rim_core::StreamEvent::Fused`].
+    pub fn covariance_trace(&self) -> f64 {
+        (0..N).map(|i| self.cov[i][i]).sum()
+    }
+
+    /// Variance of the arc error state — the prior term of a RIM
+    /// distance innovation's variance, used for gating.
+    pub fn arc_variance(&self) -> f64 {
+        self.cov[E_ARC][E_ARC]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_filter() -> Eskf {
+        Eskf::new(Point2::ORIGIN, 0.0, 0.005, 0.02, 1e-4)
+    }
+
+    #[test]
+    fn straight_propagation_integrates_speed_along_heading() {
+        let mut f = quiet_filter();
+        // 1 m/s² forward for 1 s at 100 Hz, then 1 s cruise.
+        for _ in 0..100 {
+            f.propagate(1.0, 0.0, 0.01);
+        }
+        assert!((f.velocity - 1.0).abs() < 1e-9, "v = {}", f.velocity);
+        for _ in 0..100 {
+            f.propagate(0.0, 0.0, 0.01);
+        }
+        assert!((f.position.x - 1.5).abs() < 0.02, "{:?}", f.position);
+        assert!(f.position.y.abs() < 1e-12);
+        assert!((f.arc - f.position.x).abs() < 1e-12, "arc tracks distance");
+    }
+
+    #[test]
+    fn covariance_grows_while_coasting_and_shrinks_on_updates() {
+        let mut f = quiet_filter();
+        let t0 = f.covariance_trace();
+        for _ in 0..200 {
+            f.propagate(0.0, 0.0, 0.01);
+        }
+        let coasted = f.covariance_trace();
+        assert!(coasted > t0, "uncertainty grows: {t0} → {coasted}");
+        assert!(f.update_scalar(E_V, -f.velocity, 1e-4));
+        assert!(f.covariance_trace() < coasted, "update shrinks it");
+    }
+
+    #[test]
+    fn zero_noise_arc_measurement_is_an_exact_reset() {
+        let mut f = quiet_filter();
+        for _ in 0..100 {
+            f.propagate(0.5, 0.0, 0.01);
+        }
+        let measured = 0.4_f64; // "RIM says 0.4 m"
+        assert!(f.update_scalar(E_ARC, measured - f.arc, 0.0));
+        assert!((f.arc - measured).abs() < 1e-12, "arc snapped: {}", f.arc);
+    }
+
+    #[test]
+    fn gyro_bias_update_corrects_heading_drift_rate() {
+        let mut f = quiet_filter();
+        // Stationary device, biased gyro: 0.02 rad/s reading.
+        for _ in 0..50 {
+            f.propagate(0.0, 0.02, 0.01);
+        }
+        // Stance: the reading is the bias.
+        for _ in 0..50 {
+            f.propagate(0.0, 0.02, 0.01);
+            f.update_scalar(E_BG, 0.02 - f.gyro_bias, 1e-6);
+        }
+        assert!(
+            (f.gyro_bias - 0.02).abs() < 1e-3,
+            "bias learned: {}",
+            f.gyro_bias
+        );
+    }
+
+    #[test]
+    fn uninformative_updates_are_refused() {
+        let mut f = quiet_filter();
+        f.reset_arc();
+        // Arc variance is exactly zero after a reset; with r = 0 there
+        // is no innovation variance at all.
+        assert!(!f.update_scalar(E_ARC, 1.0, 0.0));
+        assert!(!f.update_scalar(E_V, f64::NAN, 1e-4));
+    }
+}

@@ -1,11 +1,37 @@
 //! RIM + inertial-sensor fusion (paper §6.3.3, Fig. 21).
 //!
-//! With a single 3-antenna NIC, RIM's distance estimates are excellent but
-//! its heading resolution is limited; the paper therefore fuses RIM
-//! distance with gyroscope-integrated orientation, and optionally runs the
-//! result through the map-constrained particle filter.
+//! With a single 3-antenna NIC, RIM's distance estimates are excellent
+//! but its heading resolution is limited, and a CSI outage stops the
+//! estimate cold; an IMU is the complement on both axes. This module
+//! fuses the two at two granularities:
+//!
+//! * **Batch** — [`Fuser::fuse`] combines a finished
+//!   [`rim_core::MotionEstimate`] with a gyroscope track into a world
+//!   trajectory, confidence-weighted per segment, and
+//!   [`Fuser::fuse_with_map`] additionally runs the map-constrained
+//!   particle filter (Fig. 21 shows both).
+//! * **Streaming** — [`Fuser::stream`] wraps a [`rim_core::RimStream`]
+//!   in a 2D error-state Kalman filter ([`FusedStream`]): IMU batches
+//!   propagate position/heading/velocity/gyro-bias between RIM's
+//!   segment and provisional corrections, zero-velocity updates clamp
+//!   drift whenever the stance detector fires, and the filter keeps
+//!   emitting [`rim_core::StreamEvent::Fused`] estimates through CSI
+//!   gaps and blackouts. See DESIGN.md for the filter derivation.
+//!
+//! Everything is configured through [`Fuser::builder`], which validates
+//! the full [`FusionConfig`] up front. The free functions at the bottom
+//! of this module are the pre-builder API, kept as deprecated wrappers.
 
-use crate::particle::{ParticleFilter, ParticleFilterConfig};
+mod config;
+mod engine;
+mod eskf;
+mod zupt;
+
+pub use config::{FusionConfig, MapFusionConfig};
+pub use engine::{FusedSession, FusedStream, Fuser, FuserBuilder};
+pub use zupt::ZuptDetector;
+
+use crate::particle::ParticleFilter;
 use rim_channel::floorplan::Floorplan;
 use rim_core::{MotionEstimate, SegmentEstimate};
 use rim_dsp::geom::{Point2, Vec2};
@@ -20,39 +46,6 @@ pub struct FusedTrack {
     pub filtered: Vec<Point2>,
 }
 
-/// Fuses RIM's per-sample speed with a gyroscope orientation track into a
-/// world trajectory.
-///
-/// `gyro_z` must be sampled at the same rate as the motion estimate.
-/// Samples where RIM reports no finite speed contribute no displacement.
-///
-/// # Panics
-/// Panics if the gyro track length differs from the estimate's.
-pub fn fuse_with_gyro(
-    estimate: &MotionEstimate,
-    gyro_z: &[f64],
-    start: Point2,
-    initial_heading: f64,
-) -> Vec<Point2> {
-    assert_eq!(
-        gyro_z.len(),
-        estimate.speed_mps.len(),
-        "gyro and RIM tracks must align"
-    );
-    let orientation = integrate_gyro(gyro_z, estimate.sample_rate_hz, initial_heading);
-    let dt = 1.0 / estimate.sample_rate_hz;
-    let mut pos = start;
-    let mut out = Vec::with_capacity(gyro_z.len());
-    for (i, &theta) in orientation.iter().enumerate() {
-        let v = estimate.speed_mps[i];
-        if v.is_finite() && v > 0.0 && estimate.moving[i] {
-            pos += Vec2::from_angle(theta) * (v * dt);
-        }
-        out.push(pos);
-    }
-    out
-}
-
 /// Down-weight factor for one segment given a minimum acceptable
 /// confidence: 1.0 at or above `min_confidence`, scaling linearly down
 /// to 0.0 for a segment whose [`rim_core::Confidence::score`] is 0
@@ -65,18 +58,12 @@ pub fn segment_weight(segment: &SegmentEstimate, min_confidence: f64) -> f64 {
     (segment.confidence.score() / min_confidence).clamp(0.0, 1.0)
 }
 
-/// [`fuse_with_gyro`], with each sample's displacement scaled by the
-/// confidence weight of the segment it belongs to (samples outside any
-/// segment keep full weight — movement gating already excludes them).
-///
-/// Degraded streaming stretches (high interpolated fraction, low
-/// alignment coverage, weak TRRS peaks) therefore pull the track less,
-/// which is the §6.3.3 fusion behaviour the stream's
-/// [`rim_core::StreamEvent::Degraded`] events are designed to enable.
-///
-/// # Panics
-/// Panics if the gyro track length differs from the estimate's.
-pub fn fuse_with_gyro_weighted(
+/// The batch dead-reckoning body shared by [`Fuser::fuse`] and the
+/// deprecated free functions: displacement along the gyro-integrated
+/// heading, scaled by the confidence weight of the containing segment
+/// (samples outside any segment keep full weight — movement gating
+/// already excludes them; `min_confidence <= 0` disables weighting).
+fn fuse_weighted_impl(
     estimate: &MotionEstimate,
     gyro_z: &[f64],
     start: Point2,
@@ -107,39 +94,18 @@ pub fn fuse_with_gyro_weighted(
     out
 }
 
-/// Configuration of the full fusion pipeline.
-#[derive(Debug, Clone)]
-pub struct FusionConfig {
-    /// Particle-filter settings.
-    pub filter: ParticleFilterConfig,
-    /// How many samples to aggregate per filter step (the filter runs at
-    /// a coarser rate than the CSI stream).
-    pub samples_per_step: usize,
-    /// RNG seed for the particle filter.
-    pub seed: u64,
-}
-
-impl Default for FusionConfig {
-    fn default() -> Self {
-        Self {
-            filter: ParticleFilterConfig::default(),
-            samples_per_step: 20,
-            seed: 0,
-        }
-    }
-}
-
-/// Runs RIM + gyro fusion, with and without the map-constrained particle
-/// filter (paper Fig. 21 shows both).
-pub fn fuse_with_map(
+/// The map-fusion body shared by [`Fuser::fuse_with_map`] and the
+/// deprecated free function: unweighted dead reckoning plus the
+/// particle filter stepped at a coarser rate.
+fn fuse_map_impl(
     estimate: &MotionEstimate,
     gyro_z: &[f64],
     floorplan: &Floorplan,
     start: Point2,
     initial_heading: f64,
-    config: &FusionConfig,
+    config: &MapFusionConfig,
 ) -> FusedTrack {
-    let dead_reckoned = fuse_with_gyro(estimate, gyro_z, start, initial_heading);
+    let dead_reckoned = fuse_weighted_impl(estimate, gyro_z, start, initial_heading, 0.0);
 
     let orientation = integrate_gyro(gyro_z, estimate.sample_rate_hz, initial_heading);
     let dt = 1.0 / estimate.sample_rate_hz;
@@ -170,6 +136,66 @@ pub fn fuse_with_map(
         dead_reckoned,
         filtered,
     }
+}
+
+/// Fuses RIM's per-sample speed with a gyroscope orientation track into
+/// a world trajectory.
+///
+/// `gyro_z` must be sampled at the same rate as the motion estimate.
+/// Samples where RIM reports no finite speed contribute no displacement.
+///
+/// # Panics
+/// Panics if the gyro track length differs from the estimate's.
+#[deprecated(
+    since = "0.9.0",
+    note = "build a `Fuser` (`Fuser::builder()…build()`) and call `Fuser::fuse`"
+)]
+pub fn fuse_with_gyro(
+    estimate: &MotionEstimate,
+    gyro_z: &[f64],
+    start: Point2,
+    initial_heading: f64,
+) -> Vec<Point2> {
+    fuse_weighted_impl(estimate, gyro_z, start, initial_heading, 0.0)
+}
+
+/// [`fuse_with_gyro`], with each sample's displacement scaled by the
+/// confidence weight of the segment it belongs to.
+///
+/// # Panics
+/// Panics if the gyro track length differs from the estimate's.
+#[deprecated(
+    since = "0.9.0",
+    note = "build a `Fuser` with `confidence_floor` set and call `Fuser::fuse`"
+)]
+pub fn fuse_with_gyro_weighted(
+    estimate: &MotionEstimate,
+    gyro_z: &[f64],
+    start: Point2,
+    initial_heading: f64,
+    min_confidence: f64,
+) -> Vec<Point2> {
+    fuse_weighted_impl(estimate, gyro_z, start, initial_heading, min_confidence)
+}
+
+/// Runs RIM + gyro fusion, with and without the map-constrained
+/// particle filter (paper Fig. 21 shows both).
+///
+/// # Panics
+/// Panics if the gyro track length differs from the estimate's.
+#[deprecated(
+    since = "0.9.0",
+    note = "build a `Fuser` and call `Fuser::fuse_with_map` with a `MapFusionConfig`"
+)]
+pub fn fuse_with_map(
+    estimate: &MotionEstimate,
+    gyro_z: &[f64],
+    floorplan: &Floorplan,
+    start: Point2,
+    initial_heading: f64,
+    config: &MapFusionConfig,
+) -> FusedTrack {
+    fuse_map_impl(estimate, gyro_z, floorplan, start, initial_heading, config)
 }
 
 #[cfg(test)]
@@ -203,11 +229,15 @@ mod tests {
         }
     }
 
+    fn unweighted() -> Fuser {
+        Fuser::builder().confidence_floor(0.0).build().unwrap()
+    }
+
     #[test]
     fn fuse_straight_line() {
         let est = synthetic_estimate(200, 100.0, 1.0);
         let gyro = vec![0.0; 200];
-        let track = fuse_with_gyro(&est, &gyro, Point2::ORIGIN, 0.0);
+        let track = unweighted().fuse(&est, &gyro);
         let end = *track.last().unwrap();
         assert!((end.x - 2.0).abs() < 1e-9, "{end:?}");
         assert!(end.y.abs() < 1e-12);
@@ -221,7 +251,7 @@ mod tests {
         let est = synthetic_estimate(n, fs, 1.0);
         let w = std::f64::consts::FRAC_PI_2 / (n as f64 / fs);
         let gyro = vec![w; n];
-        let track = fuse_with_gyro(&est, &gyro, Point2::ORIGIN, 0.0);
+        let track = unweighted().fuse(&est, &gyro);
         let end = *track.last().unwrap();
         // An arc of length 2 with 90° net turn: endpoint at (R, R) with
         // R = 2/(π/2) ≈ 1.27.
@@ -236,10 +266,14 @@ mod tests {
         for m in est.moving.iter_mut() {
             *m = false;
         }
-        let track = fuse_with_gyro(&est, &vec![0.0; 100], Point2::new(1.0, 1.0), 0.0);
-        assert!(track
-            .iter()
-            .all(|p| p.distance(Point2::new(1.0, 1.0)) < 1e-12));
+        let start = Point2::new(1.0, 1.0);
+        let fuser = Fuser::builder()
+            .confidence_floor(0.0)
+            .initial_position(start)
+            .build()
+            .unwrap();
+        let track = fuser.fuse(&est, &vec![0.0; 100]);
+        assert!(track.iter().all(|p| p.distance(start) < 1e-12));
     }
 
     #[test]
@@ -247,14 +281,7 @@ mod tests {
         let est = synthetic_estimate(400, 100.0, 0.5);
         let gyro = vec![0.0; 400];
         let fp = Floorplan::empty();
-        let out = fuse_with_map(
-            &est,
-            &gyro,
-            &fp,
-            Point2::ORIGIN,
-            0.0,
-            &FusionConfig::default(),
-        );
+        let out = unweighted().fuse_with_map(&est, &gyro, &fp, &MapFusionConfig::default());
         assert_eq!(out.dead_reckoned.len(), 400);
         assert_eq!(out.filtered.len(), 400);
         let dr_end = out.dead_reckoned.last().unwrap();
@@ -284,8 +311,12 @@ mod tests {
             ..good
         });
         let gyro = vec![0.0; n];
-        let full = fuse_with_gyro(&est, &gyro, Point2::ORIGIN, 0.0);
-        let weighted = fuse_with_gyro_weighted(&est, &gyro, Point2::ORIGIN, 0.0, 0.5);
+        let full = unweighted().fuse(&est, &gyro);
+        let weighted = Fuser::builder()
+            .confidence_floor(0.5)
+            .build()
+            .unwrap()
+            .fuse(&est, &gyro);
         let (full_end, wtd_end) = (full.last().unwrap(), weighted.last().unwrap());
         assert!((full_end.x - 2.0).abs() < 1e-9, "{full_end:?}");
         assert!(
@@ -294,15 +325,12 @@ mod tests {
         );
         // Confident segments are untouched.
         assert_eq!(full[n / 2 - 1], weighted[n / 2 - 1]);
-        // min_confidence = 0 disables weighting entirely.
-        let off = fuse_with_gyro_weighted(&est, &gyro, Point2::ORIGIN, 0.0, 0.0);
-        assert_eq!(off.last(), full.last());
     }
 
     #[test]
     #[should_panic(expected = "must align")]
     fn mismatched_gyro_length_panics() {
         let est = synthetic_estimate(10, 100.0, 1.0);
-        let _ = fuse_with_gyro(&est, &[0.0; 5], Point2::ORIGIN, 0.0);
+        let _ = unweighted().fuse(&est, &[0.0; 5]);
     }
 }

@@ -1,0 +1,118 @@
+//! Streaming zero-velocity (stance) detection.
+//!
+//! The batch indicators in [`rim_sensors::reckoning`]
+//! (`accel_movement_indicator` / `gyro_movement_indicator`) normalise a
+//! windowed deviation by its global maximum, which needs the whole
+//! recording. This is the same construction restated for streaming:
+//! absolute thresholds on the windowed accelerometer-magnitude standard
+//! deviation and mean absolute gyro rate, over a bounded ring, O(1) per
+//! sample. RINS-W's observation is that these stance windows are where
+//! an error-state filter earns its keep — velocity can be clamped and
+//! the gyro reading *is* the bias.
+
+use std::collections::VecDeque;
+
+/// Windowed stance detector over the IMU stream.
+#[derive(Debug, Clone)]
+pub struct ZuptDetector {
+    window: usize,
+    accel_std_max: f64,
+    gyro_rate_max: f64,
+    /// Recent accelerometer magnitudes with running Σx and Σx².
+    accel: VecDeque<f64>,
+    accel_sum: f64,
+    accel_sum_sq: f64,
+    /// Recent absolute gyro rates with running Σ|ω|.
+    gyro: VecDeque<f64>,
+    gyro_sum: f64,
+}
+
+impl ZuptDetector {
+    /// A detector declaring stance when both the accel deviation and the
+    /// mean gyro rate over `window` samples sit under their thresholds.
+    pub fn new(window: usize, accel_std_max: f64, gyro_rate_max: f64) -> Self {
+        Self {
+            window,
+            accel_std_max,
+            gyro_rate_max,
+            accel: VecDeque::with_capacity(window),
+            accel_sum: 0.0,
+            accel_sum_sq: 0.0,
+            gyro: VecDeque::with_capacity(window),
+            gyro_sum: 0.0,
+        }
+    }
+
+    /// Pushes one IMU sample (accelerometer magnitude, gyro rate) and
+    /// returns whether the device is currently in stance. Until the
+    /// window fills the detector reports *not* stationary — it never
+    /// clamps velocity on less than a full window of evidence.
+    pub fn push(&mut self, accel_norm: f64, gyro_z: f64) -> bool {
+        if self.accel.len() == self.window {
+            let old = self.accel.pop_front().expect("non-empty window");
+            self.accel_sum -= old;
+            self.accel_sum_sq -= old * old;
+            let old_g = self.gyro.pop_front().expect("non-empty window");
+            self.gyro_sum -= old_g;
+        }
+        self.accel.push_back(accel_norm);
+        self.accel_sum += accel_norm;
+        self.accel_sum_sq += accel_norm * accel_norm;
+        let g = gyro_z.abs();
+        self.gyro.push_back(g);
+        self.gyro_sum += g;
+        self.stationary()
+    }
+
+    /// The current stance verdict without pushing a sample.
+    pub fn stationary(&self) -> bool {
+        if self.accel.len() < self.window {
+            return false;
+        }
+        let n = self.window as f64;
+        let mean = self.accel_sum / n;
+        // Running-sum variance can go ε-negative; clamp before sqrt.
+        let var = (self.accel_sum_sq / n - mean * mean).max(0.0);
+        var.sqrt() <= self.accel_std_max && self.gyro_sum / n <= self.gyro_rate_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_stance_only_after_a_full_quiet_window() {
+        let mut d = ZuptDetector::new(4, 0.1, 0.05);
+        assert!(!d.push(0.0, 0.0));
+        assert!(!d.push(0.0, 0.0));
+        assert!(!d.push(0.0, 0.0));
+        assert!(d.push(0.0, 0.0), "fourth quiet sample fills the window");
+    }
+
+    #[test]
+    fn movement_breaks_stance_and_stance_returns() {
+        let mut d = ZuptDetector::new(4, 0.1, 0.05);
+        for _ in 0..4 {
+            d.push(0.01, 0.001);
+        }
+        assert!(d.stationary());
+        // A vigorous sample spikes the windowed deviation.
+        assert!(!d.push(2.0, 0.8));
+        // Quiet again: stance returns once the spike leaves the window.
+        let verdicts: Vec<bool> = (0..4).map(|_| d.push(0.01, 0.001)).collect();
+        assert!(!verdicts[2], "spike still inside the window");
+        assert!(verdicts[3], "spike evicted after window samples");
+    }
+
+    #[test]
+    fn steady_rotation_is_not_stance() {
+        // Constant gyro rate has zero deviation but a large mean — the
+        // gyro term must veto stance on its own.
+        let mut d = ZuptDetector::new(4, 0.1, 0.05);
+        for _ in 0..8 {
+            d.push(0.0, 0.5);
+        }
+        assert!(!d.stationary());
+    }
+}

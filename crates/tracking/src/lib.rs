@@ -5,8 +5,10 @@
 //!
 //! * [`particle`] — map-constrained particle filter (discard particles
 //!   that cross walls) for floor-scale tracking;
-//! * [`fusion`] — RIM distance + gyroscope heading dead reckoning and its
-//!   particle-filtered variant (Fig. 21);
+//! * [`fusion`] — the RIM×IMU fusion engine: batch dead reckoning with
+//!   confidence weighting, the particle-filtered variant (Fig. 21), and
+//!   the streaming error-state Kalman filter with zero-velocity updates
+//!   behind [`Fuser`] / [`FusedStream`];
 //! * [`handwriting`] — letter templates, writing workloads and scoring
 //!   (Fig. 18);
 //! * [`gesture`] — the four-direction pointer gestures and their
@@ -27,8 +29,8 @@ pub mod particle;
 
 pub use calibration::{debias_gyro, gyro_bias_from_static, magnetometer_offset};
 pub use fusion::{
-    fuse_with_gyro, fuse_with_gyro_weighted, fuse_with_map, segment_weight, FusedTrack,
-    FusionConfig,
+    segment_weight, FusedSession, FusedStream, FusedTrack, Fuser, FuserBuilder, FusionConfig,
+    MapFusionConfig, ZuptDetector,
 };
 pub use gesture::{detect_gesture, gesture_trajectory, Gesture, GestureConfig};
 pub use handwriting::{letter_template, write_letter, HandwritingRun};

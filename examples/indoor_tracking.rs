@@ -20,8 +20,8 @@ use rim_core::RimConfig;
 use rim_dsp::geom::Point2;
 use rim_examples::{ascii_plot, simulate_and_analyze};
 use rim_sensors::{ImuConfig, SimulatedImu};
-use rim_tracking::fusion::{fuse_with_map, FusionConfig};
 use rim_tracking::metrics::mean_projection_error;
+use rim_tracking::{Fuser, MapFusionConfig};
 
 fn main() {
     let fs = 200.0;
@@ -62,14 +62,16 @@ fn main() {
     // 2/3. Fuse with a consumer-grade gyroscope, with and without the map.
     let imu = SimulatedImu::new(ImuConfig::consumer(), 5).sample(&trajectory);
     let (floorplan, _) = office_floorplan();
-    let fused = fuse_with_map(
-        &estimate,
-        &imu.gyro_z,
-        &floorplan,
-        waypoints[0],
-        0.0,
-        &FusionConfig::default(),
-    );
+    let fused = Fuser::builder()
+        .initial_position(waypoints[0])
+        .build()
+        .expect("default fusion knobs are valid")
+        .fuse_with_map(
+            &estimate,
+            &imu.gyro_z,
+            &floorplan,
+            &MapFusionConfig::default(),
+        );
     println!(
         "RIM + gyro      : mean track error {:.2} m",
         mean_projection_error(&fused.dead_reckoned, &truth)

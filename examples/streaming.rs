@@ -82,6 +82,7 @@ fn main() {
                     println!("[{t:6.2}s] DEGRADED: {reason:?}")
                 }
                 StreamEvent::Recovered { .. } => println!("[{t:6.2}s] recovered"),
+                other => println!("[{t:6.2}s] {}", other.kind().name()),
             }
         }
         agg.absorb(&events);

@@ -6,7 +6,7 @@
 //! over `&[u8]` with big-endian `get_*` accessors. Backed by plain
 //! `Vec<u8>` — no refcounted slab sharing, which nothing here needs.
 
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 
 /// Growable byte buffer.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -37,6 +37,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
     }
 }
 

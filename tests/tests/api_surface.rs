@@ -21,10 +21,20 @@ use rim_core::{Confidence, MotionEstimate, Rim, RimConfig, Session};
 use rim_core::Error;
 // Segment output.
 use rim_core::{SegmentEstimate, SegmentKind};
-// Streaming front-end: one ingest entry point over three input shapes.
+// Streaming front-end: one ingest entry point over four input shapes.
 use rim_core::{
     DegradeReason, GapFilter, RimStream, StreamAggregate, StreamEvent, StreamInput, StreamSession,
 };
+// Multi-modal ingest v2: IMU input, the fused estimate's mode label, and
+// the forward-compatible event discriminant (`StreamEvent` is
+// `#[non_exhaustive]`; `kind()` is the match-free dispatch path).
+use rim_core::{FusedMode, ImuSample, StreamEventKind};
+// The RIM×IMU fusion engine: validated builder, streaming filter, and
+// the probed session handle.
+use rim_tracking::{FusedSession, FusedStream, Fuser, FuserBuilder, FusionConfig};
+// IMU acquisition: simulated sensors plus the validated external-data
+// constructor and its typed error.
+use rim_sensors::{ImuConfig, ImuError, ImuRecording, SimulatedImu};
 // Algorithm stages exposed for diagnostics and research use.
 use rim_core::{alignment_matrix, AlignmentConfig, AlignmentMatrix};
 use rim_core::{auto_threshold, detect_movement, movement_indicator, MovementConfig};
@@ -82,6 +92,77 @@ fn entry_point_signatures_are_stable() {
         ServeConfigBuilder::build;
     let _budget: fn(&ServeConfig) -> u64 = ServeConfig::latency_budget_us;
     let _io_threads: fn(&ServeConfig) -> usize = ServeConfig::io_threads;
+    // Fusion engine v1: validated builder in, streaming filter out.
+    let _fuser_builder: fn() -> FuserBuilder = Fuser::builder;
+    let _fuser_build: fn(FuserBuilder) -> Result<Fuser, Error> = FuserBuilder::build;
+    let _fuser_config: fn(&Fuser) -> &FusionConfig = Fuser::config;
+    let _fuser_stream: fn(&Fuser, RimStream) -> FusedStream = Fuser::stream;
+    let _fused_finish: fn(&mut FusedStream) -> Vec<StreamEvent> = FusedStream::finish;
+    let _fused_position: fn(&FusedStream) -> rim_dsp::geom::Point2 = FusedStream::position;
+    let _fused_total: fn(&FusedStream) -> f64 = FusedStream::total_distance;
+    let _fused_mode: fn(&FusedStream) -> FusedMode = FusedStream::mode;
+    // Multi-modal ingest v2: the event discriminant and the validated
+    // IMU-recording constructor for external data.
+    let _event_kind: fn(&StreamEvent) -> StreamEventKind = StreamEvent::kind;
+    let _imu_validated: ImuValidatedFn = ImuRecording::validated;
+    let _imu_len: fn(&ImuRecording) -> usize = ImuRecording::len;
+    // The serve path carries IMU batches end to end.
+    let _manager_with_fuser: fn(
+        ArrayGeometry,
+        RimConfig,
+        ServeConfig,
+        Fuser,
+    ) -> Result<SessionManager, Error> = SessionManager::with_fuser;
+    let _manager_imu: fn(&SessionManager, u64, Vec<ImuSample>) -> Admit =
+        SessionManager::ingest_imu;
+    let _client_imu: ClientImuFn = Client::ingest_imu;
+    let _client_imu_blocking: ClientImuFn = Client::ingest_imu_blocking;
+}
+
+/// Pinned signatures too wide for an inline annotation; a parameter or
+/// return-type change on the aliased entry points still fails to
+/// compile here.
+type ImuValidatedFn =
+    fn(f64, Vec<rim_dsp::geom::Vec2>, Vec<f64>, Vec<f64>) -> Result<ImuRecording, ImuError>;
+type ClientImuFn =
+    fn(&mut Client, u64, Vec<ImuSample>) -> std::io::Result<(Admit, Vec<StreamEvent>)>;
+
+/// The pre-builder fusion entry points survive as deprecated wrappers:
+/// still exported, still the documented signatures, so downstream code
+/// keeps compiling (with a warning pointing at [`Fuser`]) until it
+/// migrates.
+#[test]
+#[allow(deprecated)]
+fn deprecated_fusion_wrappers_remain_callable() {
+    use rim_channel::floorplan::Floorplan;
+    use rim_dsp::geom::Point2;
+    use rim_tracking::fusion::{fuse_with_gyro, fuse_with_gyro_weighted, fuse_with_map};
+    use rim_tracking::{FusedTrack, MapFusionConfig};
+
+    let _plain: fn(&MotionEstimate, &[f64], Point2, f64) -> Vec<Point2> = fuse_with_gyro;
+    let _weighted: fn(&MotionEstimate, &[f64], Point2, f64, f64) -> Vec<Point2> =
+        fuse_with_gyro_weighted;
+    let _mapped: fn(
+        &MotionEstimate,
+        &[f64],
+        &Floorplan,
+        Point2,
+        f64,
+        &MapFusionConfig,
+    ) -> FusedTrack = fuse_with_map;
+
+    // And they still run: an empty estimate dead-reckons to nothing.
+    let estimate = MotionEstimate {
+        sample_rate_hz: 100.0,
+        movement_indicator: Vec::new(),
+        moving: Vec::new(),
+        speed_mps: Vec::new(),
+        heading_device: Vec::new(),
+        angular_rate: Vec::new(),
+        segments: Vec::new(),
+    };
+    let fused = fuse_with_gyro(&estimate, &[], Point2::new(0.0, 0.0), 0.0);
+    assert!(fused.is_empty());
 }
 
 /// `ingest` accepts all three input shapes through one entry point, on

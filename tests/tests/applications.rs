@@ -7,10 +7,10 @@ use rim_channel::{office_floorplan, ChannelSimulator};
 use rim_dsp::geom::Point2;
 use rim_integration_tests::{config, run_pipeline, FS, SPACING};
 use rim_sensors::{ImuConfig, SimulatedImu};
-use rim_tracking::fusion::{fuse_with_map, FusionConfig};
 use rim_tracking::gesture::{detect_gesture, gesture_trajectory, Gesture, GestureConfig};
 use rim_tracking::handwriting::write_letter;
 use rim_tracking::metrics::mean_projection_error;
+use rim_tracking::{Fuser, MapFusionConfig};
 
 #[test]
 fn handwriting_letter_reconstructs() {
@@ -74,14 +74,11 @@ fn fusion_with_particle_filter_tracks_office_route() {
 
     let imu = SimulatedImu::new(ImuConfig::consumer(), 3).sample(&traj);
     let (floorplan, _) = office_floorplan();
-    let fused = fuse_with_map(
-        &est,
-        &imu.gyro_z,
-        &floorplan,
-        wps[0],
-        0.0,
-        &FusionConfig::default(),
-    );
+    let fused = Fuser::builder()
+        .initial_position(wps[0])
+        .build()
+        .expect("default fusion knobs are valid")
+        .fuse_with_map(&est, &imu.gyro_z, &floorplan, &MapFusionConfig::default());
     let truth: Vec<Point2> = traj.poses().iter().map(|p| p.pos).collect();
     let err = mean_projection_error(&fused.filtered, &truth);
     assert!(

@@ -15,15 +15,18 @@
 //! one enumerable matrix with per-cell seeds, so a failure names its cell.
 
 use rim_array::ArrayGeometry;
-use rim_channel::trajectory::{line, OrientationMode, Trajectory};
+use rim_channel::trajectory::{dwell, line, OrientationMode, Trajectory};
 use rim_channel::ChannelSimulator;
 use rim_core::stream::{RimStream, StreamAggregate};
+use rim_core::ImuSample;
 use rim_csi::{
     synced_from_recording, CsiRecorder, CsiRecording, DeviceConfig, HardwareProfile, LossModel,
     RecorderConfig,
 };
 use rim_dsp::geom::Point2;
 use rim_integration_tests::{config, FS, SPACING};
+use rim_sensors::{ImuConfig, SimulatedImu};
+use rim_tracking::Fuser;
 
 /// Burst model whose stationary loss rate is 30 % (π_bad = 0.2, so
 /// 0.8·0.05 + 0.2·1.0 = 0.26 ≈ 0.3 with mean burst length 1/p_exit = 5
@@ -338,5 +341,107 @@ fn burst_loss_median_error_within_twice_clean() {
     assert!(
         total_degraded >= 1 && total_recovered >= 1,
         "30% burst loss must trip the watchdog: degraded {total_degraded}, recovered {total_recovered}"
+    );
+}
+
+/// A walked trajectory long enough to carry a 2 s blackout: 1 s at rest,
+/// then 6 m of gait (speed oscillating per 0.3 m step so the
+/// accelerometer sees the walk).
+fn fused_cell_trajectory() -> Trajectory {
+    let start = Point2::new(0.0, 2.0);
+    let mut traj = dwell(start, 0.0, 1.0, FS);
+    let steps = 20usize;
+    for s in 0..steps {
+        let end = traj.pose(traj.len() - 1);
+        let speed = if s % 2 == 0 { 1.25 } else { 0.8 };
+        traj.extend(&line(
+            end.pos,
+            0.0,
+            0.3,
+            speed,
+            FS,
+            OrientationMode::FollowPath,
+        ));
+    }
+    traj
+}
+
+/// The fusion cell of the matrix: a 2 s whole-device blackout mid-walk.
+/// RIM-only permanently loses the distance walked inside the gap; the
+/// fused stream coasts through on the IMU. Across five consumer-IMU
+/// noise realisations, the fused median total-distance error must beat
+/// RIM-only's.
+#[test]
+fn fused_beats_rim_only_median_error_through_blackout() {
+    let geometry = ArrayGeometry::linear(3, SPACING);
+    let traj = fused_cell_trajectory();
+    let truth = traj.total_distance();
+    let sim = ChannelSimulator::open_lab(7);
+    let device = DeviceConfig::single_nic(geometry.offsets().to_vec());
+    let mut recording = CsiRecorder::new(
+        &sim,
+        device,
+        RecorderConfig {
+            sanitize: true,
+            seed: 7,
+        },
+    )
+    .record(&traj);
+    // 2 s blackout squarely inside the walk.
+    let blackout = ((3.0 * FS) as usize, (2.0 * FS) as usize);
+    for antenna in &mut recording.antennas {
+        for slot in antenna.iter_mut().skip(blackout.0).take(blackout.1) {
+            *slot = None;
+        }
+    }
+    let samples = synced_from_recording(&recording);
+
+    // RIM-only: one deterministic stream (no IMU in the loop).
+    let mut rim_only = RimStream::new(geometry.clone(), config(0.3)).expect("valid config");
+    let mut agg = StreamAggregate::default();
+    for sample in samples.iter() {
+        agg.absorb(&rim_only.ingest(sample.clone()).expect("ingest"));
+    }
+    agg.absorb(&rim_only.finish());
+    let rim_error = (agg.total_distance() - truth).abs();
+    assert!(
+        agg.degraded >= 1,
+        "the blackout must trip the watchdog (degraded {})",
+        agg.degraded
+    );
+
+    // Fused: five IMU noise realisations over the same gapped CSI.
+    let mut fused_errors: Vec<f64> = (0..5u64)
+        .map(|seed| {
+            let imu = SimulatedImu::new(ImuConfig::consumer(), 40 + seed).sample(&traj);
+            let fuser = Fuser::builder()
+                .initial_position(Point2::new(0.0, 2.0))
+                .zupt_window((0.4 * FS) as usize)
+                .rim_heading_noise(f64::INFINITY)
+                .accel_noise(0.3)
+                .build()
+                .expect("valid knobs");
+            let mut fused =
+                fuser.stream(RimStream::new(geometry.clone(), config(0.3)).expect("valid config"));
+            for (i, sample) in samples.iter().enumerate() {
+                let batch = vec![ImuSample {
+                    t_us: (i as f64 / FS * 1e6) as u64,
+                    accel_body: imu.accel_body[i],
+                    gyro_z: imu.gyro_z[i],
+                    mag_orientation: Some(imu.mag_orientation[i]),
+                }];
+                fused.ingest(batch).expect("imu ingest");
+                fused.ingest(sample.clone()).expect("csi ingest");
+            }
+            fused.finish();
+            (fused.total_distance() - truth).abs()
+        })
+        .collect();
+    fused_errors.sort_by(|a, b| a.total_cmp(b));
+    let fused_median = fused_errors[fused_errors.len() / 2];
+    assert!(
+        fused_median < rim_error,
+        "fused median {fused_median:.3} m must beat RIM-only {rim_error:.3} m \
+         (truth {truth:.3} m, fused errors {fused_errors:?})"
     );
 }
