@@ -1,0 +1,17 @@
+//! Standalone scenario-zoo bench: the seven-motion corpus crossed with
+//! the 2/3/4-antenna × 20/40/80 MHz × mixed-rate device matrix, with
+//! both the batch RIM pipeline and the RIM×IMU fusion engine run over
+//! every cell.
+//!
+//! ```sh
+//! cargo run --release -p rim-bench --bin scenarios
+//! ```
+//!
+//! Writes `BENCH_scenarios.json` in the `rim-scenarios-bench/1` schema.
+//! With `RIM_FAST=1` every device's sample rate is halved (the
+//! trajectories and the device matrix are identical), which is the
+//! configuration CI's scenarios lane runs.
+
+fn main() {
+    rim_bench::scenarios::write_scenarios_bench(rim_bench::fast_mode());
+}

@@ -24,6 +24,7 @@ pub mod kernel;
 pub mod latency;
 pub mod obs;
 pub mod report;
+pub mod scenarios;
 pub mod serve;
 
 /// True when the `RIM_FAST` environment variable asks for reduced

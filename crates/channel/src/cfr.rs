@@ -47,6 +47,20 @@ impl SubcarrierLayout {
         }
     }
 
+    /// 802.11ac VHT80 layout: 242 subcarriers at indices ±2..±122,
+    /// 312.5 kHz spacing, 5.8 GHz carrier — the widest grid a COTS
+    /// 5 GHz NIC reports, used by the heterogeneity scenarios to stress
+    /// non-default subcarrier counts.
+    pub fn vht80_5ghz() -> Self {
+        let mut indices: Vec<i32> = (-122..=-2).collect();
+        indices.extend(2..=122);
+        Self {
+            center_hz: 5.8e9,
+            spacing_hz: 312_500.0,
+            indices,
+        }
+    }
+
     /// Intel 5300 grouped CSI on HT40: 30 subcarriers, every fourth index
     /// from −58 to +58 — the layout of the 802.11 CSI Tool [10].
     pub fn intel5300_ht40() -> Self {
@@ -141,6 +155,20 @@ mod tests {
         assert_eq!(i.n_subcarriers(), 30);
         assert_eq!(i.indices[0], -58);
         assert_eq!(*i.indices.last().unwrap(), 58);
+    }
+
+    #[test]
+    fn vht80_layout_shape() {
+        let l = SubcarrierLayout::vht80_5ghz();
+        assert_eq!(l.n_subcarriers(), 242);
+        assert!(!l.indices.contains(&0), "no DC subcarrier");
+        assert!(!l.indices.contains(&1) && !l.indices.contains(&-1));
+        assert_eq!(l.indices[0], -122);
+        assert_eq!(*l.indices.last().unwrap(), 122);
+        assert!((l.bandwidth_hz() - 244.0 * 312_500.0).abs() < 1.0);
+        // Same carrier as HT40: antenna spacing stays λ/2 ≈ 2.58 cm
+        // across bandwidths, so array geometry is bandwidth-independent.
+        assert!((l.wavelength() - SPEED_OF_LIGHT / 5.8e9).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   reports as CSI);
 //! * [`trajectory`] — ground-truth device motion and the paper's workload
 //!   generators;
+//! * [`scenarios`] — the named, seeded motion corpus (the "scenario zoo")
+//!   shared by the CLI and the benches;
 //! * [`simulator`] — ties the above together behind a sampler the CSI
 //!   layer drives.
 //!
@@ -29,6 +31,7 @@ pub mod floorplan;
 pub mod material;
 pub mod propagation;
 pub mod scatter;
+pub mod scenarios;
 pub mod simulator;
 pub mod trajectory;
 

@@ -148,6 +148,28 @@ impl ChannelSimulator {
         )
     }
 
+    /// Replaces the subcarrier layout, keeping the environment and AP.
+    ///
+    /// The canned environments ([`Self::office`], [`Self::open_lab`])
+    /// default to HT40; the heterogeneity scenarios rebind them to
+    /// HT20/VHT80 grids with this builder. Ray geometry is
+    /// layout-independent, so the swap is free.
+    pub fn with_layout(mut self, layout: SubcarrierLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Replaces the AP configuration (e.g. a different TX antenna
+    /// count), keeping the environment and layout.
+    ///
+    /// # Panics
+    /// Panics if the AP has no antennas.
+    pub fn with_ap(mut self, ap: ApConfig) -> Self {
+        assert!(ap.n_antennas > 0, "AP needs at least one antenna");
+        self.ap = ap;
+        self
+    }
+
     /// The subcarrier layout in use.
     pub fn layout(&self) -> &SubcarrierLayout {
         &self.layout

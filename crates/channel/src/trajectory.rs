@@ -433,6 +433,116 @@ pub fn stop_and_go(
     t
 }
 
+/// The gait shape for [`gait_line`]: mean speed, step length, and the
+/// per-step surge fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gait {
+    /// Mean forward speed, m/s.
+    pub speed: f64,
+    /// Metres per step — one surge/ease alternation per step.
+    pub step_len: f64,
+    /// Fractional speed modulation in `[0, 1)`: the walk alternates
+    /// `speed·(1+surge)` and `speed·(1−surge)`.
+    pub surge: f64,
+}
+
+/// Gait-modulated straight walk: like [`line`] but the speed surges and
+/// eases once per step — the push-off/heel-strike cadence of a walking
+/// or running human. A higher speed/surge with a longer step models
+/// running; the surge transients are what a body-worn IMU actually
+/// measures, and the inter-step lulls are the stance-detector trap the
+/// ZUPT arbitration has to survive.
+///
+/// # Panics
+/// Panics for negative distance, non-positive speed/step length, or a
+/// surge outside `[0, 1)`.
+pub fn gait_line(
+    start: Point2,
+    heading: f64,
+    distance: f64,
+    gait: Gait,
+    sample_rate_hz: f64,
+    orientation: OrientationMode,
+) -> Trajectory {
+    assert!(
+        distance >= 0.0 && gait.speed > 0.0 && gait.step_len > 0.0,
+        "invalid gait parameters"
+    );
+    assert!((0.0..1.0).contains(&gait.surge), "surge must be in [0, 1)");
+    let dir = Vec2::from_angle(heading);
+    let orient = match orientation {
+        OrientationMode::FollowPath => heading,
+        OrientationMode::Fixed(a) => a,
+    };
+    let dt = 1.0 / sample_rate_hz;
+    let mut poses = vec![Pose {
+        pos: start,
+        orientation: orient,
+    }];
+    let mut s = 0.0;
+    while s < distance {
+        let step_idx = (s / gait.step_len) as usize;
+        let v = if step_idx.is_multiple_of(2) {
+            gait.speed * (1.0 + gait.surge)
+        } else {
+            gait.speed * (1.0 - gait.surge)
+        };
+        s += v * dt;
+        poses.push(Pose {
+            pos: start + dir * s.min(distance),
+            orientation: orient,
+        });
+    }
+    Trajectory::new(sample_rate_hz, poses)
+}
+
+/// Random hand shake: the device lurches between seeded random targets
+/// inside a disc of `amplitude` metres around `centre`, a few times per
+/// second, for `duration_s` seconds — the adversarial no-net-motion
+/// workload of the scenario zoo. Orientation stays fixed. Deterministic
+/// for a given seed.
+///
+/// # Panics
+/// Panics for non-positive amplitude/duration.
+pub fn shake(
+    centre: Point2,
+    orientation: f64,
+    amplitude: f64,
+    duration_s: f64,
+    sample_rate_hz: f64,
+    seed: u64,
+) -> Trajectory {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(
+        amplitude > 0.0 && duration_s > 0.0,
+        "invalid shake parameters"
+    );
+    const TWITCH_HZ: f64 = 4.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_way = (duration_s * TWITCH_HZ).ceil() as usize + 1;
+    let mut way = vec![centre];
+    for _ in 1..=n_way {
+        // √u radius for a uniform draw over the disc.
+        let r = amplitude * rng.gen_range(0.0f64..=1.0).sqrt();
+        let a = rng.gen_range(0.0..std::f64::consts::TAU);
+        way.push(centre + Vec2::from_angle(a) * r);
+    }
+    let n = (duration_s * sample_rate_hz).round() as usize + 1;
+    let poses = (0..n)
+        .map(|k| {
+            let t = k as f64 / sample_rate_hz * TWITCH_HZ;
+            let i = (t as usize).min(way.len() - 2);
+            let frac = (t - i as f64).clamp(0.0, 1.0);
+            Pose {
+                pos: way[i] + way[i].to(way[i + 1]) * frac,
+                orientation,
+            }
+        })
+        .collect();
+    Trajectory::new(sample_rate_hz, poses)
+}
+
 /// In-place rotation about `centre` by `total_angle` radians (sign gives
 /// direction) at `angular_speed` rad/s. The device reference point stays at
 /// `centre`; antennas sweep circles around it.
@@ -687,5 +797,62 @@ mod tests {
         let b = dwell(Point2::ORIGIN, 0.0, 0.1, 200.0);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.extend(&b)));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn gait_line_surges_around_the_mean_speed() {
+        let t = gait_line(
+            Point2::ORIGIN,
+            0.0,
+            4.0,
+            Gait {
+                speed: 1.0,
+                step_len: 0.5,
+                surge: 0.25,
+            },
+            200.0,
+            OrientationMode::FollowPath,
+        );
+        assert!((t.total_distance() - 4.0).abs() < 0.02);
+        let speeds = t.speeds();
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        let min = speeds[1..speeds.len() - 1]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(max > 1.2 && max < 1.3, "push-off surge present: {max}");
+        assert!(min < 0.8, "inter-step ease present: {min}");
+        // Never moves backwards.
+        for s in &speeds {
+            assert!(*s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn shake_is_seeded_and_bounded() {
+        let a = shake(Point2::new(1.0, 2.0), 0.3, 0.08, 2.0, 100.0, 9);
+        let b = shake(Point2::new(1.0, 2.0), 0.3, 0.08, 2.0, 100.0, 9);
+        let c = shake(Point2::new(1.0, 2.0), 0.3, 0.08, 2.0, 100.0, 10);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.poses().iter().zip(b.poses()) {
+            assert_eq!(pa.pos.x, pb.pos.x);
+            assert_eq!(pa.pos.y, pb.pos.y);
+        }
+        assert!(
+            a.poses()
+                .iter()
+                .zip(c.poses())
+                .any(|(pa, pc)| pa.pos.x != pc.pos.x),
+            "different seed, different jitter"
+        );
+        for p in a.poses() {
+            assert!(
+                p.pos.distance(Point2::new(1.0, 2.0)) <= 0.08 + 1e-9,
+                "excursion stays inside the amplitude disc"
+            );
+            assert_eq!(p.orientation, 0.3);
+        }
+        // Net displacement is (near) zero but plenty of path is covered.
+        assert!(a.total_distance() > 0.3);
     }
 }

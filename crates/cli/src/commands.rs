@@ -3,7 +3,7 @@
 use crate::args::Args;
 use rim_array::{ArrayGeometry, HALF_WAVELENGTH};
 use rim_channel::trajectory::{line, polyline, rotate_in_place, OrientationMode, Trajectory};
-use rim_channel::ChannelSimulator;
+use rim_channel::{ChannelSimulator, SubcarrierLayout};
 use rim_core::{ImuSample, Precision, Rim, RimConfig, RimStream};
 use rim_csi::{CsiRecorder, DeviceConfig, LossModel, RecorderConfig};
 use rim_dsp::geom::Point2;
@@ -17,21 +17,22 @@ pub const USAGE: &str = "\
 rim — RF-based inertial measurement (RIM, SIGCOMM 2019) in Rust
 
 USAGE:
-  rim simulate <out.rimc> [--scenario line|square|rotation] [--env lab|office]
-               [--array linear3|hexagonal|l] [--distance M] [--speed M/S]
+  rim simulate <out.rimc> [--scenario NAME] [--env lab|office]
+               [--array linear2|linear3|linear4|hexagonal|l] [--bandwidth 20|40|80]
+               [--distance M] [--speed M/S]
                [--rate HZ] [--loss SPEC] [--seed N] [--obs json|report]
                [--imu consumer|uncalibrated|ideal]
-  rim analyze  <in.rimc> [<in2.rimc>…] [--array linear3|hexagonal|l]
+  rim analyze  <in.rimc> [<in2.rimc>…] [--array linear2|linear3|linear4|hexagonal|l]
                [--min-speed M/S] [--start X,Y] [--threads N] [--verbose]
                [--precision f64|f32] [--loss SPEC] [--loss-seed N]
                [--obs json|report] [--imu consumer|uncalibrated|ideal]
-  rim serve    <in.rimc> [--sessions K] [--array linear3|hexagonal|l]
+  rim serve    <in.rimc> [--sessions K] [--array linear2|linear3|linear4|hexagonal|l]
                [--min-speed M/S] [--threads N] [--precision f64|f32]
                [--queue N] [--latency-budget-us US] [--io-threads N]
                [--loss SPEC] [--loss-seed N] [--obs json|report]
                [--trace-every N] [--metrics-every MS]
                [--imu consumer|uncalibrated|ideal]
-  rim serve    --listen ADDR [--rate HZ] [--array linear3|hexagonal|l]
+  rim serve    --listen ADDR [--rate HZ] [--array linear2|linear3|linear4|hexagonal|l]
                [--min-speed M/S] [--threads N] [--precision f64|f32]
                [--queue N] [--latency-budget-us US] [--io-threads N]
                [--trace-every N]
@@ -39,6 +40,13 @@ USAGE:
   rim floorplan
   rim demo     [--seed N] [--obs json|report]
   rim help
+
+  --scenario NAME is one of the classic shapes (line | square | rotation,
+  parameterised by --distance/--speed) or a scenario-zoo workload with
+  canonical parameters: walking | running | stop_and_go | stairs_pause |
+  cart_push | shaking | rotation_while_translating (--seed feeds the zoo's
+  RNG). --bandwidth selects the subcarrier grid the simulated NIC reports
+  (20 MHz = 56, 40 MHz = 114 [default], 80 MHz = 242 subcarriers).
 
   --loss SPEC is `none`, a bare probability, `iid:P`, or
   `ge:ENTER,EXIT,GOOD,BAD` (Gilbert–Elliott burst loss). On simulate it
@@ -136,11 +144,25 @@ fn obs_mode(args: &Args) -> Result<Option<ObsMode>, String> {
 /// Resolves an array geometry by name.
 fn array_by_name(name: &str) -> Result<ArrayGeometry, String> {
     match name {
+        "linear2" => Ok(ArrayGeometry::linear(2, HALF_WAVELENGTH)),
         "linear3" => Ok(ArrayGeometry::linear(3, HALF_WAVELENGTH)),
+        "linear4" => Ok(ArrayGeometry::linear(4, HALF_WAVELENGTH)),
         "hexagonal" => Ok(ArrayGeometry::hexagonal(HALF_WAVELENGTH)),
         "l" => Ok(ArrayGeometry::l_shape(HALF_WAVELENGTH)),
         other => Err(format!(
-            "unknown array {other:?} (expected linear3 | hexagonal | l)"
+            "unknown array {other:?} (expected linear2 | linear3 | linear4 | hexagonal | l)"
+        )),
+    }
+}
+
+/// Resolves a channel bandwidth (MHz) to its subcarrier grid.
+fn layout_by_bandwidth(mhz: u64) -> Result<SubcarrierLayout, String> {
+    match mhz {
+        20 => Ok(SubcarrierLayout::ht20_5ghz()),
+        40 => Ok(SubcarrierLayout::ht40_5ghz()),
+        80 => Ok(SubcarrierLayout::vht80_5ghz()),
+        other => Err(format!(
+            "unknown bandwidth {other} MHz (expected 20 | 40 | 80)"
         )),
     }
 }
@@ -235,19 +257,25 @@ fn env_by_name(name: &str, seed: u64) -> Result<ChannelSimulator, String> {
     }
 }
 
-/// Builds the scenario trajectory.
+/// Builds the scenario trajectory: the three classic shapes
+/// (parameterised by `--distance`/`--speed`) or any named scenario-zoo
+/// workload (canonically parameterised; `--seed` feeds its RNG).
 fn scenario(
     name: &str,
     env: &str,
     distance: f64,
     speed: f64,
     rate: f64,
+    seed: u64,
 ) -> Result<Trajectory, String> {
     let start = if env == "office" {
         Point2::new(8.0, 13.0)
     } else {
         Point2::new(0.0, 2.0)
     };
+    if let Some(traj) = rim_channel::scenarios::build(name, start, rate, seed) {
+        return Ok(traj);
+    }
     match name {
         "line" => Ok(line(
             start,
@@ -276,7 +304,8 @@ fn scenario(
             rate,
         )),
         other => Err(format!(
-            "unknown scenario {other:?} (expected line | square | rotation)"
+            "unknown scenario {other:?} (expected line | square | rotation | {})",
+            rim_channel::scenarios::name_list()
         )),
     }
 }
@@ -286,7 +315,17 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     check_options(
         args,
         &[
-            "scenario", "env", "array", "distance", "speed", "rate", "loss", "seed", "obs", "imu",
+            "scenario",
+            "env",
+            "array",
+            "bandwidth",
+            "distance",
+            "speed",
+            "rate",
+            "loss",
+            "seed",
+            "obs",
+            "imu",
         ],
     )?;
     let obs = obs_mode(args)?;
@@ -304,9 +343,15 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     let array_name = args.get_str("array", "linear3");
     let scenario_name = args.get_str("scenario", "line");
 
-    let sim = env_by_name(&env_name, seed)?;
+    let mut sim = env_by_name(&env_name, seed)?;
+    if let Some(mhz) = args.options.get("bandwidth") {
+        let mhz: u64 = mhz
+            .parse()
+            .map_err(|_| format!("--bandwidth expects a number in MHz, got {mhz:?}"))?;
+        sim = sim.with_layout(layout_by_bandwidth(mhz)?);
+    }
     let geometry = array_by_name(&array_name)?;
-    let traj = scenario(&scenario_name, &env_name, distance, speed, rate)?;
+    let traj = scenario(&scenario_name, &env_name, distance, speed, rate, seed)?;
 
     let mut device = if geometry.nic_groups().len() == 2 {
         DeviceConfig::dual_nic(geometry.offsets().to_vec())
@@ -1007,18 +1052,37 @@ mod tests {
 
     #[test]
     fn array_names_resolve() {
+        assert_eq!(array_by_name("linear2").unwrap().n_antennas(), 2);
         assert_eq!(array_by_name("linear3").unwrap().n_antennas(), 3);
+        assert_eq!(array_by_name("linear4").unwrap().n_antennas(), 4);
         assert_eq!(array_by_name("hexagonal").unwrap().n_antennas(), 6);
         assert_eq!(array_by_name("l").unwrap().n_antennas(), 3);
         assert!(array_by_name("bogus").is_err());
     }
 
     #[test]
+    fn bandwidths_resolve_to_grids() {
+        assert_eq!(layout_by_bandwidth(20).unwrap().n_subcarriers(), 56);
+        assert_eq!(layout_by_bandwidth(40).unwrap().n_subcarriers(), 114);
+        assert_eq!(layout_by_bandwidth(80).unwrap().n_subcarriers(), 242);
+        assert!(layout_by_bandwidth(160).is_err());
+    }
+
+    #[test]
     fn scenario_names_resolve() {
-        assert!(scenario("line", "lab", 1.0, 1.0, 100.0).is_ok());
-        assert!(scenario("square", "lab", 2.0, 1.0, 100.0).is_ok());
-        assert!(scenario("rotation", "lab", 0.0, 1.0, 100.0).is_ok());
-        assert!(scenario("bogus", "lab", 1.0, 1.0, 100.0).is_err());
+        assert!(scenario("line", "lab", 1.0, 1.0, 100.0, 7).is_ok());
+        assert!(scenario("square", "lab", 2.0, 1.0, 100.0, 7).is_ok());
+        assert!(scenario("rotation", "lab", 0.0, 1.0, 100.0, 7).is_ok());
+        // Every zoo workload is parseable straight from the CLI.
+        for spec in rim_channel::scenarios::ZOO {
+            assert!(
+                scenario(spec.name, "lab", 1.0, 1.0, 100.0, spec.default_seed).is_ok(),
+                "{} resolves",
+                spec.name
+            );
+        }
+        let err = scenario("bogus", "lab", 1.0, 1.0, 100.0, 7).unwrap_err();
+        assert!(err.contains("walking"), "error lists zoo names: {err}");
     }
 
     #[test]
@@ -1043,6 +1107,41 @@ mod tests {
 
         let an_args = args(&["analyze", path_str]);
         analyze(&an_args).expect("analyze");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zoo_scenario_round_trips_on_a_heterogeneous_device() {
+        // A zoo workload on a non-default shape: 2-antenna array on a
+        // 20 MHz (56-subcarrier) grid, analyzed back with the same array.
+        let dir = std::env::temp_dir().join("rim_cli_test_zoo");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rimc");
+        let path_str = path.to_str().unwrap();
+        simulate(&args(&[
+            "simulate",
+            path_str,
+            "--scenario",
+            "stop_and_go",
+            "--array",
+            "linear2",
+            "--bandwidth",
+            "20",
+            "--rate",
+            "50",
+        ]))
+        .expect("simulate");
+        analyze(&args(&["analyze", path_str, "--array", "linear2"])).expect("analyze");
+        let err = simulate(&args(&[
+            "simulate",
+            path_str,
+            "--bandwidth",
+            "160",
+            "--rate",
+            "50",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bandwidth"), "rejects unknown widths: {err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -597,11 +597,37 @@ impl Rim {
                 got: csi.n_samples(),
             });
         }
-        // NaN/Inf CSI would silently poison every TRRS downstream (the
-        // matrices, the DP costs, the movement indicator); reject it at
-        // the boundary with the offending coordinates instead.
+        // The TRRS kernels score snapshots on mismatched subcarrier grids
+        // as zero similarity instead of failing (unlike TX-count
+        // disagreement, which truncates gracefully to the common prefix).
+        // Inside one recording a grid mix is never intent: a capture that
+        // interleaves 56/114/242-subcarrier snapshots would silently
+        // score near-zero TRRS everywhere and reckon garbage. Reject
+        // ragged grids at the boundary with the offending coordinates.
+        let mut grid = None;
         for (a, series) in csi.antennas.iter().enumerate() {
             for (i, snap) in series.iter().enumerate() {
+                let sc = snap.n_subcarriers();
+                if snap.per_tx.iter().any(|cfr| cfr.len() != sc) {
+                    return Err(Error::Geometry(format!(
+                        "ragged CSI at antenna {a} sample {i}: \
+                         TX streams disagree on subcarrier count"
+                    )));
+                }
+                match grid {
+                    None => grid = Some(sc),
+                    Some(esc) if esc != sc => {
+                        return Err(Error::Geometry(format!(
+                            "mixed subcarrier grids in one recording: \
+                             antenna {a} sample {i} has {sc} subcarriers, \
+                             {esc} elsewhere"
+                        )));
+                    }
+                    Some(_) => {}
+                }
+                // NaN/Inf CSI would silently poison every TRRS downstream
+                // (the matrices, the DP costs, the movement indicator);
+                // reject it at the boundary too.
                 if !snap.is_finite() {
                     return Err(Error::NonFiniteCsi {
                         antenna: a,
@@ -1809,6 +1835,50 @@ mod tests {
             matches!(err, crate::Error::SeriesTooShort { got: 2, .. }),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn mixed_subcarrier_grids_are_rejected_as_geometry_error() {
+        // Two grids in one recording would silently score zero TRRS
+        // between the mismatched snapshots (the kernels' contract) and
+        // reckon garbage — the boundary must catch it instead.
+        let geo = rim_array::ArrayGeometry::linear(2, HALF_WAVELENGTH);
+        let rim = Rim::new(geo, config(100.0)).unwrap();
+        let wide = CsiSnapshot {
+            per_tx: vec![vec![rim_dsp::complex::Complex64::from_re(1.0); 114]],
+        };
+        let narrow = CsiSnapshot {
+            per_tx: vec![vec![rim_dsp::complex::Complex64::from_re(1.0); 56]],
+        };
+        let mut series = vec![wide.clone(); 12];
+        series[7] = narrow;
+        let csi = DenseCsi {
+            sample_rate_hz: 100.0,
+            subcarrier_indices: (0..114).collect(),
+            antennas: vec![series, vec![wide; 12]],
+        };
+        let err = rim.analyze(&csi).unwrap_err();
+        assert!(matches!(err, crate::Error::Geometry(_)), "{err:?}");
+        assert!(err.to_string().contains("mixed subcarrier grids"), "{err}");
+        assert!(err.to_string().contains("sample 7"), "{err}");
+    }
+
+    #[test]
+    fn ragged_tx_streams_are_rejected_as_geometry_error() {
+        let geo = rim_array::ArrayGeometry::linear(2, HALF_WAVELENGTH);
+        let rim = Rim::new(geo, config(100.0)).unwrap();
+        let h = rim_dsp::complex::Complex64::from_re(1.0);
+        let ragged = CsiSnapshot {
+            per_tx: vec![vec![h; 56], vec![h; 55]],
+        };
+        let csi = DenseCsi {
+            sample_rate_hz: 100.0,
+            subcarrier_indices: (0..56).collect(),
+            antennas: vec![vec![ragged; 12]; 2],
+        };
+        let err = rim.analyze(&csi).unwrap_err();
+        assert!(matches!(err, crate::Error::Geometry(_)), "{err:?}");
+        assert!(err.to_string().contains("TX streams disagree"), "{err}");
     }
 
     #[test]

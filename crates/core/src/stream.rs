@@ -777,6 +777,13 @@ pub struct RimStream {
     max_open: usize,
     /// Sample rate, Hz.
     fs: f64,
+    /// Subcarrier count of the first accepted snapshot. The TRRS kernels
+    /// score snapshots on mismatched grids as zero similarity instead of
+    /// failing (TX-count disagreement, by contrast, truncates gracefully
+    /// and is only counted — see `TX_MISMATCH`), so a mid-stream grid
+    /// change (56 ↔ 114 ↔ 242 subcarriers) would silently corrupt every
+    /// estimate; the boundary pins the grid instead.
+    grid: Option<usize>,
 }
 
 /// A builder-style handle for probed streaming pushes, created by
@@ -893,6 +900,7 @@ impl RimStream {
             capacity,
             max_open,
             fs,
+            grid: None,
             rim,
         }
     }
@@ -1001,6 +1009,7 @@ impl RimStream {
                     sample: seq as usize,
                 });
             }
+            self.check_shape(a, seq, snap)?;
         }
         let t0 = probe.enabled().then(Instant::now);
         let ingest_span = trace
@@ -1030,11 +1039,14 @@ impl RimStream {
             });
         }
         for (a, snap) in antennas.iter().enumerate() {
-            if snap.as_ref().is_some_and(|s| !s.is_finite()) {
-                return Err(Error::NonFiniteCsi {
-                    antenna: a,
-                    sample: seq as usize,
-                });
+            if let Some(s) = snap.as_ref() {
+                if !s.is_finite() {
+                    return Err(Error::NonFiniteCsi {
+                        antenna: a,
+                        sample: seq as usize,
+                    });
+                }
+                self.check_shape(a, seq, s)?;
             }
         }
         let t0 = probe.enabled().then(Instant::now);
@@ -1048,6 +1060,29 @@ impl RimStream {
         }
         self.note_ingest_latency(t0, probe);
         Ok(events)
+    }
+
+    /// Pins the stream's subcarrier grid to the first accepted snapshot
+    /// and rejects later snapshots that disagree (see the `grid` field).
+    fn check_shape(&mut self, antenna: usize, seq: u64, snap: &CsiSnapshot) -> Result<(), Error> {
+        let sc = snap.n_subcarriers();
+        if snap.per_tx.iter().any(|cfr| cfr.len() != sc) {
+            return Err(Error::Geometry(format!(
+                "ragged CSI at antenna {antenna} seq {seq}: \
+                 TX streams disagree on subcarrier count"
+            )));
+        }
+        match self.grid {
+            None => {
+                self.grid = Some(sc);
+                Ok(())
+            }
+            Some(esc) if esc != sc => Err(Error::Geometry(format!(
+                "subcarrier grid changed mid-stream at antenna {antenna} seq {seq}: \
+                 {sc} subcarriers vs {esc} at stream start"
+            ))),
+            Some(_) => Ok(()),
+        }
     }
 
     /// Records one ingest's wall-clock latency on the incremental-stage
@@ -1699,6 +1734,29 @@ mod tests {
         );
         // The rejected sample left no trace.
         assert_eq!(stream.samples_pushed(), 0);
+    }
+
+    #[test]
+    fn mid_stream_grid_change_is_rejected_as_geometry_error() {
+        let geo = rim_array::ArrayGeometry::linear(3, HALF_WAVELENGTH);
+        let mut stream = RimStream::new(geo, config(100.0)).unwrap();
+        stream
+            .ingest(vec![probe_snap(0.0), probe_snap(1.0), probe_snap(2.0)])
+            .unwrap();
+        // A snapshot on a different subcarrier grid would score zero
+        // TRRS against everything already in the ring — reject it.
+        let mut narrow = probe_snap(3.0);
+        narrow.per_tx[0].pop();
+        let err = stream
+            .ingest(vec![probe_snap(3.0), narrow, probe_snap(5.0)])
+            .unwrap_err();
+        assert!(matches!(err, Error::Geometry(_)), "{err:?}");
+        assert!(err.to_string().contains("grid changed mid-stream"), "{err}");
+        // Consistent snapshots keep flowing afterwards.
+        stream
+            .ingest(vec![probe_snap(3.0), probe_snap(4.0), probe_snap(5.0)])
+            .unwrap();
+        assert_eq!(stream.samples_pushed(), 2);
     }
 
     #[test]

@@ -73,8 +73,13 @@ pub fn sanitize_matched_delay(cfr: &mut [Complex64], indices: &[i32]) {
         return;
     }
     // Objective on a β grid. The main lobe of |Σ H e^{-jβ idx}| is about
-    // 2π/span wide, so a 0.02 rad/index step over ±0.8 cannot miss it for
-    // any realistic bulk delay + timing offset.
+    // 2π/span wide, where span is the index extent of the grid — so the
+    // search step must scale with the grid. A fixed step sized for the
+    // 56/114-entry layouts straddles VHT80's ±122-span lobe, and the
+    // slope error it leaves behind (a fraction of the step, amplified by
+    // the edge index) jitters the fingerprint packet to packet: a static
+    // antenna's self-TRRS sags toward the movement threshold and stops
+    // stop being detected.
     let eval = |beta: f64| -> f64 {
         let mut acc = rim_dsp::complex::ZERO;
         for (h, &i) in cfr.iter().zip(indices) {
@@ -82,17 +87,36 @@ pub fn sanitize_matched_delay(cfr: &mut [Complex64], indices: &[i32]) {
         }
         acc.norm_sqr()
     };
-    let step = 0.02;
-    let n_steps = 81i32;
+    let span = (indices.iter().max().unwrap() - indices.iter().min().unwrap()).max(1) as f64;
+    let lobe = std::f64::consts::TAU / span;
+    // ≥4 coarse samples per main lobe guarantees the sampled maximum
+    // lands on it (the strongest sidelobe sits 13 dB down).
+    let coarse = (lobe / 4.0).min(0.02);
+    let range = 0.8f64;
+    let n_steps = (range / coarse).ceil() as i32;
     let mut best = (0.0f64, f64::NEG_INFINITY);
     for s in -n_steps..=n_steps {
-        let beta = s as f64 * step;
+        let beta = s as f64 * coarse;
         let v = eval(beta);
         if v > best.1 {
             best = (beta, v);
         }
     }
-    // Parabolic refinement around the grid peak.
+    // Fine pass across the coarse peak's neighbourhood, then parabolic
+    // refinement at the fine step.
+    let step = coarse / 8.0;
+    let best = {
+        let b0 = best.0;
+        let mut fine = (b0, f64::NEG_INFINITY);
+        for s in -8..=8 {
+            let beta = b0 + s as f64 * step;
+            let v = eval(beta);
+            if v > fine.1 {
+                fine = (beta, v);
+            }
+        }
+        fine
+    };
     let (b0, v0) = best;
     let vm = eval(b0 - step);
     let vp = eval(b0 + step);
@@ -371,6 +395,46 @@ mod tests {
         let ip = rim_dsp::inner_product(&clean, &bad).abs();
         let trrs = ip * ip / (rim_dsp::norm_sqr(&clean) * rim_dsp::norm_sqr(&bad));
         assert!(trrs > 0.98, "robustness: {trrs}");
+    }
+
+    #[test]
+    fn matched_delay_invariant_on_wide_grids() {
+        // Regression: on a VHT80-scale grid (±122 span) the β search must
+        // still resolve the slope finely enough that two packets of the
+        // same channel under different per-packet timing offsets sanitise
+        // to near-identical fingerprints. With a fixed 0.02 rad/index
+        // step the residual slope error left TRRS near 0.96 here — below
+        // the 0.92 movement threshold once channel noise stacks on top —
+        // so stop-and-go motion on 242-subcarrier devices never detected
+        // its stops.
+        let indices: Vec<i32> = (-122..=-2).chain(2..=122).collect();
+        let channel: Vec<Complex64> = indices
+            .iter()
+            .map(|&i| {
+                Complex64::cis(0.013 * i as f64)
+                    + Complex64::from_polar(0.5, -0.047 * i as f64)
+                    + Complex64::from_polar(0.3, 0.09 * i as f64 + 1.0)
+            })
+            .collect();
+        for (sto_a, sto_b) in [(0.0, -0.23), (0.11, 0.017), (-0.31, 0.29)] {
+            let offset = |sto: f64| -> Vec<Complex64> {
+                channel
+                    .iter()
+                    .zip(&indices)
+                    .map(|(h, &i)| *h * Complex64::from_polar(1.0, sto * i as f64 + 0.7))
+                    .collect()
+            };
+            let mut a = offset(sto_a);
+            let mut b = offset(sto_b);
+            sanitize_matched_delay(&mut a, &indices);
+            sanitize_matched_delay(&mut b, &indices);
+            let ip = rim_dsp::inner_product(&a, &b).abs();
+            let trrs = ip * ip / (rim_dsp::norm_sqr(&a) * rim_dsp::norm_sqr(&b));
+            assert!(
+                trrs > 0.9995,
+                "wide-grid invariance for STO {sto_a} vs {sto_b}: {trrs}"
+            );
+        }
     }
 
     #[test]

@@ -700,7 +700,7 @@ impl SessionManager {
             });
         }
         if evicted > 0 {
-            let n = self.resident.fetch_sub(evicted as usize, Ordering::AcqRel) - evicted as usize;
+            let n = saturating_release(&self.resident, evicted as usize);
             self.recorder
                 .count(stage::SERVE, serve_metric::SESSIONS_EVICTED, evicted);
             self.recorder
@@ -876,10 +876,27 @@ impl SessionManager {
         let state = self
             .lock_shard(self.shard_of(session_id))
             .remove(&session_id)?;
-        let n = self.resident.fetch_sub(1, Ordering::AcqRel) - 1;
+        let n = saturating_release(&self.resident, 1);
         self.recorder
             .gauge(stage::SERVE, serve_metric::SESSIONS_ACTIVE, n as f64);
         Some(state)
+    }
+}
+
+/// Releases `n` residency slots and returns the new count, saturating at
+/// zero. `fetch_sub(n) - n` is not safe here: eviction counts its victims
+/// under per-shard locks, then settles the global counter — a session
+/// removed and re-admitted by another thread in between can leave the
+/// counter smaller than the eviction tally, and the plain subtraction
+/// would wrap the gauge to ~2^64 (and panic in debug builds).
+fn saturating_release(resident: &AtomicUsize, n: usize) -> usize {
+    let mut prev = resident.load(Ordering::Acquire);
+    loop {
+        let next = prev.saturating_sub(n);
+        match resident.compare_exchange_weak(prev, next, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return next,
+            Err(p) => prev = p,
+        }
     }
 }
 
@@ -1105,6 +1122,60 @@ mod tests {
             .counters
             .iter()
             .any(|(k, v)| k == serve_metric::SESSIONS_EVICTED && *v == 1));
+    }
+
+    #[test]
+    fn resident_release_saturates_instead_of_wrapping() {
+        // The eviction race's post-state: victims were counted under the
+        // shard locks, but another thread settled the global counter
+        // first (remove + re-admit), leaving it below the tally. The old
+        // `fetch_sub(n) - n` wrapped the gauge to ~2^64 here.
+        let resident = AtomicUsize::new(1);
+        assert_eq!(saturating_release(&resident, 3), 0);
+        assert_eq!(resident.load(Ordering::Acquire), 0);
+        // The normal path still subtracts exactly.
+        let resident = AtomicUsize::new(5);
+        assert_eq!(saturating_release(&resident, 3), 2);
+        assert_eq!(resident.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn eviction_race_with_readmission_keeps_the_gauge_sane() {
+        // Hammer evict/ingest/finish from three threads; whatever the
+        // interleaving, the resident count must stay a sane small number
+        // (a wrap would read as ~2^64) and the manager must not panic.
+        let m = std::sync::Arc::new(manager(
+            ServeConfig::builder().idle_evict_ticks(1).build().unwrap(),
+        ));
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let m = std::sync::Arc::clone(&m);
+            let stop = std::sync::Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let id = 100 + t;
+                    let _ = m.ingest(id, sample(seq));
+                    m.process();
+                    let _ = m.finish(id);
+                    seq += 1;
+                }
+            }));
+        }
+        for _ in 0..200 {
+            m.process(); // ticks the clock → evict_idle races the workers
+            assert!(
+                m.sessions_active() <= 16,
+                "resident gauge wrapped: {}",
+                m.sessions_active()
+            );
+        }
+        stop.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(m.sessions_active() <= 3);
     }
 
     #[test]

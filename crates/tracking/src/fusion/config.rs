@@ -19,6 +19,14 @@ pub struct FusionConfig {
     /// over this many consecutive IMU samples both sit under their
     /// thresholds.
     pub zupt_window: usize,
+    /// Additional consecutive qualifying windows required before stance
+    /// is declared (a refractory tail on top of `zupt_window`). Gait has
+    /// quiet lulls between accelerometer bursts — mid-swing during
+    /// running a single window of low deviation fits inside one stride —
+    /// so the detector must see `zupt_window + zupt_sustain` consecutive
+    /// quiet samples before it clamps velocity. `0` restores the bare
+    /// windowed verdict.
+    pub zupt_sustain: usize,
     /// Stance threshold on the windowed accelerometer-magnitude standard
     /// deviation, m/s².
     pub zupt_accel_std: f64,
@@ -62,6 +70,12 @@ impl Default for FusionConfig {
     fn default() -> Self {
         Self {
             zupt_window: 16,
+            // Arbitrated against the scenario zoo's running gait: at
+            // 200 Hz a 16-sample window plus 48 sustain samples spans
+            // 0.32 s of required quiet, longer than the inter-step lull
+            // of a 3 Hz running cadence, while a genuine stop (≥ 0.5 s)
+            // still engages ZUPT promptly.
+            zupt_sustain: 48,
             zupt_accel_std: 0.12,
             zupt_gyro_rate: 0.06,
             accel_noise: 0.02,
@@ -87,6 +101,13 @@ impl FusionConfig {
             return Err(Error::Config(format!(
                 "zupt_window must be at least 2 samples to measure deviation, got {}",
                 self.zupt_window
+            )));
+        }
+        if self.zupt_sustain > 100_000 {
+            return Err(Error::Config(format!(
+                "zupt_sustain of {} samples would never declare stance; use something \
+                 under 100000 (0 = bare windowed verdict)",
+                self.zupt_sustain
             )));
         }
         for (name, v) in [

@@ -144,6 +144,9 @@ impl FuserBuilder {
     builder_setters! {
         /// ZUPT stance window, samples (≥ 2).
         zupt_window: usize,
+        /// Extra consecutive qualifying windows before stance fires
+        /// (absorbs inter-step gait lulls; 0 = bare windowed verdict).
+        zupt_sustain: usize,
         /// Stance threshold on windowed accel deviation, m/s².
         zupt_accel_std: f64,
         /// Stance threshold on windowed mean |gyro|, rad/s.
@@ -253,7 +256,8 @@ impl FusedStream {
             config.zupt_window,
             config.zupt_accel_std,
             config.zupt_gyro_rate,
-        );
+        )
+        .with_sustain(config.zupt_sustain);
         let theta_anchor = config.initial_heading;
         Self {
             rim,
@@ -719,15 +723,16 @@ mod tests {
         let fuser = Fuser::builder().build().unwrap();
         let mut stream = test_stream(&fuser);
         let events = stream
-            .ingest(imu_batch(0, 50, 10_000, Vec2::new(0.0, 0.0), 0.0))
+            .ingest(imu_batch(0, 80, 10_000, Vec2::new(0.0, 0.0), 0.0))
             .unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind(), StreamEventKind::Fused);
         let StreamEvent::Fused { t_us, mode, .. } = events[0] else {
             panic!("fused event expected");
         };
-        assert_eq!(t_us, 49 * 10_000);
-        // A quiet IMU fills the stance window: ZUPT mode.
+        assert_eq!(t_us, 79 * 10_000);
+        // A quiet IMU fills the stance window plus the sustain tail
+        // (16 + 48 samples by default): ZUPT mode.
         assert_eq!(mode, FusedMode::Zupt);
         assert!(stream.zupt_count() > 0);
         // An empty batch is a no-op.
@@ -763,12 +768,20 @@ mod tests {
     fn covariance_trace_grows_while_coasting() {
         let fuser = Fuser::builder().build().unwrap();
         let mut stream = test_stream(&fuser);
-        let first = stream
-            .ingest(imu_batch(0, 20, 10_000, Vec2::new(0.5, 0.1), 0.02))
-            .unwrap();
-        let later = stream
-            .ingest(imu_batch(200_000, 200, 10_000, Vec2::new(0.5, 0.1), 0.02))
-            .unwrap();
+        // Jittery accel keeps the stance detector off in both batches so
+        // the filter genuinely coasts throughout.
+        let jitter = |t0_us: u64, n: usize| -> Vec<ImuSample> {
+            (0..n)
+                .map(|i| ImuSample {
+                    t_us: t0_us + i as u64 * 10_000,
+                    accel_body: Vec2::new(0.5 + 0.4 * (-1f64).powi(i as i32), 0.1),
+                    gyro_z: 0.02,
+                    mag_orientation: None,
+                })
+                .collect()
+        };
+        let first = stream.ingest(jitter(0, 20)).unwrap();
+        let later = stream.ingest(jitter(200_000, 200)).unwrap();
         let (
             StreamEvent::Fused {
                 covariance_trace: a,

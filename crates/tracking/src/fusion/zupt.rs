@@ -16,6 +16,9 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct ZuptDetector {
     window: usize,
+    /// Consecutive qualifying windowed verdicts required beyond the
+    /// first before stance is declared (see [`Self::with_sustain`]).
+    sustain: usize,
     accel_std_max: f64,
     gyro_rate_max: f64,
     /// Recent accelerometer magnitudes with running Σx and Σx².
@@ -25,6 +28,8 @@ pub struct ZuptDetector {
     /// Recent absolute gyro rates with running Σ|ω|.
     gyro: VecDeque<f64>,
     gyro_sum: f64,
+    /// Consecutive pushes whose windowed verdict qualified.
+    streak: usize,
 }
 
 impl ZuptDetector {
@@ -33,6 +38,7 @@ impl ZuptDetector {
     pub fn new(window: usize, accel_std_max: f64, gyro_rate_max: f64) -> Self {
         Self {
             window,
+            sustain: 0,
             accel_std_max,
             gyro_rate_max,
             accel: VecDeque::with_capacity(window),
@@ -40,7 +46,23 @@ impl ZuptDetector {
             accel_sum_sq: 0.0,
             gyro: VecDeque::with_capacity(window),
             gyro_sum: 0.0,
+            streak: 0,
         }
+    }
+
+    /// Requires `sustain` additional consecutive qualifying verdicts
+    /// before stance is declared — `window + sustain` consecutive quiet
+    /// samples in total.
+    ///
+    /// The bare windowed verdict misfires on gait: running has quiet
+    /// accelerometer lulls between push-off bursts that outlast a short
+    /// window mid-swing, and a false stance clamps the filter's velocity
+    /// to zero while the body is moving at full speed. The sustain tail
+    /// makes the required quiet span longer than one inter-step lull
+    /// while keeping detection latency well under a genuine stop.
+    pub fn with_sustain(mut self, sustain: usize) -> Self {
+        self.sustain = sustain;
+        self
     }
 
     /// Pushes one IMU sample (accelerometer magnitude, gyro rate) and
@@ -61,11 +83,21 @@ impl ZuptDetector {
         let g = gyro_z.abs();
         self.gyro.push_back(g);
         self.gyro_sum += g;
+        if self.window_quiet() {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
         self.stationary()
     }
 
     /// The current stance verdict without pushing a sample.
     pub fn stationary(&self) -> bool {
+        self.window_quiet() && self.streak > self.sustain
+    }
+
+    /// Whether the current window alone sits under both thresholds.
+    fn window_quiet(&self) -> bool {
         if self.accel.len() < self.window {
             return false;
         }
@@ -114,5 +146,67 @@ mod tests {
             d.push(0.0, 0.5);
         }
         assert!(!d.stationary());
+    }
+
+    #[test]
+    fn sustain_rides_through_running_gait_lulls() {
+        // A running stride is a push-off burst followed by a quiet
+        // mid-swing lull. The lull (24 samples) outlasts the bare window
+        // (16), so the unsustained detector false-fires every stride
+        // while the body is moving at full speed.
+        let stride = |d: &mut ZuptDetector| {
+            let mut fired = false;
+            for _ in 0..6 {
+                fired |= d.push(3.0, 0.02); // heel strike / push-off
+            }
+            for _ in 0..24 {
+                fired |= d.push(0.02, 0.01); // mid-swing lull
+            }
+            fired
+        };
+
+        let mut bare = ZuptDetector::new(16, 0.12, 0.06);
+        let mut misfired = false;
+        for _ in 0..6 {
+            misfired |= stride(&mut bare);
+        }
+        assert!(misfired, "bare window false-fires inside a stride lull");
+
+        // The sustained detector needs 16 + 16 consecutive quiet samples
+        // — longer than any lull — so it stays quiet through the run...
+        let mut sustained = ZuptDetector::new(16, 0.12, 0.06).with_sustain(16);
+        for _ in 0..6 {
+            assert!(!stride(&mut sustained), "no stance inside the run");
+        }
+        // ...and still engages on a genuine stop (a last push-off, then
+        // sustained quiet).
+        sustained.push(3.0, 0.02);
+        let mut fired_at = None;
+        for i in 0..64 {
+            if sustained.push(0.02, 0.01) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(
+            fired_at,
+            Some(31),
+            "stance engages exactly after window (16) + sustain (16) quiet samples"
+        );
+    }
+
+    #[test]
+    fn movement_resets_the_sustain_streak() {
+        let mut d = ZuptDetector::new(4, 0.1, 0.05).with_sustain(4);
+        for _ in 0..8 {
+            d.push(0.0, 0.0);
+        }
+        assert!(d.stationary());
+        // One loud sample drops the verdict and the streak restarts from
+        // scratch: window refill plus the full sustain tail again.
+        assert!(!d.push(2.0, 0.0));
+        let verdicts: Vec<bool> = (0..8).map(|_| d.push(0.0, 0.0)).collect();
+        assert!(!verdicts[6], "streak not yet rebuilt");
+        assert!(verdicts[7], "stance returns after window + sustain");
     }
 }

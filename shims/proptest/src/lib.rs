@@ -151,6 +151,31 @@ pub mod strategy {
     }
 }
 
+pub mod sample {
+    //! Uniform selection from an explicit value list
+    //! (`prop::sample::select`).
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Picks one of the given values uniformly at random.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one value");
+        Select(values)
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
 pub mod arbitrary {
     //! `any::<T>()` — whole-domain strategies for primitive types.
 
@@ -409,6 +434,7 @@ pub mod prelude {
     pub mod prop {
         pub use crate::collection;
         pub use crate::option;
+        pub use crate::sample;
     }
 }
 
